@@ -1,0 +1,280 @@
+// Package osdp's root-level benchmark harness: one testing.B benchmark per
+// table and figure of the paper (regenerating the artifact end to end on a
+// reduced configuration), the ablations called out in DESIGN.md, and
+// micro-benchmarks of the individual mechanisms. Run with
+//
+//	go test -bench=. -benchmem
+//
+// and use -v to see each regenerated table via b.Logf. cmd/osdp-bench runs
+// the full-scale versions and prints the complete series.
+package osdp
+
+import (
+	"testing"
+
+	"osdp/internal/core"
+	"osdp/internal/dawa"
+	"osdp/internal/dpbench"
+	"osdp/internal/experiments"
+	"osdp/internal/histogram"
+	"osdp/internal/mechanism"
+	"osdp/internal/noise"
+)
+
+// benchConfig is the reduced configuration used by the figure benchmarks:
+// one trial per measurement, small corpus, all policy points.
+func benchConfig() experiments.Config {
+	cfg := experiments.DefaultConfig()
+	cfg.Trials = 1
+	cfg.Tippers.Users = 250
+	cfg.Tippers.Days = 12
+	cfg.CVFolds = 3
+	cfg.Epochs = 40
+	cfg.PolicyShares = []float64{0.99, 0.75, 0.50, 0.25}
+	cfg.NSRatios = []float64{0.99, 0.50, 0.25}
+	return cfg
+}
+
+func logOnce(b *testing.B, i int, r *experiments.Report) {
+	if i == 0 {
+		b.Logf("\n%s", r.String())
+	}
+}
+
+func BenchmarkTable1_OsdpRRKeepRate(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.Table1(cfg, 100000))
+	}
+}
+
+func BenchmarkTable2_DPBenchStats(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.Table2(cfg))
+	}
+}
+
+func BenchmarkFigure1_Classification(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.Figure1(cfg, 1.0))
+	}
+}
+
+func BenchmarkFigure2_4grams(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.FigureNGrams(cfg, 4, 1.0))
+	}
+}
+
+func BenchmarkFigure3_5grams(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.FigureNGrams(cfg, 5, 1.0))
+	}
+}
+
+func BenchmarkFigure4_Tippers2D(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.Figure4(cfg, 1.0))
+	}
+}
+
+func BenchmarkFigure5_TippersPerBin(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.Figure5(cfg, 1.0))
+	}
+}
+
+func BenchmarkFigure6_RegretBothPolicies(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.Figure6(cfg, 1.0))
+	}
+}
+
+func BenchmarkFigure7_RegretByPolicy(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.Figure78(cfg, 1.0, "MRE"))
+	}
+}
+
+func BenchmarkFigure8_Rel95Regret(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.Figure78(cfg, 1.0, "Rel95"))
+	}
+}
+
+func BenchmarkFigure9_PerDataset(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.Figure9(cfg, 1.0, 0.99))
+	}
+}
+
+func BenchmarkFigure10_PDPComparison(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.Figure10(cfg, 1.0))
+	}
+}
+
+func BenchmarkAblation_RRvsLaplaceCrossover(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.CrossoverReport())
+	}
+}
+
+func BenchmarkAblation_ExclusionAttack(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.ExclusionExperiment(cfg, 20000))
+	}
+}
+
+func BenchmarkAblation_DAWAzRho(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.DAWAzRhoSweep(cfg, 1.0, []float64{0.05, 0.1, 0.3}))
+	}
+}
+
+func BenchmarkAblation_L1Postprocess(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.L1PostprocessAblation(cfg, 1.0))
+	}
+}
+
+func BenchmarkAblation_ZeroSource(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.ZeroSourceAblation(cfg, 1.0))
+	}
+}
+
+func BenchmarkAblation_TruncationK(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.TruncationSweep(cfg, 4, 1.0, 3))
+	}
+}
+
+func BenchmarkExtension_RecipeGenerality(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.RecipeGeneralityReport(cfg, 1.0))
+	}
+}
+
+func BenchmarkExtension_ConstraintClosure(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.ConstraintClosureReport(cfg))
+	}
+}
+
+func BenchmarkExtension_PolicyLearning(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.PolicyLearningReport(cfg, []int{200, 1000}))
+	}
+}
+
+func BenchmarkExtension_AGrid2D(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.AGrid2DReport(cfg, 1.0))
+	}
+}
+
+func BenchmarkExtension_RangeWorkload(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.RangeWorkloadReport(cfg, 1.0, 100))
+	}
+}
+
+func BenchmarkExtension_PrivBayes(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.PrivBayesReport(cfg, []float64{0.2}))
+	}
+}
+
+// --- Mechanism micro-benchmarks over the DPBench domain (4096 bins). ---
+
+func benchHistogram() *histogram.Histogram {
+	spec, err := dpbench.SpecByName("Adult")
+	if err != nil {
+		panic(err)
+	}
+	return spec.Generate(1)
+}
+
+func BenchmarkMechanism_LaplaceHistogram4096(b *testing.B) {
+	x := benchHistogram()
+	src := noise.NewSource(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mechanism.LaplaceHistogram(x, 1.0, src)
+	}
+}
+
+func BenchmarkMechanism_OsdpLaplaceL1_4096(b *testing.B) {
+	x := benchHistogram()
+	src := noise.NewSource(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.OsdpLaplaceL1(x, 1.0, src)
+	}
+}
+
+func BenchmarkMechanism_RRSampleHistogram4096(b *testing.B) {
+	x := benchHistogram()
+	src := noise.NewSource(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.RRSampleHistogram(x, 1.0, src)
+	}
+}
+
+func BenchmarkMechanism_DAWA4096(b *testing.B) {
+	x := benchHistogram()
+	src := noise.NewSource(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dawa.New().Estimate(x, 1.0, src)
+	}
+}
+
+func BenchmarkMechanism_DAWAz4096(b *testing.B) {
+	x := benchHistogram()
+	src := noise.NewSource(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dawa.DAWAz(x, x, 1.0, 0.1, src)
+	}
+}
+
+func BenchmarkNoise_Laplace(b *testing.B) {
+	src := noise.NewSource(6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		noise.Laplace(src, 1.0)
+	}
+}
+
+func BenchmarkNoise_OneSidedLaplace(b *testing.B) {
+	src := noise.NewSource(7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		noise.OneSidedLaplace(src, 1.0)
+	}
+}

@@ -1,0 +1,12 @@
+// Package osdp is a complete Go implementation of one-sided differential
+// privacy (Doudalis, Kotsogiannis, Haney, Machanavajjhala, Mehrotra;
+// ICDE 2020): the OSDP definition and mechanisms, the DP/PDP baselines the
+// paper compares against, synthetic substitutes for its evaluation
+// datasets, and a harness regenerating every table and figure.
+//
+// The library lives under internal/ (see DESIGN.md for the module map);
+// runnable entry points are cmd/osdp-bench, cmd/osdp-cli, cmd/tippersgen,
+// and the programs under examples/. This root package carries the
+// repo-level benchmark harness (bench_test.go, one benchmark per paper
+// artifact) and cross-module integration tests.
+package osdp

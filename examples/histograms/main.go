@@ -1,0 +1,64 @@
+// Histograms: the §5 counting-query workload on a DPBench benchmark
+// dataset. Compares the DP baselines (Laplace, DAWA) against the OSDP
+// algorithms (OsdpLaplaceL1, DAWAz) on the sparse Adult histogram under a
+// Close (opt-in-like) policy, reproducing the headline "up to 25×" gap in
+// miniature.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"osdp/internal/core"
+	"osdp/internal/dawa"
+	"osdp/internal/dpbench"
+	"osdp/internal/histogram"
+	"osdp/internal/mechanism"
+	"osdp/internal/metrics"
+	"osdp/internal/noise"
+)
+
+func main() {
+	spec, err := dpbench.SpecByName("Adult")
+	if err != nil {
+		panic(err)
+	}
+	x := spec.Generate(42)
+	fmt.Printf("dataset %s: %d bins, scale %.0f, sparsity %.2f\n",
+		spec.Name, x.Bins(), x.Scale(), x.Sparsity())
+
+	// Close policy: 90% of records are non-sensitive opt-ins.
+	rng := rand.New(rand.NewSource(1))
+	xns := dpbench.MSampling(x, 0.9, 0.1, rng)
+	fmt.Printf("non-sensitive subset: scale %.0f (ρx = %.2f)\n\n", xns.Scale(), xns.Scale()/x.Scale())
+
+	const eps = 1.0
+	const trials = 10
+	src := noise.NewSource(7)
+
+	type alg struct {
+		name string
+		run  func() *histogram.Histogram
+	}
+	algs := []alg{
+		{"Laplace (DP)", func() *histogram.Histogram { return mechanism.LaplaceHistogram(x, eps, src) }},
+		{"DAWA (DP)", func() *histogram.Histogram { est, _ := dawa.New().Estimate(x, eps, src); return est }},
+		{"OsdpLaplaceL1 (OSDP)", func() *histogram.Histogram { return core.OsdpLaplaceL1(xns, eps, src) }},
+		{"DAWAz (OSDP)", func() *histogram.Histogram { return dawa.DAWAz(x, xns, eps, 0.1, src) }},
+	}
+
+	fmt.Printf("%-22s %10s %12s %10s\n", "algorithm", "MRE", "L1", "Rel95")
+	for _, a := range algs {
+		var mre, l1, rel95 float64
+		for t := 0; t < trials; t++ {
+			est := a.run()
+			mre += metrics.MRE(x, est, 1)
+			l1 += metrics.L1(x, est)
+			rel95 += metrics.RelPercentile(x, est, 1, 95)
+		}
+		fmt.Printf("%-22s %10.4g %12.4g %10.4g\n", a.name, mre/trials, l1/trials, rel95/trials)
+	}
+	fmt.Println("\nOn sparse data the one-sided mechanisms pin the empty bins to exact")
+	fmt.Println("zero, which no symmetric-noise DP mechanism can do — that is the")
+	fmt.Println("entire gap. Try Patent (dense) to watch the advantage shrink.")
+}

@@ -1,0 +1,73 @@
+// Trajectories: the paper's motivating smart-building scenario (§1
+// Example 3, §6.3.2). Generates a synthetic TIPPERS trace, declares the
+// least-trafficked access points sensitive (the "smoker's lounge" policy),
+// releases a true trajectory sample under OSDP, and compares 4-gram
+// mobility-pattern histograms against the truncated-Laplace DP baseline.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"osdp/internal/mechanism"
+	"osdp/internal/metrics"
+	"osdp/internal/noise"
+	"osdp/internal/tippers"
+)
+
+func main() {
+	cfg := tippers.DefaultConfig()
+	cfg.Users = 600
+	cfg.Days = 25
+	corpus := tippers.Generate(cfg)
+	fmt.Printf("generated %d daily trajectories for %d users over %d days\n",
+		len(corpus.Trajectories), cfg.Users, cfg.Days)
+
+	// Policy: ~25% of trajectories pass through a sensitive AP.
+	policy := corpus.PolicyForShare(0.75)
+	fmt.Printf("policy %s: %d sensitive APs, non-sensitive share %.2f\n",
+		policy.Name, len(policy.SensitiveAPs), corpus.NonSensitiveShare(policy))
+
+	// Release a true sample under (P, 1)-OSDP.
+	const eps = 1.0
+	rng := rand.New(rand.NewSource(2))
+	released := corpus.ReleaseRR(policy, eps, rng)
+	fmt.Printf("OsdpRR released %d trajectories — every one is TRUE data,\n", len(released))
+	fmt.Println("usable for pattern mining, simulation replay, or ML training.")
+
+	// 4-gram mobility histogram: OSDP sample vs DP truncated Laplace.
+	const n = 4
+	trueCounts := tippers.NGramCounts(corpus.Trajectories, n)
+	domain := tippers.NGramDomainSize(n)
+	fmt.Printf("\n%d-gram domain: %.0f bins, %d occupied\n", n, domain, len(trueCounts))
+
+	sampleCounts := tippers.NGramCounts(released, n)
+	scale := 1 / noise.KeepProbability(eps)
+	for k, v := range sampleCounts {
+		sampleCounts[k] = v * scale // Horvitz–Thompson debias
+	}
+	osdpMRE := metrics.SparseMRE(trueCounts, sampleCounts, domain, 1)
+
+	userGrams := tippers.UserGramLists(corpus.Trajectories, n)
+	lap := mechanism.NGramLaplace(userGrams, 1, eps, noise.NewSource(3))
+	dpMRE := metrics.SparseMRE(trueCounts, lap, domain, 1)
+
+	fmt.Printf("\n4-gram histogram MRE (ε=%g):\n", eps)
+	fmt.Printf("  OsdpRR sample (OSDP):        %.4g\n", osdpMRE)
+	fmt.Printf("  Laplace + truncation (DP):   %.4g\n", dpMRE)
+	fmt.Printf("  → OSDP leverages the %.0f%% non-sensitive data a DP mechanism must ignore\n",
+		100*corpus.NonSensitiveShare(policy))
+
+	// Show a few of the heaviest mobility patterns from the released data.
+	fmt.Println("\ntop released mobility 4-grams (AP sequences):")
+	printed := 0
+	for _, key := range sampleCounts.Keys() {
+		if sampleCounts[key] >= 20 {
+			fmt.Printf("  %-23s ~%0.f trajectories\n", key, sampleCounts[key])
+			printed++
+			if printed == 5 {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package osdp
+
+// Cross-module integration tests: each test exercises a full pipeline a
+// downstream user would run, spanning several internal packages.
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"osdp/internal/classify"
+	"osdp/internal/core"
+	"osdp/internal/dataset"
+	"osdp/internal/dawa"
+	"osdp/internal/dpbench"
+	"osdp/internal/histogram"
+	"osdp/internal/metrics"
+	"osdp/internal/noise"
+	"osdp/internal/policylearn"
+	"osdp/internal/tippers"
+)
+
+// CSV in → policy → budgeted session → OSDP answers → CSV out.
+func TestPipelineCSVToSession(t *testing.T) {
+	csv := "Name:string,Age:int,OptIn:bool\n"
+	rng := rand.New(rand.NewSource(1))
+	var sb strings.Builder
+	sb.WriteString(csv)
+	for i := 0; i < 400; i++ {
+		age := rng.Intn(80)
+		opt := "true"
+		if rng.Float64() < 0.3 {
+			opt = "false"
+		}
+		sb.WriteString("u")
+		sb.WriteString(string(rune('a' + i%26)))
+		sb.WriteString(",")
+		sb.WriteString(itoa(age))
+		sb.WriteString(",")
+		sb.WriteString(opt)
+		sb.WriteString("\n")
+	}
+	db, err := dataset.ReadCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	policy := dataset.NewPolicy("gdpr", dataset.Or(
+		dataset.Cmp("Age", dataset.OpLe, dataset.Int(17)),
+		dataset.Cmp("OptIn", dataset.OpEq, dataset.Bool(false)),
+	))
+	sess := core.NewSession(db, policy, 2.0, noise.NewSource(2))
+
+	q := histogram.NewQuery(nil, histogram.NewNumericDomain("Age", 0, 10, 8))
+	est, err := sess.Histogram(q, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ns := db.Split(policy)
+	xns := q.Eval(ns)
+	if mre := metrics.MRE(xns, est, 1); mre > 0.5 {
+		t.Errorf("session histogram MRE vs xns = %v", mre)
+	}
+
+	sample, err := sess.Sample(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range sample.Records() {
+		if policy.Sensitive(r) {
+			t.Fatal("session sample leaked a sensitive record")
+		}
+	}
+	// Release the sample as CSV and read it back.
+	var buf bytes.Buffer
+	if err := dataset.WriteCSV(&buf, sample); err != nil {
+		t.Fatal(err)
+	}
+	again, err := dataset.ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Len() != sample.Len() {
+		t.Errorf("CSV round trip lost records: %d vs %d", again.Len(), sample.Len())
+	}
+	if math.Abs(sess.Spent()-1.5) > 1e-12 {
+		t.Errorf("session spent %v, want 1.5", sess.Spent())
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [4]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// Trajectory corpus → AP policy → topology closure → OsdpRR release →
+// n-gram analysis with Horvitz–Thompson debias.
+func TestPipelineTrajectoriesToNGrams(t *testing.T) {
+	cfg := tippers.DefaultConfig()
+	cfg.Users = 300
+	cfg.Days = 15
+	corpus := tippers.Generate(cfg)
+	policy := tippers.GridTopology().ClosePolicy(corpus.PolicyForShare(0.8))
+
+	const eps = 1.0
+	rng := rand.New(rand.NewSource(3))
+	released := corpus.ReleaseRR(policy, eps, rng)
+	truth := tippers.NGramCounts(corpus.Trajectories, 3)
+	est := tippers.NGramCounts(released, 3)
+	scale := 1 / noise.KeepProbability(eps)
+	for k, v := range est {
+		est[k] = v * scale
+	}
+	mre := metrics.SparseMRE(truth, est, tippers.NGramDomainSize(3), 1)
+	// The release covers the non-sensitive share, so error is bounded by
+	// roughly the sensitive share plus sampling noise.
+	if mre > 0.01 {
+		t.Errorf("pipeline 3-gram MRE = %v", mre)
+	}
+}
+
+// Benchmark data → policy sampler → DAWAz → regret accounting.
+func TestPipelineDPBenchToRegret(t *testing.T) {
+	spec, err := dpbench.SpecByName("Nettrace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := spec.Generate(7)
+	rng := rand.New(rand.NewSource(4))
+	xns := dpbench.MSampling(x, 0.9, 0.1, rng)
+	src := noise.NewSource(5)
+
+	rt := metrics.NewRegretTable("DAWA", "DAWAz")
+	alg := dawa.New()
+	var dwErr, dwzErr float64
+	const trials = 5
+	for i := 0; i < trials; i++ {
+		est, _ := alg.Estimate(x, 1.0, src)
+		dwErr += metrics.MRE(x, est, 1)
+		dwzErr += metrics.MRE(x, dawa.DAWAz(x, xns, 1.0, 0.1, src), 1)
+	}
+	rt.Record("nettrace", "DAWA", dwErr/trials)
+	rt.Record("nettrace", "DAWAz", dwzErr/trials)
+	if rt.Regret("nettrace", "DAWAz") != 1 {
+		t.Errorf("DAWAz should win on sparse sorted data; regrets: DAWA=%v DAWAz=%v",
+			rt.Regret("nettrace", "DAWA"), rt.Regret("nettrace", "DAWAz"))
+	}
+}
+
+// Labelled examples → learned policy → OSDP mechanism → empirical
+// verification of the learned policy's guarantee.
+func TestPipelineLearnedPolicyVerifies(t *testing.T) {
+	s := dataset.NewSchema(
+		dataset.Field{Name: "ID", Kind: dataset.KindInt},
+		dataset.Field{Name: "Age", Kind: dataset.KindInt},
+	)
+	rng := rand.New(rand.NewSource(6))
+	var examples []policylearn.Example
+	for i := 0; i < 1200; i++ {
+		age := int64(rng.Intn(80))
+		rec := dataset.NewRecord(s, dataset.Int(int64(i)), dataset.Int(age))
+		examples = append(examples, policylearn.Example{Record: rec, Sensitive: age <= 17})
+	}
+	lp, err := policylearn.Learn(examples, policylearn.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy := lp.AsPolicy("learned-minors")
+
+	base := dataset.NewTable(s)
+	base.Append(dataset.NewRecord(s, dataset.Int(0), dataset.Int(5))) // sensitive under both truth and learner
+	base.Append(dataset.NewRecord(s, dataset.Int(1), dataset.Int(40)))
+	universe := []dataset.Record{
+		dataset.NewRecord(s, dataset.Int(0), dataset.Int(9)),
+		dataset.NewRecord(s, dataset.Int(0), dataset.Int(55)),
+	}
+	const eps = 1.0
+	res := core.VerifyOSDP(core.NewRR(policy, eps), base, policy, universe,
+		core.VerifyConfig{Trials: 60000}, noise.NewSource(7))
+	if res.Pairs == 0 {
+		t.Fatal("learned policy produced no verifiable neighbors")
+	}
+	if res.MaxLogRatio > eps*1.1 {
+		t.Errorf("mechanism under learned policy leaks: %v > ε (worst %s)", res.MaxLogRatio, res.WorstPair)
+	}
+}
+
+// Corpus → features → OsdpRR release → classifier comparable to training
+// on all non-sensitive data.
+func TestPipelineReleaseToClassifier(t *testing.T) {
+	cfg := tippers.DefaultConfig()
+	cfg.Users = 300
+	cfg.Days = 15
+	corpus := tippers.Generate(cfg)
+	policy := corpus.PolicyForShare(0.8)
+	fs := tippers.NewFeatureSet(tippers.MineFrequentTrigrams(corpus.Trajectories, 40))
+	rng := rand.New(rand.NewSource(8))
+
+	released := corpus.ReleaseRR(policy, 1.0, rng)
+	train := tippers.ClassificationDataset(released, fs)
+	model, err := classify.Train(train, classify.DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := tippers.ClassificationDataset(corpus.Trajectories, fs)
+	scores := make([]float64, full.Len())
+	for i, x := range full.X {
+		scores[i] = model.Prob(x)
+	}
+	if auc := classify.AUC(scores, full.Y); auc < 0.85 {
+		t.Errorf("classifier trained on OSDP release has AUC %v", auc)
+	}
+}

@@ -1,0 +1,195 @@
+// Package agrid implements the adaptive-grid algorithm for 2-dimensional
+// histograms (Qardaji, Yang & Li, "Differentially private grids for
+// geospatial data", ICDE 2013 — the paper's AGrid reference for 2-D
+// histograms in §5.2) and AGridz, its OSDP upgrade via the §5.2 recipe.
+//
+// AGrid publishes a 2-D histogram in two passes:
+//
+//  1. Coarse grid (budget α·ε): overlay an m₁×m₁ grid, release each coarse
+//     cell's count with Laplace noise. m₁ grows with √(N·ε) so denser data
+//     affords finer top-level resolution.
+//  2. Adaptive refinement (budget (1−α)·ε): each coarse cell is subdivided
+//     into m₂×m₂ subcells with m₂ ∝ √(N′·(1−α)·ε), where N′ is the cell's
+//     noisy coarse count — dense regions get fine subdivision, empty ones
+//     stay whole. Subcell counts are released with Laplace noise and
+//     scaled to agree with the coarse estimate (a simple consistency
+//     step), then spread uniformly over their bins.
+//
+// The released leaf cells form disjoint bin groups, so the §5.2 recipe
+// applies exactly as for DAWA and AHP: detect the zero set from the
+// non-sensitive histogram with ρ·ε, zero those bins, and rescale within
+// each leaf cell.
+package agrid
+
+import (
+	"math"
+
+	"osdp/internal/core"
+	"osdp/internal/histogram"
+	"osdp/internal/noise"
+)
+
+// Algorithm is a configured AGrid instance.
+type Algorithm struct {
+	// Alpha is the share of ε spent on the coarse grid (the authors
+	// recommend 0.5).
+	Alpha float64
+	// C1, C2 are the grid-sizing constants (authors: c₁≈10, c₂≈5).
+	C1, C2 float64
+}
+
+// New returns an AGrid with the authors' recommended constants.
+func New() *Algorithm {
+	return &Algorithm{Alpha: 0.5, C1: 10, C2: 5}
+}
+
+// Name identifies the algorithm in reports.
+func (a *Algorithm) Name() string { return "AGrid" }
+
+// Estimate releases an eps-DP estimate of the rows×cols histogram x
+// (flattened row-major) along with the leaf cells (disjoint bin groups)
+// the adaptive grid produced.
+func (a *Algorithm) Estimate(x *histogram.Histogram, rows, cols int, eps float64, src noise.Source) (*histogram.Histogram, [][]int) {
+	if rows <= 0 || cols <= 0 || rows*cols != x.Bins() {
+		panic("agrid: rows×cols must equal the histogram arity")
+	}
+	if eps <= 0 {
+		panic("agrid: eps must be positive")
+	}
+	if a.Alpha <= 0 || a.Alpha >= 1 {
+		panic("agrid: alpha must lie in (0, 1)")
+	}
+	eps1 := a.Alpha * eps
+	eps2 := eps - eps1
+
+	// Coarse grid size m₁ = max(10, ¼·⌈√(N·ε/c₁)⌉), clamped to the domain.
+	n := x.Scale()
+	m1 := int(math.Ceil(math.Sqrt(n*eps/a.C1)) / 4)
+	if m1 < 10 {
+		m1 = 10
+	}
+	gridRows := minInt(m1, rows)
+	gridCols := minInt(m1, cols)
+
+	out := histogram.New(x.Bins())
+	var leaves [][]int
+	for _, cell := range tile(rows, cols, gridRows, gridCols) {
+		bins := cell.bins(cols)
+		var total float64
+		for _, b := range bins {
+			total += x.Count(b)
+		}
+		noisyTotal := total + noise.Laplace(src, 2/eps1)
+		if noisyTotal < 0 {
+			noisyTotal = 0
+		}
+
+		// Refinement: m₂ = ⌈√(N′·ε₂/c₂)⌉ per side.
+		m2 := int(math.Ceil(math.Sqrt(noisyTotal * eps2 / a.C2)))
+		if m2 < 1 {
+			m2 = 1
+		}
+		subRows := minInt(m2, cell.hiR-cell.loR+1)
+		subCols := minInt(m2, cell.hiC-cell.loC+1)
+		subCells := tileRegion(cell, subRows, subCols)
+
+		// Release subcell counts and rescale them to the coarse estimate.
+		subTotals := make([]float64, len(subCells))
+		var subSum float64
+		for i, sc := range subCells {
+			var t float64
+			for _, b := range sc.bins(cols) {
+				t += x.Count(b)
+			}
+			t += noise.Laplace(src, 2/eps2)
+			if t < 0 {
+				t = 0
+			}
+			subTotals[i] = t
+			subSum += t
+		}
+		scale := 1.0
+		if subSum > 0 {
+			scale = noisyTotal / subSum
+		}
+		for i, sc := range subCells {
+			bins := sc.bins(cols)
+			per := subTotals[i] * scale / float64(len(bins))
+			for _, b := range bins {
+				out.SetCount(b, per)
+			}
+			leaves = append(leaves, bins)
+		}
+	}
+	return out, leaves
+}
+
+// region is a rectangle of bins [loR, hiR]×[loC, hiC], inclusive.
+type region struct {
+	loR, hiR, loC, hiC int
+}
+
+func (r region) bins(cols int) []int {
+	out := make([]int, 0, (r.hiR-r.loR+1)*(r.hiC-r.loC+1))
+	for i := r.loR; i <= r.hiR; i++ {
+		for j := r.loC; j <= r.hiC; j++ {
+			out = append(out, i*cols+j)
+		}
+	}
+	return out
+}
+
+// tile splits a rows×cols domain into an nR×nC grid of near-equal regions.
+func tile(rows, cols, nR, nC int) []region {
+	return tileRegion(region{0, rows - 1, 0, cols - 1}, nR, nC)
+}
+
+// tileRegion splits a region into nR×nC near-equal subregions.
+func tileRegion(r region, nR, nC int) []region {
+	rowEdges := edges(r.loR, r.hiR, nR)
+	colEdges := edges(r.loC, r.hiC, nC)
+	out := make([]region, 0, nR*nC)
+	for i := 0; i+1 < len(rowEdges); i++ {
+		for j := 0; j+1 < len(colEdges); j++ {
+			out = append(out, region{
+				loR: rowEdges[i], hiR: rowEdges[i+1] - 1,
+				loC: colEdges[j], hiC: colEdges[j+1] - 1,
+			})
+		}
+	}
+	return out
+}
+
+// edges returns n+1 cut points splitting [lo, hi] into n near-equal runs.
+func edges(lo, hi, n int) []int {
+	size := hi - lo + 1
+	if n > size {
+		n = size
+	}
+	out := make([]int, n+1)
+	for i := 0; i <= n; i++ {
+		out[i] = lo + i*size/n
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// AGridz applies the §5.2 recipe to AGrid: zero detection from the
+// non-sensitive histogram with ρ·ε, AGrid with (1−ρ)·ε, then zeroing and
+// per-leaf-cell mass rescaling. Satisfies (P, ε)-OSDP by sequential
+// composition and post-processing.
+func AGridz(x, xns *histogram.Histogram, rows, cols int, eps, rho float64, src noise.Source) *histogram.Histogram {
+	if x.Bins() != xns.Bins() {
+		panic("agrid: x and xns disagree on domain size")
+	}
+	epsZero, epsDP := core.SplitBudget(eps, rho)
+	zeros := core.RRZeroDetector(xns, epsZero, src)
+	est, leaves := New().Estimate(x, rows, cols, epsDP, src)
+	return core.ApplyZeroSetGroups(est, leaves, zeros)
+}

@@ -1,0 +1,226 @@
+package agrid
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"osdp/internal/histogram"
+	"osdp/internal/mechanism"
+	"osdp/internal/metrics"
+	"osdp/internal/noise"
+)
+
+func checkLeavesPartition(t *testing.T, leaves [][]int, bins int) {
+	t.Helper()
+	seen := make([]int, bins)
+	for _, leaf := range leaves {
+		if len(leaf) == 0 {
+			t.Fatal("empty leaf cell")
+		}
+		for _, b := range leaf {
+			if b < 0 || b >= bins {
+				t.Fatalf("bin %d out of range", b)
+			}
+			seen[b]++
+		}
+	}
+	for b, c := range seen {
+		if c != 1 {
+			t.Fatalf("bin %d covered %d times", b, c)
+		}
+	}
+}
+
+func clusteredHist(rows, cols int, rng *rand.Rand) *histogram.Histogram {
+	h := histogram.New(rows * cols)
+	// A dense cluster in the top-left quadrant, emptiness elsewhere.
+	for i := 0; i < rows/2; i++ {
+		for j := 0; j < cols/2; j++ {
+			h.SetCount(i*cols+j, float64(rng.Intn(500)+200))
+		}
+	}
+	return h
+}
+
+func TestLeavesPartitionDomain(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dims := range [][2]int{{8, 8}, {64, 24}, {5, 37}, {1, 16}} {
+		rows, cols := dims[0], dims[1]
+		x := histogram.New(rows * cols)
+		for i := 0; i < x.Bins(); i++ {
+			x.SetCount(i, float64(rng.Intn(100)))
+		}
+		_, leaves := New().Estimate(x, rows, cols, 1.0, noise.NewSource(int64(rows*cols)))
+		checkLeavesPartition(t, leaves, rows*cols)
+	}
+}
+
+func TestAdaptiveRefinement(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := clusteredHist(64, 64, rng)
+	_, leaves := New().Estimate(x, 64, 64, 1.0, noise.NewSource(3))
+	// Dense quadrant should be covered by many small leaves, empty region
+	// by few large ones: compare mean leaf size between the two regions.
+	var denseLeaves, emptyLeaves int
+	for _, leaf := range leaves {
+		b := leaf[0]
+		r, c := b/64, b%64
+		if r < 32 && c < 32 {
+			denseLeaves++
+		} else if r >= 32 && c >= 32 {
+			emptyLeaves++
+		}
+	}
+	if denseLeaves <= emptyLeaves {
+		t.Errorf("dense region has %d leaves vs empty region %d; refinement not adaptive",
+			denseLeaves, emptyLeaves)
+	}
+}
+
+func TestEstimateNonNegativeMassPreserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := clusteredHist(32, 32, rng)
+	est, _ := New().Estimate(x, 32, 32, 1.0, noise.NewSource(5))
+	var mass float64
+	for i := 0; i < est.Bins(); i++ {
+		if est.Count(i) < 0 {
+			t.Fatalf("negative estimate %v", est.Count(i))
+		}
+		mass += est.Count(i)
+	}
+	if rel := mass / x.Scale(); rel < 0.9 || rel > 1.1 {
+		t.Errorf("mass ratio %v, want ~1", rel)
+	}
+}
+
+func TestAGridBeatsLaplaceOnClusteredData(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x := clusteredHist(64, 64, rng)
+	src := noise.NewSource(7)
+	const eps = 0.1
+	const trials = 10
+	var ag, lap float64
+	for i := 0; i < trials; i++ {
+		est, _ := New().Estimate(x, 64, 64, eps, src)
+		ag += metrics.L1(x, est)
+		lap += metrics.L1(x, mechanism.LaplaceHistogram(x, eps, src))
+	}
+	if ag >= lap {
+		t.Errorf("AGrid L1 %v not better than Laplace %v on clustered data", ag/trials, lap/trials)
+	}
+}
+
+func TestEstimatePanics(t *testing.T) {
+	x := histogram.New(12)
+	for _, f := range []func(){
+		func() { New().Estimate(x, 3, 5, 1, noise.NewSource(1)) }, // arity mismatch
+		func() { New().Estimate(x, 3, 4, 0, noise.NewSource(1)) },
+		func() { (&Algorithm{Alpha: 1.5, C1: 10, C2: 5}).Estimate(x, 3, 4, 1, noise.NewSource(1)) },
+		func() { AGridz(histogram.New(4), histogram.New(6), 2, 2, 1, 0.1, noise.NewSource(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAGridzZeroesEmptyRegion(t *testing.T) {
+	rows, cols := 16, 16
+	x := histogram.New(rows * cols)
+	xns := histogram.New(rows * cols)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			x.SetCount(i*cols+j, 300)
+			xns.SetCount(i*cols+j, 260)
+		}
+	}
+	out := AGridz(x, xns, rows, cols, 1.0, 0.1, noise.NewSource(8))
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if i < 4 && j < 4 {
+				continue
+			}
+			if v := out.Count(i*cols + j); v != 0 {
+				t.Fatalf("empty bin (%d,%d) got %v", i, j, v)
+			}
+		}
+	}
+}
+
+func TestAGridzBeatsAGridOnSparseData(t *testing.T) {
+	rows, cols := 32, 32
+	rng := rand.New(rand.NewSource(9))
+	x := histogram.New(rows * cols)
+	xns := histogram.New(rows * cols)
+	for i := 0; i < 20; i++ {
+		b := rng.Intn(rows * cols)
+		c := float64(rng.Intn(300) + 100)
+		x.SetCount(b, c)
+		xns.SetCount(b, c*0.9)
+	}
+	src := noise.NewSource(10)
+	const eps = 0.1
+	const trials = 10
+	var withZ, plain float64
+	for t := 0; t < trials; t++ {
+		withZ += metrics.MRE(x, AGridz(x, xns, rows, cols, eps, 0.1, src), 1)
+		est, _ := New().Estimate(x, rows, cols, eps, src)
+		plain += metrics.MRE(x, est, 1)
+	}
+	if withZ >= plain {
+		t.Errorf("AGridz MRE %v not better than AGrid %v", withZ/trials, plain/trials)
+	}
+}
+
+// Property: leaves partition the domain for arbitrary shapes and budgets.
+func TestLeafPartitionQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(rRaw, cRaw, epsRaw uint8) bool {
+		rows := int(rRaw%30) + 1
+		cols := int(cRaw%30) + 1
+		eps := float64(epsRaw%30)/10 + 0.1
+		x := histogram.New(rows * cols)
+		for i := 0; i < x.Bins(); i++ {
+			x.SetCount(i, float64(rng.Intn(400)))
+		}
+		_, leaves := New().Estimate(x, rows, cols, eps, noise.NewSource(int64(rRaw)*31+int64(cRaw)))
+		seen := make([]int, rows*cols)
+		for _, leaf := range leaves {
+			for _, b := range leaf {
+				if b < 0 || b >= rows*cols {
+					return false
+				}
+				seen[b]++
+			}
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEdges(t *testing.T) {
+	e := edges(0, 9, 3)
+	want := []int{0, 3, 6, 10}
+	for i := range want {
+		if e[i] != want[i] {
+			t.Fatalf("edges = %v, want %v", e, want)
+		}
+	}
+	// n larger than the interval collapses to per-bin edges.
+	if got := edges(0, 1, 5); len(got) != 3 {
+		t.Errorf("edges over-split: %v", got)
+	}
+}

@@ -1,0 +1,150 @@
+// Package ahp implements AHP (Zhang et al., "Towards Accurate Histogram
+// Publication under Differential Privacy"), the second of the two-phase DP
+// histogram algorithms the paper lists as upgradable by the §5.2 recipe
+// (alongside DAWA, AGrid, and PrivBayes). Implementing it demonstrates
+// that the recipe is generic: AHPz below is produced by the same
+// core.Recipe plumbing as DAWAz.
+//
+// AHP's two phases:
+//
+//  1. Clustering (budget ε₁): release a noisy histogram x̃ = x + Lap(1/ε₁)ⁿ
+//     (AHP uses add/remove sensitivity 1; we keep the bounded-model 2),
+//     threshold small values to zero, and greedily cluster bins with
+//     similar noisy counts. Clusters are value-based, not contiguous —
+//     the structural difference from DAWA.
+//  2. Estimation (budget ε₂): release each cluster's total with Laplace
+//     noise and assign every member bin the cluster mean.
+//
+// Because clusters are arbitrary bin sets, AHP does not fit
+// core.PartitionedEstimator's contiguous-interval model directly; the
+// recipe integration instead zeroes detected bins and rescales within each
+// cluster, which Clusterer exposes.
+package ahp
+
+import (
+	"math"
+	"sort"
+
+	"osdp/internal/core"
+	"osdp/internal/histogram"
+	"osdp/internal/noise"
+)
+
+// Algorithm is a configured AHP instance.
+type Algorithm struct {
+	// ClusterBudgetRatio is the share of ε spent on phase 1.
+	ClusterBudgetRatio float64
+	// MergeFactor bounds within-cluster spread: a bin joins the current
+	// cluster while its noisy count is within MergeFactor times the
+	// phase-1 noise scale of the cluster's running mean.
+	MergeFactor float64
+}
+
+// New returns an AHP instance with the defaults used in our experiments.
+func New() *Algorithm {
+	return &Algorithm{ClusterBudgetRatio: 0.5, MergeFactor: 2.0}
+}
+
+// Name identifies the algorithm in reports.
+func (a *Algorithm) Name() string { return "AHP" }
+
+// Estimate releases an eps-DP histogram estimate. The returned clusters
+// (bin index sets) expose the learned model for recipe post-processing.
+func (a *Algorithm) Estimate(x *histogram.Histogram, eps float64, src noise.Source) (*histogram.Histogram, [][]int) {
+	if eps <= 0 {
+		panic("ahp: eps must be positive")
+	}
+	if a.ClusterBudgetRatio <= 0 || a.ClusterBudgetRatio >= 1 {
+		panic("ahp: cluster budget ratio must lie in (0, 1)")
+	}
+	eps1 := eps * a.ClusterBudgetRatio
+	eps2 := eps - eps1
+	clusters := a.cluster(x, eps1, src)
+	est := estimate(x, clusters, eps2, src)
+	return est, clusters
+}
+
+// cluster implements phase 1: noisy histogram, threshold, sort, greedy
+// value clustering. Thresholding at the noise scale prunes bins that are
+// indistinguishable from empty; they form a single "zero cluster".
+func (a *Algorithm) cluster(x *histogram.Histogram, eps1 float64, src noise.Source) [][]int {
+	n := x.Bins()
+	b := 2.0 / eps1
+	type binVal struct {
+		idx int
+		v   float64
+	}
+	vals := make([]binVal, n)
+	for i := 0; i < n; i++ {
+		v := x.Count(i) + noise.Laplace(src, b)
+		if v < b { // threshold: below one noise scale reads as empty
+			v = 0
+		}
+		vals[i] = binVal{i, v}
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i].v < vals[j].v })
+
+	var clusters [][]int
+	var cur []int
+	var curSum float64
+	flush := func() {
+		if len(cur) > 0 {
+			clusters = append(clusters, cur)
+			cur, curSum = nil, 0
+		}
+	}
+	for _, bv := range vals {
+		if len(cur) == 0 {
+			cur, curSum = []int{bv.idx}, bv.v
+			continue
+		}
+		mean := curSum / float64(len(cur))
+		if math.Abs(bv.v-mean) <= a.MergeFactor*b {
+			cur = append(cur, bv.idx)
+			curSum += bv.v
+			continue
+		}
+		flush()
+		cur, curSum = []int{bv.idx}, bv.v
+	}
+	flush()
+	return clusters
+}
+
+// estimate implements phase 2: noisy cluster totals, uniform within the
+// cluster. Cluster totals over disjoint bin sets have sensitivity 2.
+func estimate(x *histogram.Histogram, clusters [][]int, eps2 float64, src noise.Source) *histogram.Histogram {
+	out := histogram.New(x.Bins())
+	scale := 2.0 / eps2
+	for _, c := range clusters {
+		var total float64
+		for _, i := range c {
+			total += x.Count(i)
+		}
+		total += noise.Laplace(src, scale)
+		if total < 0 {
+			total = 0
+		}
+		mean := total / float64(len(c))
+		for _, i := range c {
+			out.SetCount(i, mean)
+		}
+	}
+	return out
+}
+
+// AHPz applies the §5.2 recipe to AHP: an OSDP zero-set is detected from
+// the non-sensitive histogram with ρ·ε, AHP runs with (1−ρ)·ε, detected
+// bins are zeroed, and each cluster's remaining mass is rescaled to
+// preserve its estimated total — the cluster-shaped analogue of
+// core.ApplyZeroSet. The result satisfies (P, ε)-OSDP by sequential
+// composition plus post-processing.
+func AHPz(x, xns *histogram.Histogram, eps, rho float64, src noise.Source) *histogram.Histogram {
+	if x.Bins() != xns.Bins() {
+		panic("ahp: x and xns disagree on domain size")
+	}
+	epsZero, epsDP := core.SplitBudget(eps, rho)
+	zeros := core.RRZeroDetector(xns, epsZero, src)
+	est, clusters := New().Estimate(x, epsDP, src)
+	return core.ApplyZeroSetGroups(est, clusters, zeros)
+}

@@ -1,0 +1,187 @@
+package ahp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"osdp/internal/histogram"
+	"osdp/internal/mechanism"
+	"osdp/internal/metrics"
+	"osdp/internal/noise"
+)
+
+func checkClustersPartition(t *testing.T, clusters [][]int, n int) {
+	t.Helper()
+	seen := make([]int, n)
+	for _, c := range clusters {
+		if len(c) == 0 {
+			t.Fatal("empty cluster")
+		}
+		for _, i := range c {
+			if i < 0 || i >= n {
+				t.Fatalf("bin %d out of range", i)
+			}
+			seen[i]++
+		}
+	}
+	for i, s := range seen {
+		if s != 1 {
+			t.Fatalf("bin %d in %d clusters", i, s)
+		}
+	}
+}
+
+func TestClustersPartitionDomain(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 5, 64, 500} {
+		x := histogram.New(n)
+		for i := 0; i < n; i++ {
+			x.SetCount(i, float64(rng.Intn(1000)))
+		}
+		_, clusters := New().Estimate(x, 1.0, noise.NewSource(int64(n)))
+		checkClustersPartition(t, clusters, n)
+	}
+}
+
+func TestTwoValueHistogramFormsTwoMainClusters(t *testing.T) {
+	// Half the bins at 0, half at 5000: clustering should find ~2 groups.
+	n := 200
+	x := histogram.New(n)
+	for i := 0; i < n/2; i++ {
+		x.SetCount(i, 5000)
+	}
+	_, clusters := New().Estimate(x, 1.0, noise.NewSource(2))
+	if len(clusters) > 6 {
+		t.Errorf("two-value histogram produced %d clusters, want ~2", len(clusters))
+	}
+}
+
+func TestEstimateNonNegative(t *testing.T) {
+	x := histogram.FromCounts([]float64{0, 10, 0, 500, 500})
+	est, _ := New().Estimate(x, 0.5, noise.NewSource(3))
+	for i := 0; i < est.Bins(); i++ {
+		if est.Count(i) < 0 {
+			t.Fatalf("negative estimate %v", est.Count(i))
+		}
+	}
+}
+
+// AHP clusters by value, so it beats plain Laplace on a histogram whose
+// equal values are scattered (non-contiguous) — the case DAWA's
+// contiguous intervals cannot merge.
+func TestAHPBeatsLaplaceOnScatteredTwoValueData(t *testing.T) {
+	n := 512
+	x := histogram.New(n)
+	rng := rand.New(rand.NewSource(4))
+	for _, i := range rng.Perm(n)[:n/2] {
+		x.SetCount(i, 8000)
+	}
+	src := noise.NewSource(5)
+	const eps = 0.1
+	const trials = 20
+	var ahpErr, lapErr float64
+	for t := 0; t < trials; t++ {
+		est, _ := New().Estimate(x, eps, src)
+		ahpErr += metrics.L1(x, est)
+		lapErr += metrics.L1(x, mechanism.LaplaceHistogram(x, eps, src))
+	}
+	if ahpErr >= lapErr {
+		t.Errorf("AHP L1 %v not better than Laplace %v on scattered two-value data",
+			ahpErr/trials, lapErr/trials)
+	}
+}
+
+func TestEstimatePanics(t *testing.T) {
+	x := histogram.New(4)
+	for _, f := range []func(){
+		func() { New().Estimate(x, 0, noise.NewSource(1)) },
+		func() { (&Algorithm{ClusterBudgetRatio: 1.2}).Estimate(x, 1, noise.NewSource(1)) },
+		func() { AHPz(histogram.New(2), histogram.New(3), 1, 0.1, noise.NewSource(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAHPzZeroesEmptyBins(t *testing.T) {
+	n := 64
+	x := histogram.New(n)
+	xns := histogram.New(n)
+	for i := 0; i < n/4; i++ {
+		x.SetCount(i, 400)
+		xns.SetCount(i, 350)
+	}
+	src := noise.NewSource(6)
+	out := AHPz(x, xns, 1.0, 0.1, src)
+	for i := n / 4; i < n; i++ {
+		if out.Count(i) != 0 {
+			t.Fatalf("empty bin %d got %v", i, out.Count(i))
+		}
+	}
+}
+
+// AHPz should improve on AHP for sparse histograms at small ε, mirroring
+// the DAWAz result — evidence the recipe generalises across algorithms.
+func TestAHPzBeatsAHPOnSparseData(t *testing.T) {
+	n := 512
+	x := histogram.New(n)
+	xns := histogram.New(n)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 25; i++ {
+		bin := rng.Intn(n)
+		c := float64(rng.Intn(400) + 100)
+		x.SetCount(bin, c)
+		xns.SetCount(bin, c*0.9)
+	}
+	src := noise.NewSource(8)
+	const eps = 0.1
+	const trials = 15
+	var withZ, plain float64
+	for t := 0; t < trials; t++ {
+		withZ += metrics.MRE(x, AHPz(x, xns, eps, 0.1, src), 1)
+		est, _ := New().Estimate(x, eps, src)
+		plain += metrics.MRE(x, est, 1)
+	}
+	if withZ >= plain {
+		t.Errorf("AHPz MRE %v not better than AHP %v on sparse data", withZ/trials, plain/trials)
+	}
+}
+
+// Property: clusters always partition the domain exactly, for any data.
+func TestClusterPartitionQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	f := func(sizeRaw, epsRaw uint8) bool {
+		n := int(sizeRaw)%150 + 1
+		eps := float64(epsRaw%30)/10 + 0.1
+		x := histogram.New(n)
+		for i := 0; i < n; i++ {
+			x.SetCount(i, float64(rng.Intn(5000)))
+		}
+		_, clusters := New().Estimate(x, eps, noise.NewSource(int64(sizeRaw)+13))
+		seen := make([]int, n)
+		for _, c := range clusters {
+			for _, i := range c {
+				if i < 0 || i >= n {
+					return false
+				}
+				seen[i]++
+			}
+		}
+		for _, s := range seen {
+			if s != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,299 @@
+package classify
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"osdp/internal/noise"
+)
+
+// synthetic linearly separable-ish data: y = 1 iff x1 + x2 > 1 with noise.
+func synthData(n int, rng *rand.Rand, flip float64) Dataset {
+	d := Dataset{X: make([][]float64, n), Y: make([]int, n)}
+	for i := 0; i < n; i++ {
+		x1, x2 := rng.Float64(), rng.Float64()
+		y := 0
+		if x1+x2 > 1 {
+			y = 1
+		}
+		if rng.Float64() < flip {
+			y = 1 - y
+		}
+		d.X[i] = []float64{x1, x2}
+		d.Y[i] = y
+	}
+	return d
+}
+
+func TestValidate(t *testing.T) {
+	good := Dataset{X: [][]float64{{1, 2}, {3, 4}}, Y: []int{0, 1}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Dataset{
+		{X: [][]float64{{1}}, Y: []int{0, 1}}, // length mismatch
+		{},                                    // empty
+		{X: [][]float64{{1, 2}, {3}}, Y: []int{0, 1}}, // ragged
+		{X: [][]float64{{1}, {2}}, Y: []int{0, 2}},    // bad label
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("case %d: invalid dataset accepted", i)
+		}
+	}
+}
+
+func TestNormalizeRows(t *testing.T) {
+	d := Dataset{X: [][]float64{{3, 4}, {0.1, 0.1}}, Y: []int{0, 1}}
+	n := d.NormalizeRows()
+	if norm := math.Hypot(n.X[0][0], n.X[0][1]); math.Abs(norm-1) > 1e-12 {
+		t.Errorf("row 0 norm = %v", norm)
+	}
+	// Rows already inside the unit ball are unchanged.
+	if n.X[1][0] != 0.1 {
+		t.Error("small row rescaled")
+	}
+	// Original untouched.
+	if d.X[0][0] != 3 {
+		t.Error("NormalizeRows mutated input")
+	}
+}
+
+func TestTrainLearnsSeparableData(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := synthData(600, rng, 0.02)
+	m, err := Train(d, DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := synthData(400, rng, 0)
+	scores := make([]float64, test.Len())
+	for i, x := range test.X {
+		scores[i] = m.Prob(x)
+	}
+	if auc := AUC(scores, test.Y); auc < 0.95 {
+		t.Errorf("AUC = %v, want > 0.95 on separable data", auc)
+	}
+}
+
+func TestTrainRejectsInvalid(t *testing.T) {
+	if _, err := Train(Dataset{}, DefaultTrainConfig()); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}
+
+func TestSigmoidStability(t *testing.T) {
+	if s := sigmoid(1000); s != 1 {
+		t.Errorf("sigmoid(1000) = %v", s)
+	}
+	if s := sigmoid(-1000); s != 0 {
+		t.Errorf("sigmoid(-1000) = %v", s)
+	}
+	if s := sigmoid(0); s != 0.5 {
+		t.Errorf("sigmoid(0) = %v", s)
+	}
+}
+
+func TestObjDPHighEpsApproachesNonPrivate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := synthData(800, rng, 0.02).NormalizeRows()
+	cfg := DefaultTrainConfig()
+	m, err := ObjDP(d, 100, cfg, noise.NewSource(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := synthData(400, rng, 0).NormalizeRows()
+	scores := make([]float64, test.Len())
+	for i, x := range test.X {
+		scores[i] = m.Prob(x)
+	}
+	// Row normalization distorts the x1+x2>1 boundary, so the ceiling is
+	// below the raw-feature AUC; 0.85 still shows the noise is negligible.
+	if auc := AUC(scores, test.Y); auc < 0.85 {
+		t.Errorf("high-eps ObjDP AUC = %v, want > 0.85", auc)
+	}
+}
+
+func TestObjDPLowEpsDegrades(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d := synthData(300, rng, 0.02).NormalizeRows()
+	cfg := DefaultTrainConfig()
+	test := synthData(400, rng, 0).NormalizeRows()
+	// Average over repeats: tiny eps should be much worse than non-private.
+	const reps = 10
+	var privAUC float64
+	for r := 0; r < reps; r++ {
+		m, err := ObjDP(d, 0.01, cfg, noise.NewSource(int64(r)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		scores := make([]float64, test.Len())
+		for i, x := range test.X {
+			scores[i] = m.Prob(x)
+		}
+		privAUC += AUC(scores, test.Y)
+	}
+	privAUC /= reps
+	if privAUC > 0.85 {
+		t.Errorf("eps=0.01 ObjDP AUC = %v; expected heavy degradation", privAUC)
+	}
+}
+
+func TestObjDPErrors(t *testing.T) {
+	d := synthData(50, rand.New(rand.NewSource(5)), 0)
+	cfg := DefaultTrainConfig()
+	if _, err := ObjDP(d, 0, cfg, noise.NewSource(1)); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	cfg.Lambda = 0
+	if _, err := ObjDP(d, 1, cfg, noise.NewSource(1)); err == nil {
+		t.Error("lambda=0 accepted")
+	}
+}
+
+func TestAUCPerfectAndInverted(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []int{1, 1, 0, 0}
+	if auc := AUC(scores, labels); auc != 1 {
+		t.Errorf("perfect AUC = %v", auc)
+	}
+	inverted := []int{0, 0, 1, 1}
+	if auc := AUC(scores, inverted); auc != 0 {
+		t.Errorf("inverted AUC = %v", auc)
+	}
+}
+
+func TestAUCTiesGiveHalf(t *testing.T) {
+	scores := []float64{0.5, 0.5, 0.5, 0.5}
+	labels := []int{1, 0, 1, 0}
+	if auc := AUC(scores, labels); auc != 0.5 {
+		t.Errorf("all-ties AUC = %v", auc)
+	}
+}
+
+func TestAUCDegenerateClasses(t *testing.T) {
+	if auc := AUC([]float64{0.1, 0.9}, []int{1, 1}); auc != 0.5 {
+		t.Errorf("single-class AUC = %v", auc)
+	}
+}
+
+func TestAUCPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatch did not panic")
+		}
+	}()
+	AUC([]float64{1}, []int{1, 0})
+}
+
+func TestROCEndpointsAndMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	scores := make([]float64, 100)
+	labels := make([]int, 100)
+	for i := range scores {
+		scores[i] = rng.Float64()
+		labels[i] = rng.Intn(2)
+	}
+	pts := ROC(scores, labels)
+	if pts[0] != (ROCPoint{0, 0}) {
+		t.Errorf("first point %v", pts[0])
+	}
+	last := pts[len(pts)-1]
+	if last.FPR != 1 || last.TPR != 1 {
+		t.Errorf("last point %v", last)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].FPR < pts[i-1].FPR || pts[i].TPR < pts[i-1].TPR {
+			t.Fatalf("ROC not monotone at %d: %v -> %v", i, pts[i-1], pts[i])
+		}
+	}
+}
+
+func TestCrossValidateAUC(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := synthData(500, rng, 0.02)
+	cfg := DefaultTrainConfig()
+	auc, err := CrossValidateAUC(d, 5, func(train Dataset) (Scorer, error) {
+		return Train(train, cfg)
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.9 {
+		t.Errorf("CV AUC = %v, want > 0.9", auc)
+	}
+}
+
+func TestCrossValidateBadFolds(t *testing.T) {
+	d := synthData(10, rand.New(rand.NewSource(8)), 0)
+	if _, err := CrossValidateAUC(d, 1, nil, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := CrossValidateAUC(d, 11, nil, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("k>n accepted")
+	}
+}
+
+func TestStratifiedFoldsBalanced(t *testing.T) {
+	y := make([]int, 100)
+	for i := 90; i < 100; i++ {
+		y[i] = 1 // 10% positives
+	}
+	folds := stratifiedFolds(y, 5, rand.New(rand.NewSource(9)))
+	posPerFold := make([]int, 5)
+	sizePerFold := make([]int, 5)
+	for i, f := range folds {
+		sizePerFold[f]++
+		if y[i] == 1 {
+			posPerFold[f]++
+		}
+	}
+	for f := 0; f < 5; f++ {
+		if posPerFold[f] != 2 {
+			t.Errorf("fold %d has %d positives, want 2", f, posPerFold[f])
+		}
+		if sizePerFold[f] != 20 {
+			t.Errorf("fold %d has %d examples, want 20", f, sizePerFold[f])
+		}
+	}
+}
+
+func TestRandomBaselineAUCNearHalf(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	d := synthData(400, rng, 0)
+	var sum float64
+	const reps = 20
+	for r := 0; r < reps; r++ {
+		auc, err := CrossValidateAUC(d, 4, RandomBaseline(rng), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += auc
+	}
+	mean := sum / reps
+	if math.Abs(mean-0.5) > 0.05 {
+		t.Errorf("random baseline mean AUC = %v, want ~0.5", mean)
+	}
+}
+
+func TestGammaDirectionVectorNorm(t *testing.T) {
+	src := noise.NewSource(11)
+	const dim = 8
+	const scale = 2.0
+	const trials = 20000
+	var sum float64
+	for i := 0; i < trials; i++ {
+		b := gammaDirectionVector(dim, scale, src)
+		var n float64
+		for _, v := range b {
+			n += v * v
+		}
+		sum += math.Sqrt(n)
+	}
+	mean := sum / trials
+	want := dim * scale // Gamma(dim, scale) mean
+	if math.Abs(mean-want)/want > 0.03 {
+		t.Errorf("mean ‖b‖ = %v, want ~%v", mean, want)
+	}
+}

@@ -1,0 +1,187 @@
+package classify
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// AUC computes the area under the ROC curve from predicted scores and true
+// binary labels, using the rank statistic (Mann–Whitney U) formulation with
+// midrank tie handling. The paper reports 1 − AUC as classification error.
+func AUC(scores []float64, labels []int) float64 {
+	if len(scores) != len(labels) {
+		panic(fmt.Sprintf("classify: %d scores vs %d labels", len(scores), len(labels)))
+	}
+	type pair struct {
+		s float64
+		y int
+	}
+	ps := make([]pair, len(scores))
+	nPos, nNeg := 0, 0
+	for i := range scores {
+		ps[i] = pair{scores[i], labels[i]}
+		if labels[i] == 1 {
+			nPos++
+		} else {
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return 0.5 // degenerate: no ranking information
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].s < ps[j].s })
+
+	// Sum of positive midranks.
+	var rankSum float64
+	i := 0
+	for i < len(ps) {
+		j := i
+		for j < len(ps) && ps[j].s == ps[i].s {
+			j++
+		}
+		midrank := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			if ps[k].y == 1 {
+				rankSum += midrank
+			}
+		}
+		i = j
+	}
+	u := rankSum - float64(nPos)*float64(nPos+1)/2
+	return u / (float64(nPos) * float64(nNeg))
+}
+
+// ROCPoint is one point of an ROC curve.
+type ROCPoint struct {
+	FPR, TPR float64
+}
+
+// ROC returns the ROC curve points for the given scores and labels, sorted
+// by increasing FPR, with the (0,0) and (1,1) endpoints included.
+func ROC(scores []float64, labels []int) []ROCPoint {
+	if len(scores) != len(labels) {
+		panic("classify: scores/labels length mismatch")
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	nPos, nNeg := 0, 0
+	for _, y := range labels {
+		if y == 1 {
+			nPos++
+		} else {
+			nNeg++
+		}
+	}
+	pts := []ROCPoint{{0, 0}}
+	tp, fp := 0, 0
+	for k := 0; k < len(idx); {
+		// Process tied scores together.
+		j := k
+		for j < len(idx) && scores[idx[j]] == scores[idx[k]] {
+			if labels[idx[j]] == 1 {
+				tp++
+			} else {
+				fp++
+			}
+			j++
+		}
+		k = j
+		var fpr, tpr float64
+		if nNeg > 0 {
+			fpr = float64(fp) / float64(nNeg)
+		}
+		if nPos > 0 {
+			tpr = float64(tp) / float64(nPos)
+		}
+		pts = append(pts, ROCPoint{fpr, tpr})
+	}
+	if last := pts[len(pts)-1]; last.FPR != 1 || last.TPR != 1 {
+		pts = append(pts, ROCPoint{1, 1})
+	}
+	return pts
+}
+
+// Scorer assigns a score (higher = more likely positive) to a feature
+// vector. Model implements it; the random baseline implements it without
+// looking at the features.
+type Scorer interface {
+	Prob(x []float64) float64
+}
+
+// Trainer produces a scorer from a training fold; it abstracts over Train,
+// ObjDP, and the random baseline for cross-validated comparison.
+type Trainer func(train Dataset) (Scorer, error)
+
+// CrossValidateAUC runs stratified k-fold cross-validation and returns the
+// mean AUC of the trainer's models on held-out folds. Stratification keeps
+// each fold's positive rate close to the global rate, which matters for the
+// heavily imbalanced resident/visitor task (~8% positives).
+func CrossValidateAUC(d Dataset, k int, trainer Trainer, rng *rand.Rand) (float64, error) {
+	if err := d.Validate(); err != nil {
+		return 0, err
+	}
+	if k < 2 || k > d.Len() {
+		return 0, fmt.Errorf("classify: bad fold count %d for %d examples", k, d.Len())
+	}
+	folds := stratifiedFolds(d.Y, k, rng)
+	var sum float64
+	for f := 0; f < k; f++ {
+		var train, test Dataset
+		for i := range d.X {
+			if folds[i] == f {
+				test.X = append(test.X, d.X[i])
+				test.Y = append(test.Y, d.Y[i])
+			} else {
+				train.X = append(train.X, d.X[i])
+				train.Y = append(train.Y, d.Y[i])
+			}
+		}
+		model, err := trainer(train)
+		if err != nil {
+			return 0, fmt.Errorf("classify: fold %d: %w", f, err)
+		}
+		scores := make([]float64, test.Len())
+		for i, x := range test.X {
+			scores[i] = model.Prob(x)
+		}
+		sum += AUC(scores, test.Y)
+	}
+	return sum / float64(k), nil
+}
+
+// stratifiedFolds assigns each example a fold in [0, k), shuffling within
+// each class so folds preserve the class ratio.
+func stratifiedFolds(y []int, k int, rng *rand.Rand) []int {
+	folds := make([]int, len(y))
+	for _, class := range []int{0, 1} {
+		var idx []int
+		for i, yi := range y {
+			if yi == class {
+				idx = append(idx, i)
+			}
+		}
+		rng.Shuffle(len(idx), func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
+		for j, i := range idx {
+			folds[i] = j % k
+		}
+	}
+	return folds
+}
+
+// RandomBaseline returns a Trainer that ignores the features entirely and
+// scores every example uniformly at random — the paper's Random baseline,
+// which "randomly predicts a label based on just the label distribution".
+// Its AUC is 0.5 in expectation.
+func RandomBaseline(rng *rand.Rand) Trainer {
+	return func(Dataset) (Scorer, error) {
+		return randomScorer{rng}, nil
+	}
+}
+
+type randomScorer struct{ rng *rand.Rand }
+
+func (r randomScorer) Prob([]float64) float64 { return r.rng.Float64() }

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"osdp/internal/dataset"
+)
+
+// Accountant tracks the cumulative OSDP guarantee of a sequence of
+// mechanism executions on the same database, implementing the sequential
+// composition theorem (Theorem 3.3): running (P₁,ε₁)…(Pk,εk)-OSDP
+// mechanisms satisfies (P_mr, Σεᵢ)-OSDP, where P_mr is the minimum
+// relaxation of the policies (a record stays sensitive only if *every*
+// mechanism treated it as sensitive).
+//
+// An Accountant can also be given a budget; Spend rejects charges that
+// would exceed it, the standard guard rail for interactive query answering.
+// Accountants are safe for concurrent use: simultaneous Spend calls are
+// serialised, so a shared budget can back multiple query threads without
+// double-spending.
+type Accountant struct {
+	mu      sync.Mutex
+	budget  float64 // 0 means unlimited
+	spent   float64
+	charges []Guarantee
+}
+
+// NewAccountant returns an accountant with the given total ε budget.
+// A budget of 0 means unlimited (pure bookkeeping).
+func NewAccountant(budget float64) *Accountant {
+	if budget < 0 {
+		panic("core: negative privacy budget")
+	}
+	return &Accountant{budget: budget}
+}
+
+// Spend records an (P, ε)-OSDP charge. It returns an error — and records
+// nothing — if the charge would exceed the budget.
+func (a *Accountant) Spend(g Guarantee) error {
+	if g.Epsilon <= 0 {
+		return fmt.Errorf("core: non-positive epsilon %g", g.Epsilon)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.budget > 0 && a.spent+g.Epsilon > a.budget+1e-12 {
+		return fmt.Errorf("core: charge %g exceeds remaining budget %g", g.Epsilon, a.budget-a.spent)
+	}
+	a.spent += g.Epsilon
+	a.charges = append(a.charges, g)
+	return nil
+}
+
+// Spent returns the total ε consumed so far.
+func (a *Accountant) Spent() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.spent
+}
+
+// Remaining returns the unspent budget, or +Inf semantics via the full
+// budget when unlimited (budget 0 returns 0 spent-against-nothing; callers
+// should check Budget() first).
+func (a *Accountant) Remaining() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.budget == 0 {
+		return 0
+	}
+	return a.budget - a.spent
+}
+
+// Budget returns the configured budget (0 = unlimited).
+func (a *Accountant) Budget() float64 { return a.budget }
+
+// Charges returns a copy of the recorded guarantees in order.
+func (a *Accountant) Charges() []Guarantee {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]Guarantee(nil), a.charges...)
+}
+
+// Composite returns the overall guarantee by Theorem 3.3: ε's add, and the
+// effective policy is the minimum relaxation of all charged policies.
+// With no charges it returns a zero guarantee under the all-sensitive
+// policy (vacuously private).
+func (a *Accountant) Composite() Guarantee {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.charges) == 0 {
+		return Guarantee{Policy: dataset.AllSensitive(), Epsilon: 0}
+	}
+	policies := make([]dataset.Policy, len(a.charges))
+	var eps float64
+	for i, c := range a.charges {
+		policies[i] = c.Policy
+		eps += c.Epsilon
+	}
+	return Guarantee{Policy: dataset.MinimumRelaxation(policies...), Epsilon: eps}
+}
+
+// String summarises the account, e.g. "spent 1.1/2 over 3 charges".
+func (a *Accountant) String() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "spent %g", a.spent)
+	if a.budget > 0 {
+		fmt.Fprintf(&b, "/%g", a.budget)
+	}
+	fmt.Fprintf(&b, " over %d charges", len(a.charges))
+	return b.String()
+}
+
+// SplitBudget divides eps into (ρ·ε, (1−ρ)·ε), the budget split used by the
+// DAWAz recipe (Algorithm 3, lines 1–2). It panics unless 0 < rho < 1.
+func SplitBudget(eps, rho float64) (osdpPart, dpPart float64) {
+	if rho <= 0 || rho >= 1 {
+		panic(fmt.Sprintf("core: budget split rho=%g must lie in (0,1)", rho))
+	}
+	return rho * eps, (1 - rho) * eps
+}

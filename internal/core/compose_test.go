@@ -1,0 +1,170 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"osdp/internal/dataset"
+)
+
+func TestAccountantSpendAndComposite(t *testing.T) {
+	a := NewAccountant(2)
+	p1 := dataset.NewPolicy("minors", dataset.Cmp("Age", dataset.OpLe, dataset.Int(17)))
+	p2 := dataset.NewPolicy("seniors", dataset.Cmp("Age", dataset.OpGe, dataset.Int(65)))
+	if err := a.Spend(Guarantee{Policy: p1, Epsilon: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Spend(Guarantee{Policy: p2, Epsilon: 1.0}); err != nil {
+		t.Fatal(err)
+	}
+	if a.Spent() != 1.5 {
+		t.Errorf("Spent = %v", a.Spent())
+	}
+	if math.Abs(a.Remaining()-0.5) > 1e-12 {
+		t.Errorf("Remaining = %v", a.Remaining())
+	}
+	comp := a.Composite()
+	if comp.Epsilon != 1.5 {
+		t.Errorf("composite eps = %v", comp.Epsilon)
+	}
+	// Composite policy = minimum relaxation: sensitive only under BOTH.
+	s := testSchema()
+	for _, c := range []struct {
+		age  int64
+		sens bool
+	}{{10, false}, {70, false}, {40, false}} {
+		// No record is both a minor and a senior, so nothing is sensitive.
+		if comp.Policy.Sensitive(rec(s, 0, c.age)) != c.sens {
+			t.Errorf("composite sensitivity of age %d wrong", c.age)
+		}
+	}
+}
+
+func TestAccountantBudgetEnforced(t *testing.T) {
+	a := NewAccountant(1)
+	g := Guarantee{Policy: dataset.AllSensitive(), Epsilon: 0.6}
+	if err := a.Spend(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Spend(g); err == nil {
+		t.Fatal("over-budget spend succeeded")
+	}
+	// Failed spend must not consume budget.
+	if a.Spent() != 0.6 {
+		t.Errorf("Spent after failed charge = %v", a.Spent())
+	}
+	if err := a.Spend(Guarantee{Policy: dataset.AllSensitive(), Epsilon: 0.4}); err != nil {
+		t.Errorf("exact-fit spend failed: %v", err)
+	}
+}
+
+func TestAccountantRejectsNonPositiveEps(t *testing.T) {
+	a := NewAccountant(0)
+	if err := a.Spend(Guarantee{Policy: dataset.AllSensitive(), Epsilon: 0}); err == nil {
+		t.Error("zero epsilon accepted")
+	}
+	if err := a.Spend(Guarantee{Policy: dataset.AllSensitive(), Epsilon: -1}); err == nil {
+		t.Error("negative epsilon accepted")
+	}
+}
+
+func TestAccountantUnlimited(t *testing.T) {
+	a := NewAccountant(0)
+	for i := 0; i < 100; i++ {
+		if err := a.Spend(Guarantee{Policy: dataset.AllSensitive(), Epsilon: 10}); err != nil {
+			t.Fatalf("unlimited accountant rejected charge: %v", err)
+		}
+	}
+	if a.Spent() != 1000 {
+		t.Errorf("Spent = %v", a.Spent())
+	}
+}
+
+func TestAccountantNegativeBudgetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative budget did not panic")
+		}
+	}()
+	NewAccountant(-1)
+}
+
+func TestAccountantEmptyComposite(t *testing.T) {
+	comp := NewAccountant(1).Composite()
+	if comp.Epsilon != 0 || comp.Policy.Name() != "P_all" {
+		t.Errorf("empty composite = %v", comp)
+	}
+}
+
+func TestAccountantString(t *testing.T) {
+	a := NewAccountant(2)
+	_ = a.Spend(Guarantee{Policy: dataset.AllSensitive(), Epsilon: 0.5})
+	if got := a.String(); !strings.Contains(got, "0.5/2") || !strings.Contains(got, "1 charges") {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestSplitBudget(t *testing.T) {
+	a, b := SplitBudget(1.0, 0.1)
+	if math.Abs(a-0.1) > 1e-12 || math.Abs(b-0.9) > 1e-12 {
+		t.Errorf("SplitBudget = %v, %v", a, b)
+	}
+	for _, rho := range []float64{0, 1, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("rho=%v did not panic", rho)
+				}
+			}()
+			SplitBudget(1, rho)
+		}()
+	}
+}
+
+// Concurrent spends on a shared budget must never over-commit: with a
+// budget of exactly N×ε and 2N racing goroutines, exactly N must succeed.
+func TestAccountantConcurrentSpends(t *testing.T) {
+	const n = 50
+	a := NewAccountant(n * 0.1)
+	g := Guarantee{Policy: dataset.AllSensitive(), Epsilon: 0.1}
+	results := make(chan error, 2*n)
+	for i := 0; i < 2*n; i++ {
+		go func() { results <- a.Spend(g) }()
+	}
+	succeeded := 0
+	for i := 0; i < 2*n; i++ {
+		if err := <-results; err == nil {
+			succeeded++
+		}
+	}
+	if succeeded != n {
+		t.Errorf("%d spends succeeded, want exactly %d", succeeded, n)
+	}
+	if math.Abs(a.Spent()-n*0.1) > 1e-9 {
+		t.Errorf("Spent = %v", a.Spent())
+	}
+	if len(a.Charges()) != n {
+		t.Errorf("Charges = %d", len(a.Charges()))
+	}
+}
+
+// Lemma 3.1 / 3.2 in executable form: a DP guarantee (P_all) composed under
+// any policy stays valid; composition of (P_all, ε₁) and (P, ε₂) has a
+// composite policy equal to P (relaxing P_all toward P).
+func TestCompositeRelaxesTowardWeakest(t *testing.T) {
+	a := NewAccountant(0)
+	p := dataset.NewPolicy("minors", dataset.Cmp("Age", dataset.OpLe, dataset.Int(17)))
+	_ = a.Spend(Guarantee{Policy: dataset.AllSensitive(), Epsilon: 1})
+	_ = a.Spend(Guarantee{Policy: p, Epsilon: 1})
+	comp := a.Composite()
+	s := testSchema()
+	// Minor: sensitive under both => stays sensitive.
+	if !comp.Policy.Sensitive(rec(s, 0, 10)) {
+		t.Error("minor should stay sensitive in composite")
+	}
+	// Adult: non-sensitive under p => non-sensitive in composite.
+	if comp.Policy.Sensitive(rec(s, 0, 40)) {
+		t.Error("adult should be non-sensitive in composite")
+	}
+}

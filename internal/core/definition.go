@@ -1,0 +1,107 @@
+// Package core implements one-sided differential privacy (OSDP) as defined
+// in "One-sided Differential Privacy" (Doudalis, Kotsogiannis, Haney,
+// Machanavajjhala, Mehrotra): the privacy definition itself (one-sided
+// neighbors, Definition 3.2/3.3), the mechanisms OsdpRR (Algorithm 1),
+// OsdpLaplace / OsdpLaplaceL1 (Definition 5.2 / Algorithm 2), the generic
+// recipe for upgrading two-phase DP histogram algorithms to OSDP including
+// DAWAz (Algorithm 3, §5.2), the composition calculus (Theorems 3.2/3.3,
+// Appendix 10.1), and an empirical exclusion-attack analyser (Definition
+// 3.4, Theorems 3.1/3.4).
+//
+// Throughout the package a "database" is a *dataset.Table and a policy is a
+// dataset.Policy mapping records to {sensitive, non-sensitive}.
+package core
+
+import (
+	"fmt"
+
+	"osdp/internal/dataset"
+	"osdp/internal/noise"
+)
+
+// Guarantee describes the privacy guarantee a mechanism run satisfied:
+// (P, ε)-OSDP. The paper's DP special case is Policy = AllSensitive.
+type Guarantee struct {
+	Policy  dataset.Policy
+	Epsilon float64
+}
+
+// String renders the guarantee, e.g. "(minors, 1.0)-OSDP".
+func (g Guarantee) String() string {
+	return fmt.Sprintf("(%s, %g)-OSDP", g.Policy.Name(), g.Epsilon)
+}
+
+// OneSidedNeighbor constructs a one-sided P-neighbor of db (Definition
+// 3.2): it replaces the record at index i — which must be sensitive under p
+// — with replacement. It returns an error if record i is not sensitive
+// (non-sensitive records have no neighbors under OSDP) or if the
+// replacement equals the original (neighbors must differ).
+func OneSidedNeighbor(db *dataset.Table, p dataset.Policy, i int, replacement dataset.Record) (*dataset.Table, error) {
+	if i < 0 || i >= db.Len() {
+		return nil, fmt.Errorf("core: record index %d out of range [0, %d)", i, db.Len())
+	}
+	orig := db.Record(i)
+	if !p.Sensitive(orig) {
+		return nil, fmt.Errorf("core: record %d is non-sensitive under %s; one-sided neighbors replace only sensitive records", i, p.Name())
+	}
+	if orig.Key() == replacement.Key() {
+		return nil, fmt.Errorf("core: replacement must differ from the original record")
+	}
+	out := dataset.NewTable(db.Schema())
+	for j, r := range db.Records() {
+		if j == i {
+			out.Append(replacement)
+		} else {
+			out.Append(r)
+		}
+	}
+	return out, nil
+}
+
+// IsOneSidedNeighbor reports whether b ∈ N_P(a): b must have the same size
+// as a and be obtainable from a by swapping exactly one sensitive record of
+// a for a different record. The check is multiset-based, so record order is
+// irrelevant.
+func IsOneSidedNeighbor(a, b *dataset.Table, p dataset.Policy) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	am, bm := a.Multiset(), b.Multiset()
+	// removed: keys with higher multiplicity in a; added: higher in b.
+	var removedKey, addedKey string
+	var removedN, addedN int
+	for k, ca := range am {
+		if cb := bm[k]; ca > cb {
+			removedN += ca - cb
+			removedKey = k
+		}
+	}
+	for k, cb := range bm {
+		if ca := am[k]; cb > ca {
+			addedN += cb - ca
+			addedKey = k
+		}
+	}
+	if removedN != 1 || addedN != 1 || removedKey == addedKey {
+		return false
+	}
+	// The removed record must be sensitive in a.
+	for _, r := range a.Records() {
+		if r.Key() == removedKey {
+			return p.Sensitive(r)
+		}
+	}
+	return false
+}
+
+// Mechanism is a randomized algorithm over databases whose output is a
+// released table (possibly empty). The two core record-release mechanisms
+// (OsdpRR and the PDP Suppress baseline) satisfy it.
+type Mechanism interface {
+	// Release runs the mechanism on db and returns the released records.
+	Release(db *dataset.Table, src noise.Source) *dataset.Table
+	// Guarantee reports the privacy guarantee the mechanism satisfies.
+	Guarantee() Guarantee
+	// Name is a short display name for experiment reports.
+	Name() string
+}

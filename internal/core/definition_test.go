@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestOneSidedNeighborConstruction(t *testing.T) {
+	s := testSchema()
+	db := testDB(s, 10, 30) // record 0 sensitive (minor), record 1 not
+	nb, err := OneSidedNeighbor(db, minorsPolicy(), 0, rec(s, 99, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb.Len() != db.Len() {
+		t.Errorf("neighbor size %d != %d", nb.Len(), db.Len())
+	}
+	if nb.Record(0).Get("Age").AsInt() != 50 {
+		t.Error("replacement not applied")
+	}
+	if !IsOneSidedNeighbor(db, nb, minorsPolicy()) {
+		t.Error("constructed neighbor not recognised")
+	}
+}
+
+func TestOneSidedNeighborRejectsNonSensitive(t *testing.T) {
+	s := testSchema()
+	db := testDB(s, 10, 30)
+	if _, err := OneSidedNeighbor(db, minorsPolicy(), 1, rec(s, 99, 50)); err == nil {
+		t.Error("replacing a non-sensitive record must fail")
+	}
+}
+
+func TestOneSidedNeighborRejectsIdentity(t *testing.T) {
+	s := testSchema()
+	db := testDB(s, 10)
+	if _, err := OneSidedNeighbor(db, minorsPolicy(), 0, rec(s, 0, 10)); err == nil {
+		t.Error("identity replacement must fail")
+	}
+}
+
+func TestOneSidedNeighborIndexOutOfRange(t *testing.T) {
+	s := testSchema()
+	db := testDB(s, 10)
+	if _, err := OneSidedNeighbor(db, minorsPolicy(), 5, rec(s, 99, 50)); err == nil {
+		t.Error("out-of-range index must fail")
+	}
+	if _, err := OneSidedNeighbor(db, minorsPolicy(), -1, rec(s, 99, 50)); err == nil {
+		t.Error("negative index must fail")
+	}
+}
+
+// Asymmetry of N_P (noted under Definition 3.2): swapping a sensitive
+// record for a non-sensitive one is a neighbor move, but the reverse —
+// swapping that non-sensitive record back — is not.
+func TestNeighborRelationAsymmetric(t *testing.T) {
+	s := testSchema()
+	p := minorsPolicy()
+	db := testDB(s, 10, 30)
+	nb, err := OneSidedNeighbor(db, p, 0, rec(s, 99, 50)) // now all non-sensitive
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsOneSidedNeighbor(db, nb, p) {
+		t.Fatal("forward direction should hold")
+	}
+	if IsOneSidedNeighbor(nb, db, p) {
+		t.Error("reverse direction should NOT hold (nb has no sensitive records)")
+	}
+}
+
+func TestIsOneSidedNeighborRejectsSizeMismatch(t *testing.T) {
+	s := testSchema()
+	a := testDB(s, 10, 30)
+	b := testDB(s, 10)
+	if IsOneSidedNeighbor(a, b, minorsPolicy()) {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestIsOneSidedNeighborRejectsTwoSwaps(t *testing.T) {
+	s := testSchema()
+	a := testDB(s, 10, 11, 30)
+	b := testDB(s, 50, 51, 30) // two records changed
+	if IsOneSidedNeighbor(a, b, minorsPolicy()) {
+		t.Error("two-record swap accepted")
+	}
+}
+
+func TestIsOneSidedNeighborIgnoresOrder(t *testing.T) {
+	s := testSchema()
+	a := testDB(s, 10, 30) // records (ID 0, age 10 — sensitive), (ID 1, age 30)
+	// Neighbor: keep (1, 30), replace (0, 10) with (7, 44), rows permuted.
+	b := testDB(s)
+	b.Append(rec(s, 7, 44))
+	b.Append(rec(s, 1, 30))
+	if !IsOneSidedNeighbor(a, b, minorsPolicy()) {
+		t.Error("permuted neighbor not recognised (relation should be multiset-based)")
+	}
+}
+
+func TestIsOneSidedNeighborRequiresSensitiveRemoval(t *testing.T) {
+	s := testSchema()
+	a := testDB(s, 10, 30)
+	// Replace the NON-sensitive record (age 30) instead.
+	b := testDB(s)
+	b.Append(rec(s, 0, 10))
+	b.Append(rec(s, 9, 60))
+	if IsOneSidedNeighbor(a, b, minorsPolicy()) {
+		t.Error("swap of non-sensitive record accepted as neighbor")
+	}
+}
+
+func TestIsOneSidedNeighborIdenticalTables(t *testing.T) {
+	s := testSchema()
+	a := testDB(s, 10, 30)
+	if IsOneSidedNeighbor(a, a.Clone(), minorsPolicy()) {
+		t.Error("identical tables are not neighbors (must differ)")
+	}
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"osdp/internal/noise"
+)
+
+// The empirical counterpart of Theorem 3.1: OsdpRR's posterior-odds
+// amplification (likelihood ratio over output events) stays within e^ε.
+func TestExclusionOsdpRRBoundedByEps(t *testing.T) {
+	s := testSchema()
+	pol := minorsPolicy()
+	const eps = 1.0
+	base := testDB(s, 10, 30, 40) // slot 0 is the target
+	x := rec(s, 0, 12)            // sensitive value
+	y := rec(s, 0, 35)            // non-sensitive value
+	m := NewRR(pol, eps)
+	rep := AnalyzeExclusion(m, base, 0, x, y, PresenceEvent(y), 200000, noise.NewSource(1))
+	if rep.MaxLogRatio > eps*1.05 {
+		t.Errorf("OsdpRR φ̂ = %v exceeds ε = %v", rep.MaxLogRatio, eps)
+	}
+	if math.IsInf(rep.MaxLogRatio, 1) {
+		t.Error("OsdpRR produced an unbounded likelihood ratio")
+	}
+}
+
+// The exclusion attack against the All-NS / PDP-Suppress(τ=∞) baseline:
+// releasing all non-sensitive records truthfully makes the presence event
+// deterministic, so the likelihood ratio is unbounded (Def 3.4 violated).
+func TestExclusionFullReleaseUnbounded(t *testing.T) {
+	s := testSchema()
+	pol := minorsPolicy()
+	base := testDB(s, 10, 30, 40)
+	x := rec(s, 0, 12) // sensitive: never released
+	y := rec(s, 0, 35) // non-sensitive: always released
+	m := NewFullRelease(pol)
+	rep := AnalyzeExclusion(m, base, 0, x, y, PresenceEvent(y), 2000, noise.NewSource(2))
+	if !math.IsInf(rep.MaxLogRatio, 1) {
+		t.Errorf("AllNS φ̂ = %v, want +Inf (exclusion attack)", rep.MaxLogRatio)
+	}
+}
+
+// Sanity: comparing two sensitive values leaks nothing through either
+// mechanism — both are always suppressed.
+func TestExclusionTwoSensitiveValuesLeakNothing(t *testing.T) {
+	s := testSchema()
+	pol := minorsPolicy()
+	base := testDB(s, 10, 30)
+	x, y := rec(s, 0, 12), rec(s, 0, 15) // both sensitive
+	for _, m := range []Mechanism{NewRR(pol, 1), NewFullRelease(pol)} {
+		rep := AnalyzeExclusion(m, base, 0, x, y, PresenceEvent(y), 5000, noise.NewSource(3))
+		if rep.MaxLogRatio != 0 {
+			t.Errorf("%s: φ̂ = %v for two sensitive values, want 0", m.Name(), rep.MaxLogRatio)
+		}
+	}
+}
+
+func TestFullReleaseGuaranteeIsInfinite(t *testing.T) {
+	m := NewFullRelease(minorsPolicy())
+	if !math.IsInf(m.Guarantee().Epsilon, 1) {
+		t.Error("FullRelease must report infinite epsilon")
+	}
+	if m.Name() != "AllNS" {
+		t.Errorf("Name = %q", m.Name())
+	}
+}
+
+func TestFullReleaseReleasesExactlyNonSensitive(t *testing.T) {
+	s := testSchema()
+	db := testDB(s, 10, 30, 16, 45)
+	out := NewFullRelease(minorsPolicy()).Release(db, noise.NewSource(4))
+	if out.Len() != 2 {
+		t.Fatalf("released %d records, want 2", out.Len())
+	}
+	for _, r := range out.Records() {
+		if r.Get("Age").AsInt() <= 17 {
+			t.Error("sensitive record released")
+		}
+	}
+}
+
+func TestPresenceEvent(t *testing.T) {
+	s := testSchema()
+	target := rec(s, 1, 30)
+	ev := PresenceEvent(target)
+	with := testDB(s)
+	with.Append(rec(s, 0, 20))
+	with.Append(rec(s, 1, 30))
+	if ev(with) != "present" {
+		t.Error("present not detected")
+	}
+	without := testDB(s, 20)
+	if ev(without) != "absent" {
+		t.Error("absent not detected")
+	}
+}
+
+func TestAnalyzeExclusionPanicsOnBadTrials(t *testing.T) {
+	s := testSchema()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("trials=0 did not panic")
+		}
+	}()
+	AnalyzeExclusion(NewRR(minorsPolicy(), 1), testDB(s, 10), 0,
+		rec(s, 0, 5), rec(s, 0, 30), PresenceEvent(rec(s, 0, 30)), 0, noise.NewSource(1))
+}
+
+func TestExclusionReportString(t *testing.T) {
+	rep := ExclusionReport{
+		EventProbX:  map[string]float64{"absent": 1},
+		EventProbY:  map[string]float64{"absent": 0.5, "present": 0.5},
+		MaxLogRatio: 0.693,
+		Trials:      100,
+	}
+	if got := rep.String(); got == "" {
+		t.Error("empty report string")
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+
+	"osdp/internal/dataset"
+)
+
+// This file implements the extended OSDP definition of Appendix 10.1:
+// neighbors that add or remove one sensitive record (unbounded model),
+// the eOSDP ⇒ 2ε-OSDP bridge (Theorem 10.1), and parallel composition
+// over disjoint partitions (Theorem 10.2).
+
+// ExtendedNeighborRemove builds the eOSDP neighbor D′ = D − {r}, removing
+// the record at index i, which must be sensitive under p (Definition 10.1).
+func ExtendedNeighborRemove(db *dataset.Table, p dataset.Policy, i int) (*dataset.Table, error) {
+	if i < 0 || i >= db.Len() {
+		return nil, fmt.Errorf("core: record index %d out of range [0, %d)", i, db.Len())
+	}
+	if !p.Sensitive(db.Record(i)) {
+		return nil, fmt.Errorf("core: record %d is non-sensitive; eOSDP neighbors remove only sensitive records", i)
+	}
+	out := dataset.NewTable(db.Schema())
+	for j, r := range db.Records() {
+		if j != i {
+			out.Append(r)
+		}
+	}
+	return out, nil
+}
+
+// ExtendedNeighborAdd builds the eOSDP neighbor D′ = D ∪ {r′}. Definition
+// 10.1 requires that some sensitive record r exists in D with r ≠ r′; we
+// check the existence of at least one sensitive record distinct from r′.
+func ExtendedNeighborAdd(db *dataset.Table, p dataset.Policy, added dataset.Record) (*dataset.Table, error) {
+	ok := false
+	for _, r := range db.Records() {
+		if p.Sensitive(r) && r.Key() != added.Key() {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return nil, fmt.Errorf("core: database has no sensitive record distinct from the addition; no eOSDP neighbor exists")
+	}
+	out := db.Clone()
+	out.Append(added)
+	return out, nil
+}
+
+// EOSDPToOSDPEpsilon converts an eOSDP guarantee level to the bounded-model
+// OSDP level it implies: a (P, ε)-eOSDP mechanism satisfies (P, 2ε)-OSDP
+// (Theorem 10.1), because a bounded-model swap factors into a removal
+// followed by an addition.
+func EOSDPToOSDPEpsilon(eps float64) float64 { return 2 * eps }
+
+// Partitioning is a disjoint split of a database used by parallel
+// composition: each record is routed to exactly one part by Route.
+type Partitioning struct {
+	Parts int
+	Route func(r dataset.Record) int
+}
+
+// Split materialises the partitioning of db into Parts tables.
+func (pt Partitioning) Split(db *dataset.Table) []*dataset.Table {
+	out := make([]*dataset.Table, pt.Parts)
+	for i := range out {
+		out[i] = dataset.NewTable(db.Schema())
+	}
+	for _, r := range db.Records() {
+		i := pt.Route(r)
+		if i < 0 || i >= pt.Parts {
+			panic(fmt.Sprintf("core: partition route %d out of range [0, %d)", i, pt.Parts))
+		}
+		out[i].Append(r)
+	}
+	return out
+}
+
+// ParallelComposite returns the overall eOSDP guarantee of running
+// (Pᵢ, εᵢ)-eOSDP mechanisms on the disjoint parts of a partitioning
+// (Theorem 10.2): ε = max εᵢ and the policy is the minimum relaxation.
+// Under eOSDP an add/remove of one sensitive record touches exactly one
+// part, so budgets do not add across parts.
+func ParallelComposite(charges []Guarantee) Guarantee {
+	if len(charges) == 0 {
+		return Guarantee{Policy: dataset.AllSensitive(), Epsilon: 0}
+	}
+	policies := make([]dataset.Policy, len(charges))
+	var maxEps float64
+	for i, c := range charges {
+		policies[i] = c.Policy
+		if c.Epsilon > maxEps {
+			maxEps = c.Epsilon
+		}
+	}
+	return Guarantee{Policy: dataset.MinimumRelaxation(policies...), Epsilon: maxEps}
+}

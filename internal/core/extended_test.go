@@ -1,0 +1,137 @@
+package core
+
+import (
+	"testing"
+
+	"osdp/internal/dataset"
+)
+
+func TestExtendedNeighborRemove(t *testing.T) {
+	s := testSchema()
+	db := testDB(s, 10, 30)
+	nb, err := ExtendedNeighborRemove(db, minorsPolicy(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb.Len() != 1 || nb.Record(0).Get("Age").AsInt() != 30 {
+		t.Errorf("removal produced %v records", nb.Len())
+	}
+	if _, err := ExtendedNeighborRemove(db, minorsPolicy(), 1); err == nil {
+		t.Error("removing a non-sensitive record must fail")
+	}
+	if _, err := ExtendedNeighborRemove(db, minorsPolicy(), 7); err == nil {
+		t.Error("out-of-range removal must fail")
+	}
+}
+
+func TestExtendedNeighborAdd(t *testing.T) {
+	s := testSchema()
+	db := testDB(s, 10, 30) // has a sensitive record (age 10)
+	nb, err := ExtendedNeighborAdd(db, minorsPolicy(), rec(s, 9, 44))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb.Len() != 3 {
+		t.Errorf("addition produced %d records", nb.Len())
+	}
+	// With no sensitive record distinct from the addition, no neighbor exists.
+	allNS := testDB(s, 30, 40)
+	if _, err := ExtendedNeighborAdd(allNS, minorsPolicy(), rec(s, 9, 44)); err == nil {
+		t.Error("addition without distinct sensitive record must fail")
+	}
+}
+
+// Round trip of Theorem 10.1's argument: remove a sensitive record, then
+// add the replacement — the result is exactly the bounded-model neighbor.
+func TestExtendedRemoveAddEqualsSwap(t *testing.T) {
+	s := testSchema()
+	p := minorsPolicy()
+	db := testDB(s, 10, 30)
+	repl := rec(s, 42, 55)
+
+	direct, err := OneSidedNeighbor(db, p, 0, repl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed, err := ExtendedNeighborRemove(db, p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaExtended := removed.Clone()
+	viaExtended.Append(repl)
+
+	dm, vm := direct.Multiset(), viaExtended.Multiset()
+	if len(dm) != len(vm) {
+		t.Fatalf("multiset size mismatch: %v vs %v", dm, vm)
+	}
+	for k, c := range dm {
+		if vm[k] != c {
+			t.Fatalf("multiset mismatch at %q: %d vs %d", k, c, vm[k])
+		}
+	}
+}
+
+func TestEOSDPToOSDPEpsilon(t *testing.T) {
+	if got := EOSDPToOSDPEpsilon(0.5); got != 1.0 {
+		t.Errorf("eOSDP→OSDP eps = %v, want 1", got)
+	}
+}
+
+func TestPartitioningSplit(t *testing.T) {
+	s := testSchema()
+	db := testDB(s, 10, 30, 20, 44, 16)
+	pt := Partitioning{
+		Parts: 2,
+		Route: func(r dataset.Record) int {
+			if r.Get("Age").AsInt() <= 17 {
+				return 0
+			}
+			return 1
+		},
+	}
+	parts := pt.Split(db)
+	if parts[0].Len() != 2 || parts[1].Len() != 3 {
+		t.Errorf("split sizes = %d, %d", parts[0].Len(), parts[1].Len())
+	}
+	if parts[0].Len()+parts[1].Len() != db.Len() {
+		t.Error("partitioning lost records")
+	}
+}
+
+func TestPartitioningBadRoutePanics(t *testing.T) {
+	s := testSchema()
+	db := testDB(s, 10)
+	pt := Partitioning{Parts: 2, Route: func(dataset.Record) int { return 5 }}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad route did not panic")
+		}
+	}()
+	pt.Split(db)
+}
+
+func TestParallelComposite(t *testing.T) {
+	p1 := dataset.NewPolicy("minors", dataset.Cmp("Age", dataset.OpLe, dataset.Int(17)))
+	p2 := dataset.NewPolicy("seniors", dataset.Cmp("Age", dataset.OpGe, dataset.Int(65)))
+	g := ParallelComposite([]Guarantee{
+		{Policy: p1, Epsilon: 0.3},
+		{Policy: p2, Epsilon: 0.9},
+		{Policy: p1, Epsilon: 0.5},
+	})
+	if g.Epsilon != 0.9 {
+		t.Errorf("parallel eps = %v, want max 0.9", g.Epsilon)
+	}
+	s := testSchema()
+	// Minimum relaxation of minors+seniors marks nothing sensitive (no
+	// record is both).
+	if g.Policy.Sensitive(rec(s, 0, 10)) || g.Policy.Sensitive(rec(s, 0, 70)) {
+		t.Error("parallel composite policy wrong")
+	}
+}
+
+func TestParallelCompositeEmpty(t *testing.T) {
+	g := ParallelComposite(nil)
+	if g.Epsilon != 0 || g.Policy.Name() != "P_all" {
+		t.Errorf("empty parallel composite = %v", g)
+	}
+}

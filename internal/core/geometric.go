@@ -1,0 +1,68 @@
+package core
+
+import (
+	"math"
+
+	"osdp/internal/histogram"
+	"osdp/internal/noise"
+)
+
+// This file adds a discrete counterpart to OsdpLaplace: one-sided geometric
+// noise. True counting queries are integer-valued, and releasing integers
+// both looks natural to consumers and avoids the floating-point side
+// channels real deployments worry about. The construction mirrors
+// Definition 5.1/5.2 with the exponential distribution replaced by its
+// discrete analogue.
+
+// OneSidedGeometric draws from the one-sided geometric distribution with
+// parameter α = e^(−ε): Pr[K = −k] = (1 − α)·α^k for k = 0, 1, 2, … — all
+// mass on non-positive integers. It is the discrete limit of Lap⁻(1/ε).
+func OneSidedGeometric(eps float64, src noise.Source) int64 {
+	if eps <= 0 {
+		panic("core: OneSidedGeometric requires eps > 0")
+	}
+	alpha := math.Exp(-eps)
+	u := src.Float64()
+	for u == 0 {
+		u = src.Float64()
+	}
+	// Inverse CDF of the one-sided geometric magnitude.
+	k := int64(math.Floor(math.Log(u) / math.Log(alpha)))
+	if k < 0 {
+		k = 0
+	}
+	return -k
+}
+
+// OsdpGeometric answers a histogram query under (P, ε)-OSDP with integer
+// outputs: it adds i.i.d. one-sided geometric noise to each count of the
+// non-sensitive histogram xns and clamps at zero. The privacy argument is
+// Theorem 5.2's verbatim: one-sided neighbors only increase non-sensitive
+// counts, the noise support is one-sided to match, and consecutive-output
+// probabilities differ by the factor α = e^(−ε).
+//
+// Clamping negative results to zero is post-processing: with all-negative
+// noise a zero count stays zero, preserving the exact-zero property that
+// makes the one-sided mechanisms shine on sparse data.
+func OsdpGeometric(xns *histogram.Histogram, eps float64, src noise.Source) *histogram.Histogram {
+	if eps <= 0 {
+		panic("core: OsdpGeometric requires eps > 0")
+	}
+	out := histogram.New(xns.Bins())
+	for i := 0; i < xns.Bins(); i++ {
+		v := xns.Count(i) + float64(OneSidedGeometric(eps, src))
+		if v < 0 {
+			v = 0
+		}
+		out.SetCount(i, v)
+	}
+	return out
+}
+
+// OneSidedGeometricMean is the mean of the one-sided geometric at ε:
+// −α/(1−α) with α = e^(−ε). Callers can add it back to debias estimates,
+// the discrete analogue of OsdpLaplaceL1's median correction.
+func OneSidedGeometricMean(eps float64) float64 {
+	alpha := math.Exp(-eps)
+	return -alpha / (1 - alpha)
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"osdp/internal/histogram"
+	"osdp/internal/noise"
+)
+
+func TestOsdpLaplaceNeverExceedsTrueCounts(t *testing.T) {
+	xns := histogram.FromCounts([]float64{10, 0, 5, 100})
+	src := noise.NewSource(1)
+	for trial := 0; trial < 200; trial++ {
+		est := OsdpLaplace(xns, 1, src)
+		if !xns.Dominates(est) {
+			t.Fatalf("noisy estimate exceeds true count: %v vs %v", est.Counts(), xns.Counts())
+		}
+	}
+}
+
+func TestOsdpLaplaceMeanBias(t *testing.T) {
+	// One-sided noise has mean -1/ε; averaged estimates sit 1/ε below truth.
+	const eps = 0.5
+	const trials = 20000
+	xns := histogram.FromCounts([]float64{50})
+	src := noise.NewSource(2)
+	var sum float64
+	for i := 0; i < trials; i++ {
+		sum += OsdpLaplace(xns, eps, src).Count(0)
+	}
+	mean := sum / trials
+	want := 50 - 1/eps
+	if math.Abs(mean-want) > 0.1 {
+		t.Errorf("mean estimate %v, want ~%v", mean, want)
+	}
+}
+
+func TestOsdpLaplaceL1PreservesTrueZeros(t *testing.T) {
+	xns := histogram.FromCounts([]float64{0, 7, 0, 3, 0})
+	src := noise.NewSource(3)
+	for trial := 0; trial < 500; trial++ {
+		est := OsdpLaplaceL1(xns, 1, src)
+		for _, i := range []int{0, 2, 4} {
+			if est.Count(i) != 0 {
+				t.Fatalf("true-zero bin %d output %v", i, est.Count(i))
+			}
+		}
+		for i := 0; i < est.Bins(); i++ {
+			if est.Count(i) < 0 {
+				t.Fatalf("negative count %v after clamp", est.Count(i))
+			}
+		}
+	}
+}
+
+func TestOsdpLaplaceL1MedianDebias(t *testing.T) {
+	// For a large true count (clamping never fires), the estimate's median
+	// equals the true count: noise median is -ln2/ε and Algorithm 2 adds
+	// ln2/ε back.
+	const eps = 1.0
+	const trials = 30001
+	xns := histogram.FromCounts([]float64{1000})
+	src := noise.NewSource(4)
+	ests := make([]float64, trials)
+	for i := range ests {
+		ests[i] = OsdpLaplaceL1(xns, eps, src).Count(0)
+	}
+	// Median of samples:
+	med := quickMedian(ests)
+	if math.Abs(med-1000) > 0.2 {
+		t.Errorf("median estimate %v, want ~1000", med)
+	}
+}
+
+func quickMedian(xs []float64) float64 {
+	ys := append([]float64(nil), xs...)
+	// insertion into nth position via sort
+	// (small n; fine to fully sort)
+	for i := 1; i < len(ys); i++ {
+		for j := i; j > 0 && ys[j-1] > ys[j]; j-- {
+			ys[j-1], ys[j] = ys[j], ys[j-1]
+		}
+	}
+	return ys[len(ys)/2]
+}
+
+func TestOsdpLaplacePanicsOnBadEps(t *testing.T) {
+	for _, f := range []func(){
+		func() { OsdpLaplace(histogram.New(1), 0, noise.NewSource(1)) },
+		func() { OsdpLaplaceL1(histogram.New(1), -1, noise.NewSource(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad eps did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Empirical Theorem 5.2: for one-sided neighboring histograms (xns and
+// x'ns = xns + e_i), the output density ratio is bounded by e^ε. We verify
+// on the discrete event "bin count rounds to k".
+func TestOsdpLaplacePrivacyRatio(t *testing.T) {
+	const eps = 1.0
+	const trials = 400000
+	src := noise.NewSource(5)
+	x := histogram.FromCounts([]float64{5})
+	xp := histogram.FromCounts([]float64{6}) // neighbor: one sensitive record became non-sensitive here
+
+	histOf := func(h *histogram.Histogram) map[int]int {
+		out := make(map[int]int)
+		for i := 0; i < trials; i++ {
+			v := OsdpLaplace(h, eps, src).Count(0)
+			out[int(math.Floor(v*4))]++ // quarter-unit bins
+		}
+		return out
+	}
+	h0, h1 := histOf(x), histOf(xp)
+	bound := math.Exp(eps)
+	for bin, c0 := range h0 {
+		c1 := h1[bin]
+		if c0 < 1000 || c1 < 1000 {
+			continue
+		}
+		ratio := float64(c0) / float64(c1)
+		if ratio > bound*1.15 || ratio < 1/(bound*1.15) {
+			t.Errorf("bin %d: ratio %v outside e^±ε = %v", bin, ratio, bound)
+		}
+	}
+}
+
+// Variance advantage: OsdpLaplace error should have ~1/8 the variance of a
+// sensitivity-2 DP Laplace mechanism at the same ε (§5.1).
+func TestOsdpLaplaceVarianceAdvantage(t *testing.T) {
+	const eps = 1.0
+	const trials = 100000
+	src := noise.NewSource(6)
+	xns := histogram.FromCounts([]float64{100})
+	var osdpSq, dpSq float64
+	for i := 0; i < trials; i++ {
+		d := OsdpLaplace(xns, eps, src).Count(0) - 100
+		osdpSq += (d + 1/eps) * (d + 1/eps) // center the one-sided noise
+		z := noise.Laplace(src, 2/eps)
+		dpSq += z * z
+	}
+	ratio := osdpSq / dpSq
+	if math.Abs(ratio-0.125)/0.125 > 0.15 {
+		t.Errorf("variance ratio %v, want ~1/8", ratio)
+	}
+}
+
+// Property: OsdpLaplaceL1 output is always non-negative and true zeros are
+// preserved for any histogram and ε.
+func TestOsdpLaplaceL1InvariantsQuick(t *testing.T) {
+	src := noise.NewSource(7)
+	rng := rand.New(rand.NewSource(8))
+	f := func(dRaw, epsRaw uint8) bool {
+		d := int(dRaw%30) + 1
+		eps := float64(epsRaw%40)/10 + 0.05
+		xns := histogram.New(d)
+		for i := 0; i < d; i++ {
+			if rng.Intn(3) > 0 {
+				xns.SetCount(i, float64(rng.Intn(40)))
+			}
+		}
+		est := OsdpLaplaceL1(xns, eps, src)
+		for i := 0; i < d; i++ {
+			if est.Count(i) < 0 {
+				return false
+			}
+			if xns.Count(i) == 0 && est.Count(i) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOsdpLaplaceGuaranteeString(t *testing.T) {
+	if got := OsdpLaplaceGuarantee("minors", 0.5); got != "(minors, 0.5)-OSDP" {
+		t.Errorf("guarantee = %q", got)
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"osdp/internal/histogram"
+	"osdp/internal/noise"
+)
+
+// Cross-cutting property tests over the §5.1 histogram primitives: all
+// one-sided mechanisms must be dominated by their input (never invent
+// mass) and must preserve true zeros; these are the invariants the DAWAz
+// zero-detection recipe builds on.
+
+func randomNSHistogram(rng *rand.Rand, d int) *histogram.Histogram {
+	h := histogram.New(d)
+	for i := 0; i < d; i++ {
+		if rng.Intn(3) > 0 {
+			h.SetCount(i, float64(rng.Intn(200)))
+		}
+	}
+	return h
+}
+
+func TestOneSidedPrimitivesDominatedQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	src := noise.NewSource(102)
+	f := func(dRaw, epsRaw uint8) bool {
+		d := int(dRaw%40) + 1
+		eps := float64(epsRaw%40)/10 + 0.05
+		xns := randomNSHistogram(rng, d)
+
+		rr := RRSampleHistogram(xns, eps, src)
+		if !xns.Dominates(rr) {
+			return false
+		}
+		geo := OsdpGeometric(xns, eps, src)
+		if !xns.Dominates(geo) {
+			return false
+		}
+		lap := OsdpLaplace(xns, eps, src)
+		if !xns.Dominates(lap) {
+			return false
+		}
+		// Zero preservation for the clamped mechanisms.
+		for i := 0; i < d; i++ {
+			if xns.Count(i) != 0 {
+				continue
+			}
+			if rr.Count(i) != 0 || geo.Count(i) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The zero detectors never miss a true zero (they may over-report, never
+// under-report), for any input and budget.
+func TestZeroDetectorsCompleteQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	src := noise.NewSource(104)
+	f := func(dRaw, epsRaw uint8) bool {
+		d := int(dRaw%40) + 1
+		eps := float64(epsRaw%40)/10 + 0.05
+		xns := randomNSHistogram(rng, d)
+		for _, detect := range []ZeroDetector{RRZeroDetector, LaplaceZeroDetector} {
+			found := make(map[int]bool)
+			for _, z := range detect(xns, eps, src) {
+				found[z] = true
+			}
+			for i := 0; i < d; i++ {
+				if xns.Count(i) == 0 && !found[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// ApplyZeroSet preserves total mass for partition-uniform estimates (the
+// shape DAWA's uniform expansion produces — the |B|/(|B|−|Z∩B|) rescale is
+// exact only then) whenever no partition is entirely zeroed.
+func TestApplyZeroSetMassPreservationQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(105))
+	f := func(seed uint8) bool {
+		r := rand.New(rand.NewSource(int64(seed)))
+		d := r.Intn(40) + 2
+		est := histogram.New(d)
+		// Random contiguous partition with uniform per-partition values.
+		var parts []Partition
+		lo := 0
+		for lo < d {
+			hi := lo + r.Intn(d-lo)
+			parts = append(parts, Partition{Lo: lo, Hi: hi})
+			v := float64(r.Intn(50) + 1)
+			for i := lo; i <= hi; i++ {
+				est.SetCount(i, v)
+			}
+			lo = hi + 1
+		}
+		// Zero at most len-1 bins of each partition so none dies entirely.
+		var zeros []int
+		for _, p := range parts {
+			if p.Size() < 2 {
+				continue
+			}
+			for i := p.Lo; i < p.Hi && r.Intn(2) == 0; i++ {
+				zeros = append(zeros, i)
+			}
+		}
+		out := ApplyZeroSet(est, parts, zeros)
+		return approxEq(out.Scale(), est.Scale(), 1e-6)
+	}
+	_ = rng
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func approxEq(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol*(1+b)
+}

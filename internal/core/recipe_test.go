@@ -1,0 +1,172 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"osdp/internal/histogram"
+	"osdp/internal/noise"
+)
+
+// flatEstimator is a deterministic stand-in for DAWA in recipe tests: it
+// partitions the domain into fixed-width buckets and reports each bucket's
+// true mean in every bin (no noise), mimicking DAWA's uniform expansion.
+type flatEstimator struct{ width int }
+
+func (f flatEstimator) Estimate(x *histogram.Histogram, _ float64, _ noise.Source) (*histogram.Histogram, []Partition) {
+	var parts []Partition
+	out := histogram.New(x.Bins())
+	for lo := 0; lo < x.Bins(); lo += f.width {
+		hi := lo + f.width - 1
+		if hi >= x.Bins() {
+			hi = x.Bins() - 1
+		}
+		parts = append(parts, Partition{Lo: lo, Hi: hi})
+		mean := x.RangeSum(lo, hi) / float64(hi-lo+1)
+		for i := lo; i <= hi; i++ {
+			out.SetCount(i, mean)
+		}
+	}
+	return out, parts
+}
+
+func (f flatEstimator) Name() string { return "flat" }
+
+func TestApplyZeroSetRedistributesMass(t *testing.T) {
+	est := histogram.FromCounts([]float64{5, 5, 5, 5}) // one partition, total 20
+	parts := []Partition{{Lo: 0, Hi: 3}}
+	out := ApplyZeroSet(est, parts, []int{1, 3})
+	if out.Count(1) != 0 || out.Count(3) != 0 {
+		t.Error("zero bins not zeroed")
+	}
+	// Remaining bins rescaled by 4/2 = 2: 5 → 10 each; total preserved.
+	if out.Count(0) != 10 || out.Count(2) != 10 {
+		t.Errorf("rescale wrong: %v", out.Counts())
+	}
+	if got := out.Scale(); got != est.Scale() {
+		t.Errorf("mass not preserved: %v vs %v", got, est.Scale())
+	}
+}
+
+func TestApplyZeroSetWholePartitionZero(t *testing.T) {
+	est := histogram.FromCounts([]float64{3, 3, 7, 7})
+	parts := []Partition{{Lo: 0, Hi: 1}, {Lo: 2, Hi: 3}}
+	out := ApplyZeroSet(est, parts, []int{0, 1})
+	if out.Count(0) != 0 || out.Count(1) != 0 {
+		t.Error("fully-zeroed partition not zero")
+	}
+	if out.Count(2) != 7 || out.Count(3) != 7 {
+		t.Error("untouched partition modified")
+	}
+}
+
+func TestApplyZeroSetNoZerosIsIdentity(t *testing.T) {
+	est := histogram.FromCounts([]float64{1, 2, 3})
+	out := ApplyZeroSet(est, []Partition{{Lo: 0, Hi: 2}}, nil)
+	if est.L1Distance(out) != 0 {
+		t.Error("no-op zero set changed the estimate")
+	}
+}
+
+func TestApplyZeroSetDoesNotMutateInput(t *testing.T) {
+	est := histogram.FromCounts([]float64{4, 4})
+	_ = ApplyZeroSet(est, []Partition{{Lo: 0, Hi: 1}}, []int{0})
+	if est.Count(0) != 4 {
+		t.Error("ApplyZeroSet mutated its input")
+	}
+}
+
+func TestPartitionSize(t *testing.T) {
+	if (Partition{Lo: 2, Hi: 5}).Size() != 4 {
+		t.Error("Partition.Size wrong")
+	}
+}
+
+func TestLaplaceZeroDetectorFindsTrueZeros(t *testing.T) {
+	// With large counts and reasonable eps, true zeros are detected and
+	// heavy bins are not.
+	xns := histogram.FromCounts([]float64{0, 100, 0, 250})
+	src := noise.NewSource(1)
+	hits := make([]int, 4)
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		for _, z := range LaplaceZeroDetector(xns, 1, src) {
+			hits[z]++
+		}
+	}
+	if hits[0] != trials || hits[2] != trials {
+		t.Errorf("true zeros missed: %v", hits)
+	}
+	if hits[1] != 0 || hits[3] != 0 {
+		t.Errorf("heavy bins misreported as zero: %v", hits)
+	}
+}
+
+func TestRRZeroDetectorOverReportsButNeverUnderReports(t *testing.T) {
+	xns := histogram.FromCounts([]float64{0, 1, 50})
+	src := noise.NewSource(2)
+	const trials = 3000
+	zeroCount := make([]int, 3)
+	for trial := 0; trial < trials; trial++ {
+		for _, z := range RRZeroDetector(xns, 0.5, src) {
+			zeroCount[z]++
+		}
+	}
+	// Bin 0 is always zero.
+	if zeroCount[0] != trials {
+		t.Errorf("true zero missed %d times", trials-zeroCount[0])
+	}
+	// Bin 1 (count 1) is reported zero with prob e^-0.5 ≈ 0.607.
+	got := float64(zeroCount[1]) / trials
+	if math.Abs(got-math.Exp(-0.5)) > 0.03 {
+		t.Errorf("single-record bin zero rate %v, want ~%v", got, math.Exp(-0.5))
+	}
+	// Bin 2 (count 50) essentially never reported zero.
+	if zeroCount[2] > trials/100 {
+		t.Errorf("heavy bin reported zero %d times", zeroCount[2])
+	}
+}
+
+func TestRecipeZeroesSparseBinsAndKeepsMass(t *testing.T) {
+	// Sparse histogram: recipe should zero the empty region exactly and
+	// keep the heavy region close to truth.
+	d := 32
+	x := histogram.New(d)
+	xns := histogram.New(d)
+	for i := 0; i < 8; i++ {
+		x.SetCount(i, 200)
+		xns.SetCount(i, 180)
+	}
+	src := noise.NewSource(3)
+	out := Recipe(flatEstimator{width: 8}, x, xns, 1.0, RecipeConfig{Rho: 0.1}, src)
+	for i := 8; i < d; i++ {
+		if out.Count(i) != 0 {
+			t.Fatalf("empty bin %d got %v", i, out.Count(i))
+		}
+	}
+	for i := 0; i < 8; i++ {
+		if math.Abs(out.Count(i)-200) > 1 {
+			t.Errorf("heavy bin %d = %v, want ~200", i, out.Count(i))
+		}
+	}
+}
+
+func TestRecipeDefaultsToRRDetector(t *testing.T) {
+	x := histogram.FromCounts([]float64{100, 0})
+	xns := histogram.FromCounts([]float64{90, 0})
+	src := noise.NewSource(4)
+	out := Recipe(flatEstimator{width: 1}, x, xns, 1.0, RecipeConfig{Rho: 0.2}, src)
+	if out.Count(1) != 0 {
+		t.Error("empty bin survived with default detector")
+	}
+}
+
+func TestRecipePanicsOnDomainMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("domain mismatch did not panic")
+		}
+	}()
+	Recipe(flatEstimator{width: 1}, histogram.New(2), histogram.New(3), 1,
+		RecipeConfig{Rho: 0.1}, noise.NewSource(1))
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math"
+
+	"osdp/internal/dataset"
+	"osdp/internal/histogram"
+	"osdp/internal/noise"
+)
+
+// RR is the OsdpRR mechanism (Algorithm 1): it releases each non-sensitive
+// record independently with probability 1 − e^(−ε) and suppresses every
+// sensitive record. The output is a *true* sample of the non-sensitive
+// data, which supports analyses that need unperturbed records
+// (classification, extractive summaries, very-high-dimensional histograms)
+// while still satisfying (P, ε)-OSDP (Theorem 4.1): suppression of a
+// non-sensitive record happens with probability e^(−ε), exactly the
+// likelihood ratio needed to hide whether a suppressed record was sensitive
+// or a non-sensitive record that lost the coin flip.
+type RR struct {
+	policy dataset.Policy
+	eps    float64
+}
+
+// NewRR builds an OsdpRR mechanism with the given policy and privacy
+// parameter. It panics if eps <= 0.
+func NewRR(policy dataset.Policy, eps float64) *RR {
+	if eps <= 0 {
+		panic("core: OsdpRR requires eps > 0")
+	}
+	return &RR{policy: policy, eps: eps}
+}
+
+// Release runs Algorithm 1 on db.
+func (m *RR) Release(db *dataset.Table, src noise.Source) *dataset.Table {
+	keep := noise.KeepProbability(m.eps)
+	out := dataset.NewTable(db.Schema())
+	for _, r := range db.Records() {
+		if m.policy.NonSensitive(r) && noise.Bernoulli(src, keep) {
+			out.Append(r)
+		}
+	}
+	return out
+}
+
+// Guarantee reports (P, ε)-OSDP.
+func (m *RR) Guarantee() Guarantee { return Guarantee{Policy: m.policy, Epsilon: m.eps} }
+
+// Name implements Mechanism.
+func (m *RR) Name() string { return "OsdpRR" }
+
+// KeepProbability returns the per-record release probability 1 − e^(−ε).
+func (m *RR) KeepProbability() float64 { return noise.KeepProbability(m.eps) }
+
+// ExpectedSampleSize returns the expected number of released records when
+// db has nNonSensitive non-sensitive records: nNonSensitive · (1 − e^(−ε)).
+// The released size is Binomial(nNonSensitive, 1 − e^(−ε)) (Table 1).
+func (m *RR) ExpectedSampleSize(nNonSensitive int) float64 {
+	return float64(nNonSensitive) * m.KeepProbability()
+}
+
+// InverseProbabilityScale is the Horvitz–Thompson reweighting factor
+// 1/(1 − e^(−ε)) that turns counts over the released sample into unbiased
+// estimates of counts over the non-sensitive data.
+func (m *RR) InverseProbabilityScale() float64 {
+	return 1 / m.KeepProbability()
+}
+
+// RRSampleHistogram releases a histogram by applying OsdpRR to the records
+// behind the non-sensitive histogram xns: every unit of count survives
+// independently with probability 1 − e^(−ε), i.e. each bin becomes
+// Binomial(xns_i, 1 − e^(−ε)). This is "running the query on the sample of
+// non-sensitive records output by OsdpRR" (§5.1) and satisfies (P, ε)-OSDP
+// because it is post-processing of the OsdpRR release.
+func RRSampleHistogram(xns *histogram.Histogram, eps float64, src noise.Source) *histogram.Histogram {
+	if eps <= 0 {
+		panic("core: RRSampleHistogram requires eps > 0")
+	}
+	keep := noise.KeepProbability(eps)
+	out := histogram.New(xns.Bins())
+	for i := 0; i < xns.Bins(); i++ {
+		out.SetCount(i, float64(noise.Binomial(src, int(xns.Count(i)), keep)))
+	}
+	return out
+}
+
+// RRExpectedL1Error lower-bounds the expected L1 error of answering a
+// histogram from the OsdpRR sample (proof of Theorem 5.1): even with no
+// sensitive records, n·e^(−ε) non-sensitive records are suppressed, each
+// contributing 1 to L1 error, plus every sensitive record is suppressed.
+func RRExpectedL1Error(nTotal, nSensitive int, eps float64) float64 {
+	ns := float64(nTotal - nSensitive)
+	return float64(nSensitive) + ns*math.Exp(-eps)
+}
+
+// LaplaceExpectedL1Error is the expected L1 error of the ε-DP Laplace
+// mechanism on a d-bin histogram of sensitivity 2: each bin's |Lap(2/ε)|
+// has mean 2/ε, so the total is 2d/ε (as used in Theorem 5.1).
+func LaplaceExpectedL1Error(d int, eps float64) float64 {
+	return 2 * float64(d) / eps
+}
+
+// RRWorseThanLaplace evaluates the crossover condition of Theorem 5.1:
+// OsdpRR's expected L1 error exceeds the Laplace mechanism's whenever
+// n·ε > 2d·e^ε. (The theorem states the condition in the limit of no
+// sensitive records.)
+func RRWorseThanLaplace(n, d int, eps float64) bool {
+	return float64(n)*eps > 2*float64(d)*math.Exp(eps)
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"osdp/internal/dataset"
+	"osdp/internal/histogram"
+	"osdp/internal/noise"
+)
+
+// Session is an interactive OSDP query-answering endpoint over a fixed
+// database — the online setting §7 flags as an open engineering problem.
+// A session binds the data, the policy, a privacy-budget accountant, and
+// a randomness source; every answer is charged to the accountant before
+// any noise is drawn, so an exhausted budget can never leak a partial
+// answer. All answers compose by Theorem 3.3: when the budget is spent,
+// the transcript as a whole satisfies (P, budget)-OSDP.
+type Session struct {
+	db     *dataset.Table
+	ns     *dataset.Table // cached non-sensitive partition
+	policy dataset.Policy
+	acct   *Accountant
+	src    noise.Source
+}
+
+// NewSession opens a session over db with a total ε budget. A budget of 0
+// means unlimited (useful for testing, unwise in production).
+func NewSession(db *dataset.Table, policy dataset.Policy, budget float64, src noise.Source) *Session {
+	_, ns := db.Split(policy)
+	return &Session{
+		db:     db,
+		ns:     ns,
+		policy: policy,
+		acct:   NewAccountant(budget),
+		src:    src,
+	}
+}
+
+// Remaining returns the unspent budget (0 when the session is unlimited).
+func (s *Session) Remaining() float64 { return s.acct.Remaining() }
+
+// Spent returns the ε consumed so far.
+func (s *Session) Spent() float64 { return s.acct.Spent() }
+
+// Guarantee returns the cumulative guarantee of everything answered so far.
+func (s *Session) Guarantee() Guarantee { return s.acct.Composite() }
+
+// charge reserves eps from the budget or fails the query.
+func (s *Session) charge(eps float64) error {
+	return s.acct.Spend(Guarantee{Policy: s.policy, Epsilon: eps})
+}
+
+// Histogram answers a histogram query with OsdpLaplaceL1 at privacy level
+// eps, charging the budget. The query is evaluated on the non-sensitive
+// records only, as the mechanism requires.
+func (s *Session) Histogram(q histogram.Query, eps float64) (*histogram.Histogram, error) {
+	if err := s.charge(eps); err != nil {
+		return nil, fmt.Errorf("core: histogram query rejected: %w", err)
+	}
+	return OsdpLaplaceL1(q.Eval(s.ns), eps, s.src), nil
+}
+
+// IntHistogram answers a histogram query with OsdpGeometric (integer
+// outputs) at privacy level eps, charging the budget.
+func (s *Session) IntHistogram(q histogram.Query, eps float64) (*histogram.Histogram, error) {
+	if err := s.charge(eps); err != nil {
+		return nil, fmt.Errorf("core: histogram query rejected: %w", err)
+	}
+	return OsdpGeometric(q.Eval(s.ns), eps, s.src), nil
+}
+
+// Sample releases a true sample of the non-sensitive records via OsdpRR at
+// privacy level eps, charging the budget.
+func (s *Session) Sample(eps float64) (*dataset.Table, error) {
+	if err := s.charge(eps); err != nil {
+		return nil, fmt.Errorf("core: sample rejected: %w", err)
+	}
+	return NewRR(s.policy, eps).Release(s.db, s.src), nil
+}
+
+// Count answers a counting query (records matching pred) with one-sided
+// Laplace noise at privacy level eps, charging the budget. Counts are
+// computed over non-sensitive records; like all §5.1 primitives the answer
+// never exceeds the true non-sensitive count.
+func (s *Session) Count(pred dataset.Predicate, eps float64) (float64, error) {
+	if err := s.charge(eps); err != nil {
+		return 0, fmt.Errorf("core: count rejected: %w", err)
+	}
+	c := float64(s.ns.Count(pred)) + noise.OneSidedLaplace(s.src, 1/eps)
+	if c < 0 {
+		c = 0
+	}
+	return c, nil
+}
+
+// Quantile releases the q-quantile of a numeric attribute by drawing an
+// OsdpRR sample at privacy level eps and returning the sample quantile —
+// post-processing of the release, so the whole call costs exactly eps.
+// It fails when the (random) sample is empty; callers should retry with a
+// fresh budget slice or a larger eps.
+func (s *Session) Quantile(attr string, q, eps float64) (float64, error) {
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("core: quantile q=%v outside [0, 1]", q)
+	}
+	if err := s.charge(eps); err != nil {
+		return 0, fmt.Errorf("core: quantile rejected: %w", err)
+	}
+	keep := noise.KeepProbability(eps)
+	var values []float64
+	for _, r := range s.ns.Records() {
+		if noise.Bernoulli(s.src, keep) {
+			values = append(values, r.Get(attr).AsFloat())
+		}
+	}
+	if len(values) == 0 {
+		return 0, fmt.Errorf("core: quantile sample came up empty (kept 0 of %d records)", s.ns.Len())
+	}
+	sort.Float64s(values)
+	rank := int(math.Ceil(q * float64(len(values))))
+	if rank < 1 {
+		rank = 1
+	}
+	return values[rank-1], nil
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"osdp/internal/dataset"
+	"osdp/internal/histogram"
+	"osdp/internal/noise"
+)
+
+func sessionFixture(budget float64) (*Session, *dataset.Table) {
+	s := testSchema()
+	db := testDB(s, 12, 30, 16, 45, 50, 33, 28, 61)
+	return NewSession(db, minorsPolicy(), budget, noise.NewSource(1)), db
+}
+
+func TestSessionBudgetEnforcement(t *testing.T) {
+	sess, _ := sessionFixture(1.0)
+	q := histogram.NewQuery(nil, histogram.NewNumericDomain("Age", 0, 20, 4))
+	if _, err := sess.Histogram(q, 0.6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Histogram(q, 0.6); err == nil {
+		t.Fatal("over-budget query accepted")
+	}
+	// Failed query must not consume budget; an exact-fit one still works.
+	if math.Abs(sess.Remaining()-0.4) > 1e-12 {
+		t.Errorf("Remaining = %v", sess.Remaining())
+	}
+	if _, err := sess.Sample(0.4); err != nil {
+		t.Errorf("exact-fit sample rejected: %v", err)
+	}
+	if sess.Spent() != 1.0 {
+		t.Errorf("Spent = %v", sess.Spent())
+	}
+}
+
+func TestSessionHistogramUsesNonSensitiveOnly(t *testing.T) {
+	sess, db := sessionFixture(0)
+	q := histogram.NewQuery(nil, histogram.NewNumericDomain("Age", 0, 20, 4))
+	_, ns := db.Split(minorsPolicy())
+	xns := q.Eval(ns)
+	// One-sided noise + debias: estimates can exceed xns only by the ln2/ε
+	// debias margin, and bins empty of non-sensitive records stay zero.
+	for trial := 0; trial < 200; trial++ {
+		h, err := sess.Histogram(q, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Count(0) != 0 {
+			t.Fatalf("minor-only bin should be zero, got %v", h.Count(0))
+		}
+		for i := 0; i < h.Bins(); i++ {
+			if h.Count(i) > xns.Count(i)+math.Ln2+1e-9 {
+				t.Fatalf("bin %d estimate %v exceeds xns+ln2 %v", i, h.Count(i), xns.Count(i))
+			}
+		}
+	}
+}
+
+func TestSessionIntHistogramIntegerOutputs(t *testing.T) {
+	sess, _ := sessionFixture(0)
+	q := histogram.NewQuery(nil, histogram.NewNumericDomain("Age", 0, 20, 4))
+	for trial := 0; trial < 100; trial++ {
+		h, err := sess.IntHistogram(q, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < h.Bins(); i++ {
+			c := h.Count(i)
+			if c != math.Trunc(c) || c < 0 {
+				t.Fatalf("non-integer or negative count %v", c)
+			}
+		}
+	}
+}
+
+func TestSessionSampleExcludesSensitive(t *testing.T) {
+	sess, _ := sessionFixture(0)
+	for trial := 0; trial < 50; trial++ {
+		out, err := sess.Sample(2.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range out.Records() {
+			if r.Get("Age").AsInt() <= 17 {
+				t.Fatal("sensitive record in session sample")
+			}
+		}
+	}
+}
+
+func TestSessionCountNeverExceedsTruth(t *testing.T) {
+	sess, db := sessionFixture(0)
+	pred := dataset.Cmp("Age", dataset.OpGe, dataset.Int(30))
+	_, ns := db.Split(minorsPolicy())
+	truth := float64(ns.Count(pred))
+	for trial := 0; trial < 300; trial++ {
+		c, err := sess.Count(pred, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c > truth || c < 0 {
+			t.Fatalf("count %v outside [0, %v]", c, truth)
+		}
+	}
+}
+
+func TestSessionQuantile(t *testing.T) {
+	s := testSchema()
+	db := dataset.NewTable(s)
+	for i := 0; i < 500; i++ {
+		db.Append(rec(s, int64(i), int64(20+i%60))) // ages 20..79, all non-sensitive
+	}
+	sess := NewSession(db, minorsPolicy(), 0, noise.NewSource(8))
+	v, err := sess.Quantile("Age", 0.5, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Median of 20..79 is ~49-50; the RR sample should land close.
+	if v < 40 || v < 0 || v > 60 {
+		t.Errorf("median estimate %v, want near 50", v)
+	}
+	if _, err := sess.Quantile("Age", 1.5, 1); err == nil {
+		t.Error("bad q accepted")
+	}
+	if sess.Spent() != 2.0 {
+		t.Errorf("Spent = %v (failed validation must not charge)", sess.Spent())
+	}
+}
+
+func TestSessionGuaranteeComposes(t *testing.T) {
+	sess, _ := sessionFixture(0)
+	q := histogram.NewQuery(nil, histogram.NewNumericDomain("Age", 0, 40, 2))
+	_, _ = sess.Histogram(q, 0.5)
+	_, _ = sess.Count(dataset.True(), 0.25)
+	g := sess.Guarantee()
+	if math.Abs(g.Epsilon-0.75) > 1e-12 {
+		t.Errorf("composite eps = %v", g.Epsilon)
+	}
+}
+
+func TestOneSidedGeometricDistribution(t *testing.T) {
+	src := noise.NewSource(2)
+	const eps = 1.0
+	const trials = 200000
+	var sum float64
+	zero := 0
+	for i := 0; i < trials; i++ {
+		k := OneSidedGeometric(eps, src)
+		if k > 0 {
+			t.Fatalf("positive geometric sample %d", k)
+		}
+		if k == 0 {
+			zero++
+		}
+		sum += float64(k)
+	}
+	alpha := math.Exp(-eps)
+	if got, want := float64(zero)/trials, 1-alpha; math.Abs(got-want) > 0.01 {
+		t.Errorf("Pr[K=0] = %v, want ~%v", got, want)
+	}
+	if got, want := sum/trials, OneSidedGeometricMean(eps); math.Abs(got-want) > 0.02 {
+		t.Errorf("mean %v, want ~%v", got, want)
+	}
+}
+
+func TestOsdpGeometricZeroPreservation(t *testing.T) {
+	xns := histogram.FromCounts([]float64{0, 40, 0})
+	src := noise.NewSource(3)
+	for trial := 0; trial < 300; trial++ {
+		h := OsdpGeometric(xns, 1.0, src)
+		if h.Count(0) != 0 || h.Count(2) != 0 {
+			t.Fatal("true zero bin perturbed")
+		}
+		if h.Count(1) > 40 {
+			t.Fatal("estimate exceeds true count")
+		}
+	}
+}
+
+func TestGeometricPanicsOnBadEps(t *testing.T) {
+	for _, f := range []func(){
+		func() { OneSidedGeometric(0, noise.NewSource(1)) },
+		func() { OsdpGeometric(histogram.New(1), -1, noise.NewSource(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"osdp/internal/dataset"
+	"osdp/internal/noise"
+)
+
+func verifyUniverse(s *dataset.Schema) []dataset.Record {
+	return []dataset.Record{
+		rec(s, 100, 8),  // sensitive
+		rec(s, 101, 15), // sensitive
+		rec(s, 102, 25), // non-sensitive
+		rec(s, 103, 60), // non-sensitive
+	}
+}
+
+// The verifier should certify OsdpRR at its declared ε across every
+// neighbor pair of a small database.
+func TestVerifyOSDPCertifiesRR(t *testing.T) {
+	s := testSchema()
+	base := testDB(s, 10, 30)
+	const eps = 1.0
+	res := VerifyOSDP(NewRR(minorsPolicy(), eps), base, minorsPolicy(), verifyUniverse(s),
+		VerifyConfig{Trials: 120000}, noise.NewSource(1))
+	if res.Pairs == 0 {
+		t.Fatal("no neighbor pairs exercised")
+	}
+	if res.MaxLogRatio > eps*1.06 {
+		t.Errorf("empirical loss %v exceeds ε=%v (worst: %s)", res.MaxLogRatio, eps, res.WorstPair)
+	}
+}
+
+// And it should flag the exclusion-attack-vulnerable baseline with an
+// unbounded ratio.
+func TestVerifyOSDPFlagsFullRelease(t *testing.T) {
+	s := testSchema()
+	base := testDB(s, 10, 30)
+	res := VerifyOSDP(NewFullRelease(minorsPolicy()), base, minorsPolicy(), verifyUniverse(s),
+		VerifyConfig{Trials: 3000}, noise.NewSource(2))
+	if !math.IsInf(res.MaxLogRatio, 1) {
+		t.Errorf("FullRelease passed verification with loss %v", res.MaxLogRatio)
+	}
+}
+
+// A database with no sensitive records has no one-sided neighbors: the
+// verifier must report zero pairs (and hence zero loss).
+func TestVerifyOSDPNoSensitiveRecords(t *testing.T) {
+	s := testSchema()
+	base := testDB(s, 30, 45)
+	res := VerifyOSDP(NewRR(minorsPolicy(), 1), base, minorsPolicy(), verifyUniverse(s),
+		VerifyConfig{Trials: 100}, noise.NewSource(3))
+	if res.Pairs != 0 || res.MaxLogRatio != 0 {
+		t.Errorf("expected vacuous result, got %+v", res)
+	}
+}
+
+// Higher ε must never report lower empirical loss than a much smaller ε on
+// the same scenario (sanity of the measurement itself).
+func TestVerifyOSDPLossScalesWithEps(t *testing.T) {
+	s := testSchema()
+	base := testDB(s, 10, 30)
+	cfg := VerifyConfig{Trials: 120000}
+	low := VerifyOSDP(NewRR(minorsPolicy(), 0.3), base, minorsPolicy(), verifyUniverse(s), cfg, noise.NewSource(4))
+	high := VerifyOSDP(NewRR(minorsPolicy(), 2.0), base, minorsPolicy(), verifyUniverse(s), cfg, noise.NewSource(5))
+	if high.MaxLogRatio <= low.MaxLogRatio {
+		t.Errorf("loss at ε=2 (%v) not above loss at ε=0.3 (%v)", high.MaxLogRatio, low.MaxLogRatio)
+	}
+	// Each should sit near its ε.
+	if math.Abs(low.MaxLogRatio-0.3) > 0.06 {
+		t.Errorf("ε=0.3 loss = %v", low.MaxLogRatio)
+	}
+	if math.Abs(high.MaxLogRatio-2.0) > 0.4 {
+		t.Errorf("ε=2 loss = %v", high.MaxLogRatio)
+	}
+}
+
+func TestVerifyOSDPPanicsOnBadTrials(t *testing.T) {
+	s := testSchema()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Trials=0 did not panic")
+		}
+	}()
+	VerifyOSDP(NewRR(minorsPolicy(), 1), testDB(s, 10), minorsPolicy(), nil,
+		VerifyConfig{}, noise.NewSource(1))
+}
+
+func TestMultisetEventCanonical(t *testing.T) {
+	s := testSchema()
+	a := testDB(s)
+	a.Append(rec(s, 1, 30))
+	a.Append(rec(s, 2, 40))
+	b := testDB(s)
+	b.Append(rec(s, 2, 40))
+	b.Append(rec(s, 1, 30))
+	if multisetEvent(a) != multisetEvent(b) {
+		t.Error("multiset event depends on record order")
+	}
+	c := testDB(s)
+	c.Append(rec(s, 1, 30))
+	if multisetEvent(a) == multisetEvent(c) {
+		t.Error("different releases share an event key")
+	}
+}

@@ -1,0 +1,101 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `Name:string,Age:int,OptIn:bool,Income:float
+alice,34,true,52000.5
+bob,16,false,0
+`
+
+func TestReadCSV(t *testing.T) {
+	tb, err := ReadCSV(strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Len() != 2 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+	r := tb.Record(0)
+	if r.Get("Name").AsString() != "alice" || r.Get("Age").AsInt() != 34 {
+		t.Errorf("record 0 = %v %v", r.Get("Name").AsString(), r.Get("Age").AsInt())
+	}
+	if r.Get("Income").AsFloat() != 52000.5 {
+		t.Errorf("Income = %v", r.Get("Income").AsFloat())
+	}
+	if k, _ := tb.Schema().KindOf("OptIn"); k != KindBool {
+		t.Errorf("OptIn kind = %v", k)
+	}
+}
+
+func TestReadCSVDefaultsToString(t *testing.T) {
+	tb, err := ReadCSV(strings.NewReader("City\nparis\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k, _ := tb.Schema().KindOf("City"); k != KindString {
+		t.Errorf("bare header kind = %v", k)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"Age:int\nnotanumber\n",
+		"Flag:bool\nmaybe\n",
+		"X:float\nabc\n",
+		"A:int,B:int\n1\n", // ragged row
+		"A:complex\n1\n",   // unknown kind
+		":int\n1\n",        // empty name
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: bad CSV accepted", i)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig, err := ReadCSV(strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Len() != orig.Len() {
+		t.Fatalf("round trip lost records: %d vs %d", again.Len(), orig.Len())
+	}
+	om, am := orig.Multiset(), again.Multiset()
+	for k, c := range om {
+		if am[k] != c {
+			t.Fatalf("multiset mismatch at %q", k)
+		}
+	}
+	// Schema kinds preserved.
+	for _, name := range orig.Schema().Names() {
+		ok, _ := orig.Schema().KindOf(name)
+		ak, found := again.Schema().KindOf(name)
+		if !found || ok != ak {
+			t.Errorf("kind of %q not preserved", name)
+		}
+	}
+}
+
+func TestWriteCSVEmptyTable(t *testing.T) {
+	tb := NewTable(NewSchema(Field{Name: "A", Kind: KindInt}))
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tb); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "A:int\n" {
+		t.Errorf("empty table CSV = %q", got)
+	}
+}

@@ -1,0 +1,372 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func personSchema() *Schema {
+	return NewSchema(
+		Field{"Name", KindString},
+		Field{"Age", KindInt},
+		Field{"Race", KindString},
+		Field{"OptIn", KindBool},
+		Field{"Income", KindFloat},
+	)
+}
+
+func samplePeople(s *Schema) *Table {
+	t := NewTable(s)
+	t.AppendValues(Str("alice"), Int(34), Str("White"), Bool(true), Float(52000))
+	t.AppendValues(Str("bob"), Int(16), Str("Asian"), Bool(true), Float(0))
+	t.AppendValues(Str("carol"), Int(41), Str("NativeAmerican"), Bool(true), Float(71000))
+	t.AppendValues(Str("dave"), Int(29), Str("Black"), Bool(false), Float(48000))
+	t.AppendValues(Str("erin"), Int(12), Str("White"), Bool(false), Float(0))
+	return t
+}
+
+func TestValueConversions(t *testing.T) {
+	cases := []struct {
+		v      Value
+		asInt  int64
+		asF    float64
+		asStr  string
+		asBool bool
+	}{
+		{Int(42), 42, 42, "42", true},
+		{Int(0), 0, 0, "0", false},
+		{Float(2.5), 2, 2.5, "2.5", true},
+		{Str("7"), 7, 7, "7", false},
+		{Str("true"), 0, 0, "true", true},
+		{Bool(true), 1, 1, "true", true},
+		{Bool(false), 0, 0, "false", false},
+	}
+	for _, c := range cases {
+		if got := c.v.AsInt(); got != c.asInt {
+			t.Errorf("%v.AsInt() = %d, want %d", c.v, got, c.asInt)
+		}
+		if got := c.v.AsFloat(); got != c.asF {
+			t.Errorf("%v.AsFloat() = %v, want %v", c.v, got, c.asF)
+		}
+		if got := c.v.AsString(); got != c.asStr {
+			t.Errorf("AsString() = %q, want %q", got, c.asStr)
+		}
+		if got := c.v.AsBool(); got != c.asBool {
+			t.Errorf("%v.AsBool() = %v, want %v", c.v, got, c.asBool)
+		}
+	}
+}
+
+func TestValueEqualCrossNumeric(t *testing.T) {
+	if !Int(3).Equal(Float(3.0)) {
+		t.Error("Int(3) != Float(3.0)")
+	}
+	if Int(3).Equal(Str("3")) {
+		t.Error("Int(3) should not equal Str(\"3\")")
+	}
+	if !Str("x").Equal(Str("x")) {
+		t.Error("identical strings unequal")
+	}
+	if Bool(true).Equal(Bool(false)) {
+		t.Error("true == false")
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	if Int(1).Compare(Float(2)) != -1 {
+		t.Error("1 < 2.0 failed")
+	}
+	if Str("b").Compare(Str("a")) != 1 {
+		t.Error("b > a failed")
+	}
+	if Bool(false).Compare(Bool(true)) != -1 {
+		t.Error("false < true failed")
+	}
+	if Int(5).Compare(Int(5)) != 0 {
+		t.Error("5 == 5 failed")
+	}
+}
+
+func TestSchemaDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate attribute did not panic")
+		}
+	}()
+	NewSchema(Field{"A", KindInt}, Field{"A", KindInt})
+}
+
+func TestSchemaLookup(t *testing.T) {
+	s := personSchema()
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if k, ok := s.KindOf("Age"); !ok || k != KindInt {
+		t.Errorf("KindOf(Age) = %v, %v", k, ok)
+	}
+	if _, ok := s.KindOf("Nope"); ok {
+		t.Error("KindOf(Nope) reported ok")
+	}
+	if s.ColumnIndex("Income") != 4 {
+		t.Errorf("ColumnIndex(Income) = %d", s.ColumnIndex("Income"))
+	}
+	if s.ColumnIndex("Nope") != -1 {
+		t.Error("ColumnIndex(Nope) != -1")
+	}
+}
+
+func TestRecordArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad arity did not panic")
+		}
+	}()
+	NewRecord(personSchema(), Int(1))
+}
+
+func TestRecordGetUnknownPanics(t *testing.T) {
+	s := personSchema()
+	r := NewRecord(s, Str("x"), Int(1), Str("y"), Bool(true), Float(0))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown attribute did not panic")
+		}
+	}()
+	r.Get("Missing")
+}
+
+func TestTableFilterAndCount(t *testing.T) {
+	tb := samplePeople(personSchema())
+	minors := tb.Filter(Cmp("Age", OpLe, Int(17)))
+	if minors.Len() != 2 {
+		t.Errorf("minors = %d, want 2", minors.Len())
+	}
+	if n := tb.Count(Cmp("OptIn", OpEq, Bool(false))); n != 2 {
+		t.Errorf("opted-out = %d, want 2", n)
+	}
+	if n := tb.Count(True()); n != tb.Len() {
+		t.Errorf("Count(True) = %d, want %d", n, tb.Len())
+	}
+	if n := tb.Count(False()); n != 0 {
+		t.Errorf("Count(False) = %d", n)
+	}
+}
+
+func TestGroupCount(t *testing.T) {
+	tb := samplePeople(personSchema())
+	byRace := tb.GroupCount("Race")
+	if byRace["White"] != 2 || byRace["Asian"] != 1 {
+		t.Errorf("GroupCount(Race) = %v", byRace)
+	}
+	total := 0
+	for _, c := range byRace {
+		total += c
+	}
+	if total != tb.Len() {
+		t.Errorf("group counts sum to %d, want %d", total, tb.Len())
+	}
+}
+
+func TestPredicateCombinators(t *testing.T) {
+	tb := samplePeople(personSchema())
+	// The paper's example 2: NativeAmerican OR opted-out is sensitive.
+	p := Or(
+		Cmp("Race", OpEq, Str("NativeAmerican")),
+		Cmp("OptIn", OpEq, Bool(false)),
+	)
+	if n := tb.Count(p); n != 3 {
+		t.Errorf("sensitive = %d, want 3 (carol, dave, erin)", n)
+	}
+	if n := tb.Count(Not(p)); n != 2 {
+		t.Errorf("non-sensitive = %d, want 2", n)
+	}
+	both := And(Cmp("Age", OpGe, Int(18)), Cmp("OptIn", OpEq, Bool(true)))
+	if n := tb.Count(both); n != 2 {
+		t.Errorf("adult opt-ins = %d, want 2", n)
+	}
+	if !And().Eval(tb.Record(0)) {
+		t.Error("empty And is not true")
+	}
+	if Or().Eval(tb.Record(0)) {
+		t.Error("empty Or is not false")
+	}
+}
+
+func TestPolicySplit(t *testing.T) {
+	tb := samplePeople(personSchema())
+	minors := NewPolicy("minors", Cmp("Age", OpLe, Int(17)))
+	sens, ns := tb.Split(minors)
+	if sens.Len() != 2 || ns.Len() != 3 {
+		t.Fatalf("split = (%d, %d), want (2, 3)", sens.Len(), ns.Len())
+	}
+	if sens.Len()+ns.Len() != tb.Len() {
+		t.Error("split does not partition the table")
+	}
+	for _, r := range sens.Records() {
+		if minors.P(r) != 0 {
+			t.Error("sensitive partition contains non-sensitive record")
+		}
+	}
+	for _, r := range ns.Records() {
+		if minors.P(r) != 1 {
+			t.Error("non-sensitive partition contains sensitive record")
+		}
+	}
+}
+
+func TestAllSensitiveAndAllNonSensitive(t *testing.T) {
+	tb := samplePeople(personSchema())
+	for _, r := range tb.Records() {
+		if AllSensitive().P(r) != 0 {
+			t.Fatal("P_all marked a record non-sensitive")
+		}
+		if AllNonSensitive().P(r) != 1 {
+			t.Fatal("P_none marked a record sensitive")
+		}
+	}
+}
+
+func TestPolicyRelaxation(t *testing.T) {
+	tb := samplePeople(personSchema())
+	u := tb.Records()
+	minors := NewPolicy("minors", Cmp("Age", OpLe, Int(17)))
+	under30 := NewPolicy("under30", Cmp("Age", OpLe, Int(29)))
+	// minors ⊑ under30: every record sensitive under "minors" is sensitive
+	// under "under30", so "minors" is the relaxation (fewer sensitive).
+	if !minors.IsRelaxationOf(under30, u) {
+		t.Error("minors should be a relaxation of under30")
+	}
+	if under30.IsRelaxationOf(minors, u) {
+		t.Error("under30 should not be a relaxation of minors")
+	}
+	// Everything is a relaxation of P_all; P_none is a relaxation of
+	// everything.
+	if !minors.IsRelaxationOf(AllSensitive(), u) {
+		t.Error("minors should relax P_all")
+	}
+	if !AllNonSensitive().IsRelaxationOf(minors, u) {
+		t.Error("P_none should relax minors")
+	}
+}
+
+func TestMinimumRelaxation(t *testing.T) {
+	tb := samplePeople(personSchema())
+	u := tb.Records()
+	p1 := NewPolicy("minors", Cmp("Age", OpLe, Int(17)))
+	p2 := NewPolicy("optout", Cmp("OptIn", OpEq, Bool(false)))
+	mr := MinimumRelaxation(p1, p2)
+	// mr sensitive iff sensitive under BOTH: only erin (12, opted out).
+	nSens := 0
+	for _, r := range u {
+		if mr.Sensitive(r) {
+			nSens++
+			if !(p1.Sensitive(r) && p2.Sensitive(r)) {
+				t.Error("mr sensitive but not sensitive under both")
+			}
+		}
+	}
+	if nSens != 1 {
+		t.Errorf("mr sensitive count = %d, want 1", nSens)
+	}
+	// mr is a relaxation of both inputs.
+	if !mr.IsRelaxationOf(p1, u) || !mr.IsRelaxationOf(p2, u) {
+		t.Error("mr is not a relaxation of its inputs")
+	}
+	// Empty input degenerates to P_all.
+	if MinimumRelaxation().Name() != "P_all" {
+		t.Error("empty MinimumRelaxation is not P_all")
+	}
+	// mr(P, P) behaves as P.
+	same := MinimumRelaxation(p1, p1)
+	for _, r := range u {
+		if same.P(r) != p1.P(r) {
+			t.Error("mr(P,P) != P")
+		}
+	}
+}
+
+func TestMultisetView(t *testing.T) {
+	s := NewSchema(Field{"X", KindInt})
+	tb := NewTable(s)
+	tb.AppendValues(Int(1))
+	tb.AppendValues(Int(1))
+	tb.AppendValues(Int(2))
+	m := tb.Multiset()
+	if m["1"] != 2 || m["2"] != 1 {
+		t.Errorf("Multiset = %v", m)
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	tb := samplePeople(personSchema())
+	keys := tb.SortedKeys("Race")
+	want := []string{"Asian", "Black", "NativeAmerican", "White"}
+	if len(keys) != len(want) {
+		t.Fatalf("keys = %v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("keys = %v, want %v", keys, want)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	tb := samplePeople(personSchema())
+	c := tb.Clone()
+	c.AppendValues(Str("zed"), Int(99), Str("White"), Bool(true), Float(1))
+	if tb.Len() == c.Len() {
+		t.Error("clone shares record slice growth with original")
+	}
+}
+
+// Property: minimum relaxation is an upper bound of its inputs and is the
+// *least* such policy: any policy relaxing both inputs also relaxes mr.
+func TestMinimumRelaxationIsLUBQuick(t *testing.T) {
+	s := NewSchema(Field{"X", KindInt})
+	universe := make([]Record, 64)
+	for i := range universe {
+		universe[i] = NewRecord(s, Int(int64(i)))
+	}
+	rng := rand.New(rand.NewSource(99))
+	randPolicy := func() Policy {
+		// Random threshold policy over X.
+		thr := int64(rng.Intn(64))
+		if rng.Intn(2) == 0 {
+			return NewPolicy("p", Cmp("X", OpLe, Int(thr)))
+		}
+		return NewPolicy("p", Cmp("X", OpGe, Int(thr)))
+	}
+	f := func(_ uint8) bool {
+		p1, p2, q := randPolicy(), randPolicy(), randPolicy()
+		mr := MinimumRelaxation(p1, p2)
+		if !mr.IsRelaxationOf(p1, universe) || !mr.IsRelaxationOf(p2, universe) {
+			return false
+		}
+		if q.IsRelaxationOf(p1, universe) && q.IsRelaxationOf(p2, universe) {
+			return q.IsRelaxationOf(mr, universe)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolicyStringRendering(t *testing.T) {
+	p := NewPolicy("minors", Cmp("Age", OpLe, Int(17)))
+	if got := p.String(); got != "λr.if(r.Age <= 17): 0; else: 1" {
+		t.Errorf("String() = %q", got)
+	}
+	q := Or(Cmp("Race", OpEq, Str("NativeAmerican")), Cmp("OptIn", OpEq, Bool(false)))
+	if got := q.String(); got != "(r.Race = NativeAmerican) ∨ (r.OptIn = false)" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := Not(True()).String(); got != "¬(true)" {
+		t.Errorf("Not.String() = %q", got)
+	}
+	if FuncPredicate("custom", func(Record) bool { return true }).String() != "custom" {
+		t.Error("FuncPredicate name lost")
+	}
+}

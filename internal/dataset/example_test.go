@@ -1,0 +1,57 @@
+package dataset_test
+
+import (
+	"fmt"
+	"strings"
+
+	"osdp/internal/dataset"
+)
+
+// Policies are first-class values built from the predicate DSL, mirroring
+// the λ-notation of the paper's §3.1 examples.
+func ExampleNewPolicy() {
+	p := dataset.NewPolicy("gdpr", dataset.Or(
+		dataset.Cmp("Age", dataset.OpLe, dataset.Int(17)),
+		dataset.Cmp("OptIn", dataset.OpEq, dataset.Bool(false)),
+	))
+	fmt.Println(p)
+
+	schema := dataset.NewSchema(
+		dataset.Field{Name: "Age", Kind: dataset.KindInt},
+		dataset.Field{Name: "OptIn", Kind: dataset.KindBool},
+	)
+	minor := dataset.NewRecord(schema, dataset.Int(12), dataset.Bool(true))
+	adult := dataset.NewRecord(schema, dataset.Int(30), dataset.Bool(true))
+	fmt.Println(p.P(minor), p.P(adult)) // 0 = sensitive, 1 = non-sensitive
+	// Output:
+	// λr.if((r.Age <= 17) ∨ (r.OptIn = false)): 0; else: 1
+	// 0 1
+}
+
+// Tables load from typed CSV headers.
+func ExampleReadCSV() {
+	csv := "Name:string,Age:int\nalice,34\nbob,12\n"
+	tb, err := dataset.ReadCSV(strings.NewReader(csv))
+	if err != nil {
+		panic(err)
+	}
+	minors := dataset.NewPolicy("minors", dataset.Cmp("Age", dataset.OpLe, dataset.Int(17)))
+	sensitive, nonSensitive := tb.Split(minors)
+	fmt.Println(sensitive.Len(), nonSensitive.Len())
+	// Output:
+	// 1 1
+}
+
+// MinimumRelaxation composes policies: a record stays sensitive only if
+// every input policy treats it as sensitive (Definition 3.6).
+func ExampleMinimumRelaxation() {
+	minors := dataset.NewPolicy("minors", dataset.Cmp("Age", dataset.OpLe, dataset.Int(17)))
+	seniors := dataset.NewPolicy("seniors", dataset.Cmp("Age", dataset.OpGe, dataset.Int(65)))
+	mr := dataset.MinimumRelaxation(minors, seniors)
+
+	schema := dataset.NewSchema(dataset.Field{Name: "Age", Kind: dataset.KindInt})
+	child := dataset.NewRecord(schema, dataset.Int(10))
+	fmt.Println(mr.Name(), mr.Sensitive(child)) // no record is both
+	// Output:
+	// mr(minors,seniors) false
+}

@@ -1,0 +1,66 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks the CSV loader never panics on arbitrary input and
+// that whatever it accepts survives a write/read round trip.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("Name:string,Age:int\nalice,34\n")
+	f.Add("A:int\n1\n2\n3\n")
+	f.Add("X:bool,Y:float\ntrue,2.5\n")
+	f.Add("")
+	f.Add("A:int\nnot-a-number\n")
+	f.Add("::::\n,,,\n")
+	f.Add("A\n\"quoted, field\"\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tb, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Single-column records holding the empty string serialise to a
+		// blank line that CSV readers skip (documented WriteCSV caveat);
+		// exclude them from the round-trip property.
+		for _, r := range tb.Records() {
+			if tb.Schema().Len() == 1 && r.At(0).AsString() == "" {
+				return
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, tb); err != nil {
+			t.Fatalf("accepted table failed to serialise: %v", err)
+		}
+		again, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed to parse: %v", err)
+		}
+		if again.Len() != tb.Len() {
+			t.Fatalf("round trip changed record count: %d vs %d", again.Len(), tb.Len())
+		}
+	})
+}
+
+// FuzzPredicateEval checks comparison predicates never panic over
+// arbitrary typed values.
+func FuzzPredicateEval(f *testing.F) {
+	f.Add(int64(5), "x", true, 2.5)
+	f.Fuzz(func(t *testing.T, n int64, s string, b bool, fl float64) {
+		schema := NewSchema(
+			Field{Name: "I", Kind: KindInt},
+			Field{Name: "S", Kind: KindString},
+			Field{Name: "B", Kind: KindBool},
+			Field{Name: "F", Kind: KindFloat},
+		)
+		r := NewRecord(schema, Int(n), Str(s), Bool(b), Float(fl))
+		for _, op := range []CmpOp{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe} {
+			Cmp("I", op, Int(n)).Eval(r)
+			Cmp("S", op, Str(s)).Eval(r)
+			Cmp("B", op, Bool(b)).Eval(r)
+			Cmp("F", op, Float(fl)).Eval(r)
+			Cmp("I", op, Str(s)).Eval(r) // cross-kind comparisons too
+		}
+	})
+}

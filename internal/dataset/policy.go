@@ -1,0 +1,244 @@
+package dataset
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Predicate is a boolean condition over a record. Predicates are the
+// building blocks of both query conditions and privacy policies.
+type Predicate interface {
+	// Eval reports whether the record satisfies the predicate.
+	Eval(r Record) bool
+	// String renders the predicate in a λ-calculus-ish notation mirroring
+	// the paper's policy examples.
+	String() string
+}
+
+// CmpOp is a comparison operator for attribute predicates.
+type CmpOp int
+
+// Comparison operators.
+const (
+	OpEq CmpOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+func (op CmpOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	}
+	return "?"
+}
+
+type cmpPredicate struct {
+	attr string
+	op   CmpOp
+	val  Value
+}
+
+func (p cmpPredicate) Eval(r Record) bool {
+	c := r.Get(p.attr).Compare(p.val)
+	switch p.op {
+	case OpEq:
+		return c == 0
+	case OpNe:
+		return c != 0
+	case OpLt:
+		return c < 0
+	case OpLe:
+		return c <= 0
+	case OpGt:
+		return c > 0
+	case OpGe:
+		return c >= 0
+	}
+	return false
+}
+
+func (p cmpPredicate) String() string {
+	return fmt.Sprintf("r.%s %s %s", p.attr, p.op, p.val.AsString())
+}
+
+// Cmp builds an attribute-comparison predicate, e.g. Cmp("Age", OpLe, Int(17)).
+func Cmp(attr string, op CmpOp, val Value) Predicate {
+	return cmpPredicate{attr: attr, op: op, val: val}
+}
+
+type andPredicate []Predicate
+
+func (ps andPredicate) Eval(r Record) bool {
+	for _, p := range ps {
+		if !p.Eval(r) {
+			return false
+		}
+	}
+	return true
+}
+
+func (ps andPredicate) String() string { return joinPreds(ps, " ∧ ") }
+
+// And is the conjunction of predicates. The empty conjunction is true.
+func And(ps ...Predicate) Predicate { return andPredicate(ps) }
+
+type orPredicate []Predicate
+
+func (ps orPredicate) Eval(r Record) bool {
+	for _, p := range ps {
+		if p.Eval(r) {
+			return true
+		}
+	}
+	return false
+}
+
+func (ps orPredicate) String() string { return joinPreds(ps, " ∨ ") }
+
+// Or is the disjunction of predicates. The empty disjunction is false.
+func Or(ps ...Predicate) Predicate { return orPredicate(ps) }
+
+type notPredicate struct{ p Predicate }
+
+func (p notPredicate) Eval(r Record) bool { return !p.p.Eval(r) }
+func (p notPredicate) String() string     { return "¬(" + p.p.String() + ")" }
+
+// Not negates a predicate.
+func Not(p Predicate) Predicate { return notPredicate{p} }
+
+type truePredicate struct{}
+
+func (truePredicate) Eval(Record) bool { return true }
+func (truePredicate) String() string   { return "true" }
+
+// True is the predicate satisfied by every record.
+func True() Predicate { return truePredicate{} }
+
+type falsePredicate struct{}
+
+func (falsePredicate) Eval(Record) bool { return false }
+func (falsePredicate) String() string   { return "false" }
+
+// False is the predicate satisfied by no record.
+func False() Predicate { return falsePredicate{} }
+
+// FuncPredicate adapts an arbitrary Go function to a Predicate; name is used
+// for String.
+func FuncPredicate(name string, f func(Record) bool) Predicate {
+	return funcPredicate{name: name, f: f}
+}
+
+type funcPredicate struct {
+	name string
+	f    func(Record) bool
+}
+
+func (p funcPredicate) Eval(r Record) bool { return p.f(r) }
+func (p funcPredicate) String() string     { return p.name }
+
+func joinPreds(ps []Predicate, sep string) string {
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		parts[i] = "(" + p.String() + ")"
+	}
+	if len(parts) == 0 {
+		return "()"
+	}
+	return strings.Join(parts, sep)
+}
+
+// Policy is the paper's policy function P : T → {0, 1} (Definition 3.1),
+// expressed over typed records. A record is sensitive when the sensitivity
+// predicate holds (P(r)=0) and non-sensitive otherwise (P(r)=1).
+type Policy struct {
+	name      string
+	sensitive Predicate
+}
+
+// NewPolicy builds a policy whose sensitive records are those satisfying
+// the given predicate.
+func NewPolicy(name string, sensitiveWhen Predicate) Policy {
+	return Policy{name: name, sensitive: sensitiveWhen}
+}
+
+// AllSensitive is the paper's P_all (Definition 3.7): every record is
+// sensitive. Under P_all, OSDP degenerates to standard DP.
+func AllSensitive() Policy { return NewPolicy("P_all", True()) }
+
+// AllNonSensitive marks no record sensitive; under it OSDP imposes no
+// constraint (the neighbor set is empty). Useful in tests.
+func AllNonSensitive() Policy { return NewPolicy("P_none", False()) }
+
+// Name returns the policy's display name.
+func (p Policy) Name() string { return p.name }
+
+// Sensitive reports P(r) = 0.
+func (p Policy) Sensitive(r Record) bool { return p.sensitive.Eval(r) }
+
+// NonSensitive reports P(r) = 1.
+func (p Policy) NonSensitive(r Record) bool { return !p.sensitive.Eval(r) }
+
+// P returns the paper's numeric convention: 0 for sensitive, 1 for
+// non-sensitive.
+func (p Policy) P(r Record) int {
+	if p.Sensitive(r) {
+		return 0
+	}
+	return 1
+}
+
+// String renders the policy in the paper's λ-notation.
+func (p Policy) String() string {
+	return fmt.Sprintf("λr.if(%s): 0; else: 1", p.sensitive.String())
+}
+
+// IsRelaxationOf reports whether p is a relaxation of q (p ⊑ q, Definition
+// 3.5) over the given record universe: every record sensitive under p must
+// be sensitive under q, i.e. P_p(r) >= P_q(r) for all r. Since policies are
+// black-box predicates, the check is performed against an explicit universe
+// of records (typically the table under analysis, or an enumerated domain).
+func (p Policy) IsRelaxationOf(q Policy, universe []Record) bool {
+	for _, r := range universe {
+		if p.P(r) < q.P(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// MinimumRelaxation returns the minimum relaxation P_mr of the given
+// policies (Definition 3.6): a record is sensitive under P_mr only if it is
+// sensitive under every input policy (P_mr(r) = max_i P_i(r)).
+func MinimumRelaxation(policies ...Policy) Policy {
+	if len(policies) == 0 {
+		return AllSensitive()
+	}
+	preds := make([]Predicate, len(policies))
+	var names []string
+	seen := make(map[string]bool)
+	for i, pol := range policies {
+		preds[i] = pol.sensitive
+		if !seen[pol.name] {
+			seen[pol.name] = true
+			names = append(names, pol.name)
+		}
+	}
+	return Policy{
+		name:      "mr(" + strings.Join(names, ",") + ")",
+		sensitive: And(preds...),
+	}
+}

@@ -1,0 +1,230 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Schema names and types the attributes of a table. Attribute order is
+// significant: records are stored positionally.
+type Schema struct {
+	names []string
+	kinds []Kind
+	index map[string]int
+}
+
+// NewSchema builds a schema from (name, kind) pairs. It panics on duplicate
+// attribute names, since a schema is almost always a package-level constant
+// and a duplicate is a programming error.
+func NewSchema(fields ...Field) *Schema {
+	s := &Schema{index: make(map[string]int, len(fields))}
+	for _, f := range fields {
+		if _, dup := s.index[f.Name]; dup {
+			panic(fmt.Sprintf("dataset: duplicate attribute %q", f.Name))
+		}
+		s.index[f.Name] = len(s.names)
+		s.names = append(s.names, f.Name)
+		s.kinds = append(s.kinds, f.Kind)
+	}
+	return s
+}
+
+// Field is one attribute declaration in a schema.
+type Field struct {
+	Name string
+	Kind Kind
+}
+
+// Len returns the number of attributes.
+func (s *Schema) Len() int { return len(s.names) }
+
+// Names returns the attribute names in declaration order. The caller must
+// not modify the returned slice.
+func (s *Schema) Names() []string { return s.names }
+
+// KindOf returns the declared kind of the named attribute.
+func (s *Schema) KindOf(name string) (Kind, bool) {
+	i, ok := s.index[name]
+	if !ok {
+		return 0, false
+	}
+	return s.kinds[i], true
+}
+
+// ColumnIndex returns the position of the named attribute, or -1.
+func (s *Schema) ColumnIndex(name string) int {
+	i, ok := s.index[name]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// Record is a tuple conforming to some schema. Records are value types:
+// copying one copies its attribute slice header but the backing array is
+// shared, so treat records as immutable once stored in a table.
+type Record struct {
+	schema *Schema
+	values []Value
+}
+
+// NewRecord builds a record for schema s from positional values. It panics
+// if the arity does not match.
+func NewRecord(s *Schema, values ...Value) Record {
+	if len(values) != s.Len() {
+		panic(fmt.Sprintf("dataset: record arity %d does not match schema arity %d",
+			len(values), s.Len()))
+	}
+	return Record{schema: s, values: values}
+}
+
+// Schema returns the record's schema.
+func (r Record) Schema() *Schema { return r.schema }
+
+// Get returns the value of the named attribute. It panics on an unknown
+// attribute, which indicates a policy/query written against the wrong
+// schema.
+func (r Record) Get(name string) Value {
+	i := r.schema.ColumnIndex(name)
+	if i < 0 {
+		panic(fmt.Sprintf("dataset: unknown attribute %q", name))
+	}
+	return r.values[i]
+}
+
+// At returns the value at column position i.
+func (r Record) At(i int) Value { return r.values[i] }
+
+// Key renders the record as a canonical string, usable as a map key for
+// multiset semantics and for grouping.
+func (r Record) Key() string {
+	var b strings.Builder
+	for i, v := range r.values {
+		if i > 0 {
+			b.WriteByte('\x1f')
+		}
+		b.WriteString(v.AsString())
+	}
+	return b.String()
+}
+
+// Table is an in-memory multiset of records sharing one schema. A Table is
+// the "database D" of the paper.
+type Table struct {
+	schema  *Schema
+	records []Record
+}
+
+// NewTable creates an empty table with the given schema.
+func NewTable(s *Schema) *Table {
+	return &Table{schema: s}
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// Len returns the number of records.
+func (t *Table) Len() int { return len(t.records) }
+
+// Append adds records to the table. Records must share the table's schema.
+func (t *Table) Append(rs ...Record) {
+	for _, r := range rs {
+		if r.schema != t.schema {
+			panic("dataset: record schema does not match table schema")
+		}
+		t.records = append(t.records, r)
+	}
+}
+
+// AppendValues builds a record from positional values and appends it.
+func (t *Table) AppendValues(values ...Value) {
+	t.Append(NewRecord(t.schema, values...))
+}
+
+// Record returns the i-th record.
+func (t *Table) Record(i int) Record { return t.records[i] }
+
+// Records returns the underlying record slice. The caller must not mutate
+// it; it is exposed to let mechanisms iterate without copying.
+func (t *Table) Records() []Record { return t.records }
+
+// Filter returns a new table holding the records satisfying pred.
+func (t *Table) Filter(pred Predicate) *Table {
+	out := NewTable(t.schema)
+	for _, r := range t.records {
+		if pred.Eval(r) {
+			out.records = append(out.records, r)
+		}
+	}
+	return out
+}
+
+// Count returns the number of records satisfying pred.
+func (t *Table) Count(pred Predicate) int {
+	n := 0
+	for _, r := range t.records {
+		if pred.Eval(r) {
+			n++
+		}
+	}
+	return n
+}
+
+// GroupCount groups records by the value of attribute name and returns a
+// count per group key (rendered as a string). It is the engine behind
+// "SELECT group, COUNT(*) ... GROUP BY" histogram queries.
+func (t *Table) GroupCount(name string) map[string]int {
+	i := t.schema.ColumnIndex(name)
+	if i < 0 {
+		panic(fmt.Sprintf("dataset: unknown attribute %q", name))
+	}
+	out := make(map[string]int)
+	for _, r := range t.records {
+		out[r.values[i].AsString()]++
+	}
+	return out
+}
+
+// Split partitions the table by policy P into (sensitive, nonSensitive).
+func (t *Table) Split(p Policy) (sensitive, nonSensitive *Table) {
+	sensitive, nonSensitive = NewTable(t.schema), NewTable(t.schema)
+	for _, r := range t.records {
+		if p.NonSensitive(r) {
+			nonSensitive.records = append(nonSensitive.records, r)
+		} else {
+			sensitive.records = append(sensitive.records, r)
+		}
+	}
+	return sensitive, nonSensitive
+}
+
+// Clone returns a shallow copy of the table (records shared, slice fresh).
+func (t *Table) Clone() *Table {
+	out := NewTable(t.schema)
+	out.records = append(out.records, t.records...)
+	return out
+}
+
+// Multiset returns the multiset view of the table: canonical record key to
+// multiplicity. Used by tests to verify multiset invariants such as
+// "OsdpRR output is a sub-multiset of its input".
+func (t *Table) Multiset() map[string]int {
+	m := make(map[string]int, len(t.records))
+	for _, r := range t.records {
+		m[r.Key()]++
+	}
+	return m
+}
+
+// SortedKeys returns the distinct values of the named attribute in sorted
+// order; helper for building stable histogram domains from data.
+func (t *Table) SortedKeys(name string) []string {
+	groups := t.GroupCount(name)
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

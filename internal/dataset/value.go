@@ -1,0 +1,198 @@
+// Package dataset provides the relational substrate the OSDP mechanisms
+// operate on: typed records, schemas, an in-memory table with filtering and
+// grouping, and a small predicate DSL used to express privacy policies such
+// as "records of minors are sensitive" or "opted-out users are sensitive".
+package dataset
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind enumerates the attribute types a schema can declare.
+type Kind int
+
+const (
+	// KindInt is a 64-bit signed integer attribute.
+	KindInt Kind = iota
+	// KindFloat is a 64-bit floating point attribute.
+	KindFloat
+	// KindString is a free-text or categorical attribute.
+	KindString
+	// KindBool is a boolean attribute (e.g. an opt-in flag).
+	KindBool
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Value is a dynamically typed attribute value. The zero Value is the int 0.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+	b    bool
+}
+
+// Int wraps an int64 as a Value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float wraps a float64 as a Value.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// String wraps a string as a Value.
+func Str(v string) Value { return Value{kind: KindString, s: v} }
+
+// Bool wraps a bool as a Value.
+func Bool(v bool) Value { return Value{kind: KindBool, b: v} }
+
+// Kind reports the value's type.
+func (v Value) Kind() Kind { return v.kind }
+
+// AsInt returns the value as an int64. Floats are truncated; bools map to
+// 0/1; strings are parsed, with unparseable strings yielding 0.
+func (v Value) AsInt() int64 {
+	switch v.kind {
+	case KindInt:
+		return v.i
+	case KindFloat:
+		return int64(v.f)
+	case KindBool:
+		if v.b {
+			return 1
+		}
+		return 0
+	case KindString:
+		n, _ := strconv.ParseInt(v.s, 10, 64)
+		return n
+	}
+	return 0
+}
+
+// AsFloat returns the value as a float64.
+func (v Value) AsFloat() float64 {
+	switch v.kind {
+	case KindFloat:
+		return v.f
+	case KindInt:
+		return float64(v.i)
+	case KindBool:
+		if v.b {
+			return 1
+		}
+		return 0
+	case KindString:
+		f, _ := strconv.ParseFloat(v.s, 64)
+		return f
+	}
+	return 0
+}
+
+// AsString returns a textual rendering of the value.
+func (v Value) AsString() string {
+	switch v.kind {
+	case KindString:
+		return v.s
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindBool:
+		return strconv.FormatBool(v.b)
+	}
+	return ""
+}
+
+// AsBool returns the value as a bool: non-zero numbers and the strings
+// "true"/"1" are true.
+func (v Value) AsBool() bool {
+	switch v.kind {
+	case KindBool:
+		return v.b
+	case KindInt:
+		return v.i != 0
+	case KindFloat:
+		return v.f != 0
+	case KindString:
+		return v.s == "true" || v.s == "1"
+	}
+	return false
+}
+
+// Equal reports whether two values are equal. Numeric kinds compare by
+// numeric value; mixed numeric/non-numeric comparisons are false.
+func (v Value) Equal(o Value) bool {
+	if v.isNumeric() && o.isNumeric() {
+		return v.AsFloat() == o.AsFloat()
+	}
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case KindString:
+		return v.s == o.s
+	case KindBool:
+		return v.b == o.b
+	}
+	return false
+}
+
+// Compare orders two values: -1, 0, or +1. Numeric kinds compare
+// numerically, strings lexically, bools false<true. Mixed incomparable
+// kinds compare by kind order for a stable (if arbitrary) total order.
+func (v Value) Compare(o Value) int {
+	if v.isNumeric() && o.isNumeric() {
+		a, b := v.AsFloat(), o.AsFloat()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if v.kind != o.kind {
+		switch {
+		case v.kind < o.kind:
+			return -1
+		default:
+			return 1
+		}
+	}
+	switch v.kind {
+	case KindString:
+		switch {
+		case v.s < o.s:
+			return -1
+		case v.s > o.s:
+			return 1
+		}
+		return 0
+	case KindBool:
+		switch {
+		case v.b == o.b:
+			return 0
+		case !v.b:
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+func (v Value) isNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }

@@ -1,0 +1,263 @@
+package dawa
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"osdp/internal/core"
+	"osdp/internal/histogram"
+	"osdp/internal/mechanism"
+	"osdp/internal/metrics"
+	"osdp/internal/noise"
+)
+
+func uniformHist(d int, v float64) *histogram.Histogram {
+	h := histogram.New(d)
+	for i := 0; i < d; i++ {
+		h.SetCount(i, v)
+	}
+	return h
+}
+
+func checkIsCover(t *testing.T, parts []core.Partition, n int) {
+	t.Helper()
+	covered := make([]int, n)
+	for _, p := range parts {
+		if p.Lo < 0 || p.Hi >= n || p.Lo > p.Hi {
+			t.Fatalf("invalid partition %+v over %d bins", p, n)
+		}
+		for i := p.Lo; i <= p.Hi; i++ {
+			covered[i]++
+		}
+	}
+	for i, c := range covered {
+		if c != 1 {
+			t.Fatalf("bin %d covered %d times", i, c)
+		}
+	}
+}
+
+func TestPartitionIsDisjointCover(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 64, 100, 1024} {
+		x := histogram.New(n)
+		rng := rand.New(rand.NewSource(int64(n)))
+		for i := 0; i < n; i++ {
+			x.SetCount(i, float64(rng.Intn(100)))
+		}
+		_, parts := New().Estimate(x, 1.0, noise.NewSource(int64(n)))
+		checkIsCover(t, parts, n)
+	}
+}
+
+func TestUniformHistogramMergesIntoFewBuckets(t *testing.T) {
+	// A perfectly uniform histogram should collapse to (near) one bucket:
+	// zero deviation everywhere, so the noise cost of many buckets loses.
+	x := uniformHist(256, 50)
+	_, parts := New().Estimate(x, 1.0, noise.NewSource(1))
+	if len(parts) > 8 {
+		t.Errorf("uniform histogram split into %d buckets, want few", len(parts))
+	}
+}
+
+func TestSpikyHistogramSplits(t *testing.T) {
+	// Alternating 0 / 1000 has huge deviation at every merge level, so the
+	// partition should stay fine-grained.
+	d := 128
+	x := histogram.New(d)
+	for i := 0; i < d; i += 2 {
+		x.SetCount(i, 1000)
+	}
+	_, parts := New().Estimate(x, 5.0, noise.NewSource(2))
+	if len(parts) < d/4 {
+		t.Errorf("spiky histogram merged into %d buckets, want near %d", len(parts), d)
+	}
+}
+
+func TestEstimateNonNegativeAndRightArity(t *testing.T) {
+	x := uniformHist(100, 10)
+	est, _ := New().Estimate(x, 0.5, noise.NewSource(3))
+	if est.Bins() != 100 {
+		t.Fatalf("arity = %d", est.Bins())
+	}
+	for i := 0; i < est.Bins(); i++ {
+		if est.Count(i) < 0 {
+			t.Fatalf("negative estimate %v", est.Count(i))
+		}
+	}
+}
+
+// On a smooth (sorted) histogram DAWA should beat the plain Laplace
+// mechanism — the behaviour behind Nettrace's regret drop in Fig 9.
+func TestDAWABeatsLaplaceOnSortedData(t *testing.T) {
+	// Long flat runs with large per-bin counts, the regime of the DPBench
+	// datasets (per-bin counts in the thousands) where partition structure
+	// is detectable even at small ε.
+	d := 512
+	x := histogram.New(d)
+	for i := 0; i < d; i++ {
+		x.SetCount(i, float64(i/32)*200)
+	}
+	src := noise.NewSource(4)
+	const eps = 0.1
+	const trials = 20
+	var dawaErr, lapErr float64
+	for i := 0; i < trials; i++ {
+		est, _ := New().Estimate(x, eps, src)
+		dawaErr += metrics.L1(x, est)
+		lapErr += metrics.L1(x, mechanism.LaplaceHistogram(x, eps, src))
+	}
+	if dawaErr >= lapErr {
+		t.Errorf("DAWA L1 %v not better than Laplace %v on sorted data", dawaErr/trials, lapErr/trials)
+	}
+}
+
+// On a uniform-random (incompressible) histogram with large counts and a
+// generous budget, plain Laplace should be at least competitive — DAWA's
+// advantage disappears, matching the benchmark study's findings.
+func TestDAWANoWorseThanTwiceLaplaceOnRandomData(t *testing.T) {
+	d := 256
+	rng := rand.New(rand.NewSource(5))
+	x := histogram.New(d)
+	for i := 0; i < d; i++ {
+		x.SetCount(i, float64(rng.Intn(2000)))
+	}
+	src := noise.NewSource(6)
+	const eps = 1.0
+	const trials = 20
+	var dawaErr, lapErr float64
+	for i := 0; i < trials; i++ {
+		est, _ := New().Estimate(x, eps, src)
+		dawaErr += metrics.L1(x, est)
+		lapErr += metrics.L1(x, mechanism.LaplaceHistogram(x, eps, src))
+	}
+	if dawaErr > 100*lapErr {
+		t.Errorf("DAWA catastrophically worse on random data: %v vs %v", dawaErr/trials, lapErr/trials)
+	}
+}
+
+func TestEstimatePanicsOnBadInputs(t *testing.T) {
+	x := uniformHist(4, 1)
+	if err := shouldPanic(func() { New().Estimate(x, 0, noise.NewSource(1)) }); !err {
+		t.Error("eps=0 did not panic")
+	}
+	bad := &Algorithm{PartitionRatio: 1.5}
+	if err := shouldPanic(func() { bad.Estimate(x, 1, noise.NewSource(1)) }); !err {
+		t.Error("bad ratio did not panic")
+	}
+}
+
+func shouldPanic(f func()) (panicked bool) {
+	defer func() { panicked = recover() != nil }()
+	f()
+	return false
+}
+
+func TestDAWAzZeroesEmptyRegion(t *testing.T) {
+	// Histogram with an empty right half and non-sensitive data covering
+	// the left half: DAWAz should output exact zeros on the right.
+	d := 64
+	x := histogram.New(d)
+	xns := histogram.New(d)
+	for i := 0; i < d/2; i++ {
+		x.SetCount(i, 300)
+		xns.SetCount(i, 250)
+	}
+	src := noise.NewSource(7)
+	out := DAWAz(x, xns, 1.0, 0.1, src)
+	for i := d / 2; i < d; i++ {
+		if out.Count(i) != 0 {
+			t.Fatalf("empty bin %d got %v", i, out.Count(i))
+		}
+	}
+}
+
+// DAWAz at small ε should beat DAWA on sparse histograms — the paper's
+// headline low-dimensional result (Fig 4b, Fig 9a).
+func TestDAWAzBeatsDAWAOnSparseData(t *testing.T) {
+	d := 512
+	x := histogram.New(d)
+	xns := histogram.New(d)
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 25; i++ { // 5% of bins occupied
+		bin := rng.Intn(d)
+		c := float64(rng.Intn(400) + 100)
+		x.SetCount(bin, c)
+		xns.SetCount(bin, c*0.9)
+	}
+	src := noise.NewSource(9)
+	const eps = 0.1
+	const trials = 15
+	var dz, dw float64
+	for i := 0; i < trials; i++ {
+		dz += metrics.MRE(x, DAWAz(x, xns, eps, 0.1, src), 1)
+		est, _ := New().Estimate(x, eps, src)
+		dw += metrics.MRE(x, est, 1)
+	}
+	if dz >= dw {
+		t.Errorf("DAWAz MRE %v not better than DAWA %v on sparse data", dz/trials, dw/trials)
+	}
+}
+
+func TestDAWAzWithDetectorUsesCustomDetector(t *testing.T) {
+	called := false
+	det := func(xns *histogram.Histogram, eps float64, src noise.Source) []int {
+		called = true
+		return core.LaplaceZeroDetector(xns, eps, src)
+	}
+	x := uniformHist(16, 10)
+	DAWAzWithDetector(x, x.Clone(), 1, 0.1, det, noise.NewSource(10))
+	if !called {
+		t.Error("custom detector not invoked")
+	}
+}
+
+// Property: the partition is always a disjoint cover regardless of data,
+// domain size, or budget.
+func TestPartitionCoverQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(sizeRaw, epsRaw uint8) bool {
+		n := int(sizeRaw)%200 + 1
+		eps := float64(epsRaw%30)/10 + 0.1
+		x := histogram.New(n)
+		for i := 0; i < n; i++ {
+			x.SetCount(i, float64(rng.Intn(50)))
+		}
+		_, parts := New().Estimate(x, eps, noise.NewSource(int64(sizeRaw)*7+1))
+		covered := make([]int, n)
+		for _, p := range parts {
+			if p.Lo < 0 || p.Hi >= n || p.Lo > p.Hi {
+				return false
+			}
+			for i := p.Lo; i <= p.Hi; i++ {
+				covered[i]++
+			}
+		}
+		for _, c := range covered {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Deviation of a constant interval is zero; of a two-point spread it is
+// the L1 distance to the mean.
+func TestDeviation(t *testing.T) {
+	x := histogram.FromCounts([]float64{5, 5, 5, 5})
+	if got := deviation(x, 0, 3); got != 0 {
+		t.Errorf("uniform deviation = %v", got)
+	}
+	y := histogram.FromCounts([]float64{0, 10})
+	if got := deviation(y, 0, 1); got != 10 {
+		t.Errorf("two-point deviation = %v, want 10", got)
+	}
+	if math.IsNaN(deviation(x, 2, 2)) {
+		t.Error("single-bin deviation NaN")
+	}
+}

@@ -1,0 +1,162 @@
+// Package dpbench synthesises the DPBench-1D benchmark of the paper's
+// evaluation (§6.1.2): seven 1-dimensional histograms over a categorical
+// domain of size 4096, matching the published per-dataset sparsity and
+// scale (Table 2) and qualitative shape (e.g. Nettrace is a sorted
+// histogram; Patent is dense). The raw microdata behind the original
+// benchmark is not distributable, but the OSDP-vs-DP comparisons depend
+// only on these histogram statistics — see DESIGN.md's substitution notes.
+//
+// The package also implements the two biased policy samplers that simulate
+// opt-in/opt-out behaviour: MSampling (the "Close" policy — non-sensitive
+// records distributed like the full data) and HiLoSampling (the "Far"
+// policy — non-sensitive records concentrated in a region, simulating
+// strong correlation between privacy preference and record value).
+package dpbench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"osdp/internal/histogram"
+)
+
+// DomainSize is the number of histogram bins in every benchmark dataset.
+const DomainSize = 4096
+
+// Spec describes one benchmark dataset's published statistics and the
+// shape knobs used to synthesise it.
+type Spec struct {
+	// Name is the dataset name from Table 2.
+	Name string
+	// Sparsity is the target fraction of zero bins.
+	Sparsity float64
+	// Scale is the target total record count ‖x‖₁.
+	Scale int
+	// zipf is the Zipf exponent shaping the non-zero counts.
+	zipf float64
+	// sorted lays the counts out in descending order (Nettrace).
+	sorted bool
+	// clustered packs the non-zero bins into contiguous runs instead of
+	// scattering them, giving the smoother profile of dense datasets.
+	clustered bool
+}
+
+// Specs returns the seven benchmark datasets in Table 2 order.
+func Specs() []Spec {
+	return []Spec{
+		{Name: "Adult", Sparsity: 0.98, Scale: 17_665, zipf: 1.6},
+		{Name: "Hepth", Sparsity: 0.21, Scale: 347_414, zipf: 0.9, clustered: true},
+		{Name: "Income", Sparsity: 0.45, Scale: 20_787_122, zipf: 1.0, clustered: true},
+		{Name: "Nettrace", Sparsity: 0.97, Scale: 25_714, zipf: 1.5, sorted: true},
+		{Name: "Medcost", Sparsity: 0.75, Scale: 9_415, zipf: 1.4},
+		{Name: "Patent", Sparsity: 0.06, Scale: 27_948_226, zipf: 0.7, clustered: true},
+		{Name: "Searchlogs", Sparsity: 0.51, Scale: 335_889, zipf: 1.0, clustered: true},
+	}
+}
+
+// SpecByName returns the named spec.
+func SpecByName(name string) (Spec, error) {
+	for _, s := range Specs() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("dpbench: unknown dataset %q", name)
+}
+
+// Generate synthesises the dataset: exactly round((1−sparsity)·4096)
+// non-zero integer bins summing exactly to Scale, shaped by the Zipf
+// exponent and laid out per the spec.
+func (s Spec) Generate(seed int64) *histogram.Histogram {
+	rng := rand.New(rand.NewSource(seed))
+	nonZero := int(math.Round((1 - s.Sparsity) * DomainSize))
+	if nonZero < 1 {
+		nonZero = 1
+	}
+	if nonZero > DomainSize {
+		nonZero = DomainSize
+	}
+	counts := zipfCounts(nonZero, s.Scale, s.zipf)
+
+	h := histogram.New(DomainSize)
+	positions := s.layout(nonZero, rng)
+	if s.sorted {
+		// Descending counts over ascending positions = sorted histogram.
+		sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+		sort.Ints(positions)
+	} else {
+		rng.Shuffle(len(counts), func(i, j int) { counts[i], counts[j] = counts[j], counts[i] })
+	}
+	for i, pos := range positions {
+		h.SetCount(pos, float64(counts[i]))
+	}
+	return h
+}
+
+// layout picks the non-zero bin positions. Sorted histograms occupy a
+// contiguous prefix (the zero tail is one long run, which DAWA merges
+// cheaply — the property behind Nettrace's regret drop in Figure 9);
+// clustered datasets pack the support into a few contiguous runs; the
+// rest scatter it, making the zero bins expensive for symmetric-noise DP
+// mechanisms.
+func (s Spec) layout(nonZero int, rng *rand.Rand) []int {
+	if s.sorted {
+		out := make([]int, nonZero)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	if s.clustered {
+		// A handful of contiguous runs starting at random offsets.
+		runs := 4
+		out := make([]int, 0, nonZero)
+		per := nonZero / runs
+		used := make(map[int]bool, nonZero)
+		for r := 0; r < runs; r++ {
+			n := per
+			if r == runs-1 {
+				n = nonZero - len(out)
+			}
+			start := rng.Intn(DomainSize)
+			for i := 0; i < n; i++ {
+				pos := (start + i) % DomainSize
+				for used[pos] {
+					pos = (pos + 1) % DomainSize
+				}
+				used[pos] = true
+				out = append(out, pos)
+			}
+		}
+		return out
+	}
+	return rng.Perm(DomainSize)[:nonZero]
+}
+
+// zipfCounts distributes total over n bins proportionally to 1/(rank+1)^s,
+// with every bin at least 1 and the sum exactly total.
+func zipfCounts(n, total int, s float64) []int {
+	if total < n {
+		total = n // degenerate; keep every bin non-zero
+	}
+	weights := make([]float64, n)
+	var wsum float64
+	for i := range weights {
+		weights[i] = 1 / math.Pow(float64(i+1), s)
+		wsum += weights[i]
+	}
+	counts := make([]int, n)
+	assigned := 0
+	for i := range counts {
+		counts[i] = 1 + int(float64(total-n)*weights[i]/wsum)
+		assigned += counts[i]
+	}
+	// Fix rounding drift on the heaviest bin.
+	counts[0] += total - assigned
+	if counts[0] < 1 {
+		counts[0] = 1
+	}
+	return counts
+}

@@ -1,0 +1,252 @@
+package dpbench
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"osdp/internal/histogram"
+)
+
+func TestSpecsMatchTable2(t *testing.T) {
+	specs := Specs()
+	if len(specs) != 7 {
+		t.Fatalf("expected 7 datasets, got %d", len(specs))
+	}
+	for _, s := range specs {
+		h := s.Generate(1)
+		if h.Bins() != DomainSize {
+			t.Fatalf("%s: %d bins", s.Name, h.Bins())
+		}
+		if got := int(h.Scale()); got != s.Scale {
+			t.Errorf("%s: scale %d, want %d", s.Name, got, s.Scale)
+		}
+		if got := h.Sparsity(); math.Abs(got-s.Sparsity) > 0.01 {
+			t.Errorf("%s: sparsity %v, want %v", s.Name, got, s.Sparsity)
+		}
+		// Integer, non-negative counts.
+		for i := 0; i < h.Bins(); i++ {
+			c := h.Count(i)
+			if c < 0 || c != math.Trunc(c) {
+				t.Fatalf("%s: bin %d count %v not a non-negative integer", s.Name, i, c)
+			}
+		}
+	}
+}
+
+func TestSpecByName(t *testing.T) {
+	s, err := SpecByName("Patent")
+	if err != nil || s.Name != "Patent" {
+		t.Fatalf("SpecByName(Patent) = %v, %v", s, err)
+	}
+	if _, err := SpecByName("Nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestNettraceIsSorted(t *testing.T) {
+	s, _ := SpecByName("Nettrace")
+	h := s.Generate(2)
+	// Non-zero counts must be non-increasing over ascending positions.
+	last := math.Inf(1)
+	for i := 0; i < h.Bins(); i++ {
+		if c := h.Count(i); c > 0 {
+			if c > last {
+				t.Fatalf("Nettrace not sorted at bin %d: %v after %v", i, c, last)
+			}
+			last = c
+		}
+	}
+}
+
+func TestGenerateDeterministicPerSeed(t *testing.T) {
+	s, _ := SpecByName("Adult")
+	a, b := s.Generate(7), s.Generate(7)
+	if a.L1Distance(b) != 0 {
+		t.Error("same seed produced different data")
+	}
+	c := s.Generate(8)
+	if a.L1Distance(c) == 0 {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestZipfCountsExact(t *testing.T) {
+	counts := zipfCounts(10, 1000, 1.0)
+	sum := 0
+	for _, c := range counts {
+		if c < 1 {
+			t.Fatalf("count %d below 1", c)
+		}
+		sum += c
+	}
+	if sum != 1000 {
+		t.Errorf("sum = %d", sum)
+	}
+	// Heavy head.
+	if counts[0] <= counts[len(counts)-1] {
+		t.Error("zipf counts not decreasing head to tail")
+	}
+}
+
+func TestMSamplingCloseShape(t *testing.T) {
+	s, _ := SpecByName("Hepth")
+	x := s.Generate(3)
+	rng := rand.New(rand.NewSource(4))
+	for _, rho := range []float64{0.99, 0.5, 0.1} {
+		xns := MSampling(x, rho, 0.1, rng)
+		if !x.Dominates(xns) {
+			t.Fatalf("rho=%v: xns exceeds x somewhere", rho)
+		}
+		ratio := xns.Scale() / x.Scale()
+		if math.Abs(ratio-rho) > 0.02 {
+			t.Errorf("rho=%v: mass ratio %v", rho, ratio)
+		}
+		// Close policy: shape similar — correlation of the two count
+		// vectors should be high.
+		if corr := pearson(x, xns); corr < 0.95 {
+			t.Errorf("rho=%v: shape correlation %v, want close to 1", rho, corr)
+		}
+	}
+}
+
+func TestHiLoSamplingFarShape(t *testing.T) {
+	s, _ := SpecByName("Patent") // dense dataset shows the High/Low contrast
+	x := s.Generate(5)
+	rng := rand.New(rand.NewSource(6))
+	xns := HiLoSampling(x, 0.25, 5, 0.2, rng)
+	if !x.Dominates(xns) {
+		t.Fatal("xns exceeds x somewhere")
+	}
+	ratio := xns.Scale() / x.Scale()
+	if math.Abs(ratio-0.25) > 0.02 {
+		t.Errorf("mass ratio %v, want ~0.25", ratio)
+	}
+	// Far policy: the sample's shape should track x noticeably worse than a
+	// Close sample of the same rho.
+	close := MSampling(x, 0.25, 0.1, rand.New(rand.NewSource(7)))
+	if pearson(x, xns) >= pearson(x, close) {
+		t.Errorf("Far correlation %v not below Close correlation %v",
+			pearson(x, xns), pearson(x, close))
+	}
+}
+
+func pearson(a, b *histogram.Histogram) float64 {
+	n := float64(a.Bins())
+	ma, mb := a.Scale()/n, b.Scale()/n
+	var num, da, db float64
+	for i := 0; i < a.Bins(); i++ {
+		xa, xb := a.Count(i)-ma, b.Count(i)-mb
+		num += xa * xb
+		da += xa * xa
+		db += xb * xb
+	}
+	if da == 0 || db == 0 {
+		return 0
+	}
+	return num / math.Sqrt(da*db)
+}
+
+func TestSamplingPanics(t *testing.T) {
+	x := histogram.FromCounts([]float64{1, 2})
+	rng := rand.New(rand.NewSource(1))
+	for _, f := range []func(){
+		func() { MSampling(x, 0, 0.1, rng) },
+		func() { MSampling(x, 1.5, 0.1, rng) },
+		func() { HiLoSampling(x, 0.5, 0.5, 0.4, rng) }, // gamma < 1
+		func() { HiLoSampling(x, 0.5, 5, 0, rng) },     // beta = 0
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBinomialSmallAndLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	// Exact path.
+	const trials = 20000
+	sum := 0
+	for i := 0; i < trials; i++ {
+		sum += binomial(10, 0.3, rng)
+	}
+	if mean := float64(sum) / trials; math.Abs(mean-3) > 0.1 {
+		t.Errorf("small binomial mean %v, want ~3", mean)
+	}
+	// Gaussian path.
+	sum = 0
+	for i := 0; i < trials; i++ {
+		k := binomial(100000, 0.5, rng)
+		if k < 0 || k > 100000 {
+			t.Fatalf("binomial out of range: %d", k)
+		}
+		sum += k
+	}
+	if mean := float64(sum) / trials; math.Abs(mean-50000) > 100 {
+		t.Errorf("large binomial mean %v, want ~50000", mean)
+	}
+	// Edges.
+	if binomial(10, 0, rng) != 0 || binomial(10, 1, rng) != 10 {
+		t.Error("binomial edge probabilities wrong")
+	}
+}
+
+func TestCappedProportionalRespectsCapsAndTarget(t *testing.T) {
+	x := histogram.FromCounts([]float64{10, 10, 10, 10})
+	w := []float64{100, 1, 1, 1} // bin 0 wants everything but caps at 10
+	rng := rand.New(rand.NewSource(9))
+	alloc := cappedProportional(x, w, 25, rng)
+	sum := 0
+	for i, a := range alloc {
+		if float64(a) > x.Count(i) {
+			t.Fatalf("bin %d allocated %d above cap %v", i, a, x.Count(i))
+		}
+		sum += a
+	}
+	if sum != 25 {
+		t.Errorf("allocated %d, want 25", sum)
+	}
+	if alloc[0] != 10 {
+		t.Errorf("heavy bin allocation %d, want capped 10", alloc[0])
+	}
+}
+
+// Property: both samplers always produce sub-histograms with the right mass
+// for random inputs.
+func TestSamplersSubHistogramQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	f := func(seed uint8, rhoRaw uint8) bool {
+		d := 64
+		x := histogram.New(d)
+		r := rand.New(rand.NewSource(int64(seed)))
+		for i := 0; i < d; i++ {
+			if r.Intn(3) > 0 {
+				x.SetCount(i, float64(r.Intn(500)))
+			}
+		}
+		if x.Scale() == 0 {
+			return true
+		}
+		rho := float64(rhoRaw%90+5) / 100
+		m := MSampling(x, rho, 0.5, rng) // loose theta: accept first draw shape
+		if !x.Dominates(m) {
+			return false
+		}
+		h := HiLoSampling(x, rho, 5, 0.4, rng)
+		if !x.Dominates(h) {
+			return false
+		}
+		// HiLo hits the target mass exactly when feasible.
+		want := math.Round(rho * x.Scale())
+		return math.Abs(h.Scale()-want) <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,203 @@
+package dpbench
+
+import (
+	"math"
+	"math/rand"
+
+	"osdp/internal/histogram"
+	"osdp/internal/noise"
+)
+
+// This file implements the opt-in/opt-out policy simulators of §6.1.2.
+// Both take the true histogram x and a non-sensitive ratio ρx and return
+// xns with ‖xns‖₁ ≈ ρx·‖x‖₁ and xns ≤ x bin-wise (non-sensitive records
+// are a subset of the data, so the full histogram always dominates).
+
+// MSampling draws the "Close" policy: each record opts in independently
+// with probability ρx, so the non-sensitive histogram's empirical
+// distribution matches the full data's. theta is the shape tolerance —
+// the sample is redrawn (up to a bounded number of retries) until its
+// mean and standard deviation land within 1±theta of the ρx-scaled
+// statistics of x; the paper uses theta = 0.1.
+func MSampling(x *histogram.Histogram, rho, theta float64, rng *rand.Rand) *histogram.Histogram {
+	checkRho(rho)
+	wantMean, wantStd := scaledStats(x, rho)
+	var out *histogram.Histogram
+	for attempt := 0; attempt < 50; attempt++ {
+		out = binomialThin(x, rho, rng)
+		m, sd := stats(out)
+		if within(m, wantMean, theta) && within(sd, wantStd, theta) {
+			return out
+		}
+	}
+	return out // extremely unlikely with theta=0.1; return the last draw
+}
+
+// HiLoSampling draws the "Far" policy: it picks a random centre bin b,
+// declares the window b ± DomainSize·beta the "High" region, and samples
+// non-sensitive records with weight gamma inside the region and 1 outside.
+// High gamma and small beta make xns maximally dissimilar from x; the
+// paper uses gamma = 5, beta = 0.4.
+func HiLoSampling(x *histogram.Histogram, rho, gamma, beta float64, rng *rand.Rand) *histogram.Histogram {
+	checkRho(rho)
+	if gamma < 1 {
+		panic("dpbench: gamma must be >= 1")
+	}
+	if beta <= 0 || beta > 1 {
+		panic("dpbench: beta must lie in (0, 1]")
+	}
+	d := x.Bins()
+	b := rng.Intn(d)
+	half := int(float64(d) * beta)
+	inHigh := func(i int) bool {
+		lo, hi := b-half, b+half
+		return i >= lo && i <= hi
+	}
+
+	target := int(math.Round(rho * x.Scale()))
+	// Capped proportional allocation: weight each bin, allocate the target
+	// proportionally, cap at the true count, and redistribute leftovers
+	// among uncapped bins until the target is met.
+	weights := make([]float64, d)
+	for i := 0; i < d; i++ {
+		w := x.Count(i)
+		if inHigh(i) {
+			w *= gamma
+		}
+		weights[i] = w
+	}
+	alloc := cappedProportional(x, weights, target, rng)
+	out := histogram.New(d)
+	for i, a := range alloc {
+		out.SetCount(i, float64(a))
+	}
+	return out
+}
+
+// binomialThin samples Binomial(x_i, rho) per bin, with a Gaussian
+// approximation above a variance threshold for speed at DPBench scales
+// (tens of millions of records).
+func binomialThin(x *histogram.Histogram, rho float64, rng *rand.Rand) *histogram.Histogram {
+	out := histogram.New(x.Bins())
+	for i := 0; i < x.Bins(); i++ {
+		n := int(x.Count(i))
+		if n == 0 {
+			continue
+		}
+		out.SetCount(i, float64(binomial(n, rho, rng)))
+	}
+	return out
+}
+
+func binomial(n int, p float64, rng *rand.Rand) int {
+	return noise.Binomial(rng, n, p)
+}
+
+// cappedProportional allocates target units across bins proportionally to
+// weights, capping each bin at its true count and redistributing the
+// overflow. Fractional remainders are resolved by randomised rounding that
+// preserves the exact target where feasible.
+func cappedProportional(x *histogram.Histogram, weights []float64, target int, rng *rand.Rand) []int {
+	d := x.Bins()
+	alloc := make([]float64, d)
+	capped := make([]bool, d)
+	remaining := float64(target)
+	for pass := 0; pass < 64 && remaining > 1e-9; pass++ {
+		var wsum float64
+		for i := 0; i < d; i++ {
+			if !capped[i] {
+				wsum += weights[i]
+			}
+		}
+		if wsum == 0 {
+			break
+		}
+		progressed := false
+		for i := 0; i < d; i++ {
+			if capped[i] || weights[i] == 0 {
+				continue
+			}
+			grant := remaining * weights[i] / wsum
+			room := x.Count(i) - alloc[i]
+			if grant >= room {
+				grant = room
+				capped[i] = true
+			}
+			if grant > 0 {
+				alloc[i] += grant
+				progressed = true
+			}
+		}
+		var used float64
+		for _, a := range alloc {
+			used += a
+		}
+		remaining = float64(target) - used
+		if !progressed {
+			break
+		}
+	}
+	// Integerise with largest-remainder rounding, respecting caps.
+	out := make([]int, d)
+	sum := 0
+	type frac struct {
+		i int
+		f float64
+	}
+	var fracs []frac
+	for i, a := range alloc {
+		out[i] = int(math.Floor(a))
+		sum += out[i]
+		if out[i] < int(x.Count(i)) {
+			fracs = append(fracs, frac{i, a - math.Floor(a)})
+		}
+	}
+	need := target - sum
+	rng.Shuffle(len(fracs), func(a, b int) { fracs[a], fracs[b] = fracs[b], fracs[a] })
+	// Stable-sort by fractional part descending after the shuffle so ties
+	// break randomly.
+	for i := 1; i < len(fracs); i++ {
+		for j := i; j > 0 && fracs[j-1].f < fracs[j].f; j-- {
+			fracs[j-1], fracs[j] = fracs[j], fracs[j-1]
+		}
+	}
+	for _, fr := range fracs {
+		if need <= 0 {
+			break
+		}
+		if out[fr.i] < int(x.Count(fr.i)) {
+			out[fr.i]++
+			need--
+		}
+	}
+	return out
+}
+
+func checkRho(rho float64) {
+	if rho <= 0 || rho > 1 {
+		panic("dpbench: rho must lie in (0, 1]")
+	}
+}
+
+func stats(h *histogram.Histogram) (mean, std float64) {
+	d := float64(h.Bins())
+	mean = h.Scale() / d
+	var v float64
+	for i := 0; i < h.Bins(); i++ {
+		diff := h.Count(i) - mean
+		v += diff * diff
+	}
+	return mean, math.Sqrt(v / d)
+}
+
+func scaledStats(x *histogram.Histogram, rho float64) (mean, std float64) {
+	m, sd := stats(x)
+	return m * rho, sd * rho
+}
+
+func within(got, want, theta float64) bool {
+	if want == 0 {
+		return got == 0
+	}
+	return got >= want*(1-theta) && got <= want*(1+theta)
+}

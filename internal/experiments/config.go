@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"strconv"
+
+	"osdp/internal/tippers"
+)
+
+// Config scales the experiment harness. The paper's datasets are larger
+// (585K trajectories, 9 months); the defaults here are laptop-scale while
+// preserving every structural property the results depend on. Quick is
+// used by unit tests; Default by the bench harness and CLI.
+type Config struct {
+	// Seed drives all randomness in the run.
+	Seed int64
+	// Trials is the number of repetitions averaged per measurement
+	// (the paper uses 10).
+	Trials int
+	// Tippers parameterises the trace simulator.
+	Tippers tippers.Config
+	// CVFolds is the cross-validation fold count for classification
+	// (the paper uses 10).
+	CVFolds int
+	// Epochs bounds logistic-regression training.
+	Epochs int
+	// PolicyShares are the non-sensitive shares defining P99…P1.
+	PolicyShares []float64
+	// NSRatios are the DPBench non-sensitive ratios ρx.
+	NSRatios []float64
+	// DPBenchSeed seeds benchmark dataset synthesis.
+	DPBenchSeed int64
+}
+
+// DefaultConfig returns the full-scale harness configuration. The TIPPERS
+// corpus is enlarged beyond the generator default so per-bin counts in the
+// 2-D histogram reach the magnitudes where the DP baselines' noise is
+// informative, as in the paper's 16K-user trace.
+func DefaultConfig() Config {
+	tc := tippers.DefaultConfig()
+	tc.Users = 2400
+	tc.Days = 40
+	return Config{
+		Seed:         1,
+		Trials:       10,
+		Tippers:      tc,
+		CVFolds:      10,
+		Epochs:       150,
+		PolicyShares: []float64{0.99, 0.90, 0.75, 0.50, 0.25, 0.10, 0.01},
+		NSRatios:     []float64{0.99, 0.90, 0.75, 0.50, 0.25, 0.10, 0.01},
+		DPBenchSeed:  42,
+	}
+}
+
+// QuickConfig returns a reduced configuration for unit tests: fewer users,
+// trials, folds, and sweep points.
+func QuickConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Trials = 2
+	cfg.Tippers.Users = 200
+	cfg.Tippers.Days = 12
+	cfg.CVFolds = 3
+	cfg.Epochs = 40
+	cfg.PolicyShares = []float64{0.90, 0.50}
+	cfg.NSRatios = []float64{0.90, 0.50}
+	return cfg
+}
+
+// policyName renders a non-sensitive share as the paper's policy label.
+func policyName(share float64) string {
+	return "P" + strconv.Itoa(int(share*100+0.5))
+}

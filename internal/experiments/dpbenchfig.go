@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"osdp/internal/core"
+	"osdp/internal/dawa"
+	"osdp/internal/dpbench"
+	"osdp/internal/hier"
+	"osdp/internal/histogram"
+	"osdp/internal/mechanism"
+	"osdp/internal/metrics"
+	"osdp/internal/noise"
+)
+
+// The DPBench experiments (§6.3.3.2) compare 4 OSDP and 2 DP algorithms on
+// 7 datasets × 7 non-sensitive ratios × 2 policy generators, reporting
+// regret — each algorithm's error divided by the best error any algorithm
+// achieved on that input.
+
+// benchAlgorithms is the §6.3.3 comparison set.
+var benchAlgorithms = []string{
+	"Laplace", "DAWA", // DP
+	"OsdpRR", "OsdpLaplace", "OsdpLaplaceL1", "DAWAz", // OSDP
+}
+
+// benchInput is one (dataset, policy, ρx) evaluation point.
+type benchInput struct {
+	dataset string
+	policy  string // "Close" (MSampling) or "Far" (HiLoSampling)
+	rho     float64
+	x, xns  *histogram.Histogram
+}
+
+func (in benchInput) key() string {
+	return fmt.Sprintf("%s/%s/%.2f", in.dataset, in.policy, in.rho)
+}
+
+// dpbenchInputs materialises every evaluation point for the configured
+// ratios: 7 datasets × len(ratios) × 2 policies.
+func dpbenchInputs(cfg Config) []benchInput {
+	rng := rand.New(rand.NewSource(cfg.Seed + 10))
+	var out []benchInput
+	for _, spec := range dpbench.Specs() {
+		x := spec.Generate(cfg.DPBenchSeed)
+		for _, rho := range cfg.NSRatios {
+			out = append(out,
+				benchInput{spec.Name, "Close", rho, x, dpbench.MSampling(x, rho, 0.1, rng)},
+				benchInput{spec.Name, "Far", rho, x, dpbench.HiLoSampling(x, rho, 5, 0.4, rng)},
+			)
+		}
+	}
+	return out
+}
+
+// runBenchAlg runs one named algorithm once.
+func runBenchAlg(name string, in benchInput, eps float64, src noise.Source) *histogram.Histogram {
+	switch name {
+	case "Laplace":
+		return mechanism.LaplaceHistogram(in.x, eps, src)
+	case "DAWA":
+		est, _ := dawa.New().Estimate(in.x, eps, src)
+		return est
+	case "OsdpRR":
+		return core.RRSampleHistogram(in.xns, eps, src)
+	case "OsdpLaplace":
+		return core.OsdpLaplace(in.xns, eps, src)
+	case "OsdpLaplaceL1":
+		return core.OsdpLaplaceL1(in.xns, eps, src)
+	case "DAWAz":
+		return dawa.DAWAz(in.x, in.xns, eps, DAWAzRho, src)
+	case "Hier":
+		est, _ := hier.Estimator{}.Estimate(in.x, eps, src)
+		return est
+	case "Hierz":
+		return hier.Hierz(in.x, in.xns, eps, DAWAzRho, src)
+	case "Suppress10":
+		return mechanism.Suppress(in.xns, 10, src)
+	case "Suppress100":
+		return mechanism.Suppress(in.xns, 100, src)
+	default:
+		panic("experiments: unknown algorithm " + name)
+	}
+}
+
+// buildRegretTable runs every algorithm on every input, averaging the error
+// measure over cfg.Trials, and records the results for regret analysis.
+func buildRegretTable(cfg Config, inputs []benchInput, algs []string, eps float64, ef errFunc) *metrics.RegretTable {
+	rt := metrics.NewRegretTable(algs...)
+	src := noise.NewSource(cfg.Seed + 11)
+	for _, in := range inputs {
+		for _, alg := range algs {
+			var sum float64
+			for t := 0; t < cfg.Trials; t++ {
+				sum += ef(in.x, runBenchAlg(alg, in, eps, src), 1)
+			}
+			rt.Record(in.key(), alg, sum/float64(cfg.Trials))
+		}
+	}
+	return rt
+}
+
+// shownAlgorithms are the competitive algorithms the paper's regret plots
+// display (the full set still defines the regret denominator).
+var shownAlgorithms = []string{"OsdpLaplaceL1", "DAWAz", "DAWA"}
+
+// Figure6 regenerates Figure 6: average MRE-regret across both policies,
+// by non-sensitive ratio, at the given ε, with an overall average column.
+func Figure6(cfg Config, eps float64) *Report {
+	r := &Report{
+		Title:   fmt.Sprintf("Figure 6 (ε=%g): average MRE regret, both policies", eps),
+		Headers: append([]string{"ratio"}, shownAlgorithms...),
+	}
+	rt := buildRegretTable(cfg, dpbenchInputs(cfg), benchAlgorithms, eps, metrics.MRE)
+	addRegretRows(r, rt, cfg.NSRatios, nil)
+	r.Notes = append(r.Notes,
+		"paper: OsdpLaplaceL1 wins at high ratios, DAWA below ρx≈0.25; DAWAz favoured at small ε")
+	return r
+}
+
+// Figure78 regenerates Figures 7 (MRE) and 8 (Rel95): regret split by
+// policy generator at ε, restricted to ρx ≥ 0.25 as in the paper.
+func Figure78(cfg Config, eps float64, measure string) *Report {
+	var ef errFunc
+	var fig string
+	switch measure {
+	case "MRE":
+		ef, fig = metrics.MRE, "Figure 7"
+	case "Rel95":
+		// The synthetic OSDP runs often achieve Rel95 of exactly zero
+		// (95% of bins answered perfectly), which the paper's real data
+		// never does; flooring at 0.001 keeps the regret ratios finite
+		// without affecting any non-degenerate measurement.
+		ef = func(x, est *histogram.Histogram, delta float64) float64 {
+			if v := metrics.RelPercentile(x, est, delta, 95); v > 1e-3 {
+				return v
+			}
+			return 1e-3
+		}
+		fig = "Figure 8"
+	default:
+		panic("experiments: measure must be MRE or Rel95")
+	}
+	r := &Report{
+		Title:   fmt.Sprintf("%s (ε=%g): %s regret by policy", fig, eps, measure),
+		Headers: append([]string{"policy", "ratio"}, shownAlgorithms...),
+	}
+	var ratios []float64
+	for _, rho := range cfg.NSRatios {
+		if rho >= 0.25 {
+			ratios = append(ratios, rho)
+		}
+	}
+	sub := cfg
+	sub.NSRatios = ratios
+	rt := buildRegretTable(sub, dpbenchInputs(sub), benchAlgorithms, eps, ef)
+	for _, pol := range []string{"Close", "Far"} {
+		pol := pol
+		addRegretRowsPrefixed(r, rt, ratios, func(in string) bool {
+			return strings.Contains(in, "/"+pol+"/")
+		}, pol)
+	}
+	r.Notes = append(r.Notes,
+		"paper: OSDP beats DP everywhere under Close; DAWAz still beats DAWA under Far")
+	return r
+}
+
+// Figure9 regenerates Figure 9: per-dataset MRE regret under the Close
+// policy for a fixed non-sensitive ratio (the paper shows 0.99 and 0.50).
+func Figure9(cfg Config, eps, rho float64) *Report {
+	r := &Report{
+		Title:   fmt.Sprintf("Figure 9 (ε=%g, ρx=%.2f): per-dataset MRE regret, Close policy", eps, rho),
+		Headers: append([]string{"dataset"}, shownAlgorithms...),
+	}
+	sub := cfg
+	sub.NSRatios = []float64{rho}
+	rt := buildRegretTable(sub, dpbenchInputs(sub), benchAlgorithms, eps, metrics.MRE)
+	for _, spec := range dpbench.Specs() {
+		name := spec.Name
+		cells := []any{name}
+		for _, alg := range shownAlgorithms {
+			cells = append(cells, rt.AverageRegret(alg, func(in string) bool {
+				return strings.HasPrefix(in, name+"/Close/")
+			}))
+		}
+		r.AddRow(cells...)
+	}
+	r.Notes = append(r.Notes,
+		"paper: up to 25× regret gap on sparse Adult; gap narrows as sparsity falls; sorted Nettrace favours DAWA")
+	return r
+}
+
+// Figure10 regenerates Figure 10: OsdpLaplaceL1 against the PDP Suppress
+// baselines (τ=10, 100), MRE regret over both policies per ratio at ε.
+// Regret is computed within this three-algorithm set, mirroring the
+// paper's figure.
+func Figure10(cfg Config, eps float64) *Report {
+	algs := []string{"OsdpLaplaceL1", "Suppress10", "Suppress100"}
+	r := &Report{
+		Title:   fmt.Sprintf("Figure 10 (ε=%g): OSDP vs PDP Suppress, MRE regret", eps),
+		Headers: append([]string{"ratio"}, algs...),
+	}
+	rt := buildRegretTable(cfg, dpbenchInputs(cfg), algs, eps, metrics.MRE)
+	for _, rho := range cfg.NSRatios {
+		cells := []any{fmt.Sprintf("%.2f", rho)}
+		tag := fmt.Sprintf("/%.2f", rho)
+		for _, alg := range algs {
+			cells = append(cells, rt.AverageRegret(alg, func(in string) bool {
+				return strings.HasSuffix(in, tag)
+			}))
+		}
+		r.AddRow(cells...)
+	}
+	r.Notes = append(r.Notes,
+		"paper: Suppress becomes competitive only at τ≥100 — at the cost of 100× weaker exclusion-attack protection (Thm 3.4)")
+	return r
+}
+
+// addRegretRows writes an "Avg" row plus one row per ratio, averaging the
+// displayed algorithms' regrets over inputs passing keep (nil = all).
+func addRegretRows(r *Report, rt *metrics.RegretTable, ratios []float64, keep func(string) bool) {
+	avgCells := []any{"Avg"}
+	for _, alg := range shownAlgorithms {
+		avgCells = append(avgCells, rt.AverageRegret(alg, keep))
+	}
+	r.AddRow(avgCells...)
+	for _, rho := range ratios {
+		tag := fmt.Sprintf("/%.2f", rho)
+		cells := []any{fmt.Sprintf("%.2f", rho)}
+		for _, alg := range shownAlgorithms {
+			cells = append(cells, rt.AverageRegret(alg, func(in string) bool {
+				if keep != nil && !keep(in) {
+					return false
+				}
+				return strings.HasSuffix(in, tag)
+			}))
+		}
+		r.AddRow(cells...)
+	}
+}
+
+// addRegretRowsPrefixed is addRegretRows with a policy label column.
+func addRegretRowsPrefixed(r *Report, rt *metrics.RegretTable, ratios []float64, keep func(string) bool, label string) {
+	avgCells := []any{label, "Avg"}
+	for _, alg := range shownAlgorithms {
+		avgCells = append(avgCells, rt.AverageRegret(alg, keep))
+	}
+	r.AddRow(avgCells...)
+	for _, rho := range ratios {
+		tag := fmt.Sprintf("/%.2f", rho)
+		cells := []any{label, fmt.Sprintf("%.2f", rho)}
+		for _, alg := range shownAlgorithms {
+			cells = append(cells, rt.AverageRegret(alg, func(in string) bool {
+				return keep(in) && strings.HasSuffix(in, tag)
+			}))
+		}
+		r.AddRow(cells...)
+	}
+}

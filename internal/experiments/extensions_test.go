@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestRecipeGeneralityBothZVariantsHelpOnSparse(t *testing.T) {
+	cfg := QuickConfig()
+	r := RecipeGeneralityReport(cfg, 1.0)
+	if len(r.Rows) != 7 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row[0] != "Adult" {
+			continue
+		}
+		dawaErr := parseCell(t, row[1])
+		dawazErr := parseCell(t, row[2])
+		ahpErr := parseCell(t, row[3])
+		ahpzErr := parseCell(t, row[4])
+		if dawazErr >= dawaErr {
+			t.Errorf("Adult: DAWAz %v not better than DAWA %v", dawazErr, dawaErr)
+		}
+		if ahpzErr >= ahpErr {
+			t.Errorf("Adult: AHPz %v not better than AHP %v", ahpzErr, ahpErr)
+		}
+	}
+}
+
+func TestAGrid2DReportZVariantHelps(t *testing.T) {
+	cfg := QuickConfig()
+	r := AGrid2DReport(cfg, 1.0)
+	if len(r.Rows) != len(cfg.PolicyShares) {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// At the most permissive policy, AGridz must improve on AGrid.
+	top := r.Rows[0]
+	ag := parseCell(t, top[2])
+	agz := parseCell(t, top[3])
+	if agz >= ag {
+		t.Errorf("AGridz %v not better than AGrid %v at permissive policy", agz, ag)
+	}
+}
+
+func TestRangeWorkloadReport(t *testing.T) {
+	cfg := QuickConfig()
+	r := RangeWorkloadReport(cfg, 1.0, 50)
+	if len(r.Rows) != 7 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		for i := 1; i < len(row); i++ {
+			if v := parseCell(t, row[i]); v < 0 {
+				t.Errorf("%s: negative workload error %v", row[0], v)
+			}
+		}
+	}
+}
+
+func TestConstraintClosureReport(t *testing.T) {
+	cfg := QuickConfig()
+	r := ConstraintClosureReport(cfg)
+	if len(r.Rows) != len(cfg.PolicyShares) {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		orig := parseCell(t, row[1])
+		closed := parseCell(t, row[3])
+		if closed < orig {
+			t.Errorf("%s: closure shrank the sensitive set (%v -> %v)", row[0], orig, closed)
+		}
+		origShare := parseCell(t, row[4])
+		closedShare := parseCell(t, row[5])
+		if closedShare > origShare+1e-9 {
+			t.Errorf("%s: closure increased the non-sensitive share", row[0])
+		}
+	}
+}
+
+func TestPrivBayesReportBeatsLaplaceAtSmallEps(t *testing.T) {
+	cfg := QuickConfig()
+	r := PrivBayesReport(cfg, []float64{0.2})
+	if len(r.Rows) != 1 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	lap := parseCell(t, r.Rows[0][1])
+	pb := parseCell(t, r.Rows[0][2])
+	pbz := parseCell(t, r.Rows[0][3])
+	if pb >= lap {
+		t.Errorf("PrivBayes MRE %v not better than Laplace %v", pb, lap)
+	}
+	if pbz >= pb {
+		t.Errorf("PrivBayesz MRE %v not better than PrivBayes %v", pbz, pb)
+	}
+}
+
+func TestPolicyLearningReportImprovesWithData(t *testing.T) {
+	cfg := QuickConfig()
+	r := PolicyLearningReport(cfg, []int{100, 2000})
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	small := parseCell(t, r.Rows[0][1])
+	large := parseCell(t, r.Rows[1][1])
+	if large < 0.85 {
+		t.Errorf("agreement with 2000 examples = %v, want > 0.85", large)
+	}
+	if large < small-0.05 {
+		t.Errorf("agreement degraded with more data: %v -> %v", small, large)
+	}
+	// FNR stays capped for the large sample.
+	if fnr := parseCell(t, r.Rows[1][2]); fnr > 0.1 {
+		t.Errorf("FNR = %v, want small", fnr)
+	}
+}

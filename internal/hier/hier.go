@@ -1,0 +1,202 @@
+// Package hier implements the hierarchical histogram mechanism of Hay,
+// Rastogi, Miklau & Suciu ("Boosting the accuracy of differentially
+// private histograms through consistency"), another of the classic DP
+// algorithms in the DPBench suite the paper benchmarks against. A binary
+// tree of interval counts is released with Laplace noise and then made
+// consistent by constrained inference — the least-squares estimate that
+// makes every parent equal the sum of its children. Consistency both
+// reduces variance and makes range queries cheap: any range decomposes
+// into O(log n) tree nodes, so long-range errors grow logarithmically
+// instead of linearly.
+//
+// Like every ε-DP mechanism, Hier is also (P, ε)-OSDP for any policy
+// (Lemma 3.1); Hierz applies the §5.2 recipe for the usual zero-set gain.
+package hier
+
+import (
+	"math"
+
+	"osdp/internal/core"
+	"osdp/internal/histogram"
+	"osdp/internal/noise"
+)
+
+// node is one interval of the tree.
+type node struct {
+	lo, hi   int
+	children []int // indices into the tree slice
+	noisy    float64
+	z, u     float64 // upward / downward inference values
+}
+
+// Tree is a released hierarchical estimate supporting consistent point and
+// range queries.
+type Tree struct {
+	nodes  []node
+	levels int
+	bins   int
+}
+
+// Build releases an eps-DP hierarchical estimate of x. Each level of the
+// tree receives an equal share of ε; a record affects one interval per
+// level with sensitivity 2, so per-node noise is Lap(2·levels/ε).
+func Build(x *histogram.Histogram, eps float64, src noise.Source) *Tree {
+	if eps <= 0 {
+		panic("hier: eps must be positive")
+	}
+	n := x.Bins()
+	t := &Tree{bins: n}
+	t.levels = 1
+	for 1<<(t.levels-1) < n {
+		t.levels++
+	}
+	scale := 2 * float64(t.levels) / eps
+
+	// Build the interval tree depth-first.
+	var build func(lo, hi int) int
+	build = func(lo, hi int) int {
+		idx := len(t.nodes)
+		t.nodes = append(t.nodes, node{lo: lo, hi: hi})
+		t.nodes[idx].noisy = x.RangeSum(lo, hi) + noise.Laplace(src, scale)
+		if lo < hi {
+			mid := lo + (hi-lo)/2
+			left := build(lo, mid)
+			right := build(mid+1, hi)
+			t.nodes[idx].children = append(t.nodes[idx].children, left, right)
+		}
+		return idx
+	}
+	build(0, n-1)
+	t.infer()
+	return t
+}
+
+// infer runs Hay et al.'s two-pass constrained inference: an upward pass
+// combining each node's own noisy count with its children's aggregated
+// estimates, then a downward pass redistributing the parent/child
+// inconsistency equally.
+func (t *Tree) infer() {
+	var up func(idx int) (z float64, depth int)
+	up = func(idx int) (float64, int) {
+		nd := &t.nodes[idx]
+		if len(nd.children) == 0 {
+			nd.z = nd.noisy
+			return nd.z, 1
+		}
+		var childSum float64
+		maxDepth := 0
+		for _, c := range nd.children {
+			cz, d := up(c)
+			childSum += cz
+			if d > maxDepth {
+				maxDepth = d
+			}
+		}
+		k := maxDepth + 1
+		b := float64(len(nd.children))
+		// Weight of the node's own observation (Hay et al.): for a
+		// complete b-ary subtree of k levels, α = (b^k − b^{k−1})/(b^k − 1).
+		alpha := (math.Pow(b, float64(k)) - math.Pow(b, float64(k-1))) /
+			(math.Pow(b, float64(k)) - 1)
+		nd.z = alpha*nd.noisy + (1-alpha)*childSum
+		return nd.z, k
+	}
+	up(0)
+
+	var down func(idx int, u float64)
+	down = func(idx int, u float64) {
+		nd := &t.nodes[idx]
+		nd.u = u
+		if len(nd.children) == 0 {
+			return
+		}
+		var childZSum float64
+		for _, c := range nd.children {
+			childZSum += t.nodes[c].z
+		}
+		adj := (u - childZSum) / float64(len(nd.children))
+		for _, c := range nd.children {
+			down(c, t.nodes[c].z+adj)
+		}
+	}
+	down(0, t.nodes[0].z)
+}
+
+// Leaves returns the consistent per-bin estimate.
+func (t *Tree) Leaves() *histogram.Histogram {
+	h := histogram.New(t.bins)
+	for _, nd := range t.nodes {
+		if len(nd.children) == 0 {
+			h.SetCount(nd.lo, nd.u)
+		}
+	}
+	return h
+}
+
+// RangeSum answers an inclusive range query from the consistent tree,
+// using the canonical decomposition into maximal covered nodes.
+func (t *Tree) RangeSum(lo, hi int) float64 {
+	if lo < 0 || hi >= t.bins || lo > hi {
+		panic("hier: range out of bounds")
+	}
+	var walk func(idx int) float64
+	walk = func(idx int) float64 {
+		nd := &t.nodes[idx]
+		if nd.hi < lo || nd.lo > hi {
+			return 0
+		}
+		if nd.lo >= lo && nd.hi <= hi {
+			return nd.u
+		}
+		var s float64
+		for _, c := range nd.children {
+			s += walk(c)
+		}
+		return s
+	}
+	return walk(0)
+}
+
+// ConsistencyError reports the largest |parent − Σchildren| discrepancy of
+// the inferred estimate; after constrained inference it should be ~0 up to
+// floating-point error. Exposed for tests.
+func (t *Tree) ConsistencyError() float64 {
+	var worst float64
+	for _, nd := range t.nodes {
+		if len(nd.children) == 0 {
+			continue
+		}
+		var s float64
+		for _, c := range nd.children {
+			s += t.nodes[c].u
+		}
+		if d := math.Abs(nd.u - s); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// Estimate releases the consistent leaf histogram, satisfying
+// core.PartitionedEstimator's shape with singleton partitions (the tree
+// has no bucket structure to rescale within).
+type Estimator struct{}
+
+// Name identifies the algorithm in reports.
+func (Estimator) Name() string { return "Hier" }
+
+// Estimate implements core.PartitionedEstimator.
+func (Estimator) Estimate(x *histogram.Histogram, eps float64, src noise.Source) (*histogram.Histogram, []core.Partition) {
+	t := Build(x, eps, src)
+	parts := make([]core.Partition, x.Bins())
+	for i := range parts {
+		parts[i] = core.Partition{Lo: i, Hi: i}
+	}
+	return t.Leaves().ClampNonNegative(), parts
+}
+
+// Hierz upgrades Hier to (P, ε)-OSDP via the §5.2 recipe. With singleton
+// partitions the post-processing reduces to zeroing the detected bins.
+func Hierz(x, xns *histogram.Histogram, eps, rho float64, src noise.Source) *histogram.Histogram {
+	return core.Recipe(Estimator{}, x, xns, eps, core.RecipeConfig{Rho: rho}, src)
+}

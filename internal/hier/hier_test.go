@@ -1,0 +1,188 @@
+package hier
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"osdp/internal/histogram"
+	"osdp/internal/mechanism"
+	"osdp/internal/metrics"
+	"osdp/internal/noise"
+)
+
+func randHist(n int, maxCount int, seed int64) *histogram.Histogram {
+	rng := rand.New(rand.NewSource(seed))
+	h := histogram.New(n)
+	for i := 0; i < n; i++ {
+		h.SetCount(i, float64(rng.Intn(maxCount)))
+	}
+	return h
+}
+
+func TestTreeConsistencyAfterInference(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 64, 100, 1024} {
+		x := randHist(n, 100, int64(n))
+		tree := Build(x, 1.0, noise.NewSource(int64(n)))
+		if err := tree.ConsistencyError(); err > 1e-6 {
+			t.Errorf("n=%d: consistency error %v", n, err)
+		}
+	}
+}
+
+func TestLeavesMatchRangeSums(t *testing.T) {
+	x := randHist(64, 100, 1)
+	tree := Build(x, 1.0, noise.NewSource(2))
+	leaves := tree.Leaves()
+	// Tree range sums must agree with summing the consistent leaves.
+	for _, q := range [][2]int{{0, 63}, {5, 20}, {31, 32}, {0, 0}} {
+		var leafSum float64
+		for i := q[0]; i <= q[1]; i++ {
+			leafSum += leaves.Count(i)
+		}
+		if d := math.Abs(tree.RangeSum(q[0], q[1]) - leafSum); d > 1e-6 {
+			t.Errorf("range [%d,%d]: tree %v vs leaves %v", q[0], q[1],
+				tree.RangeSum(q[0], q[1]), leafSum)
+		}
+	}
+}
+
+func TestRangeSumPanicsOnBadRange(t *testing.T) {
+	tree := Build(randHist(8, 10, 3), 1, noise.NewSource(4))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad range did not panic")
+		}
+	}()
+	tree.RangeSum(3, 99)
+}
+
+func TestBuildPanicsOnBadEps(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("eps=0 did not panic")
+		}
+	}()
+	Build(histogram.New(4), 0, noise.NewSource(1))
+}
+
+func TestTotalNearTruth(t *testing.T) {
+	x := randHist(256, 500, 5)
+	src := noise.NewSource(6)
+	const trials = 50
+	var errSum float64
+	for i := 0; i < trials; i++ {
+		tree := Build(x, 1.0, src)
+		errSum += math.Abs(tree.RangeSum(0, 255) - x.Scale())
+	}
+	// The root estimate combines all levels; its error should be well
+	// below the raw per-node noise (2·levels/ε = 18).
+	if avg := errSum / trials; avg > 18 {
+		t.Errorf("root error %v, want < raw noise scale", avg)
+	}
+}
+
+// The design claim: on long-range queries the tree beats flat Laplace,
+// whose error grows linearly in range length.
+func TestHierBeatsLaplaceOnLongRanges(t *testing.T) {
+	x := randHist(1024, 50, 7)
+	src := noise.NewSource(8)
+	rng := rand.New(rand.NewSource(9))
+	const eps = 0.5
+	// Long ranges only.
+	var queries []metrics.RangeQuery
+	for i := 0; i < 50; i++ {
+		lo := rng.Intn(256)
+		queries = append(queries, metrics.RangeQuery{Lo: lo, Hi: lo + 512})
+	}
+	const trials = 15
+	var hierErr, lapErr float64
+	for i := 0; i < trials; i++ {
+		tree := Build(x, eps, src)
+		for _, q := range queries {
+			hierErr += math.Abs(tree.RangeSum(q.Lo, q.Hi) - q.Answer(x))
+		}
+		lap := mechanism.LaplaceHistogram(x, eps, src)
+		for _, q := range queries {
+			lapErr += math.Abs(q.Answer(lap) - q.Answer(x))
+		}
+	}
+	if hierErr >= lapErr {
+		t.Errorf("hier long-range error %v not better than Laplace %v",
+			hierErr/trials/50, lapErr/trials/50)
+	}
+}
+
+func TestEstimatorInterfaceShape(t *testing.T) {
+	x := randHist(32, 50, 10)
+	est, parts := Estimator{}.Estimate(x, 1.0, noise.NewSource(11))
+	if est.Bins() != 32 || len(parts) != 32 {
+		t.Fatalf("estimate bins %d, parts %d", est.Bins(), len(parts))
+	}
+	for i, p := range parts {
+		if p.Lo != i || p.Hi != i {
+			t.Fatal("partitions not singletons")
+		}
+	}
+	for i := 0; i < est.Bins(); i++ {
+		if est.Count(i) < 0 {
+			t.Fatal("negative estimate after clamp")
+		}
+	}
+	if (Estimator{}).Name() != "Hier" {
+		t.Error("name wrong")
+	}
+}
+
+func TestHierzZeroesEmptyBins(t *testing.T) {
+	x := histogram.New(64)
+	xns := histogram.New(64)
+	for i := 0; i < 8; i++ {
+		x.SetCount(i, 400)
+		xns.SetCount(i, 350)
+	}
+	out := Hierz(x, xns, 1.0, 0.1, noise.NewSource(12))
+	for i := 8; i < 64; i++ {
+		if out.Count(i) != 0 {
+			t.Fatalf("empty bin %d got %v", i, out.Count(i))
+		}
+	}
+}
+
+func TestHierzBeatsHierOnSparseData(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	x := histogram.New(512)
+	xns := histogram.New(512)
+	for i := 0; i < 25; i++ {
+		b := rng.Intn(512)
+		c := float64(rng.Intn(300) + 100)
+		x.SetCount(b, c)
+		xns.SetCount(b, c*0.9)
+	}
+	src := noise.NewSource(14)
+	const eps = 0.1
+	const trials = 10
+	var plain, withZ float64
+	for i := 0; i < trials; i++ {
+		est, _ := Estimator{}.Estimate(x, eps, src)
+		plain += metrics.MRE(x, est, 1)
+		withZ += metrics.MRE(x, Hierz(x, xns, eps, 0.1, src), 1)
+	}
+	if withZ >= plain {
+		t.Errorf("Hierz MRE %v not better than Hier %v", withZ/trials, plain/trials)
+	}
+}
+
+// Property: inference keeps the tree consistent for any domain size.
+func TestConsistencyQuick(t *testing.T) {
+	f := func(sizeRaw, seed uint8) bool {
+		n := int(sizeRaw)%300 + 1
+		x := randHist(n, 200, int64(seed))
+		tree := Build(x, 0.5, noise.NewSource(int64(seed)+31))
+		return tree.ConsistencyError() < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

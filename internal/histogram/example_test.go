@@ -1,0 +1,51 @@
+package histogram_test
+
+import (
+	"fmt"
+
+	"osdp/internal/dataset"
+	"osdp/internal/histogram"
+)
+
+// A histogram query is a GROUP BY with explicit domain, so empty groups
+// appear as zero bins — the semantics OSDP's one-sided mechanisms rely on.
+func ExampleQuery() {
+	schema := dataset.NewSchema(
+		dataset.Field{Name: "City", Kind: dataset.KindString},
+		dataset.Field{Name: "Age", Kind: dataset.KindInt},
+	)
+	db := dataset.NewTable(schema)
+	db.AppendValues(dataset.Str("oslo"), dataset.Int(30))
+	db.AppendValues(dataset.Str("oslo"), dataset.Int(12))
+	db.AppendValues(dataset.Str("rome"), dataset.Int(55))
+
+	cities := histogram.NewCategoricalDomain("City", []string{"bari", "oslo", "rome"})
+	q := histogram.NewQuery(nil, cities)
+	h := q.Eval(db)
+	for i := 0; i < h.Bins(); i++ {
+		fmt.Printf("%s %v\n", h.Label(i), h.Count(i))
+	}
+	// Output:
+	// bari 0
+	// oslo 2
+	// rome 1
+}
+
+// EvalSplit produces the (x, xns) pair every OSDP mechanism consumes.
+func ExampleQuery_EvalSplit() {
+	schema := dataset.NewSchema(
+		dataset.Field{Name: "City", Kind: dataset.KindString},
+		dataset.Field{Name: "Age", Kind: dataset.KindInt},
+	)
+	db := dataset.NewTable(schema)
+	db.AppendValues(dataset.Str("oslo"), dataset.Int(30))
+	db.AppendValues(dataset.Str("oslo"), dataset.Int(12)) // minor: sensitive
+	db.AppendValues(dataset.Str("rome"), dataset.Int(55))
+
+	minors := dataset.NewPolicy("minors", dataset.Cmp("Age", dataset.OpLe, dataset.Int(17)))
+	q := histogram.NewQuery(nil, histogram.NewCategoricalDomain("City", []string{"oslo", "rome"}))
+	x, xns := q.EvalSplit(db, minors)
+	fmt.Println(x.Counts(), xns.Counts())
+	// Output:
+	// [2 1] [1 1]
+}

@@ -1,0 +1,374 @@
+// Package histogram implements the histogram-query substrate of the paper:
+// counts over a non-overlapping partitioning of a dataset ("SELECT group,
+// COUNT(*) FROM table WHERE cond GROUP BY keys", §5), including bins with
+// zero counts. It provides dense 1-D and 2-D histograms over declared
+// domains, construction from dataset tables, policy-based splitting into
+// sensitive/non-sensitive components, range queries, and the shape
+// statistics (scale, sparsity) used by the DPBench evaluation (Table 2).
+package histogram
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"osdp/internal/dataset"
+)
+
+// Histogram is a dense vector of non-negative counts, one per domain bin.
+// Counts are float64 because private estimates are real-valued; true
+// histograms hold integers.
+type Histogram struct {
+	counts []float64
+	labels []string // optional, len 0 or len(counts)
+}
+
+// New returns an all-zero histogram with d bins.
+func New(d int) *Histogram {
+	if d <= 0 {
+		panic("histogram: domain size must be positive")
+	}
+	return &Histogram{counts: make([]float64, d)}
+}
+
+// FromCounts wraps a count vector (copied) as a histogram.
+func FromCounts(counts []float64) *Histogram {
+	h := New(len(counts))
+	copy(h.counts, counts)
+	return h
+}
+
+// FromInts wraps an integer count vector as a histogram.
+func FromInts(counts []int) *Histogram {
+	h := New(len(counts))
+	for i, c := range counts {
+		h.counts[i] = float64(c)
+	}
+	return h
+}
+
+// Bins returns the number of bins d.
+func (h *Histogram) Bins() int { return len(h.counts) }
+
+// Count returns the count of bin i.
+func (h *Histogram) Count(i int) float64 { return h.counts[i] }
+
+// SetCount sets the count of bin i.
+func (h *Histogram) SetCount(i int, v float64) { h.counts[i] = v }
+
+// Add increments bin i by delta.
+func (h *Histogram) Add(i int, delta float64) { h.counts[i] += delta }
+
+// Counts returns the underlying count slice. Callers must treat it as
+// read-only; mechanisms that perturb counts work on Clone()s.
+func (h *Histogram) Counts() []float64 { return h.counts }
+
+// Clone returns a deep copy.
+func (h *Histogram) Clone() *Histogram {
+	out := &Histogram{counts: make([]float64, len(h.counts))}
+	copy(out.counts, h.counts)
+	if h.labels != nil {
+		out.labels = append([]string(nil), h.labels...)
+	}
+	return out
+}
+
+// SetLabels attaches bin labels (for reporting). len(labels) must equal
+// Bins().
+func (h *Histogram) SetLabels(labels []string) {
+	if len(labels) != len(h.counts) {
+		panic("histogram: label arity mismatch")
+	}
+	h.labels = append([]string(nil), labels...)
+}
+
+// Label returns the label of bin i, or its index rendered as a string.
+func (h *Histogram) Label(i int) string {
+	if h.labels != nil {
+		return h.labels[i]
+	}
+	return fmt.Sprintf("%d", i)
+}
+
+// Scale returns the L1 mass ‖x‖₁ (total record count for true histograms).
+func (h *Histogram) Scale() float64 {
+	var s float64
+	for _, c := range h.counts {
+		s += c
+	}
+	return s
+}
+
+// Sparsity returns the fraction of bins with zero count, the statistic
+// DPBench reports per dataset (Table 2).
+func (h *Histogram) Sparsity() float64 {
+	zero := 0
+	for _, c := range h.counts {
+		if c == 0 {
+			zero++
+		}
+	}
+	return float64(zero) / float64(len(h.counts))
+}
+
+// ZeroBins returns the indices of zero-count bins, the set Z consumed by
+// the DAWAz recipe (Algorithm 3).
+func (h *Histogram) ZeroBins() []int {
+	var z []int
+	for i, c := range h.counts {
+		if c == 0 {
+			z = append(z, i)
+		}
+	}
+	return z
+}
+
+// RangeSum returns the sum of counts over bins [lo, hi] inclusive.
+func (h *Histogram) RangeSum(lo, hi int) float64 {
+	if lo < 0 || hi >= len(h.counts) || lo > hi {
+		panic(fmt.Sprintf("histogram: bad range [%d, %d] over %d bins", lo, hi, len(h.counts)))
+	}
+	var s float64
+	for i := lo; i <= hi; i++ {
+		s += h.counts[i]
+	}
+	return s
+}
+
+// Sub returns h - o elementwise. Panics on arity mismatch.
+func (h *Histogram) Sub(o *Histogram) *Histogram {
+	mustSameBins(h, o)
+	out := New(len(h.counts))
+	for i := range h.counts {
+		out.counts[i] = h.counts[i] - o.counts[i]
+	}
+	return out
+}
+
+// AddHist returns h + o elementwise.
+func (h *Histogram) AddHist(o *Histogram) *Histogram {
+	mustSameBins(h, o)
+	out := New(len(h.counts))
+	for i := range h.counts {
+		out.counts[i] = h.counts[i] + o.counts[i]
+	}
+	return out
+}
+
+// L1Distance returns ‖h − o‖₁.
+func (h *Histogram) L1Distance(o *Histogram) float64 {
+	mustSameBins(h, o)
+	var s float64
+	for i := range h.counts {
+		s += math.Abs(h.counts[i] - o.counts[i])
+	}
+	return s
+}
+
+// ClampNonNegative sets negative counts to zero in place and returns h.
+func (h *Histogram) ClampNonNegative() *Histogram {
+	for i, c := range h.counts {
+		if c < 0 {
+			h.counts[i] = 0
+		}
+	}
+	return h
+}
+
+// Dominates reports whether every count in h is >= the matching count in o.
+// Used to check the one-sided neighbor property (x'ns >= xns pointwise).
+func (h *Histogram) Dominates(o *Histogram) bool {
+	mustSameBins(h, o)
+	for i := range h.counts {
+		if h.counts[i] < o.counts[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func mustSameBins(a, b *Histogram) {
+	if a.Bins() != b.Bins() {
+		panic(fmt.Sprintf("histogram: bin mismatch %d vs %d", a.Bins(), b.Bins()))
+	}
+}
+
+// Domain maps attribute values to dense bin indices. It is how a GROUP BY
+// over a categorical or bucketised attribute becomes a vector of counts
+// that includes empty groups — the paper's histogram query semantics.
+type Domain struct {
+	attr   string
+	keys   []string
+	index  map[string]int
+	numLo  float64 // numeric bucketing, used when keys == nil
+	numW   float64
+	numLen int
+}
+
+// NewCategoricalDomain declares a domain as an explicit ordered key list.
+func NewCategoricalDomain(attr string, keys []string) *Domain {
+	d := &Domain{attr: attr, keys: append([]string(nil), keys...), index: make(map[string]int, len(keys))}
+	for i, k := range d.keys {
+		if _, dup := d.index[k]; dup {
+			panic(fmt.Sprintf("histogram: duplicate domain key %q", k))
+		}
+		d.index[k] = i
+	}
+	return d
+}
+
+// NewNumericDomain declares equi-width buckets [lo, lo+w), [lo+w, lo+2w), …
+// covering n buckets of attribute attr.
+func NewNumericDomain(attr string, lo, width float64, n int) *Domain {
+	if width <= 0 || n <= 0 {
+		panic("histogram: numeric domain needs positive width and size")
+	}
+	return &Domain{attr: attr, numLo: lo, numW: width, numLen: n}
+}
+
+// DomainFromTable derives a categorical domain from the distinct values of
+// attr present in the table, sorted.
+func DomainFromTable(t *dataset.Table, attr string) *Domain {
+	return NewCategoricalDomain(attr, t.SortedKeys(attr))
+}
+
+// Attr returns the attribute the domain is defined over.
+func (d *Domain) Attr() string { return d.attr }
+
+// Size returns the number of bins.
+func (d *Domain) Size() int {
+	if d.keys != nil {
+		return len(d.keys)
+	}
+	return d.numLen
+}
+
+// BinOf maps a record to its bin, or -1 if the value is outside the domain.
+func (d *Domain) BinOf(r dataset.Record) int {
+	v := r.Get(d.attr)
+	if d.keys != nil {
+		i, ok := d.index[v.AsString()]
+		if !ok {
+			return -1
+		}
+		return i
+	}
+	x := v.AsFloat()
+	i := int(math.Floor((x - d.numLo) / d.numW))
+	if i < 0 || i >= d.numLen {
+		return -1
+	}
+	return i
+}
+
+// Labels returns display labels for the bins.
+func (d *Domain) Labels() []string {
+	if d.keys != nil {
+		return append([]string(nil), d.keys...)
+	}
+	out := make([]string, d.numLen)
+	for i := range out {
+		out[i] = fmt.Sprintf("[%g,%g)", d.numLo+float64(i)*d.numW, d.numLo+float64(i+1)*d.numW)
+	}
+	return out
+}
+
+// Query is a histogram query: an optional WHERE condition plus a GROUP BY
+// domain (or the cross product of two domains for 2-D histograms).
+type Query struct {
+	Where dataset.Predicate // nil means no condition
+	Dims  []*Domain         // 1 or 2 dimensions
+}
+
+// NewQuery builds a histogram query over the given dimensions.
+func NewQuery(where dataset.Predicate, dims ...*Domain) Query {
+	if len(dims) == 0 || len(dims) > 2 {
+		panic("histogram: queries support 1 or 2 dimensions")
+	}
+	return Query{Where: where, Dims: dims}
+}
+
+// Bins returns the flattened output arity (product of dimension sizes).
+func (q Query) Bins() int {
+	n := 1
+	for _, d := range q.Dims {
+		n *= d.Size()
+	}
+	return n
+}
+
+// Eval runs the query over the table, returning a dense histogram in
+// row-major order (first dimension outermost). Records outside the domain
+// or failing the condition are ignored.
+func (q Query) Eval(t *dataset.Table) *Histogram {
+	h := New(q.Bins())
+	for _, r := range t.Records() {
+		if q.Where != nil && !q.Where.Eval(r) {
+			continue
+		}
+		bin := 0
+		ok := true
+		for _, d := range q.Dims {
+			b := d.BinOf(r)
+			if b < 0 {
+				ok = false
+				break
+			}
+			bin = bin*d.Size() + b
+		}
+		if ok {
+			h.counts[bin]++
+		}
+	}
+	if len(q.Dims) == 1 {
+		h.labels = q.Dims[0].Labels()
+	}
+	return h
+}
+
+// EvalSplit evaluates the query separately on the sensitive and
+// non-sensitive portions of the table under policy p, returning (x, xns):
+// the full histogram and the non-sensitive histogram. These are the two
+// inputs to the DAWAz recipe.
+func (q Query) EvalSplit(t *dataset.Table, p dataset.Policy) (x, xns *Histogram) {
+	x = q.Eval(t)
+	_, ns := t.Split(p)
+	xns = q.Eval(ns)
+	return x, xns
+}
+
+// SparseCounts is a sparse histogram over an unbounded string domain, used
+// for high-dimensional tasks like n-gram release where materialising all
+// 64ⁿ bins is intractable (§6.3.2). Zero-count keys are implicit.
+type SparseCounts map[string]float64
+
+// AddKey increments the count of key by delta.
+func (s SparseCounts) AddKey(key string, delta float64) { s[key] += delta }
+
+// Scale returns the total mass.
+func (s SparseCounts) Scale() float64 {
+	var sum float64
+	for _, c := range s {
+		sum += c
+	}
+	return sum
+}
+
+// Keys returns the non-zero keys in sorted order.
+func (s SparseCounts) Keys() []string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Clone deep-copies the sparse counts.
+func (s SparseCounts) Clone() SparseCounts {
+	out := make(SparseCounts, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,329 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"osdp/internal/dataset"
+)
+
+func visitSchema() *dataset.Schema {
+	return dataset.NewSchema(
+		dataset.Field{Name: "AP", Kind: dataset.KindString},
+		dataset.Field{Name: "Hour", Kind: dataset.KindInt},
+		dataset.Field{Name: "Sensitive", Kind: dataset.KindBool},
+	)
+}
+
+func visitTable() *dataset.Table {
+	t := dataset.NewTable(visitSchema())
+	add := func(ap string, hour int64, sens bool) {
+		t.AppendValues(dataset.Str(ap), dataset.Int(hour), dataset.Bool(sens))
+	}
+	add("ap1", 9, false)
+	add("ap1", 9, false)
+	add("ap1", 10, true)
+	add("ap2", 9, false)
+	add("ap3", 23, true)
+	return t
+}
+
+func TestBasicAccessors(t *testing.T) {
+	h := New(4)
+	if h.Bins() != 4 || h.Scale() != 0 {
+		t.Fatal("fresh histogram not empty")
+	}
+	h.SetCount(1, 3)
+	h.Add(1, 2)
+	if h.Count(1) != 5 {
+		t.Errorf("Count(1) = %v", h.Count(1))
+	}
+	if h.Scale() != 5 {
+		t.Errorf("Scale = %v", h.Scale())
+	}
+	if h.Sparsity() != 0.75 {
+		t.Errorf("Sparsity = %v", h.Sparsity())
+	}
+}
+
+func TestNewPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestFromCountsCopies(t *testing.T) {
+	src := []float64{1, 2, 3}
+	h := FromCounts(src)
+	src[0] = 99
+	if h.Count(0) != 1 {
+		t.Error("FromCounts aliases input")
+	}
+	hi := FromInts([]int{4, 5})
+	if hi.Count(1) != 5 {
+		t.Error("FromInts wrong")
+	}
+}
+
+func TestZeroBins(t *testing.T) {
+	h := FromCounts([]float64{0, 1, 0, 2, 0})
+	z := h.ZeroBins()
+	want := []int{0, 2, 4}
+	if len(z) != len(want) {
+		t.Fatalf("ZeroBins = %v", z)
+	}
+	for i := range want {
+		if z[i] != want[i] {
+			t.Fatalf("ZeroBins = %v, want %v", z, want)
+		}
+	}
+}
+
+func TestRangeSum(t *testing.T) {
+	h := FromCounts([]float64{1, 2, 3, 4})
+	if got := h.RangeSum(1, 2); got != 5 {
+		t.Errorf("RangeSum(1,2) = %v", got)
+	}
+	if got := h.RangeSum(0, 3); got != 10 {
+		t.Errorf("RangeSum(0,3) = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad range did not panic")
+		}
+	}()
+	h.RangeSum(2, 1)
+}
+
+func TestArithmeticAndDistance(t *testing.T) {
+	a := FromCounts([]float64{3, 0, 5})
+	b := FromCounts([]float64{1, 2, 5})
+	if d := a.L1Distance(b); d != 4 {
+		t.Errorf("L1Distance = %v", d)
+	}
+	s := a.Sub(b)
+	if s.Count(0) != 2 || s.Count(1) != -2 || s.Count(2) != 0 {
+		t.Errorf("Sub = %v", s.Counts())
+	}
+	sum := a.AddHist(b)
+	if sum.Count(0) != 4 || sum.Count(1) != 2 {
+		t.Errorf("AddHist = %v", sum.Counts())
+	}
+	s.ClampNonNegative()
+	if s.Count(1) != 0 {
+		t.Error("ClampNonNegative failed")
+	}
+	if !a.Dominates(FromCounts([]float64{3, 0, 4})) {
+		t.Error("Dominates false negative")
+	}
+	if a.Dominates(b) {
+		t.Error("Dominates false positive")
+	}
+}
+
+func TestCloneDeep(t *testing.T) {
+	a := FromCounts([]float64{1, 2})
+	a.SetLabels([]string{"x", "y"})
+	c := a.Clone()
+	c.SetCount(0, 9)
+	if a.Count(0) != 1 {
+		t.Error("Clone aliases counts")
+	}
+	if c.Label(1) != "y" {
+		t.Error("Clone lost labels")
+	}
+}
+
+func TestCategoricalDomain(t *testing.T) {
+	d := NewCategoricalDomain("AP", []string{"ap1", "ap2", "ap3"})
+	if d.Size() != 3 || d.Attr() != "AP" {
+		t.Fatal("domain metadata wrong")
+	}
+	r := dataset.NewRecord(visitSchema(), dataset.Str("ap2"), dataset.Int(0), dataset.Bool(false))
+	if d.BinOf(r) != 1 {
+		t.Errorf("BinOf(ap2) = %d", d.BinOf(r))
+	}
+	out := dataset.NewRecord(visitSchema(), dataset.Str("nope"), dataset.Int(0), dataset.Bool(false))
+	if d.BinOf(out) != -1 {
+		t.Error("out-of-domain value not rejected")
+	}
+}
+
+func TestCategoricalDomainDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate key did not panic")
+		}
+	}()
+	NewCategoricalDomain("A", []string{"x", "x"})
+}
+
+func TestNumericDomain(t *testing.T) {
+	d := NewNumericDomain("Hour", 0, 6, 4) // [0,6) [6,12) [12,18) [18,24)
+	if d.Size() != 4 {
+		t.Fatal("size wrong")
+	}
+	r := dataset.NewRecord(visitSchema(), dataset.Str("a"), dataset.Int(9), dataset.Bool(false))
+	if d.BinOf(r) != 1 {
+		t.Errorf("BinOf(hour 9) = %d", d.BinOf(r))
+	}
+	r = dataset.NewRecord(visitSchema(), dataset.Str("a"), dataset.Int(24), dataset.Bool(false))
+	if d.BinOf(r) != -1 {
+		t.Error("hour 24 should be out of domain")
+	}
+	labels := d.Labels()
+	if labels[0] != "[0,6)" {
+		t.Errorf("label = %q", labels[0])
+	}
+}
+
+func TestDomainFromTable(t *testing.T) {
+	d := DomainFromTable(visitTable(), "AP")
+	if d.Size() != 3 {
+		t.Fatalf("Size = %d", d.Size())
+	}
+	labels := d.Labels()
+	if labels[0] != "ap1" || labels[2] != "ap3" {
+		t.Errorf("labels = %v", labels)
+	}
+}
+
+func TestQuery1D(t *testing.T) {
+	tb := visitTable()
+	q := NewQuery(nil, DomainFromTable(tb, "AP"))
+	h := q.Eval(tb)
+	if h.Count(0) != 3 || h.Count(1) != 1 || h.Count(2) != 1 {
+		t.Errorf("counts = %v", h.Counts())
+	}
+	if h.Scale() != float64(tb.Len()) {
+		t.Errorf("mass %v != table size %d", h.Scale(), tb.Len())
+	}
+	if h.Label(0) != "ap1" {
+		t.Errorf("label = %q", h.Label(0))
+	}
+}
+
+func TestQueryWithCondition(t *testing.T) {
+	tb := visitTable()
+	q := NewQuery(dataset.Cmp("Hour", dataset.OpLe, dataset.Int(9)), DomainFromTable(tb, "AP"))
+	h := q.Eval(tb)
+	if h.Count(0) != 2 || h.Count(1) != 1 || h.Count(2) != 0 {
+		t.Errorf("counts = %v", h.Counts())
+	}
+}
+
+func TestQuery2D(t *testing.T) {
+	tb := visitTable()
+	ap := DomainFromTable(tb, "AP")
+	hour := NewNumericDomain("Hour", 0, 12, 2)
+	q := NewQuery(nil, ap, hour)
+	if q.Bins() != 6 {
+		t.Fatalf("Bins = %d", q.Bins())
+	}
+	h := q.Eval(tb)
+	// ap1 morning: rows at hour 9,9,10 -> bin (0,0) = 3
+	if h.Count(0) != 3 {
+		t.Errorf("bin(ap1, morning) = %v", h.Count(0))
+	}
+	// ap3 at 23 -> bin index 2*2+1 = 5
+	if h.Count(5) != 1 {
+		t.Errorf("bin(ap3, evening) = %v", h.Count(5))
+	}
+	if h.Scale() != 5 {
+		t.Errorf("mass = %v", h.Scale())
+	}
+}
+
+func TestQueryBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("0-dim query did not panic")
+		}
+	}()
+	NewQuery(nil)
+}
+
+func TestEvalSplitPartitions(t *testing.T) {
+	tb := visitTable()
+	pol := dataset.NewPolicy("sens-flag", dataset.Cmp("Sensitive", dataset.OpEq, dataset.Bool(true)))
+	q := NewQuery(nil, DomainFromTable(tb, "AP"))
+	x, xns := q.EvalSplit(tb, pol)
+	// x = xs + xns must hold bin-wise.
+	sens, _ := tb.Split(pol)
+	xs := q.Eval(sens)
+	for i := 0; i < x.Bins(); i++ {
+		if x.Count(i) != xs.Count(i)+xns.Count(i) {
+			t.Fatalf("bin %d: %v != %v + %v", i, x.Count(i), xs.Count(i), xns.Count(i))
+		}
+	}
+	if !x.Dominates(xns) {
+		t.Error("full histogram does not dominate non-sensitive histogram")
+	}
+}
+
+// Property: for random tables, group counts sum to table size and the
+// policy split partitions mass exactly.
+func TestQueryMassConservationQuick(t *testing.T) {
+	s := visitSchema()
+	rng := rand.New(rand.NewSource(7))
+	f := func(n uint8) bool {
+		tb := dataset.NewTable(s)
+		for i := 0; i < int(n%100)+1; i++ {
+			tb.AppendValues(
+				dataset.Str([]string{"ap1", "ap2", "ap3", "ap4"}[rng.Intn(4)]),
+				dataset.Int(int64(rng.Intn(24))),
+				dataset.Bool(rng.Intn(2) == 0),
+			)
+		}
+		q := NewQuery(nil, NewCategoricalDomain("AP", []string{"ap1", "ap2", "ap3", "ap4"}))
+		x := q.Eval(tb)
+		if x.Scale() != float64(tb.Len()) {
+			return false
+		}
+		pol := dataset.NewPolicy("s", dataset.Cmp("Sensitive", dataset.OpEq, dataset.Bool(true)))
+		full, xns := q.EvalSplit(tb, pol)
+		sens, _ := tb.Split(pol)
+		xs := q.Eval(sens)
+		return full.L1Distance(xs.AddHist(xns)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSparseCounts(t *testing.T) {
+	s := make(SparseCounts)
+	s.AddKey("a>b>c", 2)
+	s.AddKey("a>b>c", 1)
+	s.AddKey("x>y>z", 5)
+	if s.Scale() != 8 {
+		t.Errorf("Scale = %v", s.Scale())
+	}
+	keys := s.Keys()
+	if len(keys) != 2 || keys[0] != "a>b>c" {
+		t.Errorf("Keys = %v", keys)
+	}
+	c := s.Clone()
+	c.AddKey("a>b>c", 1)
+	if s["a>b>c"] != 3 {
+		t.Error("Clone aliases map")
+	}
+}
+
+func TestSparsityExtremes(t *testing.T) {
+	if got := New(10).Sparsity(); got != 1 {
+		t.Errorf("empty sparsity = %v", got)
+	}
+	h := FromCounts([]float64{1, 1, 1})
+	if got := h.Sparsity(); got != 0 {
+		t.Errorf("full sparsity = %v", got)
+	}
+	if math.IsNaN(h.Sparsity()) {
+		t.Error("NaN sparsity")
+	}
+}

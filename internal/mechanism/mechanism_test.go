@@ -1,0 +1,195 @@
+package mechanism
+
+import (
+	"math"
+	"testing"
+
+	"osdp/internal/histogram"
+	"osdp/internal/noise"
+)
+
+func TestLaplaceHistogramUnbiased(t *testing.T) {
+	x := histogram.FromCounts([]float64{100})
+	src := noise.NewSource(1)
+	const trials = 50000
+	var sum float64
+	for i := 0; i < trials; i++ {
+		sum += LaplaceHistogram(x, 1, src).Count(0)
+	}
+	mean := sum / trials
+	if math.Abs(mean-100) > 0.1 {
+		t.Errorf("mean %v, want ~100", mean)
+	}
+}
+
+func TestLaplaceHistogramErrorScale(t *testing.T) {
+	// Expected per-bin absolute error is sensitivity/ε = 2/ε.
+	x := histogram.New(1)
+	src := noise.NewSource(2)
+	const eps = 0.5
+	const trials = 50000
+	var absSum float64
+	for i := 0; i < trials; i++ {
+		absSum += math.Abs(LaplaceHistogram(x, eps, src).Count(0))
+	}
+	got := absSum / trials
+	want := 2 / eps
+	if math.Abs(got-want)/want > 0.05 {
+		t.Errorf("mean abs error %v, want ~%v", got, want)
+	}
+}
+
+func TestLaplaceHistogramDoesNotMutateInput(t *testing.T) {
+	x := histogram.FromCounts([]float64{7, 7})
+	LaplaceHistogram(x, 1, noise.NewSource(3))
+	if x.Count(0) != 7 || x.Count(1) != 7 {
+		t.Error("input mutated")
+	}
+}
+
+func TestLaplacePanics(t *testing.T) {
+	x := histogram.New(1)
+	for _, f := range []func(){
+		func() { LaplaceHistogram(x, 0, noise.NewSource(1)) },
+		func() { LaplaceHistogramWithSensitivity(x, 1, 0, noise.NewSource(1)) },
+		func() { Suppress(x, 0, noise.NewSource(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSuppressNoiseShrinksWithTau(t *testing.T) {
+	// Suppress adds Lap(2/τ): noise magnitude at τ=100 should be ~10x
+	// smaller than at τ=10.
+	xns := histogram.New(1)
+	src := noise.NewSource(4)
+	const trials = 30000
+	absAt := func(tau float64) float64 {
+		var s float64
+		for i := 0; i < trials; i++ {
+			s += math.Abs(Suppress(xns, tau, src).Count(0))
+		}
+		return s / trials
+	}
+	e10, e100 := absAt(10), absAt(100)
+	ratio := e10 / e100
+	if math.Abs(ratio-10) > 1 {
+		t.Errorf("noise ratio τ=10 vs τ=100: %v, want ~10", ratio)
+	}
+}
+
+func TestExpectedAbsLaplace(t *testing.T) {
+	if ExpectedAbsLaplace(3.5) != 3.5 {
+		t.Error("E|Lap(b)| should equal b")
+	}
+}
+
+func TestTruncateGrams(t *testing.T) {
+	users := []UserGrams{
+		{"a", "b", "c", "d"},
+		{"x"},
+		{},
+	}
+	out := TruncateGrams(users, 2)
+	if len(out[0]) != 2 || out[0][0] != "a" || out[0][1] != "b" {
+		t.Errorf("truncated = %v", out[0])
+	}
+	if len(out[1]) != 1 || len(out[2]) != 0 {
+		t.Error("short trajectories altered")
+	}
+	// Original must be untouched.
+	if len(users[0]) != 4 {
+		t.Error("TruncateGrams mutated input")
+	}
+}
+
+func TestTruncateGramsPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k=0 did not panic")
+		}
+	}()
+	TruncateGrams(nil, 0)
+}
+
+func TestGramCountsDistinctUsers(t *testing.T) {
+	users := []UserGrams{
+		{"a>b", "a>b", "b>c"}, // duplicate within a user counts once
+		{"a>b"},
+	}
+	c := GramCounts(users)
+	if c["a>b"] != 2 {
+		t.Errorf("a>b count = %v, want 2 (distinct users)", c["a>b"])
+	}
+	if c["b>c"] != 1 {
+		t.Errorf("b>c count = %v", c["b>c"])
+	}
+}
+
+func TestNGramLaplaceClampsAndPerturbs(t *testing.T) {
+	users := make([]UserGrams, 100)
+	for i := range users {
+		users[i] = UserGrams{"g1", "g2"}
+	}
+	src := noise.NewSource(5)
+	est := NGramLaplace(users, 2, 1.0, src)
+	for k, v := range est {
+		if v < 0 {
+			t.Errorf("negative released count %v for %q", v, k)
+		}
+	}
+	// With 100 users per gram and eps=1, both grams should survive.
+	if est["g1"] < 50 || est["g2"] < 50 {
+		t.Errorf("heavy grams suppressed: %v", est)
+	}
+}
+
+func TestNGramLaplaceTruncationBias(t *testing.T) {
+	// k=1 keeps only the first gram; g2's released count should be near 0.
+	users := make([]UserGrams, 200)
+	for i := range users {
+		users[i] = UserGrams{"g1", "g2"}
+	}
+	src := noise.NewSource(6)
+	est := NGramLaplace(users, 1, 1.0, src)
+	if est["g1"] < 100 {
+		t.Errorf("g1 = %v, want ~200", est["g1"])
+	}
+	if est["g2"] > 50 {
+		t.Errorf("g2 = %v, want near 0 (truncated away)", est["g2"])
+	}
+}
+
+func TestOptimalTruncation(t *testing.T) {
+	// Users carry 3 grams each; with plenty of users, k=3 should win over
+	// k=1 because truncation bias dominates the extra noise.
+	users := make([]UserGrams, 300)
+	for i := range users {
+		users[i] = UserGrams{"a", "b", "c"}
+	}
+	trueCounts := GramCounts(users)
+	src := noise.NewSource(7)
+	bestK, bestMRE := OptimalTruncation(users, trueCounts, 1000, 1.0, 4, 5, src)
+	if bestK < 2 {
+		t.Errorf("bestK = %d, want >= 2 (truncation bias dominates)", bestK)
+	}
+	if bestMRE <= 0 || math.IsInf(bestMRE, 0) {
+		t.Errorf("bestMRE = %v", bestMRE)
+	}
+}
+
+func TestOptimalTruncationPanicsOnBadKMax(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kMax=0 did not panic")
+		}
+	}()
+	OptimalTruncation(nil, nil, 10, 1, 0, 1, noise.NewSource(1))
+}

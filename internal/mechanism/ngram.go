@@ -1,0 +1,102 @@
+package mechanism
+
+import (
+	"math"
+
+	"osdp/internal/histogram"
+	"osdp/internal/metrics"
+	"osdp/internal/noise"
+)
+
+// This file implements the truncated Laplace mechanism for n-gram histogram
+// release (§6.3.2). An n-gram histogram over trajectories counts, per
+// n-gram, the number of distinct users whose trajectory contains it. A
+// single user can contribute to up to 64ⁿ n-grams, so the naive sensitivity
+// is the whole domain; truncation caps each user at k n-grams, reducing the
+// sensitivity to 2k at the cost of undercounting (bias). LM T1 is the k=1
+// instance; LM T* picks the error-optimal k non-privately, giving the
+// strongest possible baseline (the paper notes LM T* does not satisfy DP).
+
+// UserGrams is the multiset of n-grams appearing in one user's trajectory.
+type UserGrams []string
+
+// TruncateGrams caps each user's contribution at k n-grams, keeping the
+// first k in trajectory order (deterministic, as required for a
+// well-defined sensitivity bound).
+func TruncateGrams(users []UserGrams, k int) []UserGrams {
+	if k <= 0 {
+		panic("mechanism: truncation parameter must be positive")
+	}
+	out := make([]UserGrams, len(users))
+	for i, g := range users {
+		if len(g) > k {
+			out[i] = g[:k]
+		} else {
+			out[i] = g
+		}
+	}
+	return out
+}
+
+// GramCounts aggregates per-user n-grams into distinct-user counts: a user
+// contributes at most 1 to each n-gram they carry (the paper counts
+// distinct users per n-gram).
+func GramCounts(users []UserGrams) histogram.SparseCounts {
+	out := make(histogram.SparseCounts)
+	for _, g := range users {
+		seen := make(map[string]bool, len(g))
+		for _, key := range g {
+			if !seen[key] {
+				seen[key] = true
+				out[key]++
+			}
+		}
+	}
+	return out
+}
+
+// NGramLaplace releases ε-DP n-gram counts using truncation parameter k:
+// counts of the truncated data plus Lap(2k/ε) noise. Only n-grams with
+// non-zero truncated counts are materialised; the (enormous) zero tail is
+// handled analytically by the error metrics, mirroring the paper's
+// experimental setup. Negative noisy counts are clamped to zero, a standard
+// post-processing step.
+func NGramLaplace(users []UserGrams, k int, eps float64, src noise.Source) histogram.SparseCounts {
+	if eps <= 0 {
+		panic("mechanism: NGramLaplace requires eps > 0")
+	}
+	truncated := TruncateGrams(users, k)
+	counts := GramCounts(truncated)
+	b := 2 * float64(k) / eps
+	out := make(histogram.SparseCounts, len(counts))
+	for key, c := range counts {
+		v := c + noise.Laplace(src, b)
+		if v > 0 {
+			out[key] = v
+		}
+	}
+	return out
+}
+
+// OptimalTruncation searches k ∈ [1, kMax] for the truncation parameter
+// minimising the realised MRE (metrics.SparseMRE) against the true counts —
+// the LM T* baseline. The search inspects the true data, so the resulting
+// mechanism is NOT differentially private; it exists to lower-bound the
+// error any truncation choice could achieve (§6.3.2).
+func OptimalTruncation(users []UserGrams, trueCounts histogram.SparseCounts, domainSize float64, eps float64, kMax int, trials int, src noise.Source) (bestK int, bestMRE float64) {
+	if kMax < 1 {
+		panic("mechanism: kMax must be >= 1")
+	}
+	bestK, bestMRE = 1, math.Inf(1)
+	for k := 1; k <= kMax; k++ {
+		var total float64
+		for t := 0; t < trials; t++ {
+			est := NGramLaplace(users, k, eps, src)
+			total += metrics.SparseMRE(trueCounts, est, domainSize, 1.0)
+		}
+		if avg := total / float64(trials); avg < bestMRE {
+			bestK, bestMRE = k, avg
+		}
+	}
+	return bestK, bestMRE
+}

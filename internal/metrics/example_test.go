@@ -1,0 +1,32 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"osdp/internal/histogram"
+	"osdp/internal/metrics"
+)
+
+// MRE is the paper's primary error measure: per-bin relative error with a
+// δ=1 floor, averaged over the domain.
+func ExampleMRE() {
+	truth := histogram.FromCounts([]float64{100, 0, 50})
+	estimate := histogram.FromCounts([]float64{90, 2, 50})
+	fmt.Printf("%.3f\n", metrics.MRE(truth, estimate, metrics.DefaultDelta))
+	// (|100−90|/100 + |0−2|/1 + 0/50) / 3 = (0.1 + 2 + 0) / 3
+	// Output:
+	// 0.700
+}
+
+// Regret normalises errors by the best algorithm per input — the §6.3.3.2
+// framework behind Figures 6–10.
+func ExampleRegretTable() {
+	rt := metrics.NewRegretTable("DAWA", "DAWAz")
+	rt.Record("Adult", "DAWA", 0.345)
+	rt.Record("Adult", "DAWAz", 0.014)
+	fmt.Printf("DAWA regret on Adult: %.1f\n", rt.Regret("Adult", "DAWA"))
+	fmt.Printf("DAWAz regret on Adult: %.1f\n", rt.Regret("Adult", "DAWAz"))
+	// Output:
+	// DAWA regret on Adult: 24.6
+	// DAWAz regret on Adult: 1.0
+}

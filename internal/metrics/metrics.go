@@ -1,0 +1,228 @@
+// Package metrics implements the error measures of the paper's evaluation
+// (§6.2): mean relative error (MRE), per-bin relative error with percentile
+// summaries (Rel50, Rel95), plain L1/L2 error, and the regret framework of
+// §6.3.3.2 that normalises an algorithm's error by the best error achieved
+// by any algorithm in a comparison set.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"osdp/internal/histogram"
+)
+
+// DefaultDelta is the denominator floor δ used by the paper for relative
+// errors (it sets δ = 1).
+const DefaultDelta = 1.0
+
+// MRE returns the mean relative error between a true histogram x and an
+// estimate xh:
+//
+//	MRE(x, x̃) = (1/d) Σ_i |x_i − x̃_i| / max(x_i, δ)
+func MRE(x, est *histogram.Histogram, delta float64) float64 {
+	mustSameBins(x, est)
+	d := x.Bins()
+	var sum float64
+	for i := 0; i < d; i++ {
+		sum += math.Abs(x.Count(i)-est.Count(i)) / math.Max(x.Count(i), delta)
+	}
+	return sum / float64(d)
+}
+
+// RelVector returns the per-bin relative error vector
+// [|x_i − x̃_i| / max(x_i, δ)].
+func RelVector(x, est *histogram.Histogram, delta float64) []float64 {
+	mustSameBins(x, est)
+	out := make([]float64, x.Bins())
+	for i := range out {
+		out[i] = math.Abs(x.Count(i)-est.Count(i)) / math.Max(x.Count(i), delta)
+	}
+	return out
+}
+
+// RelPercentile returns the p-th percentile (p in [0, 100]) of the per-bin
+// relative error. Rel50 is the median, Rel95 the 95th percentile the paper
+// uses as a worst-case summary.
+func RelPercentile(x, est *histogram.Histogram, delta, p float64) float64 {
+	rel := RelVector(x, est, delta)
+	return Percentile(rel, p)
+}
+
+// Percentile returns the p-th percentile of xs using the nearest-rank
+// method. It does not modify xs. Panics on empty input or p outside
+// [0, 100].
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("metrics: percentile of empty slice")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("metrics: percentile %v out of range", p))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p == 0 {
+		return sorted[0]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	return sorted[rank-1]
+}
+
+// L1 returns the total absolute error Σ|x_i − x̃_i|.
+func L1(x, est *histogram.Histogram) float64 { return x.L1Distance(est) }
+
+// L2 returns the Euclidean error sqrt(Σ (x_i − x̃_i)²).
+func L2(x, est *histogram.Histogram) float64 {
+	mustSameBins(x, est)
+	var s float64
+	for i := 0; i < x.Bins(); i++ {
+		d := x.Count(i) - est.Count(i)
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// SparseMRE computes MRE between a true sparse count map and an estimate,
+// over a total domain of domainSize keys. Keys absent from both maps
+// contribute zero error but still count toward the mean; keys absent from
+// one map are treated as zero there. This is the analytic zero-count
+// handling the paper describes for n-gram histograms (§6.3.2).
+func SparseMRE(x, est histogram.SparseCounts, domainSize float64, delta float64) float64 {
+	if domainSize <= 0 {
+		panic("metrics: non-positive domain size")
+	}
+	var sum float64
+	seen := make(map[string]bool, len(x))
+	for k, xv := range x {
+		seen[k] = true
+		sum += math.Abs(xv-est[k]) / math.Max(xv, delta)
+	}
+	for k, ev := range est {
+		if !seen[k] {
+			sum += math.Abs(ev) / delta // true count is zero
+		}
+	}
+	return sum / domainSize
+}
+
+// mustSameBins panics when histograms disagree on arity.
+func mustSameBins(a, b *histogram.Histogram) {
+	if a.Bins() != b.Bins() {
+		panic(fmt.Sprintf("metrics: bin mismatch %d vs %d", a.Bins(), b.Bins()))
+	}
+}
+
+// Regret normalises errors across inputs with very different scales
+// (§6.3.3.2): regret(A, x) = Err(A(x)) / min_B Err(B(x)) over an algorithm
+// comparison set. A regret of 1 means A was the best algorithm on x.
+//
+// Errors are collected into a RegretTable keyed by (input, algorithm).
+type RegretTable struct {
+	algs   []string
+	algIdx map[string]int
+	inputs []string
+	inIdx  map[string]int
+	errs   [][]float64 // [input][alg], NaN when missing
+}
+
+// NewRegretTable creates an empty table over the named algorithms.
+func NewRegretTable(algs ...string) *RegretTable {
+	t := &RegretTable{algIdx: make(map[string]int), inIdx: make(map[string]int)}
+	for _, a := range algs {
+		if _, dup := t.algIdx[a]; dup {
+			panic(fmt.Sprintf("metrics: duplicate algorithm %q", a))
+		}
+		t.algIdx[a] = len(t.algs)
+		t.algs = append(t.algs, a)
+	}
+	return t
+}
+
+// Record stores the error of algorithm alg on the named input.
+func (t *RegretTable) Record(input, alg string, err float64) {
+	ai, ok := t.algIdx[alg]
+	if !ok {
+		panic(fmt.Sprintf("metrics: unknown algorithm %q", alg))
+	}
+	ii, ok := t.inIdx[input]
+	if !ok {
+		ii = len(t.inputs)
+		t.inIdx[input] = ii
+		t.inputs = append(t.inputs, input)
+		row := make([]float64, len(t.algs))
+		for i := range row {
+			row[i] = math.NaN()
+		}
+		t.errs = append(t.errs, row)
+	}
+	t.errs[ii][ai] = err
+}
+
+// Algorithms returns the algorithm names in registration order.
+func (t *RegretTable) Algorithms() []string { return t.algs }
+
+// Inputs returns the input names in first-recorded order.
+func (t *RegretTable) Inputs() []string { return t.inputs }
+
+// Regret returns the regret of alg on input: its error divided by the
+// minimum error over all algorithms with a recorded (non-NaN) error on that
+// input. It returns NaN if alg has no recorded error there.
+func (t *RegretTable) Regret(input, alg string) float64 {
+	ii, ok := t.inIdx[input]
+	if !ok {
+		return math.NaN()
+	}
+	ai := t.algIdx[alg]
+	e := t.errs[ii][ai]
+	if math.IsNaN(e) {
+		return math.NaN()
+	}
+	best := math.Inf(1)
+	for _, v := range t.errs[ii] {
+		if !math.IsNaN(v) && v < best {
+			best = v
+		}
+	}
+	if best == 0 {
+		if e == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return e / best
+}
+
+// AverageRegret returns the mean regret of alg over the inputs that satisfy
+// keep (nil keeps all). Inputs where alg has no record are skipped.
+func (t *RegretTable) AverageRegret(alg string, keep func(input string) bool) float64 {
+	var sum float64
+	n := 0
+	for _, in := range t.inputs {
+		if keep != nil && !keep(in) {
+			continue
+		}
+		r := t.Regret(in, alg)
+		if math.IsNaN(r) {
+			continue
+		}
+		sum += r
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// Mean is a small helper used by experiment runners.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,271 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"osdp/internal/histogram"
+)
+
+func h(counts ...float64) *histogram.Histogram { return histogram.FromCounts(counts) }
+
+func TestMREIdenticalIsZero(t *testing.T) {
+	x := h(1, 5, 0, 10)
+	if got := MRE(x, x.Clone(), DefaultDelta); got != 0 {
+		t.Errorf("MRE(x,x) = %v", got)
+	}
+}
+
+func TestMREKnownValue(t *testing.T) {
+	x := h(10, 0) // est off by 5 on bin 0, 2 on bin 1 (true zero, δ=1)
+	est := h(5, 2)
+	want := (5.0/10 + 2.0/1) / 2
+	if got := MRE(x, est, DefaultDelta); math.Abs(got-want) > 1e-12 {
+		t.Errorf("MRE = %v, want %v", got, want)
+	}
+}
+
+func TestMREDeltaFloor(t *testing.T) {
+	x := h(0.5) // count below δ; denominator floors at δ
+	est := h(1.5)
+	if got := MRE(x, est, 1.0); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("MRE = %v, want 1", got)
+	}
+}
+
+func TestRelVectorAndPercentiles(t *testing.T) {
+	x := h(10, 10, 10, 10)
+	est := h(10, 11, 15, 30)
+	rel := RelVector(x, est, DefaultDelta)
+	want := []float64{0, 0.1, 0.5, 2}
+	for i := range want {
+		if math.Abs(rel[i]-want[i]) > 1e-12 {
+			t.Fatalf("rel = %v", rel)
+		}
+	}
+	if got := RelPercentile(x, est, DefaultDelta, 50); got != 0.1 {
+		t.Errorf("Rel50 = %v", got)
+	}
+	if got := RelPercentile(x, est, DefaultDelta, 95); got != 2 {
+		t.Errorf("Rel95 = %v", got)
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("P0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 3 {
+		t.Errorf("P100 = %v", got)
+	}
+	if got := Percentile(xs, 50); got != 2 {
+		t.Errorf("P50 = %v", got)
+	}
+	// Input must not be mutated.
+	if xs[0] != 3 {
+		t.Error("Percentile mutated input")
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for _, c := range []struct {
+		xs []float64
+		p  float64
+	}{{nil, 50}, {[]float64{1}, -1}, {[]float64{1}, 101}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Percentile(%v, %v) did not panic", c.xs, c.p)
+				}
+			}()
+			Percentile(c.xs, c.p)
+		}()
+	}
+}
+
+func TestL1L2(t *testing.T) {
+	x, est := h(3, 4), h(0, 0)
+	if got := L1(x, est); got != 7 {
+		t.Errorf("L1 = %v", got)
+	}
+	if got := L2(x, est); got != 5 {
+		t.Errorf("L2 = %v", got)
+	}
+}
+
+func TestSparseMRE(t *testing.T) {
+	x := histogram.SparseCounts{"a": 10, "b": 2}
+	est := histogram.SparseCounts{"a": 5, "c": 3}
+	// |10-5|/10 + |2-0|/2 + |0-3|/1 over domain of 10 keys
+	want := (0.5 + 1 + 3) / 10
+	if got := SparseMRE(x, est, 10, DefaultDelta); math.Abs(got-want) > 1e-12 {
+		t.Errorf("SparseMRE = %v, want %v", got, want)
+	}
+}
+
+func TestSparseMREPanicsOnBadDomain(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on zero domain")
+		}
+	}()
+	SparseMRE(nil, nil, 0, 1)
+}
+
+func TestRegretBasics(t *testing.T) {
+	rt := NewRegretTable("A", "B", "C")
+	rt.Record("in1", "A", 2)
+	rt.Record("in1", "B", 1)
+	rt.Record("in1", "C", 6)
+	if got := rt.Regret("in1", "B"); got != 1 {
+		t.Errorf("best regret = %v", got)
+	}
+	if got := rt.Regret("in1", "A"); got != 2 {
+		t.Errorf("A regret = %v", got)
+	}
+	if got := rt.Regret("in1", "C"); got != 6 {
+		t.Errorf("C regret = %v", got)
+	}
+}
+
+func TestRegretMissingValues(t *testing.T) {
+	rt := NewRegretTable("A", "B")
+	rt.Record("in1", "A", 4)
+	if !math.IsNaN(rt.Regret("in1", "B")) {
+		t.Error("missing algorithm regret should be NaN")
+	}
+	if !math.IsNaN(rt.Regret("nope", "A")) {
+		t.Error("missing input regret should be NaN")
+	}
+	// A alone on in1 is the best by definition.
+	if got := rt.Regret("in1", "A"); got != 1 {
+		t.Errorf("solo regret = %v", got)
+	}
+}
+
+func TestRegretZeroError(t *testing.T) {
+	rt := NewRegretTable("A", "B")
+	rt.Record("in1", "A", 0)
+	rt.Record("in1", "B", 3)
+	if got := rt.Regret("in1", "A"); got != 1 {
+		t.Errorf("zero-error regret = %v", got)
+	}
+	if got := rt.Regret("in1", "B"); !math.IsInf(got, 1) {
+		t.Errorf("vs-zero regret = %v, want +Inf", got)
+	}
+}
+
+func TestAverageRegretWithFilter(t *testing.T) {
+	rt := NewRegretTable("A", "B")
+	rt.Record("close/1", "A", 2)
+	rt.Record("close/1", "B", 1)
+	rt.Record("far/1", "A", 1)
+	rt.Record("far/1", "B", 3)
+	avgAll := rt.AverageRegret("A", nil)
+	if math.Abs(avgAll-1.5) > 1e-12 {
+		t.Errorf("avg = %v", avgAll)
+	}
+	onlyFar := rt.AverageRegret("A", func(in string) bool { return in[:3] == "far" })
+	if onlyFar != 1 {
+		t.Errorf("far avg = %v", onlyFar)
+	}
+	if !math.IsNaN(rt.AverageRegret("A", func(string) bool { return false })) {
+		t.Error("empty filter should give NaN")
+	}
+}
+
+func TestRegretTableAccessors(t *testing.T) {
+	rt := NewRegretTable("A", "B")
+	rt.Record("x", "A", 1)
+	rt.Record("y", "A", 1)
+	if len(rt.Algorithms()) != 2 || len(rt.Inputs()) != 2 {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestRegretPanicsOnUnknownAlg(t *testing.T) {
+	rt := NewRegretTable("A")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown alg did not panic")
+		}
+	}()
+	rt.Record("in", "Z", 1)
+}
+
+func TestRegretDuplicateAlgPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate alg did not panic")
+		}
+	}()
+	NewRegretTable("A", "A")
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+}
+
+// Properties of the error metrics.
+func TestMetricPropertiesQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	randHist := func(d int) *histogram.Histogram {
+		hh := histogram.New(d)
+		for i := 0; i < d; i++ {
+			hh.SetCount(i, float64(rng.Intn(50)))
+		}
+		return hh
+	}
+	f := func(seed uint8) bool {
+		d := int(seed%20) + 2
+		x, est := randHist(d), randHist(d)
+		// Non-negativity.
+		if MRE(x, est, 1) < 0 || L1(x, est) < 0 || L2(x, est) < 0 {
+			return false
+		}
+		// Identity of indiscernibles for L1.
+		if L1(x, x) != 0 {
+			return false
+		}
+		// Rel95 >= Rel50.
+		if RelPercentile(x, est, 1, 95) < RelPercentile(x, est, 1, 50) {
+			return false
+		}
+		// Symmetry in arguments does not hold for MRE (denominator is x),
+		// but L1/L2 are symmetric.
+		if L1(x, est) != L1(est, x) || L2(x, est) != L2(est, x) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Regret is invariant to rescaling all errors on an input.
+func TestRegretScaleInvarianceQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	f := func(_ uint8) bool {
+		e1, e2 := rng.Float64()+0.01, rng.Float64()+0.01
+		scale := rng.Float64()*99 + 1
+		a := NewRegretTable("A", "B")
+		a.Record("in", "A", e1)
+		a.Record("in", "B", e2)
+		b := NewRegretTable("A", "B")
+		b.Record("in", "A", e1*scale)
+		b.Record("in", "B", e2*scale)
+		return math.Abs(a.Regret("in", "A")-b.Regret("in", "A")) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

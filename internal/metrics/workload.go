@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"osdp/internal/histogram"
+)
+
+// Range-query workloads: DAWA was designed for range queries, where a
+// partition's internal errors cancel inside any range that covers whole
+// buckets. Evaluating the OSDP algorithms on the same workloads checks
+// that their point-query advantage does not come at range-query cost.
+
+// RangeQuery is an inclusive bin interval whose answer is the sum of
+// counts within it.
+type RangeQuery struct {
+	Lo, Hi int
+}
+
+// Answer evaluates the query on a histogram.
+func (q RangeQuery) Answer(h *histogram.Histogram) float64 {
+	return h.RangeSum(q.Lo, q.Hi)
+}
+
+// RandomRangeWorkload draws n random intervals over a domain of the given
+// size, with lengths log-uniform between 1 and the domain size — the
+// standard mix of short and long ranges used by range-query benchmarks.
+func RandomRangeWorkload(n, domainSize int, rng *rand.Rand) []RangeQuery {
+	if n <= 0 || domainSize <= 0 {
+		panic("metrics: workload size and domain must be positive")
+	}
+	out := make([]RangeQuery, n)
+	maxLog := math.Log(float64(domainSize))
+	for i := range out {
+		length := int(math.Exp(rng.Float64() * maxLog))
+		if length < 1 {
+			length = 1
+		}
+		if length > domainSize {
+			length = domainSize
+		}
+		lo := rng.Intn(domainSize - length + 1)
+		out[i] = RangeQuery{Lo: lo, Hi: lo + length - 1}
+	}
+	return out
+}
+
+// WorkloadMRE is the mean relative error of est over the workload:
+// (1/|W|) Σ |q(x) − q(x̃)| / max(q(x), δ).
+func WorkloadMRE(x, est *histogram.Histogram, w []RangeQuery, delta float64) float64 {
+	if len(w) == 0 {
+		panic("metrics: empty workload")
+	}
+	var sum float64
+	for _, q := range w {
+		truth := q.Answer(x)
+		sum += math.Abs(truth-q.Answer(est)) / math.Max(truth, delta)
+	}
+	return sum / float64(len(w))
+}
+
+// WorkloadMAE is the mean absolute error of est over the workload.
+func WorkloadMAE(x, est *histogram.Histogram, w []RangeQuery) float64 {
+	if len(w) == 0 {
+		panic("metrics: empty workload")
+	}
+	var sum float64
+	for _, q := range w {
+		sum += math.Abs(q.Answer(x) - q.Answer(est))
+	}
+	return sum / float64(len(w))
+}
+
+// ValidateWorkload checks every query fits the domain.
+func ValidateWorkload(w []RangeQuery, domainSize int) error {
+	for i, q := range w {
+		if q.Lo < 0 || q.Hi >= domainSize || q.Lo > q.Hi {
+			return fmt.Errorf("metrics: query %d = [%d, %d] invalid over %d bins", i, q.Lo, q.Hi, domainSize)
+		}
+	}
+	return nil
+}

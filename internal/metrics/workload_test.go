@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"osdp/internal/histogram"
+)
+
+func TestRangeQueryAnswer(t *testing.T) {
+	h := histogram.FromCounts([]float64{1, 2, 3, 4})
+	if got := (RangeQuery{1, 3}).Answer(h); got != 9 {
+		t.Errorf("answer = %v", got)
+	}
+}
+
+func TestRandomRangeWorkloadValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w := RandomRangeWorkload(500, 4096, rng)
+	if len(w) != 500 {
+		t.Fatalf("len = %d", len(w))
+	}
+	if err := ValidateWorkload(w, 4096); err != nil {
+		t.Fatal(err)
+	}
+	// Length mix: both short (<8) and long (>512) queries should appear.
+	short, long := 0, 0
+	for _, q := range w {
+		l := q.Hi - q.Lo + 1
+		if l < 8 {
+			short++
+		}
+		if l > 512 {
+			long++
+		}
+	}
+	if short == 0 || long == 0 {
+		t.Errorf("workload lacks length diversity: %d short, %d long", short, long)
+	}
+}
+
+func TestRandomRangeWorkloadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad size did not panic")
+		}
+	}()
+	RandomRangeWorkload(0, 10, rand.New(rand.NewSource(1)))
+}
+
+func TestWorkloadErrors(t *testing.T) {
+	x := histogram.FromCounts([]float64{10, 10, 10, 10})
+	est := histogram.FromCounts([]float64{12, 8, 10, 10}) // range [0,1] exact, point errors cancel
+	w := []RangeQuery{{0, 1}, {0, 0}}
+	if got := WorkloadMAE(x, est, w); got != 1 { // (0 + 2) / 2
+		t.Errorf("MAE = %v", got)
+	}
+	want := (0.0/20 + 2.0/10) / 2
+	if got := WorkloadMRE(x, est, w, 1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("MRE = %v, want %v", got, want)
+	}
+}
+
+func TestWorkloadErrorPanicsOnEmpty(t *testing.T) {
+	x := histogram.New(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty workload did not panic")
+		}
+	}()
+	WorkloadMRE(x, x, nil, 1)
+}
+
+func TestValidateWorkloadRejectsBadQueries(t *testing.T) {
+	for _, w := range [][]RangeQuery{
+		{{-1, 2}}, {{0, 10}}, {{3, 1}},
+	} {
+		if err := ValidateWorkload(w, 10); err == nil {
+			t.Errorf("workload %v accepted", w)
+		}
+	}
+}
+
+// Within-bucket noise cancels over ranges covering whole buckets: a
+// uniform-expansion estimate answers any whole-bucket range exactly.
+func TestRangeErrorCancellation(t *testing.T) {
+	x := histogram.FromCounts([]float64{0, 20, 5, 15}) // total 40
+	// Uniform expansion over one bucket [0,3]: every bin 10.
+	est := histogram.FromCounts([]float64{10, 10, 10, 10})
+	if got := WorkloadMAE(x, est, []RangeQuery{{0, 3}}); got != 0 {
+		t.Errorf("whole-bucket range error = %v, want 0", got)
+	}
+	// Point queries on the same estimate are badly off.
+	if got := WorkloadMAE(x, est, []RangeQuery{{0, 0}}); got != 10 {
+		t.Errorf("point error = %v", got)
+	}
+}

@@ -1,0 +1,42 @@
+package noise_test
+
+import (
+	"fmt"
+
+	"osdp/internal/noise"
+)
+
+// One-sided Laplace noise never exceeds zero: estimates built with it can
+// only undershoot, which is what lets OSDP mechanisms report exact zeros.
+func ExampleOneSidedLaplace() {
+	src := noise.NewSource(1)
+	allNonPositive := true
+	for i := 0; i < 1000; i++ {
+		if noise.OneSidedLaplace(src, 1.0) > 0 {
+			allNonPositive = false
+		}
+	}
+	fmt.Println(allNonPositive)
+	// Output:
+	// true
+}
+
+// KeepProbability is Table 1 of the paper in one call.
+func ExampleKeepProbability() {
+	for _, eps := range []float64{1.0, 0.5, 0.1} {
+		fmt.Printf("ε=%.1f: %.1f%%\n", eps, 100*noise.KeepProbability(eps))
+	}
+	// Output:
+	// ε=1.0: 63.2%
+	// ε=0.5: 39.3%
+	// ε=0.1: 9.5%
+}
+
+// Snap quantises released values onto a grid, removing the low-order
+// floating-point bits that leak information (Mironov, CCS 2012).
+func ExampleSnap() {
+	released := 41.73650918273645 // true count 42 plus Laplace noise
+	fmt.Println(noise.Snap(released, 0.5, 1000))
+	// Output:
+	// 41.5
+}

@@ -1,0 +1,265 @@
+// Package policylearn implements the policy-learning direction sketched in
+// the paper's §7 ("mechanisms to specify comprehensive policies … or,
+// better still, learn such policies, perhaps through appropriate machine
+// learning techniques"): given example records labelled sensitive or
+// non-sensitive — e.g. a sample of users' opt-in decisions — it fits a
+// classifier and turns it into a dataset.Policy usable by every OSDP
+// mechanism in this repository.
+//
+// Learned policies are privacy-critical in one direction only: declaring
+// a truly sensitive record non-sensitive voids that record's protection,
+// while the reverse merely costs utility. The learner therefore exposes a
+// decision threshold calibrated on held-out data to cap the estimated
+// false-non-sensitive rate.
+package policylearn
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"osdp/internal/classify"
+	"osdp/internal/dataset"
+)
+
+// Example is one labelled record.
+type Example struct {
+	Record    dataset.Record
+	Sensitive bool
+}
+
+// Config controls learning.
+type Config struct {
+	// MaxFNR caps the estimated probability that a sensitive record is
+	// classified non-sensitive; the threshold is calibrated on a held-out
+	// split to meet it. Typical values: 0.01–0.05.
+	MaxFNR float64
+	// Train configures the underlying logistic regression.
+	Train classify.TrainConfig
+	// HoldoutFrac is the fraction of examples reserved for threshold
+	// calibration (default 0.25 when zero).
+	HoldoutFrac float64
+	// Seed drives the train/holdout split.
+	Seed int64
+}
+
+// DefaultConfig returns a conservative configuration.
+func DefaultConfig() Config {
+	return Config{MaxFNR: 0.02, Train: classify.DefaultTrainConfig(), HoldoutFrac: 0.25, Seed: 1}
+}
+
+// LearnedPolicy is a fitted sensitivity classifier with its calibrated
+// threshold and held-out quality estimates.
+type LearnedPolicy struct {
+	model     classify.Model
+	embed     *embedder
+	threshold float64
+
+	// EstimatedFNR is the held-out fraction of sensitive records the
+	// policy would mark non-sensitive — the privacy-relevant error.
+	EstimatedFNR float64
+	// EstimatedFPR is the held-out fraction of non-sensitive records
+	// marked sensitive — the utility cost of conservatism.
+	EstimatedFPR float64
+}
+
+// Learn fits a policy from examples. All records must share one schema and
+// both classes must be represented.
+func Learn(examples []Example, cfg Config) (*LearnedPolicy, error) {
+	if len(examples) < 10 {
+		return nil, fmt.Errorf("policylearn: need at least 10 examples, have %d", len(examples))
+	}
+	if cfg.MaxFNR <= 0 || cfg.MaxFNR >= 1 {
+		return nil, fmt.Errorf("policylearn: MaxFNR %v outside (0, 1)", cfg.MaxFNR)
+	}
+	if cfg.HoldoutFrac == 0 {
+		cfg.HoldoutFrac = 0.25
+	}
+	schema := examples[0].Record.Schema()
+	for _, ex := range examples {
+		if ex.Record.Schema() != schema {
+			return nil, fmt.Errorf("policylearn: examples mix schemas")
+		}
+	}
+	embed := newEmbedder(schema, examples)
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	perm := rng.Perm(len(examples))
+	nHold := int(float64(len(examples)) * cfg.HoldoutFrac)
+	if nHold < 2 {
+		nHold = 2
+	}
+	hold, train := perm[:nHold], perm[nHold:]
+
+	var ds classify.Dataset
+	for _, i := range train {
+		ds.X = append(ds.X, embed.vector(examples[i].Record))
+		// Label 1 = sensitive, so higher score = more sensitive.
+		ds.Y = append(ds.Y, boolToLabel(examples[i].Sensitive))
+	}
+	if allSame(ds.Y) {
+		return nil, fmt.Errorf("policylearn: training split has a single class; provide both kinds of examples")
+	}
+	model, err := classify.Train(ds, cfg.Train)
+	if err != nil {
+		return nil, err
+	}
+
+	lp := &LearnedPolicy{model: model, embed: embed}
+	lp.calibrate(examples, hold, cfg.MaxFNR)
+	return lp, nil
+}
+
+// scoredExample is a held-out example's sensitivity score.
+type scoredExample struct {
+	p    float64 // model's P(sensitive | record)
+	sens bool    // true label
+}
+
+// calibrate picks the decision threshold τ (sensitive iff score ≥ τ): the
+// largest τ whose held-out FNR stays within the cap. Larger τ marks fewer
+// records sensitive (more utility); τ = 0 marks everything sensitive
+// (FNR 0, no utility).
+func (lp *LearnedPolicy) calibrate(examples []Example, hold []int, maxFNR float64) {
+	var hs []scoredExample
+	var sensScores []float64
+	for _, i := range hold {
+		p := lp.model.Prob(lp.embed.vector(examples[i].Record))
+		hs = append(hs, scoredExample{p, examples[i].Sensitive})
+		if examples[i].Sensitive {
+			sensScores = append(sensScores, p)
+		}
+	}
+	if len(sensScores) == 0 {
+		// FNR is vacuous without sensitive holdout examples; stay neutral.
+		lp.threshold = 0.5
+		lp.evaluate(hs)
+		return
+	}
+	sort.Float64s(sensScores)
+	allowedMisses := int(maxFNR * float64(len(sensScores)))
+	// τ sits at the (allowedMisses+1)-th smallest sensitive score: the
+	// first allowedMisses fall strictly below it and are the only misses.
+	lp.threshold = sensScores[min(allowedMisses, len(sensScores)-1)]
+	lp.evaluate(hs)
+}
+
+func (lp *LearnedPolicy) evaluate(hs []scoredExample) {
+	var fn, fp, nSens, nNon float64
+	for _, s := range hs {
+		if s.sens {
+			nSens++
+			if s.p < lp.threshold {
+				fn++
+			}
+		} else {
+			nNon++
+			if s.p >= lp.threshold {
+				fp++
+			}
+		}
+	}
+	if nSens > 0 {
+		lp.EstimatedFNR = fn / nSens
+	}
+	if nNon > 0 {
+		lp.EstimatedFPR = fp / nNon
+	}
+}
+
+// Sensitive reports the learned sensitivity decision: records scoring at
+// or above the threshold are treated as sensitive.
+func (lp *LearnedPolicy) Sensitive(r dataset.Record) bool {
+	return lp.model.Prob(lp.embed.vector(r)) >= lp.threshold
+}
+
+// AsPolicy converts the learned classifier into a dataset.Policy usable
+// with every mechanism in internal/core.
+func (lp *LearnedPolicy) AsPolicy(name string) dataset.Policy {
+	return dataset.NewPolicy(name, dataset.FuncPredicate("learned("+name+")", lp.Sensitive))
+}
+
+// Threshold returns the calibrated decision threshold.
+func (lp *LearnedPolicy) Threshold() float64 { return lp.threshold }
+
+// embedder maps records to feature vectors: numeric/bool attributes are
+// scaled into [-1, 1] by the maximum magnitude observed in the training
+// examples (gradient descent needs bounded features); string attributes
+// one-hot encode their observed categories.
+type embedder struct {
+	schema *dataset.Schema
+	// perColumn offset, category index (strings), and scale (numerics).
+	offsets []int
+	cats    []map[string]int
+	scales  []float64
+	dim     int
+}
+
+func newEmbedder(schema *dataset.Schema, examples []Example) *embedder {
+	e := &embedder{schema: schema}
+	e.offsets = make([]int, schema.Len())
+	e.cats = make([]map[string]int, schema.Len())
+	e.scales = make([]float64, schema.Len())
+	for i, name := range schema.Names() {
+		kind, _ := schema.KindOf(name)
+		e.offsets[i] = e.dim
+		if kind == dataset.KindString {
+			cat := make(map[string]int)
+			for _, ex := range examples {
+				v := ex.Record.At(i).AsString()
+				if _, ok := cat[v]; !ok {
+					cat[v] = len(cat)
+				}
+			}
+			e.cats[i] = cat
+			e.dim += len(cat)
+			continue
+		}
+		scale := 1.0
+		for _, ex := range examples {
+			if a := abs(ex.Record.At(i).AsFloat()); a > scale {
+				scale = a
+			}
+		}
+		e.scales[i] = scale
+		e.dim++
+	}
+	return e
+}
+
+func (e *embedder) vector(r dataset.Record) []float64 {
+	v := make([]float64, e.dim)
+	for i := 0; i < e.schema.Len(); i++ {
+		if cats := e.cats[i]; cats != nil {
+			if j, ok := cats[r.At(i).AsString()]; ok {
+				v[e.offsets[i]+j] = 1
+			}
+			continue
+		}
+		v[e.offsets[i]] = r.At(i).AsFloat() / e.scales[i]
+	}
+	return v
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func boolToLabel(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func allSame(ys []int) bool {
+	for _, y := range ys[1:] {
+		if y != ys[0] {
+			return false
+		}
+	}
+	return true
+}

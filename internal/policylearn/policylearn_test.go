@@ -1,0 +1,184 @@
+package policylearn
+
+import (
+	"math/rand"
+	"testing"
+
+	"osdp/internal/dataset"
+)
+
+func learnSchema() *dataset.Schema {
+	return dataset.NewSchema(
+		dataset.Field{Name: "Age", Kind: dataset.KindInt},
+		dataset.Field{Name: "OptIn", Kind: dataset.KindBool},
+		dataset.Field{Name: "Region", Kind: dataset.KindString},
+	)
+}
+
+// Ground-truth policy: minors or opted-out users are sensitive.
+func truthSensitive(age int64, optIn bool) bool {
+	return age <= 17 || !optIn
+}
+
+func genExamples(n int, seed int64) []Example {
+	s := learnSchema()
+	rng := rand.New(rand.NewSource(seed))
+	regions := []string{"north", "south", "east", "west"}
+	out := make([]Example, n)
+	for i := range out {
+		age := int64(rng.Intn(80))
+		optIn := rng.Float64() < 0.7
+		rec := dataset.NewRecord(s,
+			dataset.Int(age),
+			dataset.Bool(optIn),
+			dataset.Str(regions[rng.Intn(len(regions))]),
+		)
+		out[i] = Example{Record: rec, Sensitive: truthSensitive(age, optIn)}
+	}
+	return out
+}
+
+func TestLearnRecoversRulePolicy(t *testing.T) {
+	examples := genExamples(2000, 1)
+	lp, err := Learn(examples, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := genExamples(1000, 2)
+	agree := 0
+	for _, ex := range test {
+		if lp.Sensitive(ex.Record) == ex.Sensitive {
+			agree++
+		}
+	}
+	if rate := float64(agree) / float64(len(test)); rate < 0.9 {
+		t.Errorf("agreement %v, want > 0.9", rate)
+	}
+}
+
+func TestLearnedPolicyIsConservative(t *testing.T) {
+	examples := genExamples(2000, 3)
+	cfg := DefaultConfig()
+	cfg.MaxFNR = 0.02
+	lp, err := Learn(examples, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp.EstimatedFNR > 0.05 {
+		t.Errorf("estimated FNR %v above the cap (with slack)", lp.EstimatedFNR)
+	}
+	// Out-of-sample FNR should stay near the cap.
+	test := genExamples(2000, 4)
+	var missed, nSens float64
+	for _, ex := range test {
+		if !ex.Sensitive {
+			continue
+		}
+		nSens++
+		if !lp.Sensitive(ex.Record) {
+			missed++
+		}
+	}
+	if fnr := missed / nSens; fnr > 0.10 {
+		t.Errorf("out-of-sample FNR %v too high", fnr)
+	}
+}
+
+func TestTighterFNRCapLowersThreshold(t *testing.T) {
+	examples := genExamples(2000, 5)
+	loose := DefaultConfig()
+	loose.MaxFNR = 0.2
+	tight := DefaultConfig()
+	tight.MaxFNR = 0.005
+	lpLoose, err := Learn(examples, loose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lpTight, err := Learn(examples, tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lpTight.Threshold() > lpLoose.Threshold() {
+		t.Errorf("tight cap threshold %v above loose %v", lpTight.Threshold(), lpLoose.Threshold())
+	}
+}
+
+func TestAsPolicyIntegratesWithDataset(t *testing.T) {
+	examples := genExamples(1500, 6)
+	lp, err := Learn(examples, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := lp.AsPolicy("learned-gdpr")
+	if pol.Name() != "learned-gdpr" {
+		t.Errorf("policy name %q", pol.Name())
+	}
+	// Usable in a table split (tables compare schemas by identity, so
+	// reuse the examples' schema).
+	tb := dataset.NewTable(examples[0].Record.Schema())
+	for _, ex := range examples[:200] {
+		tb.Append(ex.Record)
+	}
+	sens, ns := tb.Split(pol)
+	if sens.Len()+ns.Len() != tb.Len() {
+		t.Error("learned policy split does not partition")
+	}
+	if sens.Len() == 0 || ns.Len() == 0 {
+		t.Error("learned policy is trivial")
+	}
+}
+
+func TestLearnErrors(t *testing.T) {
+	if _, err := Learn(genExamples(5, 7), DefaultConfig()); err == nil {
+		t.Error("tiny example set accepted")
+	}
+	cfg := DefaultConfig()
+	cfg.MaxFNR = 0
+	if _, err := Learn(genExamples(100, 8), cfg); err == nil {
+		t.Error("MaxFNR=0 accepted")
+	}
+	// Single-class examples.
+	examples := genExamples(200, 9)
+	for i := range examples {
+		examples[i].Sensitive = true
+	}
+	if _, err := Learn(examples, DefaultConfig()); err == nil {
+		t.Error("single-class examples accepted")
+	}
+	// Mixed schemas.
+	other := dataset.NewSchema(dataset.Field{Name: "Z", Kind: dataset.KindInt})
+	mixed := genExamples(100, 10)
+	mixed[0].Record = dataset.NewRecord(other, dataset.Int(1))
+	if _, err := Learn(mixed, DefaultConfig()); err == nil {
+		t.Error("mixed schemas accepted")
+	}
+}
+
+func TestEmbedderOneHot(t *testing.T) {
+	examples := genExamples(100, 11)
+	e := newEmbedder(learnSchema(), examples)
+	// Dim = Age(1) + OptIn(1) + |regions|.
+	if e.dim < 2+1 || e.dim > 2+4 {
+		t.Errorf("embedder dim = %d", e.dim)
+	}
+	v := e.vector(examples[0].Record)
+	if len(v) != e.dim {
+		t.Errorf("vector len %d != dim %d", len(v), e.dim)
+	}
+	// Numeric attributes are scaled by the max observed magnitude.
+	var maxAge float64
+	for _, ex := range examples {
+		if a := ex.Record.Get("Age").AsFloat(); a > maxAge {
+			maxAge = a
+		}
+	}
+	want := examples[0].Record.Get("Age").AsFloat() / maxAge
+	if v[0] != want {
+		t.Errorf("scaled age = %v, want %v", v[0], want)
+	}
+	for _, f := range v {
+		if f < -1 || f > 1 {
+			t.Errorf("feature %v outside [-1, 1]", f)
+		}
+	}
+}

@@ -1,0 +1,411 @@
+// Package privbayes implements PrivBayes (Zhang, Cormode, Procopiuc,
+// Srivastava & Xiao, SIGMOD 2014), the high-dimensional histogram
+// algorithm the paper names as recipe-extendable in §5.2, and PrivBayesz,
+// its OSDP upgrade via the same zero-detection recipe as DAWAz.
+//
+// PrivBayes publishes a multi-attribute contingency table in two phases:
+//
+//  1. Network learning (budget ε₁): greedily build a Bayesian network over
+//     the attributes — here a tree (each attribute gets at most one
+//     parent) — choosing each (child, parent) edge with the exponential
+//     mechanism whose utility is the empirical mutual information. The
+//     sensitivity bound for mutual information on n records is the
+//     standard Δ(I) = (2/n)·log((n+1)/2) + ((n−1)/n)·log((n+1)/(n−1)).
+//  2. Marginal release (budget ε₂): for each attribute, release the joint
+//     contingency of (child, parent) with Laplace noise, ε₂ split evenly
+//     across the d marginals; derive the conditional distributions.
+//
+// The joint estimate P̂(x₁…x_d) = Π P̂(xᵢ | parent(xᵢ)) then reconstructs
+// the full contingency table. Dimensionality is what defeats plain
+// Laplace here: the full table has Π|domainᵢ| cells of sensitivity 2,
+// while PrivBayes touches only d small 2-way marginals.
+package privbayes
+
+import (
+	"fmt"
+	"math"
+
+	"osdp/internal/core"
+	"osdp/internal/dataset"
+	"osdp/internal/histogram"
+	"osdp/internal/noise"
+)
+
+// Attribute declares one categorical dimension of the contingency table.
+type Attribute struct {
+	// Name is the dataset attribute name.
+	Name string
+	// Values is the ordered category list; records with values outside it
+	// are rejected at encoding time.
+	Values []string
+}
+
+// Encoder maps records to dense per-attribute category indices and flat
+// contingency-table cells.
+type Encoder struct {
+	attrs []Attribute
+	index []map[string]int
+	dims  []int
+}
+
+// NewEncoder builds an encoder over the given attributes. It panics on
+// empty attribute lists or duplicate category values, which indicate a
+// miswritten schema rather than bad data.
+func NewEncoder(attrs []Attribute) *Encoder {
+	if len(attrs) == 0 {
+		panic("privbayes: need at least one attribute")
+	}
+	e := &Encoder{attrs: attrs}
+	for _, a := range attrs {
+		if len(a.Values) == 0 {
+			panic(fmt.Sprintf("privbayes: attribute %q has no values", a.Name))
+		}
+		idx := make(map[string]int, len(a.Values))
+		for i, v := range a.Values {
+			if _, dup := idx[v]; dup {
+				panic(fmt.Sprintf("privbayes: duplicate value %q in attribute %q", v, a.Name))
+			}
+			idx[v] = i
+		}
+		e.index = append(e.index, idx)
+		e.dims = append(e.dims, len(a.Values))
+	}
+	return e
+}
+
+// Dims returns the per-attribute domain sizes.
+func (e *Encoder) Dims() []int { return e.dims }
+
+// TableSize returns the number of cells in the full contingency table.
+func (e *Encoder) TableSize() int {
+	n := 1
+	for _, d := range e.dims {
+		n *= d
+	}
+	return n
+}
+
+// Encode maps a record to per-attribute category indices, or an error if a
+// value is outside a declared domain.
+func (e *Encoder) Encode(r dataset.Record) ([]int, error) {
+	out := make([]int, len(e.attrs))
+	for i, a := range e.attrs {
+		v := r.Get(a.Name).AsString()
+		j, ok := e.index[i][v]
+		if !ok {
+			return nil, fmt.Errorf("privbayes: value %q outside the domain of %q", v, a.Name)
+		}
+		out[i] = j
+	}
+	return out, nil
+}
+
+// Cell flattens category indices to a contingency-table cell (row-major).
+func (e *Encoder) Cell(idx []int) int {
+	cell := 0
+	for i, j := range idx {
+		cell = cell*e.dims[i] + j
+	}
+	return cell
+}
+
+// Contingency evaluates the full contingency table of db (a histogram
+// with TableSize() bins). Records outside any domain are an error.
+func (e *Encoder) Contingency(db *dataset.Table) (*histogram.Histogram, error) {
+	h := histogram.New(e.TableSize())
+	for _, r := range db.Records() {
+		idx, err := e.Encode(r)
+		if err != nil {
+			return nil, err
+		}
+		h.Add(e.Cell(idx), 1)
+	}
+	return h, nil
+}
+
+// Edge is one learned network edge: child's parent, or -1 for a root.
+type Edge struct {
+	Child, Parent int
+}
+
+// Model is a learned PrivBayes network plus its noisy conditionals.
+type Model struct {
+	enc *Encoder
+	// edges[i] is attribute i's parent (-1 = root), in sampling order.
+	parent []int
+	// cond[i] is the conditional distribution of attribute i given its
+	// parent value: cond[i][parentValue][childValue]. Roots have a single
+	// pseudo parent value 0.
+	cond [][][]float64
+	// total is the noisy record count used to scale reconstructions.
+	total float64
+}
+
+// Algorithm is a configured PrivBayes instance.
+type Algorithm struct {
+	// StructureBudgetRatio is the share of ε for phase 1 (authors: 0.3–0.5).
+	StructureBudgetRatio float64
+}
+
+// New returns a PrivBayes instance with the default budget split.
+func New() *Algorithm {
+	return &Algorithm{StructureBudgetRatio: 0.3}
+}
+
+// Name identifies the algorithm in reports.
+func (a *Algorithm) Name() string { return "PrivBayes" }
+
+// Fit learns an eps-DP model of db over the encoder's attributes.
+func (a *Algorithm) Fit(enc *Encoder, db *dataset.Table, eps float64, src noise.Source) (*Model, error) {
+	if eps <= 0 {
+		return nil, fmt.Errorf("privbayes: eps must be positive")
+	}
+	if a.StructureBudgetRatio <= 0 || a.StructureBudgetRatio >= 1 {
+		return nil, fmt.Errorf("privbayes: structure budget ratio must lie in (0, 1)")
+	}
+	if db.Len() == 0 {
+		return nil, fmt.Errorf("privbayes: empty database")
+	}
+	encoded := make([][]int, db.Len())
+	for i, r := range db.Records() {
+		idx, err := enc.Encode(r)
+		if err != nil {
+			return nil, err
+		}
+		encoded[i] = idx
+	}
+	eps1 := eps * a.StructureBudgetRatio
+	eps2 := eps - eps1
+
+	parent := learnStructure(enc, encoded, eps1, src)
+	cond, total := releaseConditionals(enc, encoded, parent, eps2, src)
+	return &Model{enc: enc, parent: parent, cond: cond, total: total}, nil
+}
+
+// learnStructure greedily picks each attribute's parent with the
+// exponential mechanism over mutual information. The first attribute (the
+// root) is chosen uniformly; each subsequent attribute joins with the
+// in-network parent maximising noisy MI. ε₁ is split across the d−1
+// selections.
+func learnStructure(enc *Encoder, encoded [][]int, eps1 float64, src noise.Source) []int {
+	d := len(enc.dims)
+	parent := make([]int, d)
+	for i := range parent {
+		parent[i] = -1
+	}
+	if d == 1 {
+		return parent
+	}
+	n := float64(len(encoded))
+	// Sensitivity of mutual information on n records (PrivBayes Lemma 3,
+	// bounded model doubles it).
+	sens := 2 * ((2/n)*math.Log((n+1)/2) + ((n-1)/n)*math.Log((n+1)/(n-1)))
+	epsPerPick := eps1 / float64(d-1)
+
+	inNet := make([]bool, d)
+	root := int(math.Floor(src.Float64() * float64(d)))
+	if root == d {
+		root = d - 1
+	}
+	inNet[root] = true
+
+	for picked := 1; picked < d; picked++ {
+		// Candidates: (child not in net, parent in net).
+		type cand struct {
+			child, par int
+			mi         float64
+		}
+		var cands []cand
+		for c := 0; c < d; c++ {
+			if inNet[c] {
+				continue
+			}
+			for p := 0; p < d; p++ {
+				if !inNet[p] {
+					continue
+				}
+				cands = append(cands, cand{c, p, mutualInformation(enc, encoded, c, p)})
+			}
+		}
+		// Exponential mechanism: Pr ∝ exp(ε·u / (2Δ)).
+		weights := make([]float64, len(cands))
+		var maxU float64
+		for i, cd := range cands {
+			if cd.mi > maxU {
+				maxU = cd.mi
+			}
+			weights[i] = cd.mi
+		}
+		var sum float64
+		for i := range weights {
+			weights[i] = math.Exp(epsPerPick * (weights[i] - maxU) / (2 * sens))
+			sum += weights[i]
+		}
+		u := src.Float64() * sum
+		chosen := len(cands) - 1
+		for i, w := range weights {
+			u -= w
+			if u <= 0 {
+				chosen = i
+				break
+			}
+		}
+		parent[cands[chosen].child] = cands[chosen].par
+		inNet[cands[chosen].child] = true
+	}
+	return parent
+}
+
+// mutualInformation computes the empirical I(X_c; X_p) in nats.
+func mutualInformation(enc *Encoder, encoded [][]int, c, p int) float64 {
+	dc, dp := enc.dims[c], enc.dims[p]
+	joint := make([]float64, dc*dp)
+	mc := make([]float64, dc)
+	mp := make([]float64, dp)
+	n := float64(len(encoded))
+	for _, row := range encoded {
+		joint[row[c]*dp+row[p]]++
+		mc[row[c]]++
+		mp[row[p]]++
+	}
+	var mi float64
+	for i := 0; i < dc; i++ {
+		for j := 0; j < dp; j++ {
+			pij := joint[i*dp+j] / n
+			if pij == 0 {
+				continue
+			}
+			mi += pij * math.Log(pij/(mc[i]/n*mp[j]/n))
+		}
+	}
+	return mi
+}
+
+// releaseConditionals releases each attribute's (child, parent) joint with
+// Laplace noise (ε₂ split evenly over the d marginals, each of sensitivity
+// 2) and normalises to conditional distributions.
+func releaseConditionals(enc *Encoder, encoded [][]int, parent []int, eps2 float64, src noise.Source) ([][][]float64, float64) {
+	d := len(enc.dims)
+	scale := 2 * float64(d) / eps2
+	cond := make([][][]float64, d)
+	var total float64
+	for c := 0; c < d; c++ {
+		dp := 1
+		if parent[c] >= 0 {
+			dp = enc.dims[parent[c]]
+		}
+		dc := enc.dims[c]
+		counts := make([][]float64, dp)
+		for j := range counts {
+			counts[j] = make([]float64, dc)
+		}
+		for _, row := range encoded {
+			pj := 0
+			if parent[c] >= 0 {
+				pj = row[parent[c]]
+			}
+			counts[pj][row[c]]++
+		}
+		var marginalTotal float64
+		for j := range counts {
+			for k := range counts[j] {
+				v := counts[j][k] + noise.Laplace(src, scale)
+				if v < 0 {
+					v = 0
+				}
+				counts[j][k] = v
+				marginalTotal += v
+			}
+		}
+		// Normalise each parent slice to a distribution; empty slices fall
+		// back to uniform.
+		for j := range counts {
+			var s float64
+			for _, v := range counts[j] {
+				s += v
+			}
+			if s == 0 {
+				for k := range counts[j] {
+					counts[j][k] = 1 / float64(dc)
+				}
+				continue
+			}
+			for k := range counts[j] {
+				counts[j][k] /= s
+			}
+		}
+		cond[c] = counts
+		if c == 0 {
+			total = marginalTotal
+		}
+	}
+	return cond, total
+}
+
+// Reconstruct materialises the model's estimate of the full contingency
+// table: cell count = total · Π P̂(xᵢ | parentᵢ). Evaluation of the joint
+// follows the network's topological order implicitly — conditionals are
+// stored per attribute, so the product is order-free.
+func (m *Model) Reconstruct() *histogram.Histogram {
+	size := m.enc.TableSize()
+	h := histogram.New(size)
+	d := len(m.enc.dims)
+	idx := make([]int, d)
+	for cell := 0; cell < size; cell++ {
+		// Unflatten (row-major).
+		rem := cell
+		for i := d - 1; i >= 0; i-- {
+			idx[i] = rem % m.enc.dims[i]
+			rem /= m.enc.dims[i]
+		}
+		p := 1.0
+		for c := 0; c < d; c++ {
+			pj := 0
+			if m.parent[c] >= 0 {
+				pj = idx[m.parent[c]]
+			}
+			p *= m.cond[c][pj][idx[c]]
+		}
+		h.SetCount(cell, m.total*p)
+	}
+	return h
+}
+
+// Parents exposes the learned structure for tests and reports.
+func (m *Model) Parents() []int { return append([]int(nil), m.parent...) }
+
+// PrivBayesz upgrades PrivBayes to (P, ε)-OSDP via the §5.2 recipe: the
+// zero set of the full contingency table is detected from the
+// non-sensitive records with ρ·ε, PrivBayes runs with (1−ρ)·ε, detected
+// cells are zeroed, and the surviving cells are rescaled to preserve the
+// estimate's total mass. (The count-ratio rescale of
+// core.ApplyZeroSetGroups assumes within-group-uniform estimates — true
+// for DAWA/AHP/AGrid buckets, false for a Bayesian-network joint — so the
+// mass-ratio form is used here.) All steps after the two budgeted phases
+// are post-processing.
+func PrivBayesz(alg *Algorithm, enc *Encoder, db *dataset.Table, p dataset.Policy, eps, rho float64, src noise.Source) (*histogram.Histogram, error) {
+	epsZero, epsDP := core.SplitBudget(eps, rho)
+	_, ns := db.Split(p)
+	xns, err := enc.Contingency(ns)
+	if err != nil {
+		return nil, err
+	}
+	zeros := core.RRZeroDetector(xns, epsZero, src)
+	model, err := alg.Fit(enc, db, epsDP, src)
+	if err != nil {
+		return nil, err
+	}
+	est := model.Reconstruct()
+	total := est.Scale()
+	out := est.Clone()
+	for _, z := range zeros {
+		out.SetCount(z, 0)
+	}
+	if surviving := out.Scale(); surviving > 0 {
+		ratio := total / surviving
+		for i := 0; i < out.Bins(); i++ {
+			out.SetCount(i, out.Count(i)*ratio)
+		}
+	}
+	return out, nil
+}

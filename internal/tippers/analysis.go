@@ -1,0 +1,171 @@
+package tippers
+
+import (
+	"sort"
+	"strconv"
+
+	"osdp/internal/classify"
+	"osdp/internal/histogram"
+	"osdp/internal/mechanism"
+)
+
+// This file derives the paper's analysis inputs from trajectory sets:
+// classification features (§6.2), n-gram distinct-user counts (§6.3.2),
+// and the 2-D AP×hour histogram (§6.3.3.1).
+
+// MineFrequentTrigrams returns the 3-gram patterns appearing in at least
+// minSupport trajectories, sorted for determinism. The paper mines
+// (AP1, AP2, AP3) patterns with support ≥ 50 as classification features.
+func MineFrequentTrigrams(trajs []*Trajectory, minSupport int) []string {
+	counts := make(map[string]int)
+	for _, t := range trajs {
+		for _, g := range t.NGrams(3) {
+			counts[g]++
+		}
+	}
+	var out []string
+	for g, c := range counts {
+		if c >= minSupport {
+			out = append(out, g)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FeatureSet fixes the feature layout so train and test trajectories are
+// embedded consistently: [duration, distinct APs, per-AP visit counts (64),
+// one count per mined frequent trigram].
+type FeatureSet struct {
+	Patterns []string
+	patIdx   map[string]int
+}
+
+// NewFeatureSet builds the layout from mined patterns.
+func NewFeatureSet(patterns []string) *FeatureSet {
+	fs := &FeatureSet{Patterns: patterns, patIdx: make(map[string]int, len(patterns))}
+	for i, p := range patterns {
+		fs.patIdx[p] = i
+	}
+	return fs
+}
+
+// Dim returns the feature dimension.
+func (fs *FeatureSet) Dim() int { return 2 + NumAPs + len(fs.Patterns) }
+
+// Vector embeds one trajectory.
+func (fs *FeatureSet) Vector(t *Trajectory) []float64 {
+	v := make([]float64, fs.Dim())
+	v[0] = float64(t.Duration())
+	v[1] = float64(t.DistinctAPs())
+	for _, ap := range t.Slots {
+		if ap >= 0 {
+			v[2+int(ap)]++
+		}
+	}
+	// Count occurrences of each frequent trigram (not just presence).
+	for i := 0; i+3 <= SlotsPerDay; i++ {
+		if t.Slots[i] < 0 || t.Slots[i+1] < 0 || t.Slots[i+2] < 0 {
+			continue
+		}
+		key := gramKey(t.Slots[i], t.Slots[i+1], t.Slots[i+2])
+		if j, ok := fs.patIdx[key]; ok {
+			v[2+NumAPs+j]++
+		}
+	}
+	return v
+}
+
+func gramKey(a, b, c int8) string {
+	return strconv.Itoa(int(a)) + ">" + strconv.Itoa(int(b)) + ">" + strconv.Itoa(int(c))
+}
+
+// ClassificationDataset embeds trajectories as a classify.Dataset labelled
+// with resident ground truth.
+func ClassificationDataset(trajs []*Trajectory, fs *FeatureSet) classify.Dataset {
+	d := classify.Dataset{
+		X: make([][]float64, len(trajs)),
+		Y: make([]int, len(trajs)),
+	}
+	for i, t := range trajs {
+		d.X[i] = fs.Vector(t)
+		if t.Resident {
+			d.Y[i] = 1
+		}
+	}
+	return d
+}
+
+// NGramCounts returns the distinct-trajectory count of every n-gram in the
+// given trajectory set (the true histogram x of §6.3.2, materialised
+// sparsely because the domain has 64ⁿ bins).
+func NGramCounts(trajs []*Trajectory, n int) histogram.SparseCounts {
+	out := make(histogram.SparseCounts)
+	for _, t := range trajs {
+		for _, g := range t.NGrams(n) {
+			out[g]++
+		}
+	}
+	return out
+}
+
+// NGramDomainSize returns |domain| = 64ⁿ as a float (it overflows int early).
+func NGramDomainSize(n int) float64 {
+	size := 1.0
+	for i := 0; i < n; i++ {
+		size *= NumAPs
+	}
+	return size
+}
+
+// UserGramLists converts trajectories to the per-user n-gram lists consumed
+// by the truncated Laplace baseline (mechanism.NGramLaplace). Each
+// trajectory is one privacy unit, matching the paper's daily-trajectory
+// neighbor definition.
+func UserGramLists(trajs []*Trajectory, n int) []mechanism.UserGrams {
+	out := make([]mechanism.UserGrams, len(trajs))
+	for i, t := range trajs {
+		out[i] = mechanism.UserGrams(t.NGrams(n))
+	}
+	return out
+}
+
+// HoursPerDay is the bin count of the time dimension of the 2-D histogram.
+const HoursPerDay = 24
+
+// Hist2D builds the paper's 2-D histogram: the number of distinct users
+// connected to each access point during each hour, over the given
+// trajectories, flattened row-major as AP×hour (64×24 = 1536 bins).
+func Hist2D(trajs []*Trajectory) *histogram.Histogram {
+	h := histogram.New(NumAPs * HoursPerDay)
+	slotsPerHour := SlotsPerDay / HoursPerDay
+	type cell struct{ user, bin int }
+	seen := make(map[cell]bool)
+	for _, t := range trajs {
+		for s, ap := range t.Slots {
+			if ap < 0 {
+				continue
+			}
+			hour := s / slotsPerHour
+			bin := int(ap)*HoursPerDay + hour
+			key := cell{t.User, bin}
+			if !seen[key] {
+				seen[key] = true
+				h.Add(bin, 1)
+			}
+		}
+	}
+	return h
+}
+
+// Hist2DSplit evaluates the 2-D histogram over all trajectories and over
+// the non-sensitive subset — the (x, xns) pair the OSDP mechanisms need.
+func Hist2DSplit(trajs []*Trajectory, p Policy) (x, xns *histogram.Histogram) {
+	var ns []*Trajectory
+	for _, t := range trajs {
+		if p.NonSensitive(t) {
+			ns = append(ns, t)
+		}
+	}
+	return Hist2D(trajs), Hist2D(ns)
+}

@@ -1,0 +1,50 @@
+package tippers_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"osdp/internal/tippers"
+)
+
+// Generate a corpus, derive the paper's P75 policy, and release a true
+// trajectory sample under (P, 1)-OSDP.
+func ExampleCorpus_ReleaseRR() {
+	cfg := tippers.DefaultConfig()
+	cfg.Users = 200
+	cfg.Days = 10
+	corpus := tippers.Generate(cfg)
+
+	policy := corpus.PolicyForShare(0.75) // ≥25% of trajectories sensitive
+	released := corpus.ReleaseRR(policy, 1.0, rand.New(rand.NewSource(1)))
+
+	leaked := 0
+	for _, t := range released {
+		if policy.Sensitive(t) {
+			leaked++
+		}
+	}
+	fmt.Println("sensitive trajectories released:", leaked)
+	fmt.Println("released non-empty:", len(released) > 0)
+	// Output:
+	// sensitive trajectories released: 0
+	// released non-empty: true
+}
+
+// The §7 constraint closure hardens a policy against reachability
+// inference: enclosed locations become sensitive too.
+func ExampleTopology_ClosePolicy() {
+	topo := tippers.GridTopology()
+	// Surround zone 9 with sensitive zones; zone 9 itself is reachable
+	// only through them.
+	ring := tippers.Policy{
+		Name:         "ring",
+		SensitiveAPs: map[int]bool{1: true, 8: true, 10: true, 17: true},
+	}
+	fmt.Println("leaking:", topo.LeakingAPs(ring))
+	closed := topo.ClosePolicy(ring)
+	fmt.Println("zone 9 sensitive after closure:", closed.SensitiveAPs[9])
+	// Output:
+	// leaking: [9]
+	// zone 9 sensitive after closure: true
+}

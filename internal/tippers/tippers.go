@@ -1,0 +1,422 @@
+// Package tippers simulates the TIPPERS dataset of the paper's evaluation
+// (§6.1.1): Wi-Fi connectivity traces from a smart building with 64 access
+// points, discretised to 10-minute intervals, one trajectory per user per
+// day. The real dataset (UC Irvine's Bren Hall testbed) is IRB-restricted,
+// so this package generates synthetic traces that preserve the structural
+// properties the experiments depend on:
+//
+//   - two behavioural populations — residents with long, routine,
+//     office-anchored, evening-tailed days, and visitors with short
+//     erratic visits — so the resident/visitor classification task of
+//     §6.3.1 is learnable;
+//   - heavy-tailed access-point popularity, so n-gram histograms (§6.3.2)
+//     are sparse with a few heavy trajectories;
+//   - access-point-level privacy policies ("every trajectory through a
+//     sensitive AP is sensitive"), so sensitivity is value-correlated and
+//     histogram bins tend to be purely sensitive or purely non-sensitive,
+//     the property behind §6.3.3.1's observations.
+package tippers
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Building geometry and time discretisation, matching the paper.
+const (
+	// NumAPs is the number of Wi-Fi access points (64 in Bren Hall).
+	NumAPs = 64
+	// SlotsPerDay is the number of 10-minute intervals in a day.
+	SlotsPerDay = 144
+	// SlotMinutes is the slot width in minutes.
+	SlotMinutes = 10
+)
+
+// Trajectory is one user's movement on one day: Slots[i] holds the AP the
+// user was connected to during 10-minute interval i, or -1 when absent.
+type Trajectory struct {
+	User     int
+	Day      int
+	Resident bool // generator ground truth (stands in for the paper's heuristic labels)
+	Slots    [SlotsPerDay]int8
+}
+
+// Duration returns the number of slots the user was present.
+func (t *Trajectory) Duration() int {
+	n := 0
+	for _, ap := range t.Slots {
+		if ap >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// DistinctAPs returns the number of distinct access points visited.
+func (t *Trajectory) DistinctAPs() int {
+	var seen [NumAPs]bool
+	n := 0
+	for _, ap := range t.Slots {
+		if ap >= 0 && !seen[ap] {
+			seen[ap] = true
+			n++
+		}
+	}
+	return n
+}
+
+// VisitsAP reports whether the trajectory ever connects to ap.
+func (t *Trajectory) VisitsAP(ap int) bool {
+	for _, a := range t.Slots {
+		if int(a) == ap {
+			return true
+		}
+	}
+	return false
+}
+
+// NGrams returns the distinct n-grams of the trajectory: sequences of APs
+// at n consecutive present slots, rendered as "a>b>c" keys. Duplicate
+// occurrences within the trajectory are collapsed, matching the paper's
+// distinct-user counting.
+func (t *Trajectory) NGrams(n int) []string {
+	if n < 1 {
+		panic("tippers: n-gram size must be positive")
+	}
+	seen := make(map[string]bool)
+	var out []string
+	var parts []string
+	for i := 0; i+n <= SlotsPerDay; i++ {
+		ok := true
+		parts = parts[:0]
+		for j := i; j < i+n; j++ {
+			if t.Slots[j] < 0 {
+				ok = false
+				break
+			}
+			parts = append(parts, strconv.Itoa(int(t.Slots[j])))
+		}
+		if !ok {
+			continue
+		}
+		key := strings.Join(parts, ">")
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, key)
+		}
+	}
+	return out
+}
+
+// Config parameterises the generator.
+type Config struct {
+	// Users is the total population size.
+	Users int
+	// Days is the number of simulated days.
+	Days int
+	// ResidentFrac is the fraction of users that are residents
+	// (the paper's data has 381 residents among 16K users ≈ 2.4%).
+	ResidentFrac float64
+	// ResidentPresence and VisitorPresence are per-day presence
+	// probabilities for the two populations.
+	ResidentPresence, VisitorPresence float64
+	// Weekends, when true, treats every 6th and 7th day as a weekend:
+	// resident presence drops to a fifth and visitor presence to a
+	// quarter, giving the traces the weekly rhythm of a real office
+	// building.
+	Weekends bool
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// IsWeekend reports whether day falls on the simulated weekend (days 5 and
+// 6 of each 7-day week).
+func IsWeekend(day int) bool { return day%7 >= 5 }
+
+// DefaultConfig returns a laptop-scale configuration that preserves the
+// paper's population proportions.
+func DefaultConfig() Config {
+	return Config{
+		Users:            800,
+		Days:             30,
+		ResidentFrac:     0.05,
+		ResidentPresence: 0.8,
+		VisitorPresence:  0.12,
+		Seed:             1,
+	}
+}
+
+// Corpus is the generated trace: all trajectories plus the AP popularity
+// ranking the generator used.
+type Corpus struct {
+	Trajectories []*Trajectory
+	// apWeight is the sampling weight of each AP (heavy-tailed).
+	apWeight [NumAPs]float64
+}
+
+// Generate produces a synthetic TIPPERS corpus.
+func Generate(cfg Config) *Corpus {
+	if cfg.Users <= 0 || cfg.Days <= 0 {
+		panic("tippers: Users and Days must be positive")
+	}
+	if cfg.ResidentFrac < 0 || cfg.ResidentFrac > 1 {
+		panic("tippers: ResidentFrac outside [0, 1]")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	c := &Corpus{}
+
+	// Heavy-tailed AP popularity: Zipf-ish weights over a random AP order.
+	perm := rng.Perm(NumAPs)
+	for rank, ap := range perm {
+		c.apWeight[ap] = 1.0 / float64(rank+1)
+	}
+
+	nResidents := int(float64(cfg.Users) * cfg.ResidentFrac)
+	for user := 0; user < cfg.Users; user++ {
+		resident := user < nResidents
+		// Residents anchor on 2–3 "office" APs drawn from the popularity
+		// distribution; visitors roam.
+		var home []int8
+		if resident {
+			for len(home) < 2+rng.Intn(2) {
+				home = append(home, int8(c.sampleAP(rng)))
+			}
+		}
+		for day := 0; day < cfg.Days; day++ {
+			presence := cfg.VisitorPresence
+			if resident {
+				presence = cfg.ResidentPresence
+			}
+			if cfg.Weekends && IsWeekend(day) {
+				if resident {
+					presence /= 5
+				} else {
+					presence /= 4
+				}
+			}
+			if rng.Float64() >= presence {
+				continue
+			}
+			c.Trajectories = append(c.Trajectories, c.genDay(user, day, resident, home, rng))
+		}
+	}
+	return c
+}
+
+// sampleAP draws an AP from the popularity distribution.
+func (c *Corpus) sampleAP(rng *rand.Rand) int {
+	var total float64
+	for _, w := range c.apWeight {
+		total += w
+	}
+	u := rng.Float64() * total
+	for ap, w := range c.apWeight {
+		u -= w
+		if u <= 0 {
+			return ap
+		}
+	}
+	return NumAPs - 1
+}
+
+// genDay simulates one trajectory.
+func (c *Corpus) genDay(user, day int, resident bool, home []int8, rng *rand.Rand) *Trajectory {
+	t := &Trajectory{User: user, Day: day, Resident: resident}
+	for i := range t.Slots {
+		t.Slots[i] = -1
+	}
+	var arrive, stay int
+	if resident {
+		// Arrive ~8:40 ± 1h, stay 6–10 h; 25% work into the evening.
+		arrive = clampSlot(52 + int(rng.NormFloat64()*6))
+		stay = 36 + rng.Intn(25) // 6h..10h in slots
+		if rng.Float64() < 0.25 {
+			stay += 12 + rng.Intn(18) // evening tail: +2..5h
+		}
+	} else {
+		// Arrive uniformly 9:00–18:00, stay 30 min – 3 h.
+		arrive = 54 + rng.Intn(54)
+		stay = 3 + rng.Intn(16)
+	}
+	end := arrive + stay
+	if end > SlotsPerDay {
+		end = SlotsPerDay
+	}
+
+	cur := c.startAP(resident, home, rng)
+	dwell := c.dwell(resident, rng)
+	for s := arrive; s < end; s++ {
+		t.Slots[s] = cur
+		dwell--
+		if dwell <= 0 {
+			cur = c.nextAP(resident, home, cur, rng)
+			dwell = c.dwell(resident, rng)
+		}
+	}
+	return t
+}
+
+func (c *Corpus) startAP(resident bool, home []int8, rng *rand.Rand) int8 {
+	if resident && len(home) > 0 {
+		return home[rng.Intn(len(home))]
+	}
+	return int8(c.sampleAP(rng))
+}
+
+// dwell returns how many slots the user stays at the current AP: residents
+// settle (~50 min), visitors churn (~20 min).
+func (c *Corpus) dwell(resident bool, rng *rand.Rand) int {
+	mean := 2.0
+	if resident {
+		mean = 5.0
+	}
+	d := int(rng.ExpFloat64()*mean) + 1
+	if d > 30 {
+		d = 30
+	}
+	return d
+}
+
+// nextAP picks the user's next location: residents mostly bounce between
+// their home APs, visitors follow popularity.
+func (c *Corpus) nextAP(resident bool, home []int8, cur int8, rng *rand.Rand) int8 {
+	if resident && len(home) > 0 && rng.Float64() < 0.75 {
+		return home[rng.Intn(len(home))]
+	}
+	return int8(c.sampleAP(rng))
+}
+
+func clampSlot(s int) int {
+	if s < 0 {
+		return 0
+	}
+	if s >= SlotsPerDay {
+		return SlotsPerDay - 1
+	}
+	return s
+}
+
+// APCoverage returns, per AP, the fraction of trajectories visiting it.
+func (c *Corpus) APCoverage() [NumAPs]float64 {
+	var cov [NumAPs]float64
+	if len(c.Trajectories) == 0 {
+		return cov
+	}
+	for _, t := range c.Trajectories {
+		var seen [NumAPs]bool
+		for _, ap := range t.Slots {
+			if ap >= 0 {
+				seen[ap] = true
+			}
+		}
+		for ap, s := range seen {
+			if s {
+				cov[ap]++
+			}
+		}
+	}
+	for ap := range cov {
+		cov[ap] /= float64(len(c.Trajectories))
+	}
+	return cov
+}
+
+// Policy marks trajectories sensitive when they pass through any sensitive
+// access point — the paper's AP-level policy recipe (§6.1.1). It is the
+// trajectory-granularity counterpart of dataset.Policy.
+type Policy struct {
+	Name         string
+	SensitiveAPs map[int]bool
+}
+
+// Sensitive reports whether the trajectory is sensitive (P(t) = 0).
+func (p Policy) Sensitive(t *Trajectory) bool {
+	for _, ap := range t.Slots {
+		if ap >= 0 && p.SensitiveAPs[int(ap)] {
+			return true
+		}
+	}
+	return false
+}
+
+// NonSensitive reports P(t) = 1.
+func (p Policy) NonSensitive(t *Trajectory) bool { return !p.Sensitive(t) }
+
+// NonSensitiveShare returns the fraction of trajectories that are
+// non-sensitive under p.
+func (c *Corpus) NonSensitiveShare(p Policy) float64 {
+	if len(c.Trajectories) == 0 {
+		return 1
+	}
+	ns := 0
+	for _, t := range c.Trajectories {
+		if p.NonSensitive(t) {
+			ns++
+		}
+	}
+	return float64(ns) / float64(len(c.Trajectories))
+}
+
+// PolicyForShare constructs the paper's P_ρ: it greedily marks access
+// points sensitive — least-visited first, so the sensitive set stays
+// small and localised like a lounge or restroom — until the non-sensitive
+// share of trajectories drops to at most target (e.g. 0.99 for P99).
+func (c *Corpus) PolicyForShare(target float64) Policy {
+	if target < 0 || target > 1 {
+		panic("tippers: target share outside [0, 1]")
+	}
+	cov := c.APCoverage()
+	order := make([]int, NumAPs)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return cov[order[a]] < cov[order[b]] })
+
+	p := Policy{
+		Name:         fmt.Sprintf("P%d", int(target*100+0.5)),
+		SensitiveAPs: make(map[int]bool),
+	}
+	for _, ap := range order {
+		if c.NonSensitiveShare(p) <= target {
+			break
+		}
+		p.SensitiveAPs[ap] = true
+	}
+	return p
+}
+
+// ReleaseRR applies OsdpRR (Algorithm 1) at trajectory granularity: every
+// non-sensitive trajectory is released truthfully with probability
+// 1 − e^(−ε); sensitive trajectories are always suppressed. The daily
+// trajectory is the paper's unit of privacy, so this satisfies
+// (P_traj, ε)-OSDP with one-sided neighbors that replace one sensitive
+// trajectory.
+func (c *Corpus) ReleaseRR(p Policy, eps float64, rng *rand.Rand) []*Trajectory {
+	if eps <= 0 {
+		panic("tippers: eps must be positive")
+	}
+	keep := 1 - math.Exp(-eps)
+	var out []*Trajectory
+	for _, t := range c.Trajectories {
+		if p.NonSensitive(t) && rng.Float64() < keep {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// ReleaseAllNS returns every non-sensitive trajectory — the All NS
+// baseline, which is vulnerable to exclusion attacks.
+func (c *Corpus) ReleaseAllNS(p Policy) []*Trajectory {
+	var out []*Trajectory
+	for _, t := range c.Trajectories {
+		if p.NonSensitive(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,400 @@
+package tippers
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"osdp/internal/classify"
+)
+
+func smallCorpus() *Corpus {
+	cfg := DefaultConfig()
+	cfg.Users = 300
+	cfg.Days = 20
+	return Generate(cfg)
+}
+
+func TestGenerateBasicShape(t *testing.T) {
+	c := smallCorpus()
+	if len(c.Trajectories) == 0 {
+		t.Fatal("no trajectories generated")
+	}
+	for _, tr := range c.Trajectories {
+		if tr.Duration() == 0 {
+			t.Fatal("empty trajectory emitted")
+		}
+		for _, ap := range tr.Slots {
+			if ap < -1 || int(ap) >= NumAPs {
+				t.Fatalf("AP %d out of range", ap)
+			}
+		}
+	}
+}
+
+func TestGeneratePanicsOnBadConfig(t *testing.T) {
+	for _, cfg := range []Config{
+		{Users: 0, Days: 1},
+		{Users: 1, Days: 0},
+		{Users: 1, Days: 1, ResidentFrac: 1.5},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v did not panic", cfg)
+				}
+			}()
+			Generate(cfg)
+		}()
+	}
+}
+
+func TestResidentsStayLongerAndMoreOften(t *testing.T) {
+	c := smallCorpus()
+	var resDur, visDur, resN, visN float64
+	for _, tr := range c.Trajectories {
+		if tr.Resident {
+			resDur += float64(tr.Duration())
+			resN++
+		} else {
+			visDur += float64(tr.Duration())
+			visN++
+		}
+	}
+	if resN == 0 || visN == 0 {
+		t.Fatal("one population missing")
+	}
+	if resDur/resN < 2*(visDur/visN) {
+		t.Errorf("resident mean duration %v not much larger than visitor %v",
+			resDur/resN, visDur/visN)
+	}
+	// Residents are a small fraction of users but trajectory-heavy.
+	perCapitaRes := resN / (300 * 0.05)
+	perCapitaVis := visN / (300 * 0.95)
+	if perCapitaRes < 3*perCapitaVis {
+		t.Errorf("resident per-capita trajectories %v vs visitor %v", perCapitaRes, perCapitaVis)
+	}
+}
+
+func TestWeekendsThinTraffic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Users = 400
+	cfg.Days = 28
+	cfg.Weekends = true
+	c := Generate(cfg)
+	var weekday, weekend float64
+	for _, tr := range c.Trajectories {
+		if IsWeekend(tr.Day) {
+			weekend++
+		} else {
+			weekday++
+		}
+	}
+	// 20 weekdays vs 8 weekend days; per-day traffic should differ by far
+	// more than the 2.5× day-count ratio.
+	perWeekday := weekday / 20
+	perWeekend := weekend / 8
+	if perWeekday < 3*perWeekend {
+		t.Errorf("per-day traffic weekday %v vs weekend %v; weekends not thinned",
+			perWeekday, perWeekend)
+	}
+	// Default config remains weekend-free and unaffected.
+	if IsWeekend(4) || !IsWeekend(5) || !IsWeekend(6) || IsWeekend(7) {
+		t.Error("IsWeekend boundaries wrong")
+	}
+}
+
+func TestAPPopularityHeavyTailed(t *testing.T) {
+	c := smallCorpus()
+	cov := c.APCoverage()
+	var max, min float64 = 0, 1
+	for _, v := range cov {
+		if v > max {
+			max = v
+		}
+		if v < min {
+			min = v
+		}
+	}
+	if max < 5*min+0.01 {
+		t.Errorf("AP coverage not heavy-tailed: max %v, min %v", max, min)
+	}
+}
+
+func TestNGramsConsecutiveOnly(t *testing.T) {
+	tr := &Trajectory{}
+	for i := range tr.Slots {
+		tr.Slots[i] = -1
+	}
+	tr.Slots[10], tr.Slots[11], tr.Slots[12] = 1, 2, 3
+	tr.Slots[20] = 4 // isolated: no 2-gram through it
+	g2 := tr.NGrams(2)
+	want := map[string]bool{"1>2": true, "2>3": true}
+	if len(g2) != 2 {
+		t.Fatalf("2-grams = %v", g2)
+	}
+	for _, g := range g2 {
+		if !want[g] {
+			t.Fatalf("unexpected 2-gram %q", g)
+		}
+	}
+	g3 := tr.NGrams(3)
+	if len(g3) != 1 || g3[0] != "1>2>3" {
+		t.Fatalf("3-grams = %v", g3)
+	}
+}
+
+func TestNGramsDeduplicated(t *testing.T) {
+	tr := &Trajectory{}
+	for i := range tr.Slots {
+		tr.Slots[i] = -1
+	}
+	// Pattern 5>6 appears twice.
+	tr.Slots[0], tr.Slots[1] = 5, 6
+	tr.Slots[30], tr.Slots[31] = 5, 6
+	if g := tr.NGrams(2); len(g) != 1 {
+		t.Fatalf("duplicate n-gram not collapsed: %v", g)
+	}
+}
+
+func TestNGramsPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("n=0 did not panic")
+		}
+	}()
+	(&Trajectory{}).NGrams(0)
+}
+
+func TestPolicyForShareHitsTargets(t *testing.T) {
+	c := smallCorpus()
+	for _, target := range []float64{0.99, 0.9, 0.75, 0.5, 0.25, 0.1} {
+		p := c.PolicyForShare(target)
+		share := c.NonSensitiveShare(p)
+		if share > target {
+			t.Errorf("target %v: share %v above target", target, share)
+		}
+		// Greedy granularity: the share shouldn't wildly undershoot either.
+		if share < target-0.35 {
+			t.Errorf("target %v: share %v far below target", target, share)
+		}
+	}
+}
+
+func TestPolicyForShareExtremes(t *testing.T) {
+	c := smallCorpus()
+	p0 := c.PolicyForShare(1.0)
+	if len(p0.SensitiveAPs) != 0 {
+		t.Error("target 1.0 should mark nothing sensitive")
+	}
+	pAll := c.PolicyForShare(0.0)
+	if share := c.NonSensitiveShare(pAll); share > 0 {
+		t.Errorf("target 0: share %v", share)
+	}
+}
+
+func TestPolicySensitivityMatchesAPSet(t *testing.T) {
+	c := smallCorpus()
+	p := c.PolicyForShare(0.75)
+	for _, tr := range c.Trajectories {
+		visits := false
+		for ap := range p.SensitiveAPs {
+			if tr.VisitsAP(ap) {
+				visits = true
+				break
+			}
+		}
+		if visits != p.Sensitive(tr) {
+			t.Fatal("policy sensitivity disagrees with AP membership")
+		}
+	}
+}
+
+func TestReleaseRRProperties(t *testing.T) {
+	c := smallCorpus()
+	p := c.PolicyForShare(0.75)
+	rng := rand.New(rand.NewSource(3))
+	out := c.ReleaseRR(p, 1.0, rng)
+	for _, tr := range out {
+		if p.Sensitive(tr) {
+			t.Fatal("sensitive trajectory released")
+		}
+	}
+	nsTotal := 0
+	for _, tr := range c.Trajectories {
+		if p.NonSensitive(tr) {
+			nsTotal++
+		}
+	}
+	rate := float64(len(out)) / float64(nsTotal)
+	want := 1 - math.Exp(-1)
+	if math.Abs(rate-want) > 0.06 {
+		t.Errorf("release rate %v, want ~%v", rate, want)
+	}
+}
+
+func TestReleaseAllNS(t *testing.T) {
+	c := smallCorpus()
+	p := c.PolicyForShare(0.5)
+	out := c.ReleaseAllNS(p)
+	nsTotal := 0
+	for _, tr := range c.Trajectories {
+		if p.NonSensitive(tr) {
+			nsTotal++
+		}
+	}
+	if len(out) != nsTotal {
+		t.Errorf("AllNS released %d, want %d", len(out), nsTotal)
+	}
+}
+
+func TestReleaseRRPanicsOnBadEps(t *testing.T) {
+	c := smallCorpus()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("eps=0 did not panic")
+		}
+	}()
+	c.ReleaseRR(Policy{}, 0, rand.New(rand.NewSource(1)))
+}
+
+func TestMineFrequentTrigrams(t *testing.T) {
+	c := smallCorpus()
+	pats := MineFrequentTrigrams(c.Trajectories, 30)
+	if len(pats) == 0 {
+		t.Fatal("no frequent trigrams found; generator should produce routine movement")
+	}
+	// Verify support is honoured.
+	counts := make(map[string]int)
+	for _, tr := range c.Trajectories {
+		for _, g := range tr.NGrams(3) {
+			counts[g]++
+		}
+	}
+	for _, pat := range pats {
+		if counts[pat] < 30 {
+			t.Errorf("pattern %q has support %d < 30", pat, counts[pat])
+		}
+	}
+}
+
+func TestFeatureVectorLayout(t *testing.T) {
+	fs := NewFeatureSet([]string{"1>2>3"})
+	if fs.Dim() != 2+NumAPs+1 {
+		t.Fatalf("Dim = %d", fs.Dim())
+	}
+	tr := &Trajectory{}
+	for i := range tr.Slots {
+		tr.Slots[i] = -1
+	}
+	tr.Slots[0], tr.Slots[1], tr.Slots[2], tr.Slots[3] = 1, 2, 3, 3
+	v := fs.Vector(tr)
+	if v[0] != 4 { // duration
+		t.Errorf("duration feature = %v", v[0])
+	}
+	if v[1] != 3 { // distinct APs
+		t.Errorf("distinct feature = %v", v[1])
+	}
+	if v[2+3] != 2 { // AP 3 visited twice
+		t.Errorf("AP3 count = %v", v[2+3])
+	}
+	if v[2+NumAPs] != 1 { // pattern 1>2>3 occurs once
+		t.Errorf("pattern count = %v", v[2+NumAPs])
+	}
+}
+
+func TestClassificationDatasetLearnable(t *testing.T) {
+	c := smallCorpus()
+	pats := MineFrequentTrigrams(c.Trajectories, 50)
+	fs := NewFeatureSet(pats)
+	d := ClassificationDataset(c.Trajectories, fs)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	auc, err := classify.CrossValidateAUC(d, 5, func(train classify.Dataset) (classify.Scorer, error) {
+		return classify.Train(train, classify.DefaultTrainConfig())
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.85 {
+		t.Errorf("resident classification AUC = %v, want > 0.85 (task must be learnable)", auc)
+	}
+}
+
+func TestNGramCountsAndDomain(t *testing.T) {
+	c := smallCorpus()
+	counts := NGramCounts(c.Trajectories, 4)
+	if len(counts) == 0 {
+		t.Fatal("no 4-grams")
+	}
+	if NGramDomainSize(4) != 64*64*64*64 {
+		t.Errorf("domain size = %v", NGramDomainSize(4))
+	}
+	// Counts bounded by the trajectory count.
+	for g, n := range counts {
+		if n > float64(len(c.Trajectories)) {
+			t.Errorf("gram %q count %v exceeds trajectories", g, n)
+		}
+	}
+}
+
+func TestUserGramLists(t *testing.T) {
+	c := smallCorpus()
+	lists := UserGramLists(c.Trajectories[:10], 4)
+	if len(lists) != 10 {
+		t.Fatalf("lists = %d", len(lists))
+	}
+}
+
+func TestHist2DDistinctUsers(t *testing.T) {
+	// One user in two trajectories hitting the same (AP, hour) counts once.
+	t1 := &Trajectory{User: 7}
+	t2 := &Trajectory{User: 7, Day: 1}
+	for i := range t1.Slots {
+		t1.Slots[i] = -1
+		t2.Slots[i] = -1
+	}
+	t1.Slots[0] = 5 // hour 0
+	t2.Slots[1] = 5 // hour 0 as well
+	h := Hist2D([]*Trajectory{t1, t2})
+	bin := 5*HoursPerDay + 0
+	if h.Count(bin) != 1 {
+		t.Errorf("distinct-user count = %v, want 1", h.Count(bin))
+	}
+	if h.Scale() != 1 {
+		t.Errorf("total mass = %v", h.Scale())
+	}
+}
+
+func TestHist2DSplitDominance(t *testing.T) {
+	c := smallCorpus()
+	p := c.PolicyForShare(0.5)
+	x, xns := Hist2DSplit(c.Trajectories, p)
+	if x.Bins() != NumAPs*HoursPerDay {
+		t.Fatalf("bins = %d", x.Bins())
+	}
+	if !x.Dominates(xns) {
+		t.Error("full histogram must dominate non-sensitive histogram")
+	}
+	if xns.Scale() >= x.Scale() {
+		t.Error("non-sensitive mass should be strictly smaller under a non-trivial policy")
+	}
+}
+
+// Value-correlated policies produce bins that are purely sensitive or
+// purely non-sensitive (the §6.3.3.1 observation): bins at sensitive APs
+// should carry no non-sensitive mass at all.
+func TestPolicyValueCorrelationInHistogram(t *testing.T) {
+	c := smallCorpus()
+	p := c.PolicyForShare(0.5)
+	_, xns := Hist2DSplit(c.Trajectories, p)
+	for ap := range p.SensitiveAPs {
+		for hour := 0; hour < HoursPerDay; hour++ {
+			if v := xns.Count(ap*HoursPerDay + hour); v != 0 {
+				t.Fatalf("sensitive AP %d has non-sensitive mass %v", ap, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package tippers
+
+import "fmt"
+
+// This file implements the constraint-aware policy extension sketched in
+// the paper's §7 ("One-sided differential privacy and constraints"): when
+// locations are physically connected, a non-sensitive location reachable
+// only through sensitive locations leaks — revealing a user was there
+// reveals, with certainty, that they previously crossed a sensitive
+// location. The fix is a policy *closure*: extend the sensitive set until
+// every location still marked non-sensitive is reachable from a building
+// entrance along non-sensitive locations only.
+
+// Topology is the corridor graph of the building: which access-point zones
+// are physically adjacent, and which are entrances.
+type Topology struct {
+	adj       [NumAPs][]int
+	entrances []int
+}
+
+// GridTopology returns the default 8×8 grid corridor graph (64 AP zones,
+// 4-neighbor adjacency) with the four corner zones as entrances — a
+// reasonable stand-in for a rectangular office building.
+func GridTopology() *Topology {
+	t := &Topology{entrances: []int{0, 7, 56, 63}}
+	const w = 8
+	for ap := 0; ap < NumAPs; ap++ {
+		r, c := ap/w, ap%w
+		if c > 0 {
+			t.adj[ap] = append(t.adj[ap], ap-1)
+		}
+		if c < w-1 {
+			t.adj[ap] = append(t.adj[ap], ap+1)
+		}
+		if r > 0 {
+			t.adj[ap] = append(t.adj[ap], ap-w)
+		}
+		if r < NumAPs/w-1 {
+			t.adj[ap] = append(t.adj[ap], ap+w)
+		}
+	}
+	return t
+}
+
+// NewTopology builds a topology from an explicit adjacency list and
+// entrance set. Adjacency is symmetrised.
+func NewTopology(edges [][2]int, entrances []int) *Topology {
+	t := &Topology{entrances: append([]int(nil), entrances...)}
+	for _, e := range edges {
+		a, b := e[0], e[1]
+		if a < 0 || a >= NumAPs || b < 0 || b >= NumAPs {
+			panic(fmt.Sprintf("tippers: edge (%d, %d) out of AP range", a, b))
+		}
+		t.adj[a] = append(t.adj[a], b)
+		t.adj[b] = append(t.adj[b], a)
+	}
+	for _, e := range entrances {
+		if e < 0 || e >= NumAPs {
+			panic(fmt.Sprintf("tippers: entrance %d out of AP range", e))
+		}
+	}
+	return t
+}
+
+// Neighbors returns the zones adjacent to ap.
+func (t *Topology) Neighbors(ap int) []int { return t.adj[ap] }
+
+// Entrances returns the entrance zones.
+func (t *Topology) Entrances() []int { return t.entrances }
+
+// ReachableNonSensitive returns, per AP, whether it can be reached from
+// some entrance along a path of exclusively non-sensitive APs (entrances
+// included). Sensitive APs are never reachable by definition.
+func (t *Topology) ReachableNonSensitive(sensitive map[int]bool) [NumAPs]bool {
+	var reach [NumAPs]bool
+	queue := make([]int, 0, NumAPs)
+	for _, e := range t.entrances {
+		if !sensitive[e] && !reach[e] {
+			reach[e] = true
+			queue = append(queue, e)
+		}
+	}
+	for len(queue) > 0 {
+		ap := queue[0]
+		queue = queue[1:]
+		for _, nb := range t.adj[ap] {
+			if !sensitive[nb] && !reach[nb] {
+				reach[nb] = true
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return reach
+}
+
+// ClosePolicy returns the constraint closure of p under the topology: the
+// minimal extension of p's sensitive AP set such that every remaining
+// non-sensitive AP is reachable from an entrance through non-sensitive APs
+// only. Under the closed policy, presence at any released location never
+// implies presence at a sensitive one, eliminating the §7 inference.
+func (t *Topology) ClosePolicy(p Policy) Policy {
+	closed := Policy{
+		Name:         p.Name + "+closure",
+		SensitiveAPs: make(map[int]bool, len(p.SensitiveAPs)),
+	}
+	for ap := range p.SensitiveAPs {
+		closed.SensitiveAPs[ap] = true
+	}
+	reach := t.ReachableNonSensitive(closed.SensitiveAPs)
+	for ap := 0; ap < NumAPs; ap++ {
+		if !reach[ap] {
+			closed.SensitiveAPs[ap] = true
+		}
+	}
+	return closed
+}
+
+// LeakingAPs reports the non-sensitive APs of p that are unreachable
+// without crossing a sensitive AP — exactly the locations whose release
+// would leak under the §7 constraint argument. A policy is closure-safe
+// iff this is empty.
+func (t *Topology) LeakingAPs(p Policy) []int {
+	reach := t.ReachableNonSensitive(p.SensitiveAPs)
+	var out []int
+	for ap := 0; ap < NumAPs; ap++ {
+		if !p.SensitiveAPs[ap] && !reach[ap] {
+			out = append(out, ap)
+		}
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package tippers
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGridTopologyShape(t *testing.T) {
+	topo := GridTopology()
+	// Corner: 2 neighbors; edge: 3; interior: 4.
+	if n := len(topo.Neighbors(0)); n != 2 {
+		t.Errorf("corner neighbors = %d", n)
+	}
+	if n := len(topo.Neighbors(1)); n != 3 {
+		t.Errorf("edge neighbors = %d", n)
+	}
+	if n := len(topo.Neighbors(9)); n != 4 {
+		t.Errorf("interior neighbors = %d", n)
+	}
+	if len(topo.Entrances()) != 4 {
+		t.Errorf("entrances = %v", topo.Entrances())
+	}
+}
+
+func TestNewTopologyValidates(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewTopology([][2]int{{0, 64}}, nil) },
+		func() { NewTopology(nil, []int{-1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+	topo := NewTopology([][2]int{{0, 1}}, []int{0})
+	if len(topo.Neighbors(1)) != 1 {
+		t.Error("adjacency not symmetrised")
+	}
+}
+
+func TestReachabilityWithNoSensitiveAPs(t *testing.T) {
+	topo := GridTopology()
+	reach := topo.ReachableNonSensitive(map[int]bool{})
+	for ap := 0; ap < NumAPs; ap++ {
+		if !reach[ap] {
+			t.Fatalf("AP %d unreachable in empty-policy grid", ap)
+		}
+	}
+}
+
+func TestEnclosedRoomLeaks(t *testing.T) {
+	topo := GridTopology()
+	// Surround interior AP 9 (row 1, col 1) with sensitive APs: its only
+	// neighbors are 8, 10, 1, 17.
+	p := Policy{Name: "ring", SensitiveAPs: map[int]bool{8: true, 10: true, 1: true, 17: true}}
+	leaking := topo.LeakingAPs(p)
+	if len(leaking) != 1 || leaking[0] != 9 {
+		t.Fatalf("leaking = %v, want [9]", leaking)
+	}
+	closed := topo.ClosePolicy(p)
+	if !closed.SensitiveAPs[9] {
+		t.Error("closure did not absorb the enclosed AP")
+	}
+	if len(topo.LeakingAPs(closed)) != 0 {
+		t.Error("closed policy still leaks")
+	}
+}
+
+func TestClosureIsMonotoneAndIdempotent(t *testing.T) {
+	topo := GridTopology()
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed uint8) bool {
+		r := rand.New(rand.NewSource(int64(seed)))
+		p := Policy{Name: "rand", SensitiveAPs: map[int]bool{}}
+		for ap := 0; ap < NumAPs; ap++ {
+			if r.Float64() < 0.3 {
+				p.SensitiveAPs[ap] = true
+			}
+		}
+		closed := topo.ClosePolicy(p)
+		// Monotone: original sensitive APs stay sensitive.
+		for ap := range p.SensitiveAPs {
+			if !closed.SensitiveAPs[ap] {
+				return false
+			}
+		}
+		// Safe: no leaking APs remain.
+		if len(topo.LeakingAPs(closed)) != 0 {
+			return false
+		}
+		// Idempotent.
+		twice := topo.ClosePolicy(closed)
+		return len(twice.SensitiveAPs) == len(closed.SensitiveAPs)
+	}
+	_ = rng
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSensitiveEntranceBlocksRegion(t *testing.T) {
+	topo := GridTopology()
+	// Make every entrance sensitive: nothing is reachable, so the closure
+	// must mark every AP sensitive.
+	p := Policy{Name: "locked", SensitiveAPs: map[int]bool{0: true, 7: true, 56: true, 63: true}}
+	// Cut the grid: not the case here (interior still reachable? no —
+	// entrances are the only BFS sources, all sensitive → nothing reachable).
+	closed := topo.ClosePolicy(p)
+	if len(closed.SensitiveAPs) != NumAPs {
+		t.Errorf("locked building closure marked %d of %d APs", len(closed.SensitiveAPs), NumAPs)
+	}
+}
+
+// End-to-end: releases under a closed policy never place a user at a
+// location that implies crossing a sensitive one.
+func TestClosedPolicyReleaseIsConstraintSafe(t *testing.T) {
+	topo := GridTopology()
+	c := smallCorpus()
+	base := c.PolicyForShare(0.75)
+	closed := topo.ClosePolicy(base)
+	reach := topo.ReachableNonSensitive(closed.SensitiveAPs)
+	released := c.ReleaseRR(closed, 1.0, rand.New(rand.NewSource(2)))
+	for _, tr := range released {
+		for _, ap := range tr.Slots {
+			if ap >= 0 && !reach[ap] {
+				t.Fatalf("released trajectory visits unreachable AP %d", ap)
+			}
+		}
+	}
+}
