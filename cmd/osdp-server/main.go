@@ -1,0 +1,154 @@
+// Command osdp-server serves OSDP queries over HTTP/JSON: the online,
+// multi-tenant setting §7 of the paper flags as the open engineering
+// problem. Datasets are loaded from typed CSV files at startup (and can
+// also be registered at runtime via POST /v1/datasets); clients open
+// budgeted sessions and answer histogram, int-histogram, count,
+// quantile, and sample queries against them. See internal/server for the
+// API and wire format.
+//
+// Usage:
+//
+//	osdp-server [-addr :8080] [-ttl 30m] [-max-sessions N]
+//	            [-max-session-eps E] [-allow-seeds]
+//	            [-data NAME=FILE.csv]... [-policy NAME=FILE.json]...
+//
+// Each -data flag registers a dataset; its privacy policy is taken from
+// the matching -policy flag (a JSON PolicySpec, e.g.
+//
+//	{"name": "gdpr", "sensitive_when":
+//	    {"op": "cmp", "attr": "Age", "cmp": "<=", "value": 17}}
+//
+// ). A dataset without a policy defaults to all-sensitive, the safe
+// choice: under P_all, OSDP degenerates to standard DP and nothing is
+// released in the clear by accident.
+//
+// The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// queries before exiting.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"osdp/internal/dataset"
+	"osdp/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	ttl := flag.Duration("ttl", 30*time.Minute, "idle session time-to-live (0 = never expire)")
+	maxSessions := flag.Int("max-sessions", 0, "cap on concurrently open sessions (0 = unlimited)")
+	maxEps := flag.Float64("max-session-eps", 0, "cap on any one session's ε budget; also forbids unlimited sessions (0 = no cap)")
+	allowSeeds := flag.Bool("allow-seeds", false, "let clients open seeded (reproducible) sessions — predictable noise voids the OSDP guarantee, test/demo use only")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+	data := map[string]string{}
+	policies := map[string]string{}
+	flag.Func("data", "NAME=FILE.csv dataset to register at startup (repeatable)", kvInto(data))
+	flag.Func("policy", "NAME=FILE.json policy for the dataset NAME (repeatable)", kvInto(policies))
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		SessionTTL:          *ttl,
+		MaxSessions:         *maxSessions,
+		MaxSessionBudget:    *maxEps,
+		AllowSeededSessions: *allowSeeds,
+	})
+	for name, path := range data {
+		if err := loadDataset(srv, name, path, policies[name]); err != nil {
+			fatal(err)
+		}
+	}
+	for name := range policies {
+		if _, ok := data[name]; !ok {
+			fatal(fmt.Errorf("-policy %s given but no matching -data flag", name))
+		}
+	}
+	if *ttl > 0 {
+		srv.StartJanitor(*ttl / 4)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("osdp-server listening on %s with %d dataset(s)", *addr, len(data))
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+		log.Printf("osdp-server draining (up to %s)", *drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			log.Printf("osdp-server shutdown: %v", err)
+		}
+		srv.Close()
+	}
+}
+
+// loadDataset reads a CSV table and its policy file (all-sensitive when
+// policyPath is empty) and registers both.
+func loadDataset(srv *server.Server, name, csvPath, policyPath string) error {
+	f, err := os.Open(csvPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	t, err := dataset.ReadCSV(f)
+	if err != nil {
+		return fmt.Errorf("dataset %s: %w", name, err)
+	}
+
+	policy := dataset.AllSensitive()
+	if policyPath != "" {
+		raw, err := os.ReadFile(policyPath)
+		if err != nil {
+			return err
+		}
+		var spec server.PolicySpec
+		if err := json.Unmarshal(raw, &spec); err != nil {
+			return fmt.Errorf("policy %s: %w", policyPath, err)
+		}
+		if policy, err = server.CompilePolicy(spec, t.Schema()); err != nil {
+			return err
+		}
+	}
+	if err := srv.RegisterTable(name, t, policy); err != nil {
+		return err
+	}
+	log.Printf("registered dataset %s: %d rows, policy %s", name, t.Len(), policy.Name())
+	return nil
+}
+
+// kvInto parses repeated NAME=VALUE flags into dst.
+func kvInto(dst map[string]string) func(string) error {
+	return func(s string) error {
+		name, value, ok := strings.Cut(s, "=")
+		if !ok || name == "" || value == "" {
+			return errors.New("expected NAME=FILE")
+		}
+		if _, dup := dst[name]; dup {
+			return fmt.Errorf("duplicate flag for %s", name)
+		}
+		dst[name] = value
+		return nil
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "osdp-server:", err)
+	os.Exit(1)
+}

@@ -5,8 +5,8 @@
 // datasets, and a harness regenerating every table and figure.
 //
 // The library lives under internal/ (see DESIGN.md for the module map);
-// runnable entry points are cmd/osdp-bench, cmd/osdp-cli, cmd/tippersgen,
-// and the programs under examples/. This root package carries the
+// runnable entry points are cmd/osdp-server, cmd/osdp-bench, cmd/osdp-cli,
+// cmd/tippersgen, and the programs under examples/. This root package carries the
 // repo-level benchmark harness (bench_test.go, one benchmark per paper
 // artifact) and cross-module integration tests.
 package osdp

@@ -1,0 +1,3 @@
+module osdp
+
+go 1.24

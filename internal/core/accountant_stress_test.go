@@ -1,0 +1,58 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"osdp/internal/dataset"
+)
+
+// TestAccountantConcurrentSpend backs the "safe for concurrent use" claim
+// in the Accountant doc comment: N goroutines race to spend against one
+// budget, and afterwards (a) the total spent never exceeds the budget,
+// (b) accepted charges and Spent() agree exactly, and (c) the charge log
+// length matches the number of accepted spends. Run under -race this also
+// checks the locking discipline.
+func TestAccountantConcurrentSpend(t *testing.T) {
+	const (
+		budget     = 10.0
+		goroutines = 32
+		attempts   = 200
+		eps        = 0.05 // budget admits exactly 200 of the 6400 attempts
+	)
+	acct := NewAccountant(budget)
+	g := Guarantee{Policy: dataset.AllSensitive(), Epsilon: eps}
+
+	var accepted atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < attempts; j++ {
+				if err := acct.Spend(g); err == nil {
+					accepted.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	spent := acct.Spent()
+	if spent > budget+1e-9 {
+		t.Fatalf("accountant over-spent: %g > budget %g", spent, budget)
+	}
+	want := float64(accepted.Load()) * eps
+	if math.Abs(spent-want) > 1e-9 {
+		t.Fatalf("Spent() = %g, but %d accepted charges total %g", spent, accepted.Load(), want)
+	}
+	if got := len(acct.Charges()); int64(got) != accepted.Load() {
+		t.Fatalf("charge log has %d entries, want %d", got, accepted.Load())
+	}
+	// All 6400 attempts would cost 320ε; the budget must have filled up.
+	if math.Abs(spent-budget) > eps {
+		t.Fatalf("budget should be (nearly) exhausted: spent %g of %g", spent, budget)
+	}
+}

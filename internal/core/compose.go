@@ -1,12 +1,19 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"strings"
 	"sync"
 
 	"osdp/internal/dataset"
 )
+
+// ErrBudgetExceeded is wrapped by Spend rejections, so callers (e.g. a
+// serving layer mapping errors to status codes) can test with errors.Is
+// instead of matching message text.
+var ErrBudgetExceeded = errors.New("exceeds remaining budget")
 
 // Accountant tracks the cumulative OSDP guarantee of a sequence of
 // mechanism executions on the same database, implementing the sequential
@@ -39,13 +46,18 @@ func NewAccountant(budget float64) *Accountant {
 // Spend records an (P, ε)-OSDP charge. It returns an error — and records
 // nothing — if the charge would exceed the budget.
 func (a *Accountant) Spend(g Guarantee) error {
-	if g.Epsilon <= 0 {
+	// The !(> 0) form also rejects NaN, which would otherwise slip past
+	// a <= 0 check and poison the spent total.
+	if !(g.Epsilon > 0) {
 		return fmt.Errorf("core: non-positive epsilon %g", g.Epsilon)
+	}
+	if math.IsInf(g.Epsilon, 1) {
+		return fmt.Errorf("core: infinite epsilon")
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.budget > 0 && a.spent+g.Epsilon > a.budget+1e-12 {
-		return fmt.Errorf("core: charge %g exceeds remaining budget %g", g.Epsilon, a.budget-a.spent)
+		return fmt.Errorf("core: charge %g %w %g", g.Epsilon, ErrBudgetExceeded, a.budget-a.spent)
 	}
 	a.spent += g.Epsilon
 	a.charges = append(a.charges, g)
@@ -88,6 +100,10 @@ func (a *Accountant) Charges() []Guarantee {
 func (a *Accountant) Composite() Guarantee {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	return a.compositeLocked()
+}
+
+func (a *Accountant) compositeLocked() Guarantee {
 	if len(a.charges) == 0 {
 		return Guarantee{Policy: dataset.AllSensitive(), Epsilon: 0}
 	}
@@ -98,6 +114,16 @@ func (a *Accountant) Composite() Guarantee {
 		eps += c.Epsilon
 	}
 	return Guarantee{Policy: dataset.MinimumRelaxation(policies...), Epsilon: eps}
+}
+
+// Snapshot returns the spent total and the composite guarantee under a
+// single lock acquisition, so a charge landing between the two reads
+// cannot produce a ledger where the guarantee's ε disagrees with the
+// spent total. Serving layers use it for consistent budget reports.
+func (a *Accountant) Snapshot() (spent float64, composite Guarantee) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.spent, a.compositeLocked()
 }
 
 // String summarises the account, e.g. "spent 1.1/2 over 3 charges".

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -10,6 +11,11 @@ import (
 	"osdp/internal/noise"
 )
 
+// ErrEmptySample is wrapped by Quantile when the Bernoulli sample keeps
+// zero records. The charge is still consumed (see Quantile); errors.Is
+// lets callers distinguish this retriable outcome from budget exhaustion.
+var ErrEmptySample = errors.New("sample came up empty")
+
 // Session is an interactive OSDP query-answering endpoint over a fixed
 // database — the online setting §7 flags as an open engineering problem.
 // A session binds the data, the policy, a privacy-budget accountant, and
@@ -17,6 +23,11 @@ import (
 // any noise is drawn, so an exhausted budget can never leak a partial
 // answer. All answers compose by Theorem 3.3: when the budget is spent,
 // the transcript as a whole satisfies (P, budget)-OSDP.
+//
+// A Session is safe for concurrent use provided its noise.Source is —
+// seeded sources must be wrapped with noise.Locked. The table, policy,
+// and cached partition are never mutated after construction, and all
+// budget accounting goes through the mutex-guarded Accountant.
 type Session struct {
 	db     *dataset.Table
 	ns     *dataset.Table // cached non-sensitive partition
@@ -29,6 +40,15 @@ type Session struct {
 // means unlimited (useful for testing, unwise in production).
 func NewSession(db *dataset.Table, policy dataset.Policy, budget float64, src noise.Source) *Session {
 	_, ns := db.Split(policy)
+	return NewSessionWithPartition(db, ns, policy, budget, src)
+}
+
+// NewSessionWithPartition opens a session reusing a precomputed
+// non-sensitive partition, e.g. one a serving layer caches so that
+// opening N sessions over the same dataset does not split the table N
+// times. ns must be exactly the non-sensitive records of db under
+// policy; both tables are treated as immutable for the session's life.
+func NewSessionWithPartition(db, ns *dataset.Table, policy dataset.Policy, budget float64, src noise.Source) *Session {
 	return &Session{
 		db:     db,
 		ns:     ns,
@@ -41,11 +61,22 @@ func NewSession(db *dataset.Table, policy dataset.Policy, budget float64, src no
 // Remaining returns the unspent budget (0 when the session is unlimited).
 func (s *Session) Remaining() float64 { return s.acct.Remaining() }
 
+// Budget returns the total ε budget the session was opened with (0 means
+// unlimited). Exposed so serving layers can report it alongside answers.
+func (s *Session) Budget() float64 { return s.acct.Budget() }
+
+// Policy returns the session's privacy policy.
+func (s *Session) Policy() dataset.Policy { return s.policy }
+
 // Spent returns the ε consumed so far.
 func (s *Session) Spent() float64 { return s.acct.Spent() }
 
 // Guarantee returns the cumulative guarantee of everything answered so far.
 func (s *Session) Guarantee() Guarantee { return s.acct.Composite() }
+
+// Snapshot returns the spent total and composite guarantee atomically;
+// see Accountant.Snapshot.
+func (s *Session) Snapshot() (spent float64, composite Guarantee) { return s.acct.Snapshot() }
 
 // charge reserves eps from the budget or fails the query.
 func (s *Session) charge(eps float64) error {
@@ -100,6 +131,14 @@ func (s *Session) Count(pred dataset.Predicate, eps float64) (float64, error) {
 // post-processing of the release, so the whole call costs exactly eps.
 // It fails when the (random) sample is empty; callers should retry with a
 // fresh budget slice or a larger eps.
+//
+// The ε charge is consumed even when the sample comes up empty. This is
+// deliberate, not a bug: the Bernoulli draws ARE the OsdpRR mechanism
+// execution, and "the sample was empty" is itself an observable outcome
+// of that execution. Refunding the charge would let an analyst repeat the
+// call until a non-empty sample appeared while paying for only one run,
+// and the transcript of discarded runs would leak beyond the accounted
+// budget — breaking the Theorem 3.3 composition the accountant certifies.
 func (s *Session) Quantile(attr string, q, eps float64) (float64, error) {
 	if q < 0 || q > 1 {
 		return 0, fmt.Errorf("core: quantile q=%v outside [0, 1]", q)
@@ -115,7 +154,7 @@ func (s *Session) Quantile(attr string, q, eps float64) (float64, error) {
 		}
 	}
 	if len(values) == 0 {
-		return 0, fmt.Errorf("core: quantile sample came up empty (kept 0 of %d records)", s.ns.Len())
+		return 0, fmt.Errorf("core: quantile %w (kept 0 of %d records)", ErrEmptySample, s.ns.Len())
 	}
 	sort.Float64s(values)
 	rank := int(math.Ceil(q * float64(len(values))))

@@ -1,0 +1,33 @@
+package noise
+
+import "sync"
+
+// Locked wraps a Source so that concurrent Float64 calls are serialised by
+// a mutex. Seeded sources built on *rand.Rand (NewSource) are not safe for
+// concurrent use; a server answering simultaneous queries against one
+// session must wrap its source with Locked or the generator state races.
+// NewSecureSource is already safe and does not need wrapping, though
+// wrapping it is harmless.
+//
+// Locking serialises draws but does not make multi-draw samplers atomic:
+// two goroutines sampling LaplaceVec concurrently interleave their draws.
+// That is fine for i.i.d. noise (any interleaving is the same
+// distribution) but means seeded runs are only reproducible when a single
+// goroutine consumes the source.
+func Locked(src Source) Source {
+	if _, ok := src.(*lockedSource); ok {
+		return src
+	}
+	return &lockedSource{src: src}
+}
+
+type lockedSource struct {
+	mu  sync.Mutex
+	src Source
+}
+
+func (l *lockedSource) Float64() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.src.Float64()
+}

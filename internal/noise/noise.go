@@ -17,6 +17,11 @@ import (
 
 // Source is the uniform randomness a sampler consumes. *rand.Rand satisfies
 // it. Implementations must return values in [0, 1).
+//
+// *rand.Rand (and therefore NewSource) is NOT safe for concurrent use:
+// simultaneous Float64 calls race on the generator state. Wrap a shared
+// source with Locked before handing it to multiple goroutines, or use
+// NewSecureSource, which is safe as-is.
 type Source interface {
 	Float64() float64
 }

@@ -5,7 +5,9 @@ import (
 	crand "crypto/rand"
 	"encoding/binary"
 	"fmt"
+	"io"
 	"math"
+	"sync"
 )
 
 // This file provides the production-hardening pieces a deployed privacy
@@ -17,23 +19,30 @@ import (
 // double-precision Laplace samples leak the true value.
 
 // secureSource draws uniform variates from crypto/rand, buffered to keep
-// the syscall overhead off the per-sample path.
+// the syscall overhead off the per-sample path. The mutex makes it safe
+// for concurrent use: the buffer is shared mutable state, and racing
+// reads could hand two goroutines overlapping random bytes — correlated
+// noise that would silently weaken the privacy guarantee.
 type secureSource struct {
-	r *bufio.Reader
+	mu sync.Mutex
+	r  *bufio.Reader
 }
 
 // NewSecureSource returns a Source backed by crypto/rand. Sampling is a
 // few times slower than the seeded PRNG source; use it for actual
 // releases and the seeded source for experiments that must be
-// reproducible.
+// reproducible. Unlike seeded sources, it is safe for concurrent use
+// without wrapping in Locked.
 func NewSecureSource() Source {
 	return &secureSource{r: bufio.NewReaderSize(crand.Reader, 4096)}
 }
 
 // Float64 returns a uniform value in [0, 1) with 53 random bits.
 func (s *secureSource) Float64() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var buf [8]byte
-	if _, err := s.r.Read(buf[:]); err != nil {
+	if _, err := io.ReadFull(s.r, buf[:]); err != nil {
 		// crypto/rand failure means the platform's entropy source is
 		// broken; producing deterministic "noise" would silently void the
 		// privacy guarantee, so fail loudly.

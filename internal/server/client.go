@@ -1,0 +1,214 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"osdp/internal/core"
+	"osdp/internal/dataset"
+)
+
+// maxResponseBytes bounds how much of a response the client buffers. It
+// is deliberately larger than the server's request-body cap: a sample of
+// a big disk-loaded dataset can legitimately exceed that cap, and
+// truncating it would discard an answer whose ε is already spent.
+const maxResponseBytes = 1 << 30
+
+// Client is a Go client for the HTTP API. Examples and the end-to-end
+// tests use it so the real wire format is exercised, not handler
+// internals. A Client is safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for a server at base (e.g.
+// "http://localhost:8080"). A nil http.Client means http.DefaultClient.
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// APIError is a non-2xx answer from the server. It maps back onto the
+// package sentinels so callers can errors.Is against ErrBadRequest,
+// ErrNotFound, ErrConflict, ErrTooManySessions, core.ErrBudgetExceeded,
+// and core.ErrEmptySample across the wire.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server: HTTP %d: %s", e.Status, e.Message)
+}
+
+// Is classifies the error by its status code. 409 maps to both
+// ErrConflict and ErrEmptySample (the wire cannot distinguish them; the
+// message can).
+func (e *APIError) Is(target error) bool {
+	switch target {
+	case ErrBadRequest:
+		return e.Status == http.StatusBadRequest
+	case ErrNotFound:
+		return e.Status == http.StatusNotFound
+	case ErrConflict, core.ErrEmptySample:
+		return e.Status == http.StatusConflict
+	case ErrTooManySessions:
+		return e.Status == http.StatusTooManyRequests
+	case core.ErrBudgetExceeded:
+		return e.Status == http.StatusPaymentRequired
+	}
+	return false
+}
+
+// RegisterDataset registers a dataset from an in-memory table.
+func (c *Client) RegisterDataset(name string, t *dataset.Table, policy PolicySpec) (DatasetInfo, error) {
+	var b strings.Builder
+	if err := dataset.WriteCSV(&b, t); err != nil {
+		return DatasetInfo{}, err
+	}
+	return c.RegisterDatasetCSV(RegisterDatasetRequest{Name: name, CSV: b.String(), Policy: policy})
+}
+
+// RegisterDatasetCSV registers a dataset from a raw wire request.
+func (c *Client) RegisterDatasetCSV(req RegisterDatasetRequest) (DatasetInfo, error) {
+	return do[DatasetInfo](c, http.MethodPost, "/v1/datasets", req)
+}
+
+// Datasets lists registered datasets.
+func (c *Client) Datasets() ([]DatasetInfo, error) {
+	return do[[]DatasetInfo](c, http.MethodGet, "/v1/datasets", nil)
+}
+
+// Dataset fetches one dataset's info.
+func (c *Client) Dataset(name string) (DatasetInfo, error) {
+	return do[DatasetInfo](c, http.MethodGet, "/v1/datasets/"+url.PathEscape(name), nil)
+}
+
+// OpenSession opens a budgeted session and returns a handle for querying
+// it. seed, when non-nil, asks for reproducible noise.
+func (c *Client) OpenSession(dataset string, budget float64, seed *int64) (*SessionClient, error) {
+	info, err := do[SessionInfo](c, http.MethodPost, "/v1/sessions",
+		OpenSessionRequest{Dataset: dataset, Budget: budget, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return &SessionClient{c: c, id: info.ID}, nil
+}
+
+// Session returns a handle to an existing session by id (e.g. one shared
+// between multiple client processes).
+func (c *Client) Session(id string) *SessionClient { return &SessionClient{c: c, id: id} }
+
+// SessionClient queries one open session. It is safe for concurrent use;
+// the server's budget accountant arbitrates racing charges.
+type SessionClient struct {
+	c  *Client
+	id string
+}
+
+// ID returns the server-assigned session id.
+func (s *SessionClient) ID() string { return s.id }
+
+// Info fetches the current budget state.
+func (s *SessionClient) Info() (SessionInfo, error) {
+	return do[SessionInfo](s.c, http.MethodGet, "/v1/sessions/"+url.PathEscape(s.id), nil)
+}
+
+// Close closes the session, returning its final state.
+func (s *SessionClient) Close() (SessionInfo, error) {
+	return do[SessionInfo](s.c, http.MethodDelete, "/v1/sessions/"+url.PathEscape(s.id), nil)
+}
+
+// Query sends a raw QueryRequest.
+func (s *SessionClient) Query(req QueryRequest) (QueryResponse, error) {
+	return do[QueryResponse](s.c, http.MethodPost, "/v1/sessions/"+url.PathEscape(s.id)+"/query", req)
+}
+
+// Histogram answers a real-valued histogram query.
+func (s *SessionClient) Histogram(eps float64, where *PredicateSpec, dims ...DomainSpec) (QueryResponse, error) {
+	return s.Query(QueryRequest{Kind: KindHistogram, Eps: eps, Where: where, Dims: dims})
+}
+
+// IntHistogram answers an integer-valued histogram query.
+func (s *SessionClient) IntHistogram(eps float64, where *PredicateSpec, dims ...DomainSpec) (QueryResponse, error) {
+	return s.Query(QueryRequest{Kind: KindIntHistogram, Eps: eps, Where: where, Dims: dims})
+}
+
+// Count answers a counting query; a nil predicate counts all records.
+func (s *SessionClient) Count(eps float64, where *PredicateSpec) (float64, error) {
+	resp, err := s.Query(QueryRequest{Kind: KindCount, Eps: eps, Where: where})
+	if err != nil {
+		return 0, err
+	}
+	return *resp.Value, nil
+}
+
+// Quantile answers the q-quantile of a numeric attribute.
+func (s *SessionClient) Quantile(eps float64, attr string, q float64) (float64, error) {
+	resp, err := s.Query(QueryRequest{Kind: KindQuantile, Eps: eps, Attr: attr, Q: q})
+	if err != nil {
+		return 0, err
+	}
+	return *resp.Value, nil
+}
+
+// Sample draws an OsdpRR release of the dataset and parses it back into
+// a table.
+func (s *SessionClient) Sample(eps float64) (*dataset.Table, error) {
+	resp, err := s.Query(QueryRequest{Kind: KindSample, Eps: eps})
+	if err != nil {
+		return nil, err
+	}
+	return dataset.ReadCSV(strings.NewReader(resp.SampleCSV))
+}
+
+// do sends one JSON round trip and decodes the answer or the error body.
+func do[T any](c *Client, method, path string, body any) (T, error) {
+	var zero T
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return zero, err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return zero, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return zero, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes+1))
+	if err != nil {
+		return zero, err
+	}
+	if len(raw) > maxResponseBytes {
+		return zero, fmt.Errorf("server: %s %s response exceeds %d bytes", method, path, maxResponseBytes)
+	}
+	if resp.StatusCode >= 300 {
+		var e ErrorResponse
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			return zero, &APIError{Status: resp.StatusCode, Message: e.Error}
+		}
+		return zero, &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(raw))}
+	}
+	if err := json.Unmarshal(raw, &zero); err != nil {
+		return zero, fmt.Errorf("server: decoding %s %s response: %w", method, path, err)
+	}
+	return zero, nil
+}

@@ -1,0 +1,50 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"osdp/internal/core"
+)
+
+// Sentinel errors classifying failures; the HTTP layer maps them to
+// status codes and the Go client surfaces them via errors.Is.
+var (
+	// ErrBadRequest marks malformed or ill-typed requests, rejected
+	// before any budget is charged.
+	ErrBadRequest = errors.New("server: bad request")
+	// ErrNotFound marks unknown dataset or session ids.
+	ErrNotFound = errors.New("server: not found")
+	// ErrConflict marks duplicate registrations.
+	ErrConflict = errors.New("server: conflict")
+	// ErrTooManySessions marks the MaxSessions cap.
+	ErrTooManySessions = errors.New("server: too many sessions")
+)
+
+func badf(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{ErrBadRequest}, args...)...)
+}
+
+// statusOf maps an error to its HTTP status. Budget exhaustion is 402
+// (the client literally ran out of ε currency); an empty quantile sample
+// is 409 — a valid, retriable outcome whose charge stands, not a server
+// fault.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrConflict):
+		return http.StatusConflict
+	case errors.Is(err, ErrTooManySessions):
+		return http.StatusTooManyRequests
+	case errors.Is(err, core.ErrBudgetExceeded):
+		return http.StatusPaymentRequired
+	case errors.Is(err, core.ErrEmptySample):
+		return http.StatusConflict
+	default:
+		return http.StatusInternalServerError
+	}
+}

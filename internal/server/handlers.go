@@ -1,0 +1,114 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// maxBodyBytes bounds request bodies (datasets travel inline as CSV, so
+// this is generous but finite).
+const maxBodyBytes = 64 << 20
+
+// Handler returns the HTTP API:
+//
+//	GET    /v1/healthz              liveness + session count
+//	POST   /v1/datasets             RegisterDatasetRequest  -> DatasetInfo
+//	GET    /v1/datasets             -> []DatasetInfo
+//	GET    /v1/datasets/{name}      -> DatasetInfo
+//	POST   /v1/sessions             OpenSessionRequest      -> SessionInfo
+//	GET    /v1/sessions/{id}        -> SessionInfo
+//	DELETE /v1/sessions/{id}        -> SessionInfo (final state)
+//	POST   /v1/sessions/{id}/query  QueryRequest            -> QueryResponse
+//
+// Errors are JSON ErrorResponse bodies with a meaningful status: 400 for
+// malformed requests, 402 when the ε budget is exhausted, 404 for unknown
+// ids, 409 for conflicts and empty quantile samples, 429 at the session
+// cap.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "sessions": s.SessionCount()})
+	})
+	mux.HandleFunc("POST /v1/datasets", func(w http.ResponseWriter, r *http.Request) {
+		var req RegisterDatasetRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		respond(w, http.StatusCreated)(s.RegisterDataset(req))
+	})
+	mux.HandleFunc("GET /v1/datasets", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Datasets())
+	})
+	mux.HandleFunc("GET /v1/datasets/{name}", func(w http.ResponseWriter, r *http.Request) {
+		respond(w, http.StatusOK)(s.DatasetInfo(r.PathValue("name")))
+	})
+	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		var req OpenSessionRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		respond(w, http.StatusCreated)(s.OpenSession(req))
+	})
+	mux.HandleFunc("GET /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		respond(w, http.StatusOK)(s.SessionInfo(r.PathValue("id")))
+	})
+	mux.HandleFunc("DELETE /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		respond(w, http.StatusOK)(s.CloseSession(r.PathValue("id")))
+	})
+	mux.HandleFunc("POST /v1/sessions/{id}/query", func(w http.ResponseWriter, r *http.Request) {
+		var req QueryRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		respond(w, http.StatusOK)(s.Query(r.PathValue("id"), req))
+	})
+	return mux
+}
+
+// respond curries the success status so handlers can pass a (value,
+// error) pair straight through.
+func respond(w http.ResponseWriter, ok int) func(any, error) {
+	return func(v any, err error) {
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, ok, v)
+	}
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		writeErr(w, badf("reading body: %v", err))
+		return false
+	}
+	if len(body) > maxBodyBytes {
+		writeErr(w, badf("body exceeds %d bytes", maxBodyBytes))
+		return false
+	}
+	if err := json.Unmarshal(body, dst); err != nil {
+		writeErr(w, fmt.Errorf("%w: decoding JSON: %v", ErrBadRequest, err))
+		return false
+	}
+	return true
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	writeJSON(w, statusOf(err), ErrorResponse{Error: err.Error()})
+}
+
+// writeJSON marshals before touching the response, so an encoding
+// failure (e.g. a NaN float) becomes a clean 500 instead of a success
+// status with a truncated body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		body, status = []byte(`{"error":"server: encoding response failed"}`), http.StatusInternalServerError
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(append(body, '\n'))
+}

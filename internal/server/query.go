@@ -1,0 +1,128 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+
+	"osdp/internal/dataset"
+	"osdp/internal/histogram"
+)
+
+// Query answers one query against an open session. Validation happens
+// before execution so malformed requests never charge the budget; once a
+// charge succeeds the response always carries the post-charge budget
+// state. Queries on the same session may run concurrently — the budget
+// accountant and the locked noise source serialise the shared state.
+func (s *Server) Query(id string, req QueryRequest) (QueryResponse, error) {
+	se, d, err := s.lookup(id)
+	if err != nil {
+		return QueryResponse{}, err
+	}
+	resp := QueryResponse{Kind: req.Kind}
+	if !(req.Eps >= MinQueryEps) { // also rejects NaN
+		return resp, badf("eps must be at least %g, got %g", MinQueryEps, req.Eps)
+	}
+
+	switch req.Kind {
+	case KindHistogram, KindIntHistogram:
+		q, err := s.compileHistogramQuery(req, d)
+		if err != nil {
+			return resp, err
+		}
+		var h *histogram.Histogram
+		if req.Kind == KindHistogram {
+			h, err = se.sess.Histogram(q, req.Eps)
+		} else {
+			h, err = se.sess.IntHistogram(q, req.Eps)
+		}
+		if err != nil {
+			return resp, err
+		}
+		resp.Counts = h.Counts()
+		resp.DimLabels = make([][]string, len(q.Dims))
+		for i, dom := range q.Dims {
+			resp.DimLabels[i] = dom.Labels()
+		}
+		if len(q.Dims) == 1 {
+			resp.Labels = resp.DimLabels[0]
+		}
+
+	case KindCount:
+		pred := dataset.Predicate(dataset.True())
+		if req.Where != nil {
+			pred, err = compilePredicate(*req.Where, d.table.Schema())
+			if err != nil {
+				return resp, fmt.Errorf("%w: %v", ErrBadRequest, err)
+			}
+		}
+		c, err := se.sess.Count(pred, req.Eps)
+		if err != nil {
+			return resp, err
+		}
+		resp.Value = &c
+
+	case KindQuantile:
+		kind, ok := d.table.Schema().KindOf(req.Attr)
+		if !ok {
+			return resp, badf("unknown attribute %q", req.Attr)
+		}
+		if kind != dataset.KindInt && kind != dataset.KindFloat {
+			return resp, badf("quantile needs a numeric attribute; %q is %s", req.Attr, kind)
+		}
+		if req.Q < 0 || req.Q > 1 {
+			return resp, badf("q=%g outside [0, 1]", req.Q)
+		}
+		v, err := se.sess.Quantile(req.Attr, req.Q, req.Eps)
+		if err != nil {
+			return resp, err
+		}
+		resp.Value = &v
+
+	case KindSample:
+		t, err := se.sess.Sample(req.Eps)
+		if err != nil {
+			return resp, err
+		}
+		var b strings.Builder
+		if err := dataset.WriteCSV(&b, t); err != nil {
+			return resp, err
+		}
+		resp.SampleCSV = b.String()
+
+	default:
+		return resp, badf("unknown query kind %q", req.Kind)
+	}
+
+	resp.Budget = infoFor(se)
+	return resp, nil
+}
+
+func (s *Server) compileHistogramQuery(req QueryRequest, d *ds) (histogram.Query, error) {
+	if len(req.Dims) == 0 || len(req.Dims) > 2 {
+		return histogram.Query{}, badf("histogram queries take 1 or 2 dims, got %d", len(req.Dims))
+	}
+	dims := make([]*histogram.Domain, len(req.Dims))
+	for i, spec := range req.Dims {
+		// Derived domains come from the non-sensitive partition so bin
+		// labels cannot reveal sensitive-only values.
+		dom, err := compileDomain(spec, d.ns)
+		if err != nil {
+			return histogram.Query{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		dims[i] = dom
+	}
+	// Per-dim sizes are capped by compileDomain; cap the product too,
+	// since 2-D output arity multiplies.
+	if len(dims) == 2 && dims[0].Size() > MaxQueryBins/dims[1].Size() {
+		return histogram.Query{}, badf("histogram output arity %d x %d exceeds the %d-bin cap", dims[0].Size(), dims[1].Size(), MaxQueryBins)
+	}
+	var where dataset.Predicate
+	if req.Where != nil {
+		p, err := compilePredicate(*req.Where, d.table.Schema())
+		if err != nil {
+			return histogram.Query{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		where = p
+	}
+	return histogram.NewQuery(where, dims...), nil
+}

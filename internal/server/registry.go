@@ -1,0 +1,384 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"osdp/internal/core"
+	"osdp/internal/dataset"
+	"osdp/internal/noise"
+)
+
+// Config tunes a Server. The zero value is usable: sessions never expire
+// and the session count is uncapped.
+type Config struct {
+	// SessionTTL evicts sessions idle longer than this. 0 disables
+	// eviction. Eviction forgets the session id, not the spent budget —
+	// a new session starts with a fresh budget by design, which is why
+	// TTLs should be generous and budgets per-client, not per-session.
+	SessionTTL time.Duration
+	// MaxSessions caps concurrently open sessions (0 = unlimited).
+	MaxSessions int
+	// MaxSessionBudget caps the ε budget any one session may be opened
+	// with; when set it also forbids unlimited (budget 0) sessions.
+	// 0 disables the cap. It bounds per-transcript leakage only —
+	// composition ACROSS sessions is not yet accounted (that needs
+	// client identity; see the package comment).
+	MaxSessionBudget float64
+	// AllowSeededSessions permits clients to supply a noise seed when
+	// opening a session. Seeded noise is fully predictable: an analyst
+	// who knows the seed can replay the generator and subtract the
+	// noise, voiding the OSDP guarantee. Leave this off in production;
+	// turn it on for reproducible tests and demos.
+	AllowSeededSessions bool
+	// now is stubbed by tests; defaults to time.Now.
+	now func() time.Time
+}
+
+// ds is a registered dataset: the table, its policy, and the cached
+// non-sensitive partition (used to derive histogram domains without
+// leaking sensitive-only values).
+type ds struct {
+	table  *dataset.Table
+	ns     *dataset.Table
+	policy dataset.Policy
+}
+
+// session is one client's budgeted OSDP endpoint plus bookkeeping for
+// TTL eviction.
+type session struct {
+	id       string
+	dataset  string
+	sess     *core.Session
+	created  time.Time
+	lastUsed time.Time
+}
+
+// Server is the multi-tenant query service: a dataset registry plus a
+// session registry, both guarded by one mutex. Query execution itself
+// happens outside the lock — core.Session is safe for concurrent use
+// (its noise source is wrapped with noise.Locked at session open), so
+// the mutex only protects the maps.
+type Server struct {
+	cfg Config
+
+	mu       sync.Mutex
+	datasets map[string]*ds
+	sessions map[string]*session
+
+	janitorStop chan struct{}
+	janitorDone chan struct{}
+}
+
+// New returns a Server with the given config. If cfg.SessionTTL > 0 the
+// caller should also call StartJanitor (expired sessions are additionally
+// rejected lazily on access, so the janitor is an optimisation, not a
+// correctness requirement).
+func New(cfg Config) *Server {
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	return &Server{
+		cfg:      cfg,
+		datasets: make(map[string]*ds),
+		sessions: make(map[string]*session),
+	}
+}
+
+// StartJanitor begins periodic eviction of expired sessions, sweeping at
+// the given interval. It is a no-op when SessionTTL is 0. Close stops it.
+func (s *Server) StartJanitor(interval time.Duration) {
+	if s.cfg.SessionTTL <= 0 || s.janitorStop != nil {
+		return
+	}
+	s.janitorStop = make(chan struct{})
+	s.janitorDone = make(chan struct{})
+	go func() {
+		defer close(s.janitorDone)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.Sweep()
+			case <-s.janitorStop:
+				return
+			}
+		}
+	}()
+}
+
+// Close stops the janitor (if running) and drops all sessions.
+func (s *Server) Close() {
+	if s.janitorStop != nil {
+		close(s.janitorStop)
+		<-s.janitorDone
+		s.janitorStop = nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sessions = make(map[string]*session)
+}
+
+// Sweep evicts every session idle longer than SessionTTL and returns how
+// many were evicted.
+func (s *Server) Sweep() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sweepLocked()
+}
+
+func (s *Server) sweepLocked() int {
+	if s.cfg.SessionTTL <= 0 {
+		return 0
+	}
+	cutoff := s.cfg.now().Add(-s.cfg.SessionTTL)
+	n := 0
+	for id, se := range s.sessions {
+		if se.lastUsed.Before(cutoff) {
+			delete(s.sessions, id)
+			n++
+		}
+	}
+	return n
+}
+
+// RegisterTable registers an in-memory table under name. Used by
+// cmd/osdp-server for datasets loaded from disk; the HTTP path goes
+// through RegisterDataset.
+func (s *Server) RegisterTable(name string, t *dataset.Table, p dataset.Policy) error {
+	if !validName(name) {
+		return badf("dataset name %q must be non-empty [A-Za-z0-9._-]+ (it becomes a URL path segment)", name)
+	}
+	_, ns := t.Split(p)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.datasets[name]; dup {
+		return fmt.Errorf("%w: dataset %q already registered", ErrConflict, name)
+	}
+	s.datasets[name] = &ds{table: t, ns: ns, policy: p}
+	return nil
+}
+
+// RegisterDataset parses and registers a dataset from a wire request.
+func (s *Server) RegisterDataset(req RegisterDatasetRequest) (DatasetInfo, error) {
+	t, err := dataset.ReadCSV(strings.NewReader(req.CSV))
+	if err != nil {
+		return DatasetInfo{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	p, err := CompilePolicy(req.Policy, t.Schema())
+	if err != nil {
+		return DatasetInfo{}, err
+	}
+	if err := s.RegisterTable(req.Name, t, p); err != nil {
+		return DatasetInfo{}, err
+	}
+	return s.DatasetInfo(req.Name)
+}
+
+// DatasetInfo describes a registered dataset.
+func (s *Server) DatasetInfo(name string) (DatasetInfo, error) {
+	s.mu.Lock()
+	d, ok := s.datasets[name]
+	s.mu.Unlock()
+	if !ok {
+		return DatasetInfo{}, fmt.Errorf("%w: unknown dataset %q", ErrNotFound, name)
+	}
+	return datasetInfo(name, d), nil
+}
+
+// Datasets lists registered datasets sorted by name.
+func (s *Server) Datasets() []DatasetInfo {
+	s.mu.Lock()
+	out := make([]DatasetInfo, 0, len(s.datasets))
+	for name, d := range s.datasets {
+		out = append(out, datasetInfo(name, d))
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// datasetInfo needs no lock beyond the map access: registered tables and
+// policies are immutable.
+func datasetInfo(name string, d *ds) DatasetInfo {
+	return DatasetInfo{
+		Name:         name,
+		Rows:         d.table.Len(),
+		NonSensitive: d.ns.Len(),
+		Attrs:        d.table.Schema().Names(),
+		Policy:       d.policy.String(),
+	}
+}
+
+// OpenSession opens a budgeted session over a registered dataset and
+// returns its info (including the fresh session id).
+func (s *Server) OpenSession(req OpenSessionRequest) (SessionInfo, error) {
+	// NaN slips past <, ==, and > alike, which would bypass both the
+	// cap and the unlimited-session ban below.
+	if math.IsNaN(req.Budget) || math.IsInf(req.Budget, 0) || req.Budget < 0 {
+		return SessionInfo{}, badf("budget %g must be finite and non-negative", req.Budget)
+	}
+	if s.cfg.MaxSessionBudget > 0 {
+		if req.Budget == 0 {
+			return SessionInfo{}, badf("unlimited sessions are disabled; budget must be in (0, %g]", s.cfg.MaxSessionBudget)
+		}
+		if req.Budget > s.cfg.MaxSessionBudget {
+			return SessionInfo{}, badf("budget %g exceeds the per-session cap %g", req.Budget, s.cfg.MaxSessionBudget)
+		}
+	}
+	var src noise.Source
+	if req.Seed != nil {
+		if !s.cfg.AllowSeededSessions {
+			return SessionInfo{}, badf("seeded sessions are disabled: predictable noise voids the OSDP guarantee")
+		}
+		src = noise.Locked(noise.NewSource(*req.Seed))
+	} else {
+		// Secure sources carry their own mutex; wrapping in Locked
+		// would double the lock traffic on every draw.
+		src = noise.NewSecureSource()
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.datasets[req.Dataset]
+	if !ok {
+		return SessionInfo{}, fmt.Errorf("%w: unknown dataset %q", ErrNotFound, req.Dataset)
+	}
+	if s.cfg.MaxSessions > 0 && len(s.sessions) >= s.cfg.MaxSessions {
+		// Expired-but-unswept sessions must not hold the cap; evict
+		// them before refusing, or abandoned sessions would deny
+		// service until the janitor's next pass.
+		s.sweepLocked()
+	}
+	if s.cfg.MaxSessions > 0 && len(s.sessions) >= s.cfg.MaxSessions {
+		return SessionInfo{}, fmt.Errorf("%w: limit %d reached", ErrTooManySessions, s.cfg.MaxSessions)
+	}
+	id, err := newSessionID()
+	if err != nil {
+		return SessionInfo{}, err
+	}
+	now := s.cfg.now()
+	se := &session{
+		id:      id,
+		dataset: req.Dataset,
+		// Reuse the partition cached at registration: opening N
+		// sessions must not split the table N times.
+		sess:     core.NewSessionWithPartition(d.table, d.ns, d.policy, req.Budget, src),
+		created:  now,
+		lastUsed: now,
+	}
+	s.sessions[id] = se
+	return infoFor(se), nil
+}
+
+// lookup fetches a live session and its dataset, bumping lastUsed.
+// Expired sessions are evicted here even when no janitor runs.
+func (s *Server) lookup(id string) (*session, *ds, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	se, ok := s.sessions[id]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: unknown session %q", ErrNotFound, id)
+	}
+	now := s.cfg.now()
+	if s.cfg.SessionTTL > 0 && se.lastUsed.Before(now.Add(-s.cfg.SessionTTL)) {
+		delete(s.sessions, id)
+		return nil, nil, fmt.Errorf("%w: session %q expired", ErrNotFound, id)
+	}
+	se.lastUsed = now
+	d, ok := s.datasets[se.dataset]
+	if !ok {
+		return nil, nil, fmt.Errorf("server: dataset %q for session %q is gone", se.dataset, id)
+	}
+	return se, d, nil
+}
+
+// SessionInfo reports a session's budget state.
+func (s *Server) SessionInfo(id string) (SessionInfo, error) {
+	se, _, err := s.lookup(id)
+	if err != nil {
+		return SessionInfo{}, err
+	}
+	return infoFor(se), nil
+}
+
+// CloseSession forgets a session and returns its final budget state,
+// removed and snapshotted under one registry lock so no new query can
+// slip between the read and the removal. A query already executing when
+// the close lands may still charge the accountant after the snapshot, so
+// the returned state can trail the transcript by those in-flight charges;
+// audits needing exactness must quiesce clients before closing. Closing
+// an unknown id is an error so clients notice double-closes.
+func (s *Server) CloseSession(id string) (SessionInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	se, ok := s.sessions[id]
+	if !ok {
+		return SessionInfo{}, fmt.Errorf("%w: unknown session %q", ErrNotFound, id)
+	}
+	delete(s.sessions, id)
+	return infoFor(se), nil
+}
+
+// SessionCount returns the number of live sessions.
+func (s *Server) SessionCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// infoFor snapshots a session's budget state. It takes no registry lock:
+// id and dataset are immutable after creation, and the spent/guarantee
+// pair comes from one atomic accountant read so a racing charge cannot
+// make the reported ledger disagree with itself.
+func infoFor(se *session) SessionInfo {
+	budget := se.sess.Budget()
+	spent, composite := se.sess.Snapshot()
+	remaining := budget - spent
+	if budget == 0 { // unlimited: mirror Session.Remaining's convention
+		remaining = 0
+	}
+	return SessionInfo{
+		ID:        se.id,
+		Dataset:   se.dataset,
+		Budget:    budget,
+		Spent:     spent,
+		Remaining: remaining,
+		Guarantee: composite.String(),
+		Policy:    se.sess.Policy().String(),
+	}
+}
+
+// validName reports whether a dataset name is safe to embed as a URL
+// path segment without escaping surprises. "." and ".." pass the
+// character check but are collapsed by ServeMux path cleaning, which
+// would make the dataset unreachable.
+func validName(name string) bool {
+	if name == "" || name == "." || name == ".." {
+		return false
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func newSessionID() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("server: generating session id: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}

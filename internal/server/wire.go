@@ -1,0 +1,335 @@
+// Package server is the multi-tenant OSDP query service: the serving
+// layer §7 of the paper flags as the open engineering problem. It
+// registers datasets with their privacy policies, opens per-client
+// core.Sessions — each with an independent ε budget and a goroutine-safe
+// noise source — and answers histogram, int-histogram, count, quantile,
+// and sample queries over HTTP/JSON.
+//
+// The wire format is plain JSON. Predicates (query conditions and policy
+// sensitivity rules) travel as expression trees (PredicateSpec) that are
+// compiled against the dataset schema on arrival, so type errors are
+// rejected at the boundary instead of corrupting answers. Histogram
+// domains travel as DomainSpec. See client.go for a Go client speaking
+// this format; the end-to-end tests exercise the real wire, not handler
+// internals.
+//
+// Scope of the guarantee: each session's transcript is individually
+// (P, budget)-OSDP, enforced by its accountant, and MaxSessionBudget
+// bounds any one transcript. The server has no client identity yet, so
+// composition ACROSS sessions (one analyst opening many) is not
+// accounted; deployments needing an end-to-end per-dataset bound must
+// put authentication in front and map clients to budgets. Seeded
+// (reproducible) sessions are refused unless Config.AllowSeededSessions
+// is set, because predictable noise voids the guarantee outright.
+package server
+
+import (
+	"fmt"
+	"math"
+
+	"osdp/internal/dataset"
+	"osdp/internal/histogram"
+)
+
+// PredicateSpec is the JSON form of a dataset.Predicate: an expression
+// tree of comparisons and boolean connectives.
+//
+//	{"op":"cmp","attr":"Age","cmp":"<=","value":17}
+//	{"op":"and","args":[...]}   {"op":"or","args":[...]}
+//	{"op":"not","args":[x]}     {"op":"true"}  {"op":"false"}
+type PredicateSpec struct {
+	Op    string          `json:"op"`
+	Attr  string          `json:"attr,omitempty"`
+	Cmp   string          `json:"cmp,omitempty"`
+	Value any             `json:"value,omitempty"`
+	Args  []PredicateSpec `json:"args,omitempty"`
+}
+
+// PolicySpec is the JSON form of a dataset.Policy: records matching
+// SensitiveWhen are sensitive (P(r)=0).
+type PolicySpec struct {
+	Name          string        `json:"name"`
+	SensitiveWhen PredicateSpec `json:"sensitive_when"`
+}
+
+// DomainSpec is the JSON form of a histogram.Domain. Exactly one of the
+// three shapes applies: explicit Keys (categorical), Bins > 0 with
+// Lo/Width (numeric equi-width buckets), or neither field set — the
+// domain is then derived from the distinct values present in the
+// dataset. Mixed shapes are rejected rather than reinterpreted, because
+// a silently-wrong domain would still charge the ε irrevocably.
+type DomainSpec struct {
+	Attr  string   `json:"attr"`
+	Keys  []string `json:"keys,omitempty"`
+	Lo    float64  `json:"lo,omitempty"`
+	Width float64  `json:"width,omitempty"`
+	Bins  int      `json:"bins,omitempty"`
+}
+
+// MaxQueryBins caps the total output arity of one histogram query (the
+// product over dimensions). Bins are client-controlled and the server
+// allocates a float64 per bin, so an uncapped request is a one-shot
+// memory-exhaustion DoS from an unauthenticated client.
+const MaxQueryBins = 1 << 20
+
+// RegisterDatasetRequest registers a named dataset. CSV is the table in
+// the typed-header format dataset.ReadCSV accepts.
+type RegisterDatasetRequest struct {
+	Name   string     `json:"name"`
+	CSV    string     `json:"csv"`
+	Policy PolicySpec `json:"policy"`
+}
+
+// DatasetInfo describes a registered dataset.
+type DatasetInfo struct {
+	Name         string   `json:"name"`
+	Rows         int      `json:"rows"`
+	NonSensitive int      `json:"non_sensitive_rows"`
+	Attrs        []string `json:"attrs"`
+	Policy       string   `json:"policy"`
+}
+
+// OpenSessionRequest opens a session over a registered dataset. Budget is
+// the total ε the session may spend (0 = unlimited — unwise outside
+// tests, and refused when the server sets MaxSessionBudget). Seed, when
+// set, makes the session's noise reproducible; it is refused unless the
+// server enables AllowSeededSessions, since predictable noise voids the
+// guarantee. When nil the server draws from crypto/rand. Both paths are
+// safe for concurrent queries: seeded sources are wrapped in
+// noise.Locked, and secure sources carry their own internal mutex.
+type OpenSessionRequest struct {
+	Dataset string  `json:"dataset"`
+	Budget  float64 `json:"budget"`
+	Seed    *int64  `json:"seed,omitempty"`
+}
+
+// SessionInfo reports a session's identity and budget state.
+type SessionInfo struct {
+	ID        string  `json:"id"`
+	Dataset   string  `json:"dataset"`
+	Budget    float64 `json:"budget"`
+	Spent     float64 `json:"spent"`
+	Remaining float64 `json:"remaining"`
+	Guarantee string  `json:"guarantee"`
+	Policy    string  `json:"policy"`
+}
+
+// Query kinds accepted by QueryRequest.Kind.
+const (
+	KindHistogram    = "histogram"
+	KindIntHistogram = "int-histogram"
+	KindCount        = "count"
+	KindQuantile     = "quantile"
+	KindSample       = "sample"
+)
+
+// QueryRequest is a query against an open session. Eps is the privacy
+// level charged to the session budget. Which remaining fields apply
+// depends on Kind:
+//
+//   - histogram / int-histogram: Dims (1 or 2), optional Where
+//   - count: Where (the counted predicate; nil counts all records)
+//   - quantile: Attr and Q in [0, 1]
+//   - sample: no extra fields
+type QueryRequest struct {
+	Kind  string         `json:"kind"`
+	Eps   float64        `json:"eps"`
+	Where *PredicateSpec `json:"where,omitempty"`
+	Dims  []DomainSpec   `json:"dims,omitempty"`
+	Attr  string         `json:"attr,omitempty"`
+	Q     float64        `json:"q,omitempty"`
+}
+
+// QueryResponse carries the answer for any query kind; unset fields are
+// omitted. Budget reflects the session state after the charge, so clients
+// can pace themselves without a second round trip.
+//
+// Histogram counts are flattened row-major with the FIRST dimension
+// outermost: bin (i, j) of a 2-D query lives at index i*len(DimLabels[1])+j.
+// DimLabels carries the per-dimension bin labels for every histogram
+// answer — essential when the server derived a domain from the data,
+// since the client has no other way to learn the bins it paid ε for.
+type QueryResponse struct {
+	Kind      string      `json:"kind"`
+	Value     *float64    `json:"value,omitempty"`      // count, quantile
+	Labels    []string    `json:"labels,omitempty"`     // 1-D histograms (legacy duplicate of DimLabels[0])
+	DimLabels [][]string  `json:"dim_labels,omitempty"` // histograms: labels per dimension
+	Counts    []float64   `json:"counts,omitempty"`     // histograms
+	SampleCSV string      `json:"sample_csv,omitempty"` // sample
+	Budget    SessionInfo `json:"budget"`
+}
+
+// MinQueryEps is the smallest ε a query may charge. Subnormal ε values
+// overflow 1/ε to +Inf inside the samplers, which can surface NaN counts;
+// rejecting them at the boundary keeps every charged query answerable.
+const MinQueryEps = 1e-9
+
+// ErrorResponse is the body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// CompilePolicy turns a PolicySpec into a dataset.Policy against a
+// schema. cmd/osdp-server uses it for policies loaded from disk; the
+// HTTP registration path compiles specs the same way.
+func CompilePolicy(spec PolicySpec, schema *dataset.Schema) (dataset.Policy, error) {
+	if spec.Name == "" {
+		return dataset.Policy{}, badf("policy name must not be empty")
+	}
+	pred, err := compilePredicate(spec.SensitiveWhen, schema)
+	if err != nil {
+		return dataset.Policy{}, fmt.Errorf("%w: policy %q: %v", ErrBadRequest, spec.Name, err)
+	}
+	return dataset.NewPolicy(spec.Name, pred), nil
+}
+
+// compilePredicate turns a PredicateSpec into a dataset.Predicate, typing
+// comparison values against the schema.
+func compilePredicate(spec PredicateSpec, schema *dataset.Schema) (dataset.Predicate, error) {
+	switch spec.Op {
+	case "true":
+		return dataset.True(), nil
+	case "false":
+		return dataset.False(), nil
+	case "not":
+		if len(spec.Args) != 1 {
+			return nil, fmt.Errorf("\"not\" takes exactly 1 argument, got %d", len(spec.Args))
+		}
+		p, err := compilePredicate(spec.Args[0], schema)
+		if err != nil {
+			return nil, err
+		}
+		return dataset.Not(p), nil
+	case "and", "or":
+		ps := make([]dataset.Predicate, len(spec.Args))
+		for i, a := range spec.Args {
+			p, err := compilePredicate(a, schema)
+			if err != nil {
+				return nil, err
+			}
+			ps[i] = p
+		}
+		if spec.Op == "and" {
+			return dataset.And(ps...), nil
+		}
+		return dataset.Or(ps...), nil
+	case "cmp":
+		op, err := parseCmpOp(spec.Cmp)
+		if err != nil {
+			return nil, err
+		}
+		kind, ok := schema.KindOf(spec.Attr)
+		if !ok {
+			return nil, fmt.Errorf("unknown attribute %q in predicate", spec.Attr)
+		}
+		v, err := coerceValue(spec.Value, kind)
+		if err != nil {
+			return nil, fmt.Errorf("attribute %q: %w", spec.Attr, err)
+		}
+		return dataset.Cmp(spec.Attr, op, v), nil
+	default:
+		return nil, fmt.Errorf("unknown predicate op %q", spec.Op)
+	}
+}
+
+func parseCmpOp(s string) (dataset.CmpOp, error) {
+	switch s {
+	case "=", "==":
+		return dataset.OpEq, nil
+	case "!=":
+		return dataset.OpNe, nil
+	case "<":
+		return dataset.OpLt, nil
+	case "<=":
+		return dataset.OpLe, nil
+	case ">":
+		return dataset.OpGt, nil
+	case ">=":
+		return dataset.OpGe, nil
+	default:
+		return 0, fmt.Errorf("unknown comparison operator %q", s)
+	}
+}
+
+// coerceValue converts a decoded JSON value (string, float64, or bool) to
+// a typed dataset.Value of the schema-declared kind.
+func coerceValue(raw any, kind dataset.Kind) (dataset.Value, error) {
+	switch kind {
+	case dataset.KindInt:
+		f, ok := raw.(float64)
+		if !ok {
+			return dataset.Value{}, fmt.Errorf("expected a number, got %T", raw)
+		}
+		if f != math.Trunc(f) {
+			return dataset.Value{}, fmt.Errorf("expected an integer, got %v", f)
+		}
+		return dataset.Int(int64(f)), nil
+	case dataset.KindFloat:
+		f, ok := raw.(float64)
+		if !ok {
+			return dataset.Value{}, fmt.Errorf("expected a number, got %T", raw)
+		}
+		return dataset.Float(f), nil
+	case dataset.KindBool:
+		b, ok := raw.(bool)
+		if !ok {
+			return dataset.Value{}, fmt.Errorf("expected a bool, got %T", raw)
+		}
+		return dataset.Bool(b), nil
+	default:
+		s, ok := raw.(string)
+		if !ok {
+			return dataset.Value{}, fmt.Errorf("expected a string, got %T", raw)
+		}
+		return dataset.Str(s), nil
+	}
+}
+
+// compileDomain turns a DomainSpec into a histogram.Domain. The table is
+// consulted only when the domain is derived from present values; callers
+// must pass the NON-SENSITIVE partition there, because derived bin labels
+// are echoed back to the client and must not reveal values that occur
+// only in sensitive records.
+func compileDomain(spec DomainSpec, t *dataset.Table) (*histogram.Domain, error) {
+	if _, ok := t.Schema().KindOf(spec.Attr); !ok {
+		return nil, fmt.Errorf("unknown attribute %q in domain", spec.Attr)
+	}
+	numericFields := spec.Bins != 0 || spec.Width != 0 || spec.Lo != 0
+	switch {
+	case len(spec.Keys) > 0:
+		if numericFields {
+			return nil, fmt.Errorf("domain over %q mixes keys with lo/width/bins; pick one shape", spec.Attr)
+		}
+		if len(spec.Keys) > MaxQueryBins {
+			return nil, fmt.Errorf("domain over %q has %d keys, cap is %d", spec.Attr, len(spec.Keys), MaxQueryBins)
+		}
+		seen := make(map[string]struct{}, len(spec.Keys))
+		for _, k := range spec.Keys {
+			if _, dup := seen[k]; dup {
+				return nil, fmt.Errorf("duplicate domain key %q", k)
+			}
+			seen[k] = struct{}{}
+		}
+		return histogram.NewCategoricalDomain(spec.Attr, spec.Keys), nil
+	case spec.Bins > 0:
+		if spec.Width <= 0 {
+			return nil, fmt.Errorf("numeric domain over %q needs positive width", spec.Attr)
+		}
+		if spec.Bins > MaxQueryBins {
+			return nil, fmt.Errorf("domain over %q has %d bins, cap is %d", spec.Attr, spec.Bins, MaxQueryBins)
+		}
+		return histogram.NewNumericDomain(spec.Attr, spec.Lo, spec.Width, spec.Bins), nil
+	default:
+		if numericFields {
+			return nil, fmt.Errorf("numeric domain over %q needs bins > 0 (lo/width alone is not a shape)", spec.Attr)
+		}
+		d := histogram.DomainFromTable(t, spec.Attr)
+		if d.Size() == 0 {
+			return nil, fmt.Errorf("no non-sensitive values to derive a domain for %q; declare keys or buckets explicitly", spec.Attr)
+		}
+		if d.Size() > MaxQueryBins {
+			return nil, fmt.Errorf("derived domain over %q has %d bins, cap is %d", spec.Attr, d.Size(), MaxQueryBins)
+		}
+		return d, nil
+	}
+}
