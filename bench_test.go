@@ -10,15 +10,18 @@
 package osdp
 
 import (
+	"sync"
 	"testing"
 
 	"osdp/internal/core"
+	"osdp/internal/dataset"
 	"osdp/internal/dawa"
 	"osdp/internal/dpbench"
 	"osdp/internal/experiments"
 	"osdp/internal/histogram"
 	"osdp/internal/mechanism"
 	"osdp/internal/noise"
+	"osdp/internal/server"
 )
 
 // benchConfig is the reduced configuration used by the figure benchmarks:
@@ -205,6 +208,160 @@ func BenchmarkExtension_PrivBayes(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
 		logOnce(b, i, experiments.PrivBayesReport(cfg, []float64{0.2}))
+	}
+}
+
+// --- Data-plane benchmarks: row-oriented vs columnar execution. ---
+
+const dataplaneRows = 1_000_000
+
+var (
+	dataplaneOnce  sync.Once
+	dataplaneTable *dataset.Table
+)
+
+// dataplaneBenchTable builds the 1M-row table shared by the data-plane
+// benchmarks: a 64-group string attribute, an int attribute for the WHERE
+// condition, and a float payload.
+func dataplaneBenchTable() *dataset.Table {
+	dataplaneOnce.Do(func() {
+		dataplaneTable = experiments.DataplaneTable(dataplaneRows, 64, 1)
+	})
+	return dataplaneTable
+}
+
+// BenchmarkRowVsColumnar runs the same filtered group-by count — the
+// server's histogram hot path — through the row-at-a-time baseline
+// (interface-dispatched predicate per record, string-keyed map grouping;
+// the pre-columnar engine's algorithm, with its record slice hoisted out
+// of the timed region like the old stored slice — see
+// experiments.RowReferenceGroupCount for the caveats) and through the
+// columnar engine (compiled predicate bitset + cached bin-id vector).
+// The acceptance bar for the columnar data plane is >= 5x throughput on
+// this workload.
+func BenchmarkRowVsColumnar(b *testing.B) {
+	tb := dataplaneBenchTable()
+	where := experiments.DataplaneWhere()
+	b.Run("row", func(b *testing.B) {
+		rows := tb.Records() // hoisted: the old engine kept this slice stored
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			counts := experiments.RowReferenceGroupCount(tb, rows, where, "Group")
+			if len(counts) == 0 {
+				b.Fatal("empty result")
+			}
+		}
+	})
+	b.Run("columnar", func(b *testing.B) {
+		q := histogram.NewQuery(where, histogram.DomainFromTable(tb, "Group"))
+		q.Eval(tb) // warm the cached bin vector, as a serving registry would
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h := q.Eval(tb)
+			if h.Scale() == 0 {
+				b.Fatal("empty result")
+			}
+		}
+	})
+}
+
+// BenchmarkServerHistogramQuery measures the full serving path (session
+// lookup, artifact-cache hit, vectorized scan, OSDP noise) on the 1M-row
+// table. Allocations must stay independent of the row count — no
+// per-record map entries; see TestServerHistogramQueryAllocs for the
+// enforced bound.
+func BenchmarkServerHistogramQuery(b *testing.B) {
+	tb := dataplaneBenchTable()
+	srv := server.New(server.Config{AllowSeededSessions: true})
+	if err := srv.RegisterTable("bench", tb, dataset.AllNonSensitive()); err != nil {
+		b.Fatal(err)
+	}
+	seed := int64(7)
+	si, err := srv.OpenSession(server.OpenSessionRequest{Dataset: "bench", Budget: 0, Seed: &seed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := server.QueryRequest{
+		Kind: server.KindHistogram,
+		Eps:  0.1,
+		Dims: []server.DomainSpec{{Attr: "Group"}},
+		Where: &server.PredicateSpec{
+			Op: "cmp", Attr: "Age", Cmp: ">=", Value: float64(18),
+		},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := srv.Query(si.ID, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestServerHistogramQueryAllocs pins the "no per-record allocation"
+// property of the serving path: allocations per histogram query must not
+// grow with the table (a per-record map would add one entry per matching
+// record). Compared across a 64x row-count spread with generous slack.
+func TestServerHistogramQueryAllocs(t *testing.T) {
+	allocsFor := func(rows int) float64 {
+		tb := experiments.DataplaneTable(rows, 16, 2)
+		srv := server.New(server.Config{AllowSeededSessions: true})
+		if err := srv.RegisterTable("d", tb, dataset.AllNonSensitive()); err != nil {
+			t.Fatal(err)
+		}
+		seed := int64(11)
+		si, err := srv.OpenSession(server.OpenSessionRequest{Dataset: "d", Budget: 0, Seed: &seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		req := server.QueryRequest{
+			Kind: server.KindHistogram,
+			Eps:  0.5,
+			Dims: []server.DomainSpec{{Attr: "Group"}},
+			Where: &server.PredicateSpec{
+				Op: "cmp", Attr: "Age", Cmp: ">=", Value: float64(18),
+			},
+		}
+		if _, err := srv.Query(si.ID, req); err != nil { // warm caches
+			t.Fatal(err)
+		}
+		return testing.AllocsPerRun(20, func() {
+			if _, err := srv.Query(si.ID, req); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	small, large := allocsFor(1000), allocsFor(64000)
+	if large > small+64 {
+		t.Errorf("allocations grew with table size: %v at 1k rows vs %v at 64k rows", small, large)
+	}
+	if large > 1000 {
+		t.Errorf("histogram query allocates %v objects/op; per-record work has crept back in", large)
+	}
+}
+
+// TestRowVsColumnarAgree guards the benchmark's two paths against
+// divergence: identical counts, whatever the speed.
+func TestRowVsColumnarAgree(t *testing.T) {
+	tb := experiments.DataplaneTable(20000, 32, 3)
+	where := experiments.DataplaneWhere()
+	ref := experiments.RowReferenceGroupCount(tb, tb.Records(), where, "Group")
+	q := histogram.NewQuery(where, histogram.DomainFromTable(tb, "Group"))
+	h := q.Eval(tb)
+	for i := 0; i < h.Bins(); i++ {
+		label := h.Label(i)
+		if int(h.Count(i)) != ref[label] {
+			t.Fatalf("group %q: columnar %v vs row %d", label, h.Count(i), ref[label])
+		}
+	}
+	total := 0
+	for _, n := range ref {
+		total += n
+	}
+	if int(h.Scale()) != total {
+		t.Fatalf("mass mismatch: %v vs %d", h.Scale(), total)
 	}
 }
 

@@ -5,12 +5,20 @@
 //
 //	osdp-bench [-exp all|table1|table2|fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|crossover|exclusion|ablations]
 //	           [-quick] [-seed N] [-trials N]
+//	osdp-bench -dataplane BENCH_dataplane.json [-quick]
 //
 // -quick shrinks the workloads for a fast smoke run; the default
 // configuration matches the scales recorded in EXPERIMENTS.md.
+//
+// -dataplane runs only the row-vs-columnar data-plane benchmark (the
+// serving hot path: filtered group-by count on a synthetic table, 1M
+// rows, or 100k with -quick) and writes the machine-readable result to
+// the given JSON file — the artifact CI tracks so the columnar speedup
+// cannot silently regress.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,7 +33,16 @@ func main() {
 	quick := flag.Bool("quick", false, "use the reduced quick configuration")
 	seed := flag.Int64("seed", 0, "override the random seed (0 keeps the default)")
 	trials := flag.Int("trials", 0, "override the trial count (0 keeps the default)")
+	dataplane := flag.String("dataplane", "", "run the data-plane benchmark and write its JSON result to this file")
 	flag.Parse()
+
+	if *dataplane != "" {
+		if err := runDataplane(*dataplane, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := experiments.DefaultConfig()
 	if *quick {
@@ -146,4 +163,27 @@ func main() {
 		}
 		fmt.Printf("[%s finished in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runDataplane measures the row vs columnar group-by throughput and
+// writes the result as JSON.
+func runDataplane(path string, quick bool) error {
+	rows, minDur := 1_000_000, 2*time.Second
+	if quick {
+		rows, minDur = 100_000, 300*time.Millisecond
+	}
+	res, err := experiments.MeasureDataplane(rows, 64, minDur)
+	if err != nil {
+		return fmt.Errorf("dataplane benchmark: %w", err)
+	}
+	fmt.Println(res.String())
+	body, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return fmt.Errorf("encoding %s: %w", path, err)
+	}
+	if err := os.WriteFile(path, append(body, '\n'), 0o644); err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
 }

@@ -31,11 +31,13 @@ func NewRR(policy dataset.Policy, eps float64) *RR {
 	return &RR{policy: policy, eps: eps}
 }
 
-// Release runs Algorithm 1 on db.
+// Release runs Algorithm 1 on db. Iteration is indexed so no per-record
+// view slice is materialized for large databases.
 func (m *RR) Release(db *dataset.Table, src noise.Source) *dataset.Table {
 	keep := noise.KeepProbability(m.eps)
 	out := dataset.NewTable(db.Schema())
-	for _, r := range db.Records() {
+	for i, n := 0, db.Len(); i < n; i++ {
+		r := db.Record(i)
 		if m.policy.NonSensitive(r) && noise.Bernoulli(src, keep) {
 			out.Append(r)
 		}

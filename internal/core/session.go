@@ -28,9 +28,16 @@ var ErrEmptySample = errors.New("sample came up empty")
 // seeded sources must be wrapped with noise.Locked. The table, policy,
 // and cached partition are never mutated after construction, and all
 // budget accounting goes through the mutex-guarded Accountant.
+//
+// The non-sensitive partition is held as a bitset-backed VIEW over the
+// database's column store, not a materialized copy: N sessions over one
+// dataset share a single set of column vectors, and the policy split
+// itself is computed at most once per (table, policy) — dataset.Table
+// caches the partition bitsets, so even sessions opened concurrently
+// with plain NewSession reuse one split pass.
 type Session struct {
 	db     *dataset.Table
-	ns     *dataset.Table // cached non-sensitive partition
+	ns     *dataset.Table // non-sensitive partition: a selection view over db's columns
 	policy dataset.Policy
 	acct   *Accountant
 	src    noise.Source
@@ -44,10 +51,10 @@ func NewSession(db *dataset.Table, policy dataset.Policy, budget float64, src no
 }
 
 // NewSessionWithPartition opens a session reusing a precomputed
-// non-sensitive partition, e.g. one a serving layer caches so that
-// opening N sessions over the same dataset does not split the table N
-// times. ns must be exactly the non-sensitive records of db under
-// policy; both tables are treated as immutable for the session's life.
+// non-sensitive partition, e.g. the view a serving layer derives once at
+// dataset registration. ns must be exactly the non-sensitive records of
+// db under policy; both tables are treated as immutable for the
+// session's life.
 func NewSessionWithPartition(db, ns *dataset.Table, policy dataset.Policy, budget float64, src noise.Source) *Session {
 	return &Session{
 		db:     db,
@@ -148,9 +155,9 @@ func (s *Session) Quantile(attr string, q, eps float64) (float64, error) {
 	}
 	keep := noise.KeepProbability(eps)
 	var values []float64
-	for _, r := range s.ns.Records() {
+	for i, n := 0, s.ns.Len(); i < n; i++ {
 		if noise.Bernoulli(s.src, keep) {
-			values = append(values, r.Get(attr).AsFloat())
+			values = append(values, s.ns.Record(i).Get(attr).AsFloat())
 		}
 	}
 	if len(values) == 0 {

@@ -1,0 +1,144 @@
+package dataset
+
+// stringDict interns the distinct values of a string column: rows store
+// dense uint32 codes and the dictionary maps codes back to strings. The
+// dictionary is append-only, so codes never need rewriting; grouping and
+// equality predicates can work on codes and touch actual strings only
+// once per distinct value.
+type stringDict struct {
+	index map[string]uint32
+	vals  []string
+}
+
+func newStringDict() *stringDict {
+	return &stringDict{index: make(map[string]uint32)}
+}
+
+func (d *stringDict) code(s string) uint32 {
+	if c, ok := d.index[s]; ok {
+		return c
+	}
+	c := uint32(len(d.vals))
+	d.index[s] = c
+	d.vals = append(d.vals, s)
+	return c
+}
+
+// lookup returns the code of s without interning, and whether it exists.
+func (d *stringDict) lookup(s string) (uint32, bool) {
+	c, ok := d.index[s]
+	return c, ok
+}
+
+func (d *stringDict) clone() *stringDict {
+	out := &stringDict{
+		index: make(map[string]uint32, len(d.index)),
+		vals:  append([]string(nil), d.vals...),
+	}
+	for k, v := range d.index {
+		out.index[k] = v
+	}
+	return out
+}
+
+// column is one attribute's typed vector. Exactly one of the storage
+// slices is populated, selected by kind. Values whose dynamic kind
+// disagrees with the declared column kind (the row API never forbade
+// that) are stored coerced in the typed vector AND verbatim in exc, so
+// reads reproduce the original Value exactly; vectorized evaluation
+// checks len(exc) and falls back to the row path when any exist.
+type column struct {
+	kind   Kind
+	ints   []int64
+	floats []float64
+	bools  []bool
+	codes  []uint32
+	dict   *stringDict
+	exc    map[int]Value // physical row -> original mixed-kind value
+}
+
+func newColumn(kind Kind) *column {
+	c := &column{kind: kind}
+	if kind == KindString {
+		c.dict = newStringDict()
+	}
+	return c
+}
+
+// appendValue appends v at physical row i (the current length).
+func (c *column) appendValue(i int, v Value) {
+	if v.kind != c.kind {
+		if c.exc == nil {
+			c.exc = make(map[int]Value)
+		}
+		c.exc[i] = v
+	}
+	switch c.kind {
+	case KindInt:
+		c.ints = append(c.ints, v.AsInt())
+	case KindFloat:
+		c.floats = append(c.floats, v.AsFloat())
+	case KindBool:
+		c.bools = append(c.bools, v.AsBool())
+	default:
+		c.codes = append(c.codes, c.dict.code(v.AsString()))
+	}
+}
+
+// value reconstructs the Value stored at physical row i.
+func (c *column) value(i int) Value {
+	if len(c.exc) != 0 {
+		if v, ok := c.exc[i]; ok {
+			return v
+		}
+	}
+	switch c.kind {
+	case KindInt:
+		return Int(c.ints[i])
+	case KindFloat:
+		return Float(c.floats[i])
+	case KindBool:
+		return Bool(c.bools[i])
+	default:
+		return Str(c.dict.vals[c.codes[i]])
+	}
+}
+
+// pure reports whether every stored value has the declared kind, the
+// precondition for vectorized evaluation over the typed slices.
+func (c *column) pure() bool { return len(c.exc) == 0 }
+
+// clone returns a column whose typed vector shares the backing array
+// read-only (full-capacity slicing forces copy-on-append) but owns its
+// dictionary and exception map, so appends to either table never corrupt
+// the other.
+func (c *column) clone() *column {
+	out := &column{kind: c.kind}
+	switch c.kind {
+	case KindInt:
+		out.ints = c.ints[:len(c.ints):len(c.ints)]
+	case KindFloat:
+		out.floats = c.floats[:len(c.floats):len(c.floats)]
+	case KindBool:
+		out.bools = c.bools[:len(c.bools):len(c.bools)]
+	default:
+		out.codes = c.codes[:len(c.codes):len(c.codes)]
+		out.dict = c.dict.clone()
+	}
+	if len(c.exc) != 0 {
+		out.exc = make(map[int]Value, len(c.exc))
+		for k, v := range c.exc {
+			out.exc[k] = v
+		}
+	}
+	return out
+}
+
+// gather materializes the subset of rows named by sel into a fresh column.
+func (c *column) gather(sel []int32) *column {
+	out := newColumn(c.kind)
+	for i, p := range sel {
+		out.appendValue(i, c.value(int(p)))
+	}
+	return out
+}

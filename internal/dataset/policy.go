@@ -3,6 +3,7 @@ package dataset
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 )
 
 // Predicate is a boolean condition over a record. Predicates are the
@@ -137,12 +138,19 @@ func (falsePredicate) String() string   { return "false" }
 func False() Predicate { return falsePredicate{} }
 
 // FuncPredicate adapts an arbitrary Go function to a Predicate; name is used
-// for String.
+// for String. Each call mints a distinct identity for caching purposes
+// (see Table.SplitBits): reusing one FuncPredicate value hits the caches,
+// while two FuncPredicates wrapping different functions never alias even
+// if their names collide.
 func FuncPredicate(name string, f func(Record) bool) Predicate {
-	return funcPredicate{name: name, f: f}
+	return funcPredicate{id: funcPredicateID.Add(1), name: name, f: f}
 }
 
+// funcPredicateID mints unique identities for opaque predicates.
+var funcPredicateID atomic.Uint64
+
 type funcPredicate struct {
+	id   uint64
 	name string
 	f    func(Record) bool
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Schema names and types the attributes of a table. Attribute order is
@@ -61,16 +62,20 @@ func (s *Schema) ColumnIndex(name string) int {
 	return i
 }
 
-// Record is a tuple conforming to some schema. Records are value types:
-// copying one copies its attribute slice header but the backing array is
-// shared, so treat records as immutable once stored in a table.
+// Record is a tuple conforming to some schema. A record is either
+// standalone (built by NewRecord, carrying its own values) or a
+// lightweight row view into a table's column store (returned by
+// Table.Record/Records). Both are value types: copying one never copies
+// attribute data, so treat records as immutable once stored in a table.
 type Record struct {
 	schema *Schema
-	values []Value
+	values []Value // standalone records
+	tab    *Table  // row views: the base table owning the columns
+	row    int     // physical row index in tab
 }
 
-// NewRecord builds a record for schema s from positional values. It panics
-// if the arity does not match.
+// NewRecord builds a standalone record for schema s from positional
+// values. It panics if the arity does not match.
 func NewRecord(s *Schema, values ...Value) Record {
 	if len(values) != s.Len() {
 		panic(fmt.Sprintf("dataset: record arity %d does not match schema arity %d",
@@ -90,50 +95,190 @@ func (r Record) Get(name string) Value {
 	if i < 0 {
 		panic(fmt.Sprintf("dataset: unknown attribute %q", name))
 	}
-	return r.values[i]
+	return r.At(i)
 }
 
 // At returns the value at column position i.
-func (r Record) At(i int) Value { return r.values[i] }
+func (r Record) At(i int) Value {
+	if r.values != nil {
+		return r.values[i]
+	}
+	return r.tab.cols[i].value(r.row)
+}
 
 // Key renders the record as a canonical string, usable as a map key for
-// multiset semantics and for grouping.
+// multiset semantics and for grouping. Values are escaped so that the
+// field separator occurring inside a value cannot alias distinct records.
 func (r Record) Key() string {
 	var b strings.Builder
-	for i, v := range r.values {
+	for i := 0; i < r.schema.Len(); i++ {
 		if i > 0 {
-			b.WriteByte('\x1f')
+			b.WriteByte(keySep)
 		}
-		b.WriteString(v.AsString())
+		writeEscapedKeyPart(&b, r.At(i).AsString())
 	}
 	return b.String()
 }
 
-// Table is an in-memory multiset of records sharing one schema. A Table is
-// the "database D" of the paper.
-type Table struct {
-	schema  *Schema
-	records []Record
+// keySep separates fields in a record key; values containing it (or the
+// escape byte) are escaped by writeEscapedKeyPart so keys stay injective.
+const keySep = '\x1f'
+
+func writeEscapedKeyPart(b *strings.Builder, s string) {
+	if !strings.ContainsAny(s, "\\\x1f") {
+		b.WriteString(s)
+		return
+	}
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case keySep:
+			b.WriteString(`\u`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
 }
 
-// NewTable creates an empty table with the given schema.
+// Table is an in-memory multiset of records sharing one schema — the
+// "database D" of the paper. Storage is columnar: each attribute is a
+// typed vector (int64/float64/bool, or a dictionary-coded string column),
+// and the Record API reads through lightweight row views. A table is
+// either a base table owning its columns, or a view: a selection vector
+// over another table's columns, produced by Filter and Split. Views share
+// storage — N policy partitions of one dataset cost N index slices, not N
+// copies of the data.
+//
+// Tables are safe for concurrent READS (Record/Records, Filter, Count,
+// Select, Split); Append must not race with any other access, matching
+// the previous contract.
+type Table struct {
+	schema *Schema
+	cols   []*column
+	nrows  int // physical rows; meaningful for base tables
+
+	base *Table  // nil for base tables; the storage owner for views
+	sel  []int32 // view: physical row ids in base, strictly increasing
+
+	mu     sync.Mutex
+	splits map[string]*splitEntry
+}
+
+// splitEntry caches one policy's partition of a table: the bitsets and
+// the derived selection vectors (shared by every view handed out).
+type splitEntry struct {
+	sens, ns       *Bitset
+	sensSel, nsSel []int32
+}
+
+// NewTable creates an empty base table with the given schema.
 func NewTable(s *Schema) *Table {
-	return &Table{schema: s}
+	t := &Table{schema: s, cols: make([]*column, s.Len())}
+	for i := range t.cols {
+		t.cols[i] = newColumn(s.kinds[i])
+	}
+	return t
 }
 
 // Schema returns the table's schema.
 func (t *Table) Schema() *Schema { return t.schema }
 
 // Len returns the number of records.
-func (t *Table) Len() int { return len(t.records) }
+func (t *Table) Len() int {
+	if t.sel != nil {
+		return len(t.sel)
+	}
+	return t.nrows
+}
+
+// Base returns the table owning the physical column storage: t itself for
+// base tables, the root table for views. Row ids in Selection and in the
+// Column* accessors are indices into Base().
+func (t *Table) Base() *Table {
+	if t.base != nil {
+		return t.base
+	}
+	return t
+}
+
+// Selection returns the physical row ids (into Base()) backing a view —
+// strictly increasing, so view order is base order — or nil when t is a
+// base table or a view covering every base row (rows are then
+// 0..Len()-1 directly). The caller must not modify the returned slice.
+func (t *Table) Selection() []int32 {
+	if t.sel != nil && t.selIsIdentity() {
+		return nil
+	}
+	return t.sel
+}
+
+// physRow maps a table-relative position to a physical row in Base().
+func (t *Table) physRow(i int) int {
+	if t.sel != nil {
+		return int(t.sel[i])
+	}
+	return i
+}
+
+// ColumnInts returns the int64 vector backing column i of the base
+// storage, indexed by PHYSICAL row (combine with Selection on views).
+// ok is false when the column is not a purely int-typed vector; callers
+// must then fall back to the Record API.
+func (t *Table) ColumnInts(i int) ([]int64, bool) {
+	c := t.Base().cols[i]
+	if c.kind != KindInt || !c.pure() {
+		return nil, false
+	}
+	return c.ints, true
+}
+
+// ColumnFloats is ColumnInts for float64 columns.
+func (t *Table) ColumnFloats(i int) ([]float64, bool) {
+	c := t.Base().cols[i]
+	if c.kind != KindFloat || !c.pure() {
+		return nil, false
+	}
+	return c.floats, true
+}
+
+// ColumnBools is ColumnInts for bool columns.
+func (t *Table) ColumnBools(i int) ([]bool, bool) {
+	c := t.Base().cols[i]
+	if c.kind != KindBool || !c.pure() {
+		return nil, false
+	}
+	return c.bools, true
+}
+
+// ColumnStrings returns the dictionary codes and dictionary of a string
+// column of the base storage, indexed by PHYSICAL row. The dictionary
+// maps code -> string and may contain entries no physical row references.
+// ok is false when the column is not a purely string-typed vector.
+func (t *Table) ColumnStrings(i int) (codes []uint32, dict []string, ok bool) {
+	c := t.Base().cols[i]
+	if c.kind != KindString || !c.pure() {
+		return nil, nil, false
+	}
+	return c.codes, c.dict.vals, true
+}
 
 // Append adds records to the table. Records must share the table's schema.
+// Appending to a view first materializes it into an independent base table
+// (the view semantics of Filter/Split results are copy-on-append).
 func (t *Table) Append(rs ...Record) {
 	for _, r := range rs {
 		if r.schema != t.schema {
 			panic("dataset: record schema does not match table schema")
 		}
-		t.records = append(t.records, r)
+	}
+	t.materialize()
+	t.invalidate()
+	for _, r := range rs {
+		for i, c := range t.cols {
+			c.appendValue(t.nrows, r.At(i))
+		}
+		t.nrows++
 	}
 }
 
@@ -142,67 +287,282 @@ func (t *Table) AppendValues(values ...Value) {
 	t.Append(NewRecord(t.schema, values...))
 }
 
-// Record returns the i-th record.
-func (t *Table) Record(i int) Record { return t.records[i] }
-
-// Records returns the underlying record slice. The caller must not mutate
-// it; it is exposed to let mechanisms iterate without copying.
-func (t *Table) Records() []Record { return t.records }
-
-// Filter returns a new table holding the records satisfying pred.
-func (t *Table) Filter(pred Predicate) *Table {
-	out := NewTable(t.schema)
-	for _, r := range t.records {
-		if pred.Eval(r) {
-			out.records = append(out.records, r)
-		}
+// materialize converts a view into a base table owning copies of its
+// selected rows. No-op on base tables.
+func (t *Table) materialize() {
+	if t.sel == nil {
+		return
 	}
-	return out
+	baseCols := t.Base().cols
+	cols := make([]*column, len(baseCols))
+	for i, c := range baseCols {
+		cols[i] = c.gather(t.sel)
+	}
+	t.cols = cols
+	t.nrows = len(t.sel)
+	t.base = nil
+	t.sel = nil
 }
 
-// Count returns the number of records satisfying pred.
-func (t *Table) Count(pred Predicate) int {
-	n := 0
-	for _, r := range t.records {
-		if pred.Eval(r) {
-			n++
+// invalidate drops caches that depend on the current row set.
+func (t *Table) invalidate() {
+	t.mu.Lock()
+	t.splits = nil
+	t.mu.Unlock()
+}
+
+// Record returns the i-th record as a row view.
+func (t *Table) Record(i int) Record {
+	if i < 0 || i >= t.Len() {
+		panic(fmt.Sprintf("dataset: record index %d out of range [0, %d)", i, t.Len()))
+	}
+	return Record{schema: t.schema, tab: t.Base(), row: t.physRow(i)}
+}
+
+// Records returns the table's records as row views. The slice is built
+// per call (a Record view is three words, nothing is pinned on the
+// table); the caller must not mutate it. On hot paths prefer indexed
+// access (Len/Record) or the columnar operations (Filter, Count, Select,
+// histogram.Query.Eval), which avoid materializing the slice entirely.
+func (t *Table) Records() []Record {
+	base := t.Base()
+	rows := make([]Record, t.Len())
+	for i := range rows {
+		rows[i] = Record{schema: t.schema, tab: base, row: t.physRow(i)}
+	}
+	return rows
+}
+
+// viewOf returns a view of t selecting the given table-relative positions
+// (translated to physical rows).
+func (t *Table) viewOf(positions []int32) *Table {
+	sel := positions
+	if t.sel != nil {
+		sel = make([]int32, len(positions))
+		for i, p := range positions {
+			sel[i] = t.sel[p]
 		}
 	}
-	return n
+	return &Table{schema: t.schema, cols: t.Base().cols, base: t.Base(), sel: sel}
+}
+
+// viewFromSel returns a view of the BASE storage with the given physical
+// selection vector (which must not be mutated afterwards).
+func (t *Table) viewFromSel(sel []int32) *Table {
+	return &Table{schema: t.schema, cols: t.Base().cols, base: t.Base(), sel: sel}
+}
+
+// Select compiles and evaluates pred over the table, returning the
+// selection bitset (bit i set means record i matches). Comparison
+// predicates over typed columns are evaluated vectorized — one pass over
+// the typed slice with no per-record interface dispatch; combinators
+// become bitset algebra. Unlike per-record evaluation, And/Or do not
+// short-circuit, so predicates must be pure functions of the record.
+// Opaque predicates (FuncPredicate) are invoked only on the table's own
+// records — never on rows a view excludes.
+func (t *Table) Select(pred Predicate) *Bitset {
+	if t.sel == nil || t.selIsIdentity() {
+		return evalPhysical(t.Base(), pred)
+	}
+	return evalViewRelative(t, pred)
+}
+
+// selIsIdentity reports whether a view covers every base row in order.
+// Selection vectors are strictly increasing physical row ids (Filter and
+// Split emit bitset indices; composition preserves monotonicity), so
+// covering the full base is equivalent to length equality — an O(1)
+// check that lets full-table partitions (e.g. AllNonSensitive policies)
+// skip the per-row selection indirection entirely.
+func (t *Table) selIsIdentity() bool {
+	return len(t.sel) == t.Base().nrows
+}
+
+// Filter returns the records satisfying pred as a view sharing this
+// table's storage (copy-on-append).
+func (t *Table) Filter(pred Predicate) *Table {
+	return t.viewOf(t.Select(pred).indices())
+}
+
+// Count returns the number of records satisfying pred, via one vectorized
+// pass.
+func (t *Table) Count(pred Predicate) int {
+	return t.Select(pred).Count()
 }
 
 // GroupCount groups records by the value of attribute name and returns a
 // count per group key (rendered as a string). It is the engine behind
-// "SELECT group, COUNT(*) ... GROUP BY" histogram queries.
+// "SELECT group, COUNT(*) ... GROUP BY" histogram queries; dense domains
+// should prefer histogram.Query, which counts into a precomputed bin
+// vector instead of a string map.
 func (t *Table) GroupCount(name string) map[string]int {
-	i := t.schema.ColumnIndex(name)
-	if i < 0 {
+	ci := t.schema.ColumnIndex(name)
+	if ci < 0 {
 		panic(fmt.Sprintf("dataset: unknown attribute %q", name))
 	}
 	out := make(map[string]int)
-	for _, r := range t.records {
-		out[r.values[i].AsString()]++
+	if codes, dict, ok := t.ColumnStrings(ci); ok {
+		// Dictionary fast path: count codes, render each distinct value once.
+		cnt := make([]int, len(dict))
+		if t.sel != nil {
+			for _, p := range t.sel {
+				cnt[codes[p]]++
+			}
+		} else {
+			for _, c := range codes[:t.nrows] {
+				cnt[c]++
+			}
+		}
+		for code, n := range cnt {
+			if n > 0 {
+				out[dict[code]] = n
+			}
+		}
+		return out
+	}
+	col := t.Base().cols[ci]
+	n := t.Len()
+	for i := 0; i < n; i++ {
+		out[col.value(t.physRow(i)).AsString()]++
 	}
 	return out
 }
 
-// Split partitions the table by policy P into (sensitive, nonSensitive).
-func (t *Table) Split(p Policy) (sensitive, nonSensitive *Table) {
-	sensitive, nonSensitive = NewTable(t.schema), NewTable(t.schema)
-	for _, r := range t.records {
-		if p.NonSensitive(r) {
-			nonSensitive.records = append(nonSensitive.records, r)
-		} else {
-			sensitive.records = append(sensitive.records, r)
-		}
-	}
-	return sensitive, nonSensitive
+// splitKey identifies a policy for the split cache: the policy name plus
+// a kind-tagged structural rendering of the predicate (predCacheKey).
+// Unlike Predicate.String, the rendering distinguishes comparison-value
+// kinds — Cmp(a, OpEq, Str("true")) and Cmp(a, OpEq, Bool(true)) behave
+// differently and must not share a cache slot — and identifies
+// FuncPredicate by a minted per-instance id, so same-named opaque
+// predicates wrapping different functions never alias either. ok is
+// false when the predicate contains an implementation this package
+// cannot assign a sound identity to; such policies are never cached.
+func splitKey(p Policy) (key string, ok bool) {
+	pk, ok := predCacheKey(p.sensitive)
+	return p.name + "\x00" + pk, ok
 }
 
-// Clone returns a shallow copy of the table (records shared, slice fresh).
+// predCacheKey renders a predicate for cache identity: structure tokens
+// are fixed, every free-form string (attribute, value) is %q-quoted,
+// comparison values carry their kind, and FuncPredicate contributes its
+// minted id, so two predicates with different semantics cannot collide.
+// Predicate implementations from outside this package have no provable
+// identity (String() need not be faithful) and return ok=false.
+func predCacheKey(p Predicate) (key string, ok bool) {
+	switch q := p.(type) {
+	case cmpPredicate:
+		return fmt.Sprintf("cmp(%q,%d,%d:%q)", q.attr, q.op, q.val.kind, q.val.AsString()), true
+	case andPredicate:
+		return joinCacheKeys("and", q)
+	case orPredicate:
+		return joinCacheKeys("or", q)
+	case notPredicate:
+		sub, ok := predCacheKey(q.p)
+		return "not(" + sub + ")", ok
+	case truePredicate:
+		return "true", true
+	case falsePredicate:
+		return "false", true
+	case funcPredicate:
+		// The minted id makes distinct function values distinct cache
+		// identities even under colliding names; the same predicate
+		// VALUE (however copied) still hits the cache.
+		return fmt.Sprintf("func:%d", q.id), true
+	default:
+		return "", false
+	}
+}
+
+func joinCacheKeys(tag string, ps []Predicate) (string, bool) {
+	parts := make([]string, len(ps))
+	for i, sub := range ps {
+		k, ok := predCacheKey(sub)
+		if !ok {
+			return "", false
+		}
+		parts[i] = k
+	}
+	return tag + "(" + strings.Join(parts, ",") + ")", true
+}
+
+// SplitBits partitions the table by policy P into (sensitive,
+// nonSensitive) selection bitsets. The partition is computed once per
+// (table, policy) and cached — concurrent sessions over one dataset share
+// a single split pass. Policies whose predicates come from outside this
+// package (other than FuncPredicate) are computed fresh every call, as
+// they have no sound cache identity.
+func (t *Table) SplitBits(p Policy) (sensitive, nonSensitive *Bitset) {
+	e := t.splitEntryFor(p)
+	return e.sens, e.ns
+}
+
+// maxSplitCacheEntries bounds the per-table split cache. Serving and
+// session use means one or two policies per table; only policy SWEEPS
+// (experiments trying hundreds of policies on one table) exceed it, and
+// for those recomputation beats pinning ~4.25 bytes/row/policy forever.
+const maxSplitCacheEntries = 8
+
+func (t *Table) splitEntryFor(p Policy) *splitEntry {
+	key, cacheable := splitKey(p)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if cacheable {
+		if e, ok := t.splits[key]; ok {
+			return e
+		}
+	}
+	sens := t.Select(p.sensitive)
+	ns := sens.Clone()
+	ns.invert()
+	e := &splitEntry{sens: sens, ns: ns, sensSel: sens.indices(), nsSel: ns.indices()}
+	if !cacheable {
+		return e
+	}
+	if t.splits == nil {
+		t.splits = make(map[string]*splitEntry)
+	}
+	if len(t.splits) >= maxSplitCacheEntries {
+		// Evict an arbitrary entry (map order); this is a cache, not a
+		// ledger — a future miss just recomputes.
+		for k := range t.splits {
+			delete(t.splits, k)
+			break
+		}
+	}
+	t.splits[key] = e
+	return e
+}
+
+// Split partitions the table by policy P into (sensitive, nonSensitive)
+// views sharing this table's storage. The underlying partition is the
+// cached SplitBits result, so repeated splits under the same policy cost
+// O(1) after the first.
+func (t *Table) Split(p Policy) (sensitive, nonSensitive *Table) {
+	e := t.splitEntryFor(p)
+	if t.sel != nil {
+		// View: translate view-relative indices to physical rows.
+		return t.viewOf(e.sensSel), t.viewOf(e.nsSel)
+	}
+	return t.viewFromSel(e.sensSel), t.viewFromSel(e.nsSel)
+}
+
+// Clone returns an independent table with the same records. Column
+// vectors are shared copy-on-append; the dictionary and caches are not
+// shared, so appending to either table never disturbs the other.
 func (t *Table) Clone() *Table {
-	out := NewTable(t.schema)
-	out.records = append(out.records, t.records...)
+	if t.sel != nil {
+		out := NewTable(t.schema)
+		baseCols := t.Base().cols
+		out.cols = make([]*column, len(baseCols))
+		for i, c := range baseCols {
+			out.cols[i] = c.gather(t.sel)
+		}
+		out.nrows = len(t.sel)
+		return out
+	}
+	out := &Table{schema: t.schema, cols: make([]*column, len(t.cols)), nrows: t.nrows}
+	for i, c := range t.cols {
+		out.cols[i] = c.clone()
+	}
 	return out
 }
 
@@ -210,21 +570,97 @@ func (t *Table) Clone() *Table {
 // multiplicity. Used by tests to verify multiset invariants such as
 // "OsdpRR output is a sub-multiset of its input".
 func (t *Table) Multiset() map[string]int {
-	m := make(map[string]int, len(t.records))
-	for _, r := range t.records {
-		m[r.Key()]++
+	n := t.Len()
+	m := make(map[string]int, n)
+	for i := 0; i < n; i++ {
+		m[t.Record(i).Key()]++
 	}
 	return m
 }
 
 // SortedKeys returns the distinct values of the named attribute in sorted
-// order; helper for building stable histogram domains from data.
+// order; helper for building stable histogram domains from data. Values
+// are ordered by their TYPED comparison (so integer attributes sort 2
+// before 10, not lexicographically) and rendered as strings.
 func (t *Table) SortedKeys(name string) []string {
-	groups := t.GroupCount(name)
-	keys := make([]string, 0, len(groups))
-	for k := range groups {
+	ci := t.schema.ColumnIndex(name)
+	if ci < 0 {
+		panic(fmt.Sprintf("dataset: unknown attribute %q", name))
+	}
+	if keys, ok := t.sortedKeysFast(ci); ok {
+		return keys
+	}
+	// Generic path: distinct by rendered string, ordered by typed value
+	// (ties broken by the rendering for a stable total order).
+	col := t.Base().cols[ci]
+	distinct := make(map[string]Value)
+	n := t.Len()
+	for i := 0; i < n; i++ {
+		v := col.value(t.physRow(i))
+		s := v.AsString()
+		if _, ok := distinct[s]; !ok {
+			distinct[s] = v
+		}
+	}
+	keys := make([]string, 0, len(distinct))
+	for k := range distinct {
 		keys = append(keys, k)
 	}
-	sort.Strings(keys)
+	sort.Slice(keys, func(i, j int) bool {
+		c := distinct[keys[i]].Compare(distinct[keys[j]])
+		if c != 0 {
+			return c < 0
+		}
+		return keys[i] < keys[j]
+	})
 	return keys
+}
+
+// sortedKeysFast handles pure int and string columns without building
+// Values: distinct int64s sort numerically, dictionary entries sort
+// lexicographically.
+func (t *Table) sortedKeysFast(ci int) ([]string, bool) {
+	if ints, ok := t.ColumnInts(ci); ok {
+		distinct := make(map[int64]struct{})
+		if t.sel != nil {
+			for _, p := range t.sel {
+				distinct[ints[p]] = struct{}{}
+			}
+		} else {
+			for _, v := range ints[:t.nrows] {
+				distinct[v] = struct{}{}
+			}
+		}
+		vals := make([]int64, 0, len(distinct))
+		for v := range distinct {
+			vals = append(vals, v)
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		keys := make([]string, len(vals))
+		for i, v := range vals {
+			keys[i] = Int(v).AsString()
+		}
+		return keys, true
+	}
+	if codes, dict, ok := t.ColumnStrings(ci); ok {
+		seen := make([]bool, len(dict))
+		if t.sel != nil {
+			for _, p := range t.sel {
+				seen[codes[p]] = true
+			}
+		} else {
+			for _, c := range codes[:t.nrows] {
+				seen[c] = true
+			}
+		}
+		keys := make([]string, 0)
+		for code, s := range seen {
+			if s {
+				keys = append(keys, dict[code])
+			}
+		}
+		sort.Strings(keys)
+		return keys, true
+	}
+	return nil, false
 }

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"osdp/internal/dataset"
+	"osdp/internal/histogram"
+)
+
+// This file is the data-plane benchmark substrate shared by the root
+// BenchmarkRowVsColumnar and cmd/osdp-bench's BENCH_dataplane.json
+// emission: one synthetic serving-shaped table, the canonical filtered
+// group-by workload, and the row-at-a-time reference engine the columnar
+// execution path replaced.
+
+// DataplaneTable builds a rows-long table with a `groups`-ary string
+// attribute ("Group"), an integer "Age" (0..99) for the WHERE condition,
+// and a float "Score" payload. Deterministic in seed.
+func DataplaneTable(rows, groups int, seed int64) *dataset.Table {
+	rng := rand.New(rand.NewSource(seed))
+	s := dataset.NewSchema(
+		dataset.Field{Name: "Group", Kind: dataset.KindString},
+		dataset.Field{Name: "Age", Kind: dataset.KindInt},
+		dataset.Field{Name: "Score", Kind: dataset.KindFloat},
+	)
+	names := make([]string, groups)
+	for i := range names {
+		names[i] = fmt.Sprintf("group-%03d", i)
+	}
+	tb := dataset.NewTable(s)
+	for i := 0; i < rows; i++ {
+		tb.AppendValues(
+			dataset.Str(names[rng.Intn(groups)]),
+			dataset.Int(int64(rng.Intn(100))),
+			dataset.Float(rng.Float64()*1000),
+		)
+	}
+	return tb
+}
+
+// DataplaneWhere is the benchmark condition: 18 <= Age < 60 (~42% of
+// rows), a conjunction so the row path pays two interface dispatches.
+func DataplaneWhere() dataset.Predicate {
+	return dataset.And(
+		dataset.Cmp("Age", dataset.OpGe, dataset.Int(18)),
+		dataset.Cmp("Age", dataset.OpLt, dataset.Int(60)),
+	)
+}
+
+// RowReferenceGroupCount is the row-at-a-time baseline and correctness
+// reference: evaluate the predicate record by record through the
+// Predicate interface, group by rendering each value into a string-keyed
+// map — the pre-columnar engine's algorithm. rows is the pre-built row
+// slice (callers hoist t.Records() out of timed regions, mirroring the
+// old engine's stored record slice). Note the baseline is not a perfect
+// replica of the old engine: records now read through the columnar
+// storage, reconstructing a Value per access where the old Table
+// returned stored Values directly — the benchmark measures today's row
+// path against today's columnar path on identical storage.
+func RowReferenceGroupCount(t *dataset.Table, rows []dataset.Record, where dataset.Predicate, attr string) map[string]int {
+	ci := t.Schema().ColumnIndex(attr)
+	if ci < 0 {
+		panic(fmt.Sprintf("experiments: unknown attribute %q", attr))
+	}
+	out := make(map[string]int)
+	for _, r := range rows {
+		if where != nil && !where.Eval(r) {
+			continue
+		}
+		out[r.At(ci).AsString()]++
+	}
+	return out
+}
+
+// DataplaneResult is the machine-readable outcome written to
+// BENCH_dataplane.json by cmd/osdp-bench.
+type DataplaneResult struct {
+	Rows            int     `json:"rows"`
+	Groups          int     `json:"groups"`
+	Selectivity     float64 `json:"where_selectivity"`
+	RowNsPerOp      float64 `json:"row_ns_per_op"`
+	ColumnarNsPerOp float64 `json:"columnar_ns_per_op"`
+	Speedup         float64 `json:"speedup"`
+}
+
+// MeasureDataplane times the filtered group-by count through both
+// engines on a fresh table, running each for at least minDuration, and
+// sanity-checks that they agree before reporting.
+func MeasureDataplane(rows, groups int, minDuration time.Duration) (DataplaneResult, error) {
+	tb := DataplaneTable(rows, groups, 1)
+	where := DataplaneWhere()
+	q := histogram.NewQuery(where, histogram.DomainFromTable(tb, "Group"))
+
+	recs := tb.Records() // hoisted: the old engine kept this slice stored
+	ref := RowReferenceGroupCount(tb, recs, where, "Group")
+	h := q.Eval(tb) // also warms the cached bin vector
+	matched := 0
+	for i := 0; i < h.Bins(); i++ {
+		if int(h.Count(i)) != ref[h.Label(i)] {
+			return DataplaneResult{}, fmt.Errorf("engines disagree on group %q: %v vs %d",
+				h.Label(i), h.Count(i), ref[h.Label(i)])
+		}
+		matched += int(h.Count(i))
+	}
+
+	rowNs := timePerOp(minDuration, func() {
+		RowReferenceGroupCount(tb, recs, where, "Group")
+	})
+	colNs := timePerOp(minDuration, func() {
+		q.Eval(tb)
+	})
+	return DataplaneResult{
+		Rows:            rows,
+		Groups:          groups,
+		Selectivity:     float64(matched) / float64(rows),
+		RowNsPerOp:      rowNs,
+		ColumnarNsPerOp: colNs,
+		Speedup:         rowNs / colNs,
+	}, nil
+}
+
+// timePerOp runs f repeatedly for at least d and returns ns per call.
+func timePerOp(d time.Duration, f func()) float64 {
+	f() // warm-up
+	var ops int
+	start := time.Now()
+	for time.Since(start) < d {
+		f()
+		ops++
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(ops)
+}
+
+// String renders the result as a report-style table row.
+func (r DataplaneResult) String() string {
+	return fmt.Sprintf(
+		"dataplane: %d rows, %d groups, selectivity %.2f | row %.2f ms/op, columnar %.3f ms/op, speedup %.1fx",
+		r.Rows, r.Groups, r.Selectivity, r.RowNsPerOp/1e6, r.ColumnarNsPerOp/1e6, r.Speedup)
+}

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
+	"sync"
 
 	"osdp/internal/dataset"
 )
@@ -203,6 +205,22 @@ type Domain struct {
 	numLo  float64 // numeric bucketing, used when keys == nil
 	numW   float64
 	numLen int
+
+	// binCache holds, per base table, the precomputed bin id of every
+	// PHYSICAL row (-1 = outside the domain). Building it is one typed
+	// pass over the column vector; evaluating a histogram query is then
+	// an int-slice walk with no per-record rendering or map lookups.
+	// Entries are invalidated by row-count changes (tables are
+	// append-only) and the cache lives exactly as long as the Domain, so
+	// long-lived Domains should be paired with long-lived tables (the
+	// server registry does this).
+	binMu    sync.Mutex
+	binCache map[*dataset.Table]binEntry
+}
+
+type binEntry struct {
+	bins []int32
+	n    int // base row count when computed
 }
 
 // NewCategoricalDomain declares a domain as an explicit ordered key list.
@@ -253,12 +271,243 @@ func (d *Domain) BinOf(r dataset.Record) int {
 		}
 		return i
 	}
-	x := v.AsFloat()
+	return d.bucketOf(v.AsFloat())
+}
+
+// bucketOf maps a numeric value to its equi-width bucket, or -1.
+func (d *Domain) bucketOf(x float64) int {
 	i := int(math.Floor((x - d.numLo) / d.numW))
 	if i < 0 || i >= d.numLen {
 		return -1
 	}
 	return i
+}
+
+// Precompute builds and caches the per-row bin vector for t's base table,
+// so the first query against t does not pay the binning pass. The server
+// registry calls this at dataset-load time.
+func (d *Domain) Precompute(t *dataset.Table) { d.binVector(t.Base()) }
+
+// binVector returns the cached bin id of every physical row of base,
+// building it on first use (or after the table grew).
+func (d *Domain) binVector(base *dataset.Table) []int32 {
+	d.binMu.Lock()
+	defer d.binMu.Unlock()
+	if e, ok := d.binCache[base]; ok && e.n == base.Len() {
+		return e.bins
+	}
+	bins := d.buildBinVector(base)
+	if d.binCache == nil {
+		d.binCache = make(map[*dataset.Table]binEntry)
+	}
+	d.binCache[base] = binEntry{bins: bins, n: base.Len()}
+	return bins
+}
+
+// buildBinVector computes the bin vector in one pass over the typed
+// column, falling back to per-record BinOf for mixed-kind columns. Every
+// branch reproduces BinOf's semantics exactly (bin by AsString for
+// categorical domains, by AsFloat for numeric ones).
+func (d *Domain) buildBinVector(base *dataset.Table) []int32 {
+	n := base.Len()
+	bins := make([]int32, n)
+	ci := base.Schema().ColumnIndex(d.attr)
+	if ci < 0 {
+		panic(fmt.Sprintf("histogram: unknown attribute %q", d.attr))
+	}
+	if d.keys != nil {
+		switch {
+		case d.fillCategoricalStrings(base, ci, bins):
+		case d.fillCategoricalInts(base, ci, bins):
+		case d.fillCategoricalFloats(base, ci, bins):
+		case d.fillCategoricalBools(base, ci, bins):
+		default:
+			d.fillGeneric(base, bins)
+		}
+		return bins
+	}
+	switch {
+	case d.fillNumericInts(base, ci, bins):
+	case d.fillNumericFloats(base, ci, bins):
+	case d.fillNumericStrings(base, ci, bins):
+	case d.fillNumericBools(base, ci, bins):
+	default:
+		d.fillGeneric(base, bins)
+	}
+	return bins
+}
+
+func (d *Domain) fillGeneric(base *dataset.Table, bins []int32) {
+	for i := range bins {
+		bins[i] = int32(d.BinOf(base.Record(i)))
+	}
+}
+
+// fillCategoricalStrings resolves each DISTINCT dictionary entry to a bin
+// once; the row pass is then a pure table lookup.
+func (d *Domain) fillCategoricalStrings(base *dataset.Table, ci int, bins []int32) bool {
+	codes, dict, ok := base.ColumnStrings(ci)
+	if !ok {
+		return false
+	}
+	code2bin := make([]int32, len(dict))
+	for code, s := range dict {
+		b, ok := d.index[s]
+		if !ok {
+			b = -1
+		}
+		code2bin[code] = int32(b)
+	}
+	for i := range bins {
+		bins[i] = code2bin[codes[i]]
+	}
+	return true
+}
+
+// fillCategoricalInts maps domain keys that are canonical int renderings
+// to typed values, so rows bin via an int64 lookup instead of FormatInt.
+func (d *Domain) fillCategoricalInts(base *dataset.Table, ci int, bins []int32) bool {
+	ints, ok := base.ColumnInts(ci)
+	if !ok {
+		return false
+	}
+	m := make(map[int64]int32, len(d.keys))
+	for b, k := range d.keys {
+		v, err := strconv.ParseInt(k, 10, 64)
+		if err == nil && strconv.FormatInt(v, 10) == k {
+			m[v] = int32(b)
+		}
+	}
+	for i, x := range ints[:len(bins)] {
+		if b, ok := m[x]; ok {
+			bins[i] = b
+		} else {
+			bins[i] = -1
+		}
+	}
+	return true
+}
+
+func (d *Domain) fillCategoricalFloats(base *dataset.Table, ci int, bins []int32) bool {
+	floats, ok := base.ColumnFloats(ci)
+	if !ok {
+		return false
+	}
+	// NaN and ±0 need care: NaN never hits a float map key, and -0 == 0
+	// would collapse the distinct renderings "0" and "-0" into one slot.
+	m := make(map[float64]int32, len(d.keys))
+	nanBin, posZeroBin, negZeroBin := int32(-1), int32(-1), int32(-1)
+	for b, k := range d.keys {
+		v, err := strconv.ParseFloat(k, 64)
+		if err != nil || strconv.FormatFloat(v, 'g', -1, 64) != k {
+			continue
+		}
+		switch {
+		case math.IsNaN(v):
+			nanBin = int32(b)
+		case v == 0 && math.Signbit(v):
+			negZeroBin = int32(b)
+		case v == 0:
+			posZeroBin = int32(b)
+		default:
+			m[v] = int32(b)
+		}
+	}
+	for i, x := range floats[:len(bins)] {
+		switch {
+		case math.IsNaN(x):
+			bins[i] = nanBin
+		case x == 0 && math.Signbit(x):
+			bins[i] = negZeroBin
+		case x == 0:
+			bins[i] = posZeroBin
+		default:
+			if b, ok := m[x]; ok {
+				bins[i] = b
+			} else {
+				bins[i] = -1
+			}
+		}
+	}
+	return true
+}
+
+func (d *Domain) fillCategoricalBools(base *dataset.Table, ci int, bins []int32) bool {
+	bools, ok := base.ColumnBools(ci)
+	if !ok {
+		return false
+	}
+	binFor := func(key string) int32 {
+		if b, ok := d.index[key]; ok {
+			return int32(b)
+		}
+		return -1
+	}
+	trueBin, falseBin := binFor("true"), binFor("false")
+	for i, x := range bools[:len(bins)] {
+		if x {
+			bins[i] = trueBin
+		} else {
+			bins[i] = falseBin
+		}
+	}
+	return true
+}
+
+func (d *Domain) fillNumericInts(base *dataset.Table, ci int, bins []int32) bool {
+	ints, ok := base.ColumnInts(ci)
+	if !ok {
+		return false
+	}
+	for i, x := range ints[:len(bins)] {
+		bins[i] = int32(d.bucketOf(float64(x)))
+	}
+	return true
+}
+
+func (d *Domain) fillNumericFloats(base *dataset.Table, ci int, bins []int32) bool {
+	floats, ok := base.ColumnFloats(ci)
+	if !ok {
+		return false
+	}
+	for i, x := range floats[:len(bins)] {
+		bins[i] = int32(d.bucketOf(x))
+	}
+	return true
+}
+
+// fillNumericStrings parses each DISTINCT dictionary entry once
+// (matching Value.AsFloat: unparseable strings bin as 0).
+func (d *Domain) fillNumericStrings(base *dataset.Table, ci int, bins []int32) bool {
+	codes, dict, ok := base.ColumnStrings(ci)
+	if !ok {
+		return false
+	}
+	code2bin := make([]int32, len(dict))
+	for code, s := range dict {
+		f, _ := strconv.ParseFloat(s, 64)
+		code2bin[code] = int32(d.bucketOf(f))
+	}
+	for i := range bins {
+		bins[i] = code2bin[codes[i]]
+	}
+	return true
+}
+
+func (d *Domain) fillNumericBools(base *dataset.Table, ci int, bins []int32) bool {
+	bools, ok := base.ColumnBools(ci)
+	if !ok {
+		return false
+	}
+	trueBin, falseBin := int32(d.bucketOf(1)), int32(d.bucketOf(0))
+	for i, x := range bools[:len(bins)] {
+		if x {
+			bins[i] = trueBin
+		} else {
+			bins[i] = falseBin
+		}
+	}
+	return true
 }
 
 // Labels returns display labels for the bins.
@@ -300,28 +549,102 @@ func (q Query) Bins() int {
 // Eval runs the query over the table, returning a dense histogram in
 // row-major order (first dimension outermost). Records outside the domain
 // or failing the condition are ignored.
+//
+// Execution is columnar: the WHERE condition compiles to a selection
+// bitset (dataset.Table.Select) and each dimension contributes a cached
+// per-row bin-id vector, so the scan is one pass over int slices with no
+// per-record rendering, map entries, or interface dispatch. Reusing the
+// same Domain values across queries (as the server registry does) makes
+// the binning pass a one-time cost per (table, domain).
 func (q Query) Eval(t *dataset.Table) *Histogram {
+	if len(q.Dims) == 0 {
+		panic("histogram: query has no dimensions")
+	}
 	h := New(q.Bins())
-	for _, r := range t.Records() {
-		if q.Where != nil && !q.Where.Eval(r) {
+	base := t.Base()
+	bins0 := q.Dims[0].binVector(base)
+	var bins1 []int32
+	size1 := 0
+	switch len(q.Dims) {
+	case 1:
+	case 2:
+		bins1 = q.Dims[1].binVector(base)
+		size1 = q.Dims[1].Size()
+	default:
+		// NewQuery only builds 1-D and 2-D queries, but Dims is an
+		// exported field; evaluate hand-built higher dimensionality
+		// generically rather than silently dropping dimensions.
+		return q.evalND(t, h)
+	}
+	var where *dataset.Bitset
+	if q.Where != nil {
+		where = t.Select(q.Where)
+	}
+	sel := t.Selection()
+	n := t.Len()
+	for i := 0; i < n; i++ {
+		if where != nil && !where.Get(i) {
 			continue
 		}
-		bin := 0
-		ok := true
-		for _, d := range q.Dims {
-			b := d.BinOf(r)
+		p := i
+		if sel != nil {
+			p = int(sel[i])
+		}
+		b := bins0[p]
+		if b < 0 {
+			continue
+		}
+		if bins1 != nil {
+			b2 := bins1[p]
+			if b2 < 0 {
+				continue
+			}
+			b = b*int32(size1) + b2
+		}
+		h.counts[b]++
+	}
+	if len(q.Dims) == 1 {
+		h.labels = q.Dims[0].Labels()
+	}
+	return h
+}
+
+// evalND is the general row-major accumulation for queries with more
+// than two dimensions.
+func (q Query) evalND(t *dataset.Table, h *Histogram) *Histogram {
+	base := t.Base()
+	binVecs := make([][]int32, len(q.Dims))
+	sizes := make([]int, len(q.Dims))
+	for d, dom := range q.Dims {
+		binVecs[d] = dom.binVector(base)
+		sizes[d] = dom.Size()
+	}
+	var where *dataset.Bitset
+	if q.Where != nil {
+		where = t.Select(q.Where)
+	}
+	sel := t.Selection()
+	n := t.Len()
+	for i := 0; i < n; i++ {
+		if where != nil && !where.Get(i) {
+			continue
+		}
+		p := i
+		if sel != nil {
+			p = int(sel[i])
+		}
+		bin, ok := 0, true
+		for d := range binVecs {
+			b := binVecs[d][p]
 			if b < 0 {
 				ok = false
 				break
 			}
-			bin = bin*d.Size() + b
+			bin = bin*sizes[d] + int(b)
 		}
 		if ok {
 			h.counts[bin]++
 		}
-	}
-	if len(q.Dims) == 1 {
-		h.labels = q.Dims[0].Labels()
 	}
 	return h
 }

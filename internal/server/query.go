@@ -50,7 +50,7 @@ func (s *Server) Query(id string, req QueryRequest) (QueryResponse, error) {
 	case KindCount:
 		pred := dataset.Predicate(dataset.True())
 		if req.Where != nil {
-			pred, err = compilePredicate(*req.Where, d.table.Schema())
+			pred, err = d.art.predicate(*req.Where, d.table.Schema())
 			if err != nil {
 				return resp, fmt.Errorf("%w: %v", ErrBadRequest, err)
 			}
@@ -104,8 +104,10 @@ func (s *Server) compileHistogramQuery(req QueryRequest, d *ds) (histogram.Query
 	dims := make([]*histogram.Domain, len(req.Dims))
 	for i, spec := range req.Dims {
 		// Derived domains come from the non-sensitive partition so bin
-		// labels cannot reveal sensitive-only values.
-		dom, err := compileDomain(spec, d.ns)
+		// labels cannot reveal sensitive-only values; resolution goes
+		// through the per-dataset artifact cache so repeated shapes
+		// reuse compiled domains and their bin vectors.
+		dom, err := d.art.domain(spec, d.ns)
 		if err != nil {
 			return histogram.Query{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
 		}
@@ -118,7 +120,7 @@ func (s *Server) compileHistogramQuery(req QueryRequest, d *ds) (histogram.Query
 	}
 	var where dataset.Predicate
 	if req.Where != nil {
-		p, err := compilePredicate(*req.Where, d.table.Schema())
+		p, err := d.art.predicate(*req.Where, d.table.Schema())
 		if err != nil {
 			return histogram.Query{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
 		}

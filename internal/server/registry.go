@@ -41,13 +41,16 @@ type Config struct {
 	now func() time.Time
 }
 
-// ds is a registered dataset: the table, its policy, and the cached
-// non-sensitive partition (used to derive histogram domains without
-// leaking sensitive-only values).
+// ds is a registered dataset: the columnar table, its policy, the cached
+// non-sensitive partition view (used to derive histogram domains without
+// leaking sensitive-only values), and the precompiled query artifacts.
+// All fields are immutable after registration; art's caches carry their
+// own synchronization.
 type ds struct {
 	table  *dataset.Table
 	ns     *dataset.Table
 	policy dataset.Policy
+	art    *artifacts
 }
 
 // session is one client's budgeted OSDP endpoint plus bookkeeping for
@@ -156,13 +159,18 @@ func (s *Server) RegisterTable(name string, t *dataset.Table, p dataset.Policy) 
 	if !validName(name) {
 		return badf("dataset name %q must be non-empty [A-Za-z0-9._-]+ (it becomes a URL path segment)", name)
 	}
+	// Precompute the serving artifacts outside the lock: the policy
+	// partition (bitsets cached on the table, shared by every session),
+	// and per-attribute derived domains with their bin-id vectors. See
+	// the artifacts type for the full caching contract.
 	_, ns := t.Split(p)
+	art := newArtifacts(t, ns)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.datasets[name]; dup {
 		return fmt.Errorf("%w: dataset %q already registered", ErrConflict, name)
 	}
-	s.datasets[name] = &ds{table: t, ns: ns, policy: p}
+	s.datasets[name] = &ds{table: t, ns: ns, policy: p, art: art}
 	return nil
 }
 
