@@ -279,7 +279,7 @@ func BenchmarkServerHistogramQuery(b *testing.B) {
 		b.Fatal(err)
 	}
 	seed := int64(7)
-	si, err := srv.OpenSession(server.OpenSessionRequest{Dataset: "bench", Budget: 0, Seed: &seed})
+	si, err := srv.OpenSession("", server.OpenSessionRequest{Dataset: "bench", Budget: 0, Seed: &seed})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -294,7 +294,7 @@ func BenchmarkServerHistogramQuery(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := srv.Query(si.ID, req); err != nil {
+		if _, err := srv.Query("", si.ID, req); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -312,7 +312,7 @@ func TestServerHistogramQueryAllocs(t *testing.T) {
 			t.Fatal(err)
 		}
 		seed := int64(11)
-		si, err := srv.OpenSession(server.OpenSessionRequest{Dataset: "d", Budget: 0, Seed: &seed})
+		si, err := srv.OpenSession("", server.OpenSessionRequest{Dataset: "d", Budget: 0, Seed: &seed})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -324,11 +324,11 @@ func TestServerHistogramQueryAllocs(t *testing.T) {
 				Op: "cmp", Attr: "Age", Cmp: ">=", Value: float64(18),
 			},
 		}
-		if _, err := srv.Query(si.ID, req); err != nil { // warm caches
+		if _, err := srv.Query("", si.ID, req); err != nil { // warm caches
 			t.Fatal(err)
 		}
 		return testing.AllocsPerRun(20, func() {
-			if _, err := srv.Query(si.ID, req); err != nil {
+			if _, err := srv.Query("", si.ID, req); err != nil {
 				t.Fatal(err)
 			}
 		})

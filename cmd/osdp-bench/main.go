@@ -6,6 +6,7 @@
 //	osdp-bench [-exp all|table1|table2|fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|crossover|exclusion|ablations]
 //	           [-quick] [-seed N] [-trials N]
 //	osdp-bench -dataplane BENCH_dataplane.json [-quick]
+//	osdp-bench -ledger BENCH_ledger.json [-quick]
 //
 // -quick shrinks the workloads for a fast smoke run; the default
 // configuration matches the scales recorded in EXPERIMENTS.md.
@@ -15,6 +16,11 @@
 // rows, or 100k with -quick) and writes the machine-readable result to
 // the given JSON file — the artifact CI tracks so the columnar speedup
 // cannot silently regress.
+//
+// -ledger runs only the privacy-budget control-plane benchmark (the
+// per-query charge path: in-memory, WAL, and WAL+fsync variants, with
+// allocations per charge) and writes the result to the given JSON file,
+// the artifact CI tracks so ledger overhead cannot silently regress.
 package main
 
 import (
@@ -34,10 +40,18 @@ func main() {
 	seed := flag.Int64("seed", 0, "override the random seed (0 keeps the default)")
 	trials := flag.Int("trials", 0, "override the trial count (0 keeps the default)")
 	dataplane := flag.String("dataplane", "", "run the data-plane benchmark and write its JSON result to this file")
+	ledgerOut := flag.String("ledger", "", "run the budget-ledger benchmark and write its JSON result to this file")
 	flag.Parse()
 
 	if *dataplane != "" {
 		if err := runDataplane(*dataplane, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *ledgerOut != "" {
+		if err := runLedger(*ledgerOut, *quick); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -175,6 +189,34 @@ func runDataplane(path string, quick bool) error {
 	res, err := experiments.MeasureDataplane(rows, 64, minDur)
 	if err != nil {
 		return fmt.Errorf("dataplane benchmark: %w", err)
+	}
+	fmt.Println(res.String())
+	body, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return fmt.Errorf("encoding %s: %w", path, err)
+	}
+	if err := os.WriteFile(path, append(body, '\n'), 0o644); err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// runLedger measures the control-plane charge path and writes the
+// result as JSON.
+func runLedger(path string, quick bool) error {
+	charges := 50_000
+	if quick {
+		charges = 5_000
+	}
+	dir, err := os.MkdirTemp("", "osdp-ledger-bench-*")
+	if err != nil {
+		return fmt.Errorf("ledger benchmark: %w", err)
+	}
+	defer os.RemoveAll(dir)
+	res, err := experiments.MeasureLedger(dir, charges)
+	if err != nil {
+		return fmt.Errorf("ledger benchmark: %w", err)
 	}
 	fmt.Println(res.String())
 	body, err := json.MarshalIndent(res, "", "  ")

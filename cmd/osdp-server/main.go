@@ -10,7 +10,18 @@
 //
 //	osdp-server [-addr :8080] [-ttl 30m] [-max-sessions N]
 //	            [-max-session-eps E] [-allow-seeds]
+//	            [-ledger DIR] [-admin-token TOK] [-default-analyst-eps E]
+//	            [-max-analyst-sessions N]
 //	            [-data NAME=FILE.csv]... [-policy NAME=FILE.json]...
+//
+// -ledger DIR turns on the privacy-budget control plane: analyst
+// identity (bearer API keys), durable per-(analyst, dataset) ε accounts
+// replayed from DIR on startup, and the /admin API (guarded by
+// -admin-token, or the OSDP_ADMIN_TOKEN environment variable — prefer
+// the env var, which keeps the secret out of process listings). With a
+// ledger every /v1 request must authenticate; -default-analyst-eps is
+// the budget an analyst gets per dataset without an explicit grant, and
+// -max-analyst-sessions caps one analyst's concurrent sessions.
 //
 // Each -data flag registers a dataset; its privacy policy is taken from
 // the matching -policy flag (a JSON PolicySpec, e.g.
@@ -41,6 +52,7 @@ import (
 	"time"
 
 	"osdp/internal/dataset"
+	"osdp/internal/ledger"
 	"osdp/internal/server"
 )
 
@@ -51,17 +63,49 @@ func main() {
 	maxEps := flag.Float64("max-session-eps", 0, "cap on any one session's ε budget; also forbids unlimited sessions (0 = no cap)")
 	allowSeeds := flag.Bool("allow-seeds", false, "let clients open seeded (reproducible) sessions — predictable noise voids the OSDP guarantee, test/demo use only")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+	ledgerDir := flag.String("ledger", "", "durable privacy-budget ledger directory; enables analyst auth and cross-session ε accounting")
+	adminToken := flag.String("admin-token", "", "bearer token for the /admin API (default $OSDP_ADMIN_TOKEN); empty disables /admin")
+	defaultEps := flag.Float64("default-analyst-eps", 1.0, "default per-(analyst, dataset) ε budget when no explicit grant exists (0 = unlimited)")
+	maxAnalystSessions := flag.Int("max-analyst-sessions", 0, "cap on one analyst's concurrently open sessions (0 = unlimited)")
 	data := map[string]string{}
 	policies := map[string]string{}
 	flag.Func("data", "NAME=FILE.csv dataset to register at startup (repeatable)", kvInto(data))
 	flag.Func("policy", "NAME=FILE.json policy for the dataset NAME (repeatable)", kvInto(policies))
 	flag.Parse()
 
+	var led *ledger.Ledger
+	if *ledgerDir != "" {
+		// The env fallback applies only in ledger mode: an exported
+		// OSDP_ADMIN_TOKEN must not break a ledger-less invocation that
+		// never asked for an admin API.
+		if *adminToken == "" {
+			*adminToken = os.Getenv("OSDP_ADMIN_TOKEN")
+		}
+		var err error
+		led, err = ledger.Open(ledger.Config{
+			Dir:           *ledgerDir,
+			DefaultBudget: *defaultEps,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer led.Close()
+		log.Printf("ledger open at %s: %s", *ledgerDir, ledgerSummary(led))
+		if *adminToken == "" {
+			log.Printf("warning: ledger enabled without -admin-token / $OSDP_ADMIN_TOKEN; the /admin API is disabled and no analysts can be created")
+		}
+	} else if *adminToken != "" {
+		fatal(errors.New("-admin-token requires -ledger (the admin API administers the ledger)"))
+	}
+
 	srv := server.New(server.Config{
-		SessionTTL:          *ttl,
-		MaxSessions:         *maxSessions,
-		MaxSessionBudget:    *maxEps,
-		AllowSeededSessions: *allowSeeds,
+		SessionTTL:            *ttl,
+		MaxSessions:           *maxSessions,
+		MaxSessionBudget:      *maxEps,
+		AllowSeededSessions:   *allowSeeds,
+		Ledger:                led,
+		AdminToken:            *adminToken,
+		MaxSessionsPerAnalyst: *maxAnalystSessions,
 	})
 	for name, path := range data {
 		if err := loadDataset(srv, name, path, policies[name]); err != nil {
@@ -146,6 +190,12 @@ func kvInto(dst map[string]string) func(string) error {
 		dst[name] = value
 		return nil
 	}
+}
+
+// ledgerSummary renders the replayed state for the startup log line.
+func ledgerSummary(l *ledger.Ledger) string {
+	analysts, accounts := l.Counts()
+	return fmt.Sprintf("%d analyst(s), %d account(s), %.4g ε spent", analysts, accounts, l.TotalSpent())
 }
 
 func fatal(err error) {

@@ -116,6 +116,54 @@ func (a *Accountant) compositeLocked() Guarantee {
 	return Guarantee{Policy: dataset.MinimumRelaxation(policies...), Epsilon: eps}
 }
 
+// Refund removes the most recent recorded charge matching g — same
+// policy name and same ε — and returns its ε to the budget. It exists
+// for serving layers that must reserve budget in an outer ledger BEFORE
+// running a mechanism: when the mechanism fails before any noise is
+// drawn, nothing was released and the reservation may be returned.
+// Refunding after randomness has been observed would break the Theorem
+// 3.3 composition this accountant certifies (see Session.Quantile for
+// the canonical non-refundable case), so callers are responsible for
+// only refunding pre-noise failures. It is an error if no matching
+// charge exists; callers should treat that as "the charge stands" —
+// erring toward counting more spend, never less.
+func (a *Accountant) Refund(g Guarantee) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i := len(a.charges) - 1; i >= 0; i-- {
+		c := a.charges[i]
+		if c.Epsilon == g.Epsilon && c.Policy.Name() == g.Policy.Name() {
+			a.charges = append(a.charges[:i], a.charges[i+1:]...)
+			a.spent -= g.Epsilon
+			if a.spent < 0 { // float dust from non-associative sums
+				a.spent = 0
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("core: refund of %g under %s matches no recorded charge", g.Epsilon, g.Policy.Name())
+}
+
+// RestoreSpend seeds the accountant with ε that was already spent in an
+// earlier process life, recorded as a single composite charge. Unlike
+// Spend it never checks the budget: durable spend replayed from a
+// ledger must be honoured even when it exceeds a budget an operator has
+// since lowered — otherwise a restart would erase real leakage. A zero
+// ε restore is a no-op; negative, NaN, and infinite values are rejected.
+func (a *Accountant) RestoreSpend(g Guarantee) error {
+	if math.IsNaN(g.Epsilon) || math.IsInf(g.Epsilon, 0) || g.Epsilon < 0 {
+		return fmt.Errorf("core: restored spend %g must be finite and non-negative", g.Epsilon)
+	}
+	if g.Epsilon == 0 {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.spent += g.Epsilon
+	a.charges = append(a.charges, g)
+	return nil
+}
+
 // Snapshot returns the spent total and the composite guarantee under a
 // single lock acquisition, so a charge landing between the two reads
 // cannot produce a ledger where the guarantee's ε disagrees with the

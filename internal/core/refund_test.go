@@ -1,0 +1,98 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"osdp/internal/dataset"
+)
+
+func TestAccountantRefund(t *testing.T) {
+	p := dataset.NewPolicy("gdpr", dataset.True())
+	q := dataset.NewPolicy("hipaa", dataset.True())
+	a := NewAccountant(1)
+
+	if err := a.Spend(Guarantee{Policy: p, Epsilon: 0.4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Spend(Guarantee{Policy: q, Epsilon: 0.4}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Refund must match policy name AND ε.
+	if err := a.Refund(Guarantee{Policy: p, Epsilon: 0.3}); err == nil {
+		t.Fatal("refund with mismatched ε should fail")
+	}
+	if err := a.Refund(Guarantee{Policy: dataset.NewPolicy("nope", dataset.True()), Epsilon: 0.4}); err == nil {
+		t.Fatal("refund with unknown policy should fail")
+	}
+	if err := a.Refund(Guarantee{Policy: q, Epsilon: 0.4}); err != nil {
+		t.Fatalf("matching refund: %v", err)
+	}
+	if got := a.Spent(); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("spent %g after refund, want 0.4", got)
+	}
+	if got := len(a.Charges()); got != 1 {
+		t.Fatalf("%d charges after refund, want 1", got)
+	}
+	// The refunded ε is spendable again.
+	if err := a.Spend(Guarantee{Policy: p, Epsilon: 0.6}); err != nil {
+		t.Fatalf("re-spending refunded budget: %v", err)
+	}
+	// Double refund of the same charge must fail.
+	if err := a.Refund(Guarantee{Policy: q, Epsilon: 0.4}); err == nil {
+		t.Fatal("double refund should fail")
+	}
+}
+
+// TestAccountantRefundPicksMostRecent pins that a refund pops the LAST
+// matching charge, so interleaved charge/refund pairs from concurrent
+// requests cancel the right reservations.
+func TestAccountantRefundPicksMostRecent(t *testing.T) {
+	p := dataset.NewPolicy("p", dataset.True())
+	a := NewAccountant(0)
+	for i := 0; i < 3; i++ {
+		if err := a.Spend(Guarantee{Policy: p, Epsilon: 0.5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Refund(Guarantee{Policy: p, Epsilon: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(a.Charges()); got != 2 {
+		t.Fatalf("%d charges, want 2", got)
+	}
+	if got := a.Spent(); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("spent %g, want 1.0", got)
+	}
+}
+
+func TestAccountantRestoreSpend(t *testing.T) {
+	p := dataset.NewPolicy("replayed", dataset.True())
+	a := NewAccountant(1)
+
+	// Restore may exceed the budget: replayed spend must never be erased.
+	if err := a.RestoreSpend(Guarantee{Policy: p, Epsilon: 2.5}); err != nil {
+		t.Fatalf("restore above budget: %v", err)
+	}
+	if got := a.Spent(); got != 2.5 {
+		t.Fatalf("spent %g, want 2.5", got)
+	}
+	// Further spending is rejected — the account is over budget.
+	if err := a.Spend(Guarantee{Policy: p, Epsilon: 0.1}); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("spend on over-budget account: got %v, want ErrBudgetExceeded", err)
+	}
+	// Zero restore is a no-op; bad values are rejected.
+	if err := a.RestoreSpend(Guarantee{Policy: p, Epsilon: 0}); err != nil {
+		t.Fatalf("zero restore: %v", err)
+	}
+	for _, eps := range []float64{-1, math.NaN(), math.Inf(1)} {
+		if err := a.RestoreSpend(Guarantee{Policy: p, Epsilon: eps}); err == nil {
+			t.Fatalf("restore of %v should fail", eps)
+		}
+	}
+	if got := a.Spent(); got != 2.5 {
+		t.Fatalf("spent %g after rejected restores, want 2.5", got)
+	}
+}

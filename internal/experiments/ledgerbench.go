@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"osdp/internal/core"
+	"osdp/internal/dataset"
+	"osdp/internal/ledger"
+)
+
+// This file is the ledger-overhead benchmark behind `osdp-bench -ledger
+// BENCH_ledger.json`: how much the privacy-budget control plane adds to
+// the serving hot path. Three variants of the charge path are measured
+// on one (analyst, dataset) account — pure in-memory, WAL append
+// without fsync, and WAL append with fsync (the production default) —
+// plus allocations per charge, which CI tracks to keep the path O(1).
+
+// LedgerBenchResult is the machine-readable outcome written to
+// BENCH_ledger.json.
+type LedgerBenchResult struct {
+	Charges        int     `json:"charges_per_variant"`
+	MemNsPerOp     float64 `json:"mem_ns_per_op"`
+	WalNsPerOp     float64 `json:"wal_nosync_ns_per_op"`
+	WalSyncNsPerOp float64 `json:"wal_fsync_ns_per_op"`
+	MemAllocsPerOp float64 `json:"mem_allocs_per_op"`
+	WalAllocsPerOp float64 `json:"wal_nosync_allocs_per_op"`
+}
+
+// MeasureLedger times the charge path. dir hosts the durable variants'
+// state (a fresh subdirectory per variant); charges is the per-variant
+// op count (the fsync variant runs fewer — see below).
+func MeasureLedger(dir string, charges int) (LedgerBenchResult, error) {
+	if charges < 100 {
+		charges = 100
+	}
+	g := core.Guarantee{Policy: dataset.NewPolicy("bench", dataset.True()), Epsilon: 1e-9}
+
+	setup := func(sub string, noSync bool) (*ledger.Ledger, string, error) {
+		cfg := ledger.Config{NoSync: noSync}
+		if sub != "" {
+			cfg.Dir = dir + "/" + sub
+		}
+		l, err := ledger.Open(cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		info, _, err := l.CreateAnalyst("bench", 0)
+		if err != nil {
+			l.Close()
+			return nil, "", err
+		}
+		return l, info.ID, nil
+	}
+
+	measure := func(l *ledger.Ledger, id string, n int) (nsPerOp, allocsPerOp float64, err error) {
+		// Warm the account and the append buffer.
+		if err := l.Charge(id, "d", g); err != nil {
+			return 0, 0, err
+		}
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if err := l.Charge(id, "d", g); err != nil {
+				return 0, 0, err
+			}
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&ms1)
+		return float64(elapsed.Nanoseconds()) / float64(n),
+			float64(ms1.Mallocs-ms0.Mallocs) / float64(n), nil
+	}
+
+	var res LedgerBenchResult
+	res.Charges = charges
+
+	l, id, err := setup("", false)
+	if err != nil {
+		return res, fmt.Errorf("ledger bench (mem): %w", err)
+	}
+	res.MemNsPerOp, res.MemAllocsPerOp, err = measure(l, id, charges)
+	l.Close()
+	if err != nil {
+		return res, fmt.Errorf("ledger bench (mem): %w", err)
+	}
+
+	l, id, err = setup("nosync", true)
+	if err != nil {
+		return res, fmt.Errorf("ledger bench (wal): %w", err)
+	}
+	res.WalNsPerOp, res.WalAllocsPerOp, err = measure(l, id, charges)
+	l.Close()
+	if err != nil {
+		return res, fmt.Errorf("ledger bench (wal): %w", err)
+	}
+
+	// fsync dominates by orders of magnitude; cap its op count so the
+	// benchmark stays fast on slow disks.
+	syncOps := charges / 20
+	if syncOps < 50 {
+		syncOps = 50
+	}
+	l, id, err = setup("fsync", false)
+	if err != nil {
+		return res, fmt.Errorf("ledger bench (fsync): %w", err)
+	}
+	res.WalSyncNsPerOp, _, err = measure(l, id, syncOps)
+	l.Close()
+	if err != nil {
+		return res, fmt.Errorf("ledger bench (fsync): %w", err)
+	}
+	return res, nil
+}
+
+// String renders the result as a report-style line.
+func (r LedgerBenchResult) String() string {
+	return fmt.Sprintf(
+		"ledger charge path: mem %.0f ns/op (%.1f allocs), wal %.0f ns/op (%.1f allocs), wal+fsync %.1f µs/op",
+		r.MemNsPerOp, r.MemAllocsPerOp, r.WalNsPerOp, r.WalAllocsPerOp, r.WalSyncNsPerOp/1e3)
+}

@@ -1,0 +1,694 @@
+// Package ledger is the privacy-budget control plane: durable,
+// concurrency-safe accounting of every analyst's cumulative ε spend per
+// dataset. It closes the cross-session composition gap the serving
+// layer shipped with — without identity, one client could launder
+// unlimited ε through many sessions; with the ledger, all of an
+// analyst's sessions over a dataset draw from ONE budget account, so
+// the Theorem 3.2/3.3 composition bound holds across the analyst's
+// whole transcript, not just per session.
+//
+// An analyst is a principal with an API key (stored hashed, SHA-256;
+// the plaintext is returned exactly once at creation). A budget account
+// is keyed by (analyst, dataset) and backed by a core.Accountant, so
+// charge arithmetic — NaN guards, the float tolerance, concurrent
+// arbitration — is the same calculus sessions use.
+//
+// Durability contract: a charge is acknowledged only after its record is
+// appended to the write-ahead log (and fsync'd unless Config.NoSync),
+// so acknowledged spend survives crash and restart; the in-memory state
+// is a cache over the log, never the other way around. The failure
+// modes all err toward counting MORE spend, never less: a crash between
+// WAL append and the noisy answer leaves the charge spent with no
+// answer released; a refund whose WAL append fails keeps the in-memory
+// refund but replays as spent; a refund that can no longer be matched
+// to its charge (e.g. across a snapshot compaction) is dropped and the
+// charge stands. Replay tolerates a torn final WAL line (the record was
+// never acknowledged) and refuses to open on corruption anywhere else.
+//
+// With Config.Dir empty the ledger runs in-memory: same semantics,
+// nothing survives Close. Tests and demos use this mode.
+package ledger
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"osdp/internal/core"
+	"osdp/internal/dataset"
+)
+
+// Typed errors; the serving layer maps them onto HTTP statuses.
+var (
+	// ErrBadKey marks authentication with an unknown or malformed API key.
+	ErrBadKey = errors.New("ledger: unknown API key")
+	// ErrDisabled marks operations on a disabled analyst.
+	ErrDisabled = errors.New("ledger: analyst disabled")
+	// ErrUnknownAnalyst marks operations naming an analyst id that does
+	// not exist.
+	ErrUnknownAnalyst = errors.New("ledger: unknown analyst")
+	// ErrClosed marks operations on a closed ledger.
+	ErrClosed = errors.New("ledger: closed")
+)
+
+// Config tunes a Ledger.
+type Config struct {
+	// Dir is the durable state directory; empty means in-memory (nothing
+	// survives Close — tests and demos only).
+	Dir string
+	// DefaultBudget is the ε budget a (analyst, dataset) account starts
+	// with when no explicit grant exists. 0 means unlimited, which is
+	// almost never what a production deployment wants.
+	DefaultBudget float64
+	// SessionCap is the default cap on an analyst's concurrently open
+	// sessions (0 = unlimited); per-analyst caps override it. Enforced by
+	// the serving layer, recorded here so it survives restarts.
+	SessionCap int
+	// SnapshotEvery compacts the WAL into a snapshot after this many
+	// appends (default 4096). Smaller values bound replay time and WAL
+	// size tighter at the cost of more rewrite work.
+	SnapshotEvery int
+	// NoSync skips the per-append fsync. Throughput benchmarks and tests
+	// use it; with it set, a crash can lose charges the OS had not yet
+	// flushed (it still never resurrects refunded ones).
+	NoSync bool
+}
+
+// AnalystInfo is the public description of a principal. The API key is
+// never part of it; only the creation call returns the plaintext key.
+type AnalystInfo struct {
+	ID         string    `json:"id"`
+	Name       string    `json:"name"`
+	Created    time.Time `json:"created"`
+	Disabled   bool      `json:"disabled,omitempty"`
+	SessionCap int       `json:"session_cap,omitempty"` // 0 = server default
+}
+
+// AccountInfo reports one (analyst, dataset) budget account.
+type AccountInfo struct {
+	Analyst   string  `json:"analyst"`
+	Dataset   string  `json:"dataset"`
+	Budget    float64 `json:"budget"` // 0 = unlimited
+	Spent     float64 `json:"spent"`
+	Remaining float64 `json:"remaining"` // 0 when unlimited
+	Charges   uint64  `json:"charges"`
+	Guarantee string  `json:"guarantee"`
+}
+
+type acctKey struct{ analyst, dataset string }
+
+type account struct {
+	budget   float64
+	explicit bool // budget came from an explicit grant, not DefaultBudget
+	acct     *core.Accountant
+	charges  uint64
+}
+
+type analystState struct {
+	info    AnalystInfo
+	keyHash string
+}
+
+// Ledger is the control plane. One mutex guards everything including
+// the WAL append, so the durable log order always matches the order
+// charges were admitted — the property replay correctness rests on.
+// The flip side is that reads (Authenticate on every request) queue
+// behind a charge's fsync (~100µs); if that ceiling ever matters,
+// split the analyst maps under their own RWMutex before touching the
+// append ordering.
+type Ledger struct {
+	cfg Config
+
+	mu       sync.Mutex
+	analysts map[string]*analystState
+	byKey    map[string]string // sha256 hex of API key -> analyst id
+	accounts map[acctKey]*account
+	w        *wal // nil in memory mode
+	seq      uint64
+	appends  int // since the last snapshot
+	closed   bool
+}
+
+// Open opens (or creates) a ledger. With cfg.Dir set it replays the
+// snapshot and WAL so spent budget survives restarts; with cfg.Dir
+// empty it is purely in-memory.
+func Open(cfg Config) (*Ledger, error) {
+	if cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = 4096
+	}
+	l := &Ledger{
+		cfg:      cfg,
+		analysts: make(map[string]*analystState),
+		byKey:    make(map[string]string),
+		accounts: make(map[acctKey]*account),
+	}
+	if cfg.Dir == "" {
+		return l, nil
+	}
+
+	snap, err := loadSnapshot(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	l.seq = snap.Seq
+	for _, a := range snap.Analysts {
+		st := &analystState{
+			info: AnalystInfo{
+				ID: a.ID, Name: a.Name, Created: a.Created,
+				Disabled: a.Disabled, SessionCap: a.SessionCap,
+			},
+			keyHash: a.KeyHash,
+		}
+		l.analysts[a.ID] = st
+		l.byKey[a.KeyHash] = a.ID
+	}
+	for _, s := range snap.Accounts {
+		// Only explicit grants replay their snapshotted budget; default
+		// accounts re-resolve against the CURRENT config default, so an
+		// operator tightening DefaultBudget reaches them on restart.
+		budget := s.Budget
+		if !s.Explicit {
+			budget = cfg.DefaultBudget
+		}
+		acc := &account{
+			budget:   budget,
+			explicit: s.Explicit,
+			acct:     core.NewAccountant(budget),
+			charges:  s.Charges,
+		}
+		// Deterministic order keeps replay reproducible.
+		names := make([]string, 0, len(s.Spent))
+		for name := range s.Spent {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if err := acc.acct.RestoreSpend(replayedGuarantee(name, s.Spent[name])); err != nil {
+				return nil, fmt.Errorf("ledger: snapshot account %s/%s: %w", s.Analyst, s.Dataset, err)
+			}
+		}
+		l.accounts[acctKey{s.Analyst, s.Dataset}] = acc
+	}
+	truncateTo, err := replayWAL(cfg.Dir, snap.Seq, l.applyReplayed)
+	if err != nil {
+		return nil, err
+	}
+	if truncateTo >= 0 {
+		// Cut the torn fragment off BEFORE appending: a new record
+		// written after it would merge into one corrupt line and read as
+		// a droppable torn tail on the next restart — losing spend that
+		// WAS acknowledged.
+		if err := os.Truncate(filepath.Join(cfg.Dir, walFile), truncateTo); err != nil {
+			return nil, fmt.Errorf("ledger: truncating torn WAL tail: %w", err)
+		}
+	}
+	if l.w, err = openWAL(cfg.Dir, !cfg.NoSync); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// replayedGuarantee rebuilds a Guarantee from its durable form. Only the
+// policy NAME round-trips through the log — predicates do not serialise
+// — so replayed charges carry a name-preserving, all-sensitive
+// placeholder predicate. That is the conservative direction for
+// MinimumRelaxation composition: a placeholder never relaxes the other
+// policies in the composite, and the ε arithmetic (what the budget
+// check uses) is exact either way.
+func replayedGuarantee(policyName string, eps float64) core.Guarantee {
+	return core.Guarantee{Policy: dataset.NewPolicy(policyName, dataset.True()), Epsilon: eps}
+}
+
+// applyReplayed folds one WAL record into the in-memory state during
+// Open. Charges use RestoreSpend, not Spend: a logged charge was
+// acknowledged in a previous life and must be honoured even if the
+// budget was lowered afterwards.
+func (l *Ledger) applyReplayed(rec record) error {
+	if rec.Seq > l.seq {
+		l.seq = rec.Seq
+	}
+	switch rec.Kind {
+	case "analyst":
+		st := &analystState{
+			info: AnalystInfo{
+				ID: rec.ID, Name: rec.Name, Created: rec.Created,
+				SessionCap: rec.SessionCap,
+			},
+			keyHash: rec.KeyHash,
+		}
+		l.analysts[rec.ID] = st
+		l.byKey[rec.KeyHash] = rec.ID
+	case "disable":
+		if st, ok := l.analysts[rec.ID]; ok {
+			st.info.Disabled = rec.Disabled
+		}
+	case "budget":
+		l.setBudgetLocked(rec.Analyst, rec.Dataset, rec.Budget)
+	case "charge":
+		acc := l.accountLocked(rec.Analyst, rec.Dataset)
+		if err := acc.acct.RestoreSpend(replayedGuarantee(rec.Policy, rec.Eps)); err != nil {
+			return fmt.Errorf("ledger: replaying charge seq %d: %w", rec.Seq, err)
+		}
+		acc.charges++
+	case "refund":
+		acc := l.accountLocked(rec.Analyst, rec.Dataset)
+		// A refund that no longer matches is dropped: the charge stands,
+		// which over-counts spend — the safe direction.
+		_ = acc.acct.Refund(replayedGuarantee(rec.Policy, rec.Eps))
+	default:
+		return fmt.Errorf("ledger: unknown WAL record kind %q (seq %d)", rec.Kind, rec.Seq)
+	}
+	return nil
+}
+
+// Close flushes and closes the WAL. Further operations fail with
+// ErrClosed.
+func (l *Ledger) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.w != nil {
+		return l.w.close()
+	}
+	return nil
+}
+
+// Durable reports whether the ledger persists to disk.
+func (l *Ledger) Durable() bool { return l.cfg.Dir != "" }
+
+// appendLocked assigns the next sequence number, writes the record, and
+// triggers snapshot compaction on schedule. Callers hold l.mu. In-memory
+// ledgers skip the log but still consume sequence numbers.
+func (l *Ledger) appendLocked(rec record) error {
+	l.seq++
+	rec.Seq = l.seq
+	if l.w == nil {
+		return nil
+	}
+	if err := l.w.append(rec); err != nil {
+		l.seq-- // the record never happened
+		return err
+	}
+	l.appends++
+	if l.appends >= l.cfg.SnapshotEvery {
+		// Compaction failure is not fatal to the charge that triggered
+		// it: the WAL already holds the record. Keep serving; the next
+		// append retries.
+		if err := l.snapshotLocked(); err == nil {
+			l.appends = 0
+		}
+	}
+	return nil
+}
+
+// snapshotLocked writes the compacted state and rebuilds each in-memory
+// accountant from its aggregate, so neither the WAL nor the in-memory
+// charge lists grow without bound.
+func (l *Ledger) snapshotLocked() error {
+	snap := snapshot{Seq: l.seq}
+	for id, st := range l.analysts {
+		snap.Analysts = append(snap.Analysts, snapAnalyst{
+			ID: id, Name: st.info.Name, KeyHash: st.keyHash,
+			Created: st.info.Created, Disabled: st.info.Disabled,
+			SessionCap: st.info.SessionCap,
+		})
+	}
+	sort.Slice(snap.Analysts, func(i, j int) bool { return snap.Analysts[i].ID < snap.Analysts[j].ID })
+	for key, acc := range l.accounts {
+		spent := make(map[string]float64)
+		for _, g := range acc.acct.Charges() {
+			spent[g.Policy.Name()] += g.Epsilon
+		}
+		snap.Accounts = append(snap.Accounts, snapAccount{
+			Analyst: key.analyst, Dataset: key.dataset,
+			Budget: acc.budget, Explicit: acc.explicit,
+			Charges: acc.charges, Spent: spent,
+		})
+	}
+	sort.Slice(snap.Accounts, func(i, j int) bool {
+		a, b := snap.Accounts[i], snap.Accounts[j]
+		if a.Analyst != b.Analyst {
+			return a.Analyst < b.Analyst
+		}
+		return a.Dataset < b.Dataset
+	})
+	if err := l.w.writeSnapshot(snap); err != nil {
+		return err
+	}
+	// Compact in memory too: rebuild accountants from the aggregates
+	// just persisted. A concurrent refund for a pre-compaction charge
+	// will no longer match and is dropped — documented safe direction.
+	for _, s := range snap.Accounts {
+		acc := l.accounts[acctKey{s.Analyst, s.Dataset}]
+		fresh := core.NewAccountant(acc.budget)
+		names := make([]string, 0, len(s.Spent))
+		for name := range s.Spent {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if err := fresh.RestoreSpend(replayedGuarantee(name, s.Spent[name])); err != nil {
+				return fmt.Errorf("ledger: compacting account %s/%s: %w", s.Analyst, s.Dataset, err)
+			}
+		}
+		acc.acct = fresh
+	}
+	return nil
+}
+
+// CreateAnalyst mints a principal and returns its info plus the
+// plaintext API key — the ONLY time the key is available; the ledger
+// stores a SHA-256 hash. sessionCap overrides the config default when
+// > 0.
+func (l *Ledger) CreateAnalyst(name string, sessionCap int) (AnalystInfo, string, error) {
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return AnalystInfo{}, "", fmt.Errorf("ledger: analyst name must not be empty")
+	}
+	if sessionCap < 0 {
+		return AnalystInfo{}, "", fmt.Errorf("ledger: session cap %d must be non-negative", sessionCap)
+	}
+	// The id is public and the key is secret, so they must come from
+	// independent randomness — an id derived from key bytes would leak a
+	// prefix of the credential.
+	var raw [26]byte
+	if _, err := rand.Read(raw[:]); err != nil {
+		return AnalystInfo{}, "", fmt.Errorf("ledger: generating API key: %w", err)
+	}
+	key := "osdp_" + hex.EncodeToString(raw[:20])
+	hash := hashKey(key)
+	id := "a-" + hex.EncodeToString(raw[20:])
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return AnalystInfo{}, "", ErrClosed
+	}
+	if _, dup := l.analysts[id]; dup {
+		return AnalystInfo{}, "", fmt.Errorf("ledger: analyst id collision, retry")
+	}
+	info := AnalystInfo{ID: id, Name: name, Created: time.Now().UTC(), SessionCap: sessionCap}
+	// Mutate in-memory state BEFORE appending: appendLocked may trigger a
+	// snapshot, and the snapshot — whose seq covers this record — must
+	// already contain it, or the subsequent WAL truncation would drop the
+	// analyst. Same ordering rule as Charge; every WAL writer follows it.
+	l.analysts[id] = &analystState{info: info, keyHash: hash}
+	l.byKey[hash] = id
+	if err := l.appendLocked(record{
+		Kind: "analyst", ID: id, Name: name, KeyHash: hash,
+		Created: info.Created, SessionCap: sessionCap,
+	}); err != nil {
+		delete(l.analysts, id)
+		delete(l.byKey, hash)
+		return AnalystInfo{}, "", err
+	}
+	return info, key, nil
+}
+
+// Authenticate resolves an API key to its analyst. Unknown keys get
+// ErrBadKey; disabled analysts get ErrDisabled.
+func (l *Ledger) Authenticate(key string) (AnalystInfo, error) {
+	hash := hashKey(key)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return AnalystInfo{}, ErrClosed
+	}
+	id, ok := l.byKey[hash]
+	if !ok {
+		return AnalystInfo{}, ErrBadKey
+	}
+	st := l.analysts[id]
+	if st.info.Disabled {
+		return AnalystInfo{}, fmt.Errorf("%w: %s", ErrDisabled, id)
+	}
+	return st.info, nil
+}
+
+// Analyst returns a principal's info by id.
+func (l *Ledger) Analyst(id string) (AnalystInfo, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st, ok := l.analysts[id]
+	if !ok {
+		return AnalystInfo{}, fmt.Errorf("%w: %q", ErrUnknownAnalyst, id)
+	}
+	return st.info, nil
+}
+
+// Analysts lists principals sorted by id.
+func (l *Ledger) Analysts() []AnalystInfo {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]AnalystInfo, 0, len(l.analysts))
+	for _, st := range l.analysts {
+		out = append(out, st.info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// SetDisabled flips a principal's disabled flag. Disabling revokes the
+// key's access immediately; spent budget is retained forever.
+func (l *Ledger) SetDisabled(id string, disabled bool) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	st, ok := l.analysts[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownAnalyst, id)
+	}
+	if st.info.Disabled == disabled {
+		return nil
+	}
+	// In-memory first: a snapshot triggered by this append must carry
+	// the flag (losing a revocation record would re-arm a revoked key).
+	st.info.Disabled = disabled
+	if err := l.appendLocked(record{Kind: "disable", ID: id, Disabled: disabled}); err != nil {
+		st.info.Disabled = !disabled
+		return err
+	}
+	return nil
+}
+
+// SetBudget grants (analyst, dataset) an explicit ε budget, replacing
+// the default. Lowering the budget below the spent total is allowed —
+// the account simply refuses all further charges; the spend history is
+// untouched.
+func (l *Ledger) SetBudget(analyst, ds string, budget float64) error {
+	if math.IsNaN(budget) || math.IsInf(budget, 0) || budget < 0 {
+		return fmt.Errorf("ledger: budget %g must be finite and non-negative", budget)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if _, ok := l.analysts[analyst]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownAnalyst, analyst)
+	}
+	// In-memory first (see CreateAnalyst); roll the account back if the
+	// grant fails to persist.
+	key := acctKey{analyst, ds}
+	prev, had := l.accounts[key]
+	var prevCopy account
+	if had {
+		prevCopy = *prev // setBudgetLocked mutates the struct in place
+	}
+	l.setBudgetLocked(analyst, ds, budget)
+	if err := l.appendLocked(record{Kind: "budget", Analyst: analyst, Dataset: ds, Budget: budget}); err != nil {
+		if had {
+			*prev = prevCopy
+		} else {
+			delete(l.accounts, key)
+		}
+		return err
+	}
+	return nil
+}
+
+// setBudgetLocked rebuilds the account's accountant around the new
+// budget, carrying spend over via RestoreSpend (which permits spent >
+// budget).
+func (l *Ledger) setBudgetLocked(analyst, ds string, budget float64) {
+	key := acctKey{analyst, ds}
+	acc, ok := l.accounts[key]
+	if !ok {
+		l.accounts[key] = &account{budget: budget, explicit: true, acct: core.NewAccountant(budget)}
+		return
+	}
+	fresh := core.NewAccountant(budget)
+	for _, g := range acc.acct.Charges() {
+		// Guarantees carry live policies here (not just names), so the
+		// composite survives the rebuild exactly.
+		if err := fresh.RestoreSpend(g); err != nil {
+			// Unreachable: recorded charges are always valid ε.
+			panic(fmt.Sprintf("ledger: rebuilding account %s/%s: %v", analyst, ds, err))
+		}
+	}
+	acc.budget, acc.explicit, acc.acct = budget, true, fresh
+}
+
+// accountLocked fetches or creates the (analyst, dataset) account.
+func (l *Ledger) accountLocked(analyst, ds string) *account {
+	key := acctKey{analyst, ds}
+	acc, ok := l.accounts[key]
+	if !ok {
+		acc = &account{budget: l.cfg.DefaultBudget, acct: core.NewAccountant(l.cfg.DefaultBudget)}
+		l.accounts[key] = acc
+	}
+	return acc
+}
+
+// Charge spends g.Epsilon from the analyst's account for ds. The charge
+// is admitted against the budget FIRST and becomes durable before
+// Charge returns; callers must not release any noise before a nil
+// return. Budget rejections wrap core.ErrBudgetExceeded.
+func (l *Ledger) Charge(analyst, ds string, g core.Guarantee) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	st, ok := l.analysts[analyst]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownAnalyst, analyst)
+	}
+	if st.info.Disabled {
+		return fmt.Errorf("%w: %s", ErrDisabled, analyst)
+	}
+	acc := l.accountLocked(analyst, ds)
+	if err := acc.acct.Spend(g); err != nil {
+		return fmt.Errorf("ledger: account %s/%s: %w", analyst, ds, err)
+	}
+	// Count before appending: appendLocked may snapshot, and the
+	// snapshot must include the charge whose record triggered it.
+	acc.charges++
+	if err := l.appendLocked(record{
+		Kind: "charge", Analyst: analyst, Dataset: ds,
+		Eps: g.Epsilon, Policy: g.Policy.Name(),
+	}); err != nil {
+		// Not durable => not admitted: undo the in-memory spend.
+		acc.charges--
+		_ = acc.acct.Refund(g)
+		return err
+	}
+	return nil
+}
+
+// Refund returns a charge admitted by Charge, for use ONLY when the
+// mechanism failed before drawing any noise. If the in-memory charge no
+// longer matches (e.g. compacted away), the charge stands and Refund
+// reports the mismatch; if only the durable append fails, the in-memory
+// refund stands and replay will over-count — both err toward more
+// recorded spend, never less.
+func (l *Ledger) Refund(analyst, ds string, g core.Guarantee) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	acc, ok := l.accounts[acctKey{analyst, ds}]
+	if !ok {
+		return fmt.Errorf("ledger: no account %s/%s to refund", analyst, ds)
+	}
+	if err := acc.acct.Refund(g); err != nil {
+		return err
+	}
+	return l.appendLocked(record{
+		Kind: "refund", Analyst: analyst, Dataset: ds,
+		Eps: g.Epsilon, Policy: g.Policy.Name(),
+	})
+}
+
+// Account reports one (analyst, dataset) account; an untouched pair
+// reports the budget it WOULD have (default or explicit grant) with
+// zero spend.
+func (l *Ledger) Account(analyst, ds string) (AccountInfo, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.analysts[analyst]; !ok {
+		return AccountInfo{}, fmt.Errorf("%w: %q", ErrUnknownAnalyst, analyst)
+	}
+	acc, ok := l.accounts[acctKey{analyst, ds}]
+	if !ok {
+		return AccountInfo{
+			Analyst: analyst, Dataset: ds,
+			Budget: l.cfg.DefaultBudget, Remaining: l.cfg.DefaultBudget,
+			Guarantee: core.Guarantee{Policy: dataset.AllSensitive()}.String(),
+		}, nil
+	}
+	return accountInfo(analyst, ds, acc), nil
+}
+
+// Accounts lists every touched account, sorted by (analyst, dataset).
+func (l *Ledger) Accounts() []AccountInfo {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]AccountInfo, 0, len(l.accounts))
+	for key, acc := range l.accounts {
+		out = append(out, accountInfo(key.analyst, key.dataset, acc))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Analyst != out[j].Analyst {
+			return out[i].Analyst < out[j].Analyst
+		}
+		return out[i].Dataset < out[j].Dataset
+	})
+	return out
+}
+
+// TotalSpent sums ε across all accounts — the coarse health number
+// /stats reports.
+func (l *Ledger) TotalSpent() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var total float64
+	for _, acc := range l.accounts {
+		total += acc.acct.Spent()
+	}
+	return total
+}
+
+// Counts reports how many analysts and touched accounts exist.
+func (l *Ledger) Counts() (analysts, accounts int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.analysts), len(l.accounts)
+}
+
+// DefaultSessionCap returns the config default for per-analyst
+// concurrent sessions (0 = unlimited).
+func (l *Ledger) DefaultSessionCap() int { return l.cfg.SessionCap }
+
+func accountInfo(analyst, ds string, acc *account) AccountInfo {
+	spent, composite := acc.acct.Snapshot()
+	remaining := acc.budget - spent
+	if acc.budget == 0 || remaining < 0 {
+		remaining = 0
+	}
+	return AccountInfo{
+		Analyst: analyst, Dataset: ds,
+		Budget: acc.budget, Spent: spent, Remaining: remaining,
+		Charges: acc.charges, Guarantee: composite.String(),
+	}
+}
+
+func hashKey(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:])
+}

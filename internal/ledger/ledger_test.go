@@ -1,0 +1,262 @@
+package ledger
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"osdp/internal/core"
+	"osdp/internal/dataset"
+)
+
+func mem(t *testing.T, cfg Config) *Ledger {
+	t.Helper()
+	l, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+func g(eps float64) core.Guarantee {
+	return core.Guarantee{Policy: dataset.NewPolicy("gdpr", dataset.True()), Epsilon: eps}
+}
+
+func TestAnalystLifecycle(t *testing.T) {
+	l := mem(t, Config{})
+
+	info, key, err := l.CreateAnalyst("alice", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(key, "osdp_") || len(key) != len("osdp_")+40 {
+		t.Fatalf("key %q has unexpected shape", key)
+	}
+	if strings.Contains(info.ID, strings.TrimPrefix(key, "osdp_")[:8]) {
+		t.Fatal("analyst id must not leak key bytes")
+	}
+	if info.SessionCap != 3 {
+		t.Fatalf("session cap %d, want 3", info.SessionCap)
+	}
+
+	got, err := l.Authenticate(key)
+	if err != nil || got.ID != info.ID {
+		t.Fatalf("authenticate: %+v, %v", got, err)
+	}
+	if _, err := l.Authenticate("osdp_" + strings.Repeat("0", 40)); !errors.Is(err, ErrBadKey) {
+		t.Fatalf("bad key: got %v, want ErrBadKey", err)
+	}
+
+	// Disable revokes access; re-enable restores it.
+	if err := l.SetDisabled(info.ID, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Authenticate(key); !errors.Is(err, ErrDisabled) {
+		t.Fatalf("disabled analyst: got %v, want ErrDisabled", err)
+	}
+	if err := l.Charge(info.ID, "d", g(0.1)); !errors.Is(err, ErrDisabled) {
+		t.Fatalf("charge while disabled: got %v, want ErrDisabled", err)
+	}
+	if err := l.SetDisabled(info.ID, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Authenticate(key); err != nil {
+		t.Fatalf("re-enabled analyst: %v", err)
+	}
+
+	if _, err := l.Analyst("a-nope"); !errors.Is(err, ErrUnknownAnalyst) {
+		t.Fatalf("unknown analyst: got %v, want ErrUnknownAnalyst", err)
+	}
+	if _, _, err := l.CreateAnalyst("  ", 0); err == nil {
+		t.Fatal("blank analyst name should be rejected")
+	}
+}
+
+func TestChargeRefundAndBudgets(t *testing.T) {
+	l := mem(t, Config{DefaultBudget: 1})
+	a, _, err := l.CreateAnalyst("alice", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Default budget applies to an untouched account.
+	acct, err := l.Account(a.ID, "people")
+	if err != nil || acct.Budget != 1 || acct.Spent != 0 {
+		t.Fatalf("fresh account %+v, %v", acct, err)
+	}
+
+	if err := l.Charge(a.ID, "people", g(0.6)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Charge(a.ID, "people", g(0.6)); !errors.Is(err, core.ErrBudgetExceeded) {
+		t.Fatalf("over-budget charge: got %v, want ErrBudgetExceeded", err)
+	}
+	// Datasets have independent accounts.
+	if err := l.Charge(a.ID, "other", g(0.9)); err != nil {
+		t.Fatalf("independent dataset account: %v", err)
+	}
+
+	// Refund reopens headroom; double refund fails and changes nothing.
+	if err := l.Refund(a.ID, "people", g(0.6)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Refund(a.ID, "people", g(0.6)); err == nil {
+		t.Fatal("double refund should fail")
+	}
+	if err := l.Charge(a.ID, "people", g(0.8)); err != nil {
+		t.Fatalf("charge after refund: %v", err)
+	}
+
+	// Explicit grant overrides the default; lowering below spent just
+	// freezes the account.
+	if err := l.SetBudget(a.ID, "people", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	acct, err = l.Account(a.ID, "people")
+	if err != nil || acct.Budget != 0.5 || math.Abs(acct.Spent-0.8) > 1e-12 || acct.Remaining != 0 {
+		t.Fatalf("frozen account %+v, %v", acct, err)
+	}
+	if err := l.Charge(a.ID, "people", g(0.01)); !errors.Is(err, core.ErrBudgetExceeded) {
+		t.Fatalf("charge on frozen account: got %v, want ErrBudgetExceeded", err)
+	}
+	// Raising it reopens headroom without touching history.
+	if err := l.SetBudget(a.ID, "people", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Charge(a.ID, "people", g(1.0)); err != nil {
+		t.Fatalf("charge after raise: %v", err)
+	}
+
+	for _, bad := range []float64{-1, math.NaN(), math.Inf(1)} {
+		if err := l.SetBudget(a.ID, "people", bad); err == nil {
+			t.Fatalf("budget %v should be rejected", bad)
+		}
+	}
+	if err := l.SetBudget("a-nope", "people", 1); !errors.Is(err, ErrUnknownAnalyst) {
+		t.Fatalf("grant to unknown analyst: got %v, want ErrUnknownAnalyst", err)
+	}
+	if err := l.Charge("a-nope", "people", g(0.1)); !errors.Is(err, ErrUnknownAnalyst) {
+		t.Fatalf("charge for unknown analyst: got %v, want ErrUnknownAnalyst", err)
+	}
+
+	accounts := l.Accounts()
+	if len(accounts) != 2 {
+		t.Fatalf("%d accounts, want 2", len(accounts))
+	}
+	if total := l.TotalSpent(); math.Abs(total-(0.8+1.0+0.9)) > 1e-9 {
+		t.Fatalf("total spent %g, want 2.7", total)
+	}
+}
+
+// TestConcurrentChargesNeverOverspend hammers one account from many
+// goroutines; under -race this also proves the locking discipline.
+func TestConcurrentChargesNeverOverspend(t *testing.T) {
+	l := mem(t, Config{DefaultBudget: 2})
+	a, _, err := l.CreateAnalyst("alice", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, rounds = 16, 25
+	const eps = 0.01 // demand 16*25*0.01 = 4.0 >> budget 2
+	var wg sync.WaitGroup
+	var accepted, rejected int64
+	var mu sync.Mutex
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < rounds; j++ {
+				err := l.Charge(a.ID, "d", g(eps))
+				mu.Lock()
+				switch {
+				case err == nil:
+					accepted++
+				case errors.Is(err, core.ErrBudgetExceeded):
+					rejected++
+				default:
+					t.Errorf("unexpected charge error: %v", err)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	acct, err := l.Account(a.ID, "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acct.Spent > 2+1e-9 {
+		t.Fatalf("over-spent: %g > 2", acct.Spent)
+	}
+	if want := float64(accepted) * eps; math.Abs(acct.Spent-want) > 1e-9 {
+		t.Fatalf("spent %g but %d accepted charges total %g", acct.Spent, accepted, want)
+	}
+	if rejected == 0 {
+		t.Fatal("expected rejections over budget")
+	}
+}
+
+// TestChargeAllocsConstant pins the satellite requirement: the charge
+// path stays O(1) allocations — a constant per call, independent of how
+// much history the account carries — in both memory and WAL modes.
+func TestChargeAllocsConstant(t *testing.T) {
+	for _, mode := range []string{"memory", "wal"} {
+		t.Run(mode, func(t *testing.T) {
+			cfg := Config{NoSync: true} // fsync costs time, not allocs
+			if mode == "wal" {
+				cfg.Dir = t.TempDir()
+			}
+			l := mem(t, cfg)
+			a, _, err := l.CreateAnalyst("alice", 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			charge := g(1e-7)
+			measure := func() float64 {
+				return testing.AllocsPerRun(200, func() {
+					if err := l.Charge(a.ID, "d", charge); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+			cold := measure()
+			// Pile on history, then measure again: the per-charge cost
+			// must not grow with the account's charge count.
+			for i := 0; i < 20000; i++ {
+				if err := l.Charge(a.ID, "d", charge); err != nil {
+					t.Fatal(err)
+				}
+			}
+			warm := measure()
+			if warm > cold+2 {
+				t.Fatalf("charge allocations grew with history: %.1f cold vs %.1f warm", cold, warm)
+			}
+			if warm > 12 {
+				t.Fatalf("charge path allocates %.1f/op, want O(1) small", warm)
+			}
+		})
+	}
+}
+
+func TestClosedLedgerRefusesEverything(t *testing.T) {
+	l := mem(t, Config{})
+	a, _, err := l.CreateAnalyst("alice", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.CreateAnalyst("bob", 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("create on closed: got %v, want ErrClosed", err)
+	}
+	if err := l.Charge(a.ID, "d", g(0.1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("charge on closed: got %v, want ErrClosed", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}

@@ -1,0 +1,279 @@
+package ledger
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Durable layout inside Config.Dir:
+//
+//	wal.jsonl      append-only log, one JSON record per line
+//	snapshot.json  periodic compaction of everything up to Seq
+//
+// Every record carries a strictly increasing sequence number. A snapshot
+// stores the sequence of the last record it folds in; replay applies the
+// snapshot and then only WAL records with a HIGHER sequence, so the
+// crash window between "snapshot renamed into place" and "WAL
+// truncated" cannot double-count a charge.
+//
+// Crash tolerance on replay: a torn FINAL line (the classic kill-mid-
+// write artifact) is discarded — the record it would have described was
+// never acknowledged, so dropping it never under-counts acknowledged
+// spend. A malformed line anywhere BEFORE the final one means the file
+// was corrupted, not torn, and Open refuses to start rather than serve
+// from a ledger that may under-count.
+
+const (
+	walFile      = "wal.jsonl"
+	snapshotFile = "snapshot.json"
+)
+
+// record is the single WAL record shape; Kind selects which fields are
+// meaningful. One flat struct keeps the append path free of interface
+// dispatch and reflection surprises.
+type record struct {
+	Seq  uint64 `json:"seq"`
+	Kind string `json:"kind"` // "analyst" | "disable" | "budget" | "charge" | "refund"
+
+	// analyst / disable
+	ID      string `json:"id,omitempty"`
+	Name    string `json:"name,omitempty"`
+	KeyHash string `json:"key_sha256,omitempty"`
+	// omitzero, not omitempty: omitempty never drops a struct, and this
+	// field rides every hot-path charge record.
+	Created time.Time `json:"created,omitzero"`
+	Disabled   bool      `json:"disabled,omitempty"`
+	SessionCap int       `json:"session_cap,omitempty"`
+
+	// budget / charge / refund
+	Analyst string  `json:"analyst,omitempty"`
+	Dataset string  `json:"dataset,omitempty"`
+	Budget  float64 `json:"budget,omitempty"`
+	Eps     float64 `json:"eps,omitempty"`
+	Policy  string  `json:"policy,omitempty"`
+}
+
+// snapshot is the compacted state: everything the WAL said up to and
+// including Seq. Per-account spend is aggregated per policy name, so a
+// snapshot's size is bounded by (analysts × datasets × policies), not by
+// query count.
+type snapshot struct {
+	Seq      uint64         `json:"seq"`
+	Analysts []snapAnalyst  `json:"analysts"`
+	Accounts []snapAccount  `json:"accounts"`
+}
+
+type snapAnalyst struct {
+	ID         string    `json:"id"`
+	Name       string    `json:"name"`
+	KeyHash    string    `json:"key_sha256"`
+	Created    time.Time `json:"created"`
+	Disabled   bool      `json:"disabled,omitempty"`
+	SessionCap int       `json:"session_cap,omitempty"`
+}
+
+type snapAccount struct {
+	Analyst string  `json:"analyst"`
+	Dataset string  `json:"dataset"`
+	Budget  float64 `json:"budget,omitempty"`
+	// Explicit distinguishes an operator grant from the config default;
+	// a default-budget account is re-resolved against the CURRENT
+	// Config.DefaultBudget on open, so tightening the default applies
+	// to every non-granted account regardless of snapshot timing.
+	Explicit bool               `json:"explicit,omitempty"`
+	Charges  uint64             `json:"charges"`
+	Spent    map[string]float64 `json:"spent"` // policy name -> Σε
+}
+
+// wal is the open write handle plus the append buffer it reuses; all
+// access is serialised by the owning Ledger's mutex.
+type wal struct {
+	dir  string
+	f    *os.File
+	buf  []byte
+	sync bool
+}
+
+func openWAL(dir string, sync bool) (*wal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ledger: creating %s: %w", dir, err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, walFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ledger: opening WAL: %w", err)
+	}
+	// Persist the file's directory entry NOW: per-append fsync flushes
+	// the data blocks, but a freshly created wal.jsonl whose dir entry
+	// was never synced can vanish wholesale on power loss — erasing
+	// every acknowledged charge before the first snapshot.
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &wal{dir: dir, f: f, sync: sync}, nil
+}
+
+// append writes one record and, unless fsync is disabled, forces it to
+// stable storage before returning. A charge is only acknowledged to the
+// caller after this returns, so acknowledged spend survives a crash.
+func (w *wal) append(rec record) error {
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("ledger: encoding WAL record: %w", err)
+	}
+	w.buf = append(w.buf[:0], body...)
+	w.buf = append(w.buf, '\n')
+	if _, err := w.f.Write(w.buf); err != nil {
+		return fmt.Errorf("ledger: appending WAL record: %w", err)
+	}
+	if w.sync {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("ledger: syncing WAL: %w", err)
+		}
+	}
+	return nil
+}
+
+// writeSnapshot atomically replaces snapshot.json (write temp, fsync,
+// rename) and then truncates the WAL. A crash between the rename and the
+// truncation is safe: replay skips WAL records at or below snap.Seq.
+func (w *wal) writeSnapshot(snap snapshot) error {
+	body, err := json.MarshalIndent(snap, "", " ")
+	if err != nil {
+		return fmt.Errorf("ledger: encoding snapshot: %w", err)
+	}
+	tmp := filepath.Join(w.dir, snapshotFile+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("ledger: creating snapshot temp: %w", err)
+	}
+	if _, err := f.Write(append(body, '\n')); err != nil {
+		f.Close()
+		return fmt.Errorf("ledger: writing snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("ledger: syncing snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("ledger: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(w.dir, snapshotFile)); err != nil {
+		return fmt.Errorf("ledger: installing snapshot: %w", err)
+	}
+	// Force the rename's directory entry to disk BEFORE truncating the
+	// WAL: a crash that persisted the truncation but not the rename
+	// would replay the OLD snapshot against an empty WAL, under-counting
+	// acknowledged spend.
+	if err := syncDir(w.dir); err != nil {
+		return err
+	}
+	// The snapshot now owns every record; start the WAL afresh. Reopen
+	// with O_TRUNC rather than Truncate on the live handle so the append
+	// offset resets too.
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("ledger: closing WAL for truncation: %w", err)
+	}
+	f2, err := os.OpenFile(filepath.Join(w.dir, walFile), os.O_CREATE|os.O_TRUNC|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("ledger: reopening WAL: %w", err)
+	}
+	w.f = f2
+	return nil
+}
+
+// syncDir fsyncs a directory so renames within it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("ledger: opening %s for sync: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("ledger: syncing %s: %w", dir, err)
+	}
+	return nil
+}
+
+func (w *wal) close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// loadSnapshot reads snapshot.json; a missing file is a fresh ledger.
+func loadSnapshot(dir string) (snapshot, error) {
+	var snap snapshot
+	body, err := os.ReadFile(filepath.Join(dir, snapshotFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return snap, nil
+	}
+	if err != nil {
+		return snap, fmt.Errorf("ledger: reading snapshot: %w", err)
+	}
+	if err := json.Unmarshal(body, &snap); err != nil {
+		return snap, fmt.Errorf("ledger: snapshot %s is corrupt: %w", filepath.Join(dir, snapshotFile), err)
+	}
+	return snap, nil
+}
+
+// replayWAL applies records with Seq > afterSeq in file order, tolerating
+// a torn final line and rejecting corruption anywhere else. When the
+// tail is torn it returns the byte length of the valid prefix so the
+// caller can truncate the file BEFORE reopening it for append — the
+// next acknowledged record must start on its own line, or it would
+// merge with the fragment and read as a torn tail itself on the next
+// restart, silently dropping acknowledged spend. truncateTo is -1 when
+// the file is intact (or absent).
+func replayWAL(dir string, afterSeq uint64, apply func(record) error) (truncateTo int64, err error) {
+	body, err := os.ReadFile(filepath.Join(dir, walFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return -1, nil
+	}
+	if err != nil {
+		return -1, fmt.Errorf("ledger: reading WAL: %w", err)
+	}
+	lines := bytes.Split(body, []byte("\n"))
+	// Index of the last non-empty line: only THAT line may be torn.
+	last := -1
+	for i, line := range lines {
+		if len(bytes.TrimSpace(line)) > 0 {
+			last = i
+		}
+	}
+	var offset int64
+	for i, line := range lines {
+		lineStart := offset
+		offset += int64(len(line))
+		if i < len(lines)-1 {
+			offset++ // the split-away '\n'
+		}
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			if i == last {
+				// Torn tail from a crash mid-append: the record was never
+				// acknowledged, so dropping it never under-counts.
+				return lineStart, nil
+			}
+			return -1, fmt.Errorf("ledger: WAL line %d is corrupt (not a torn tail): %v", i+1, err)
+		}
+		if rec.Seq <= afterSeq {
+			continue // already folded into the snapshot
+		}
+		if err := apply(rec); err != nil {
+			return -1, err
+		}
+	}
+	return -1, nil
+}

@@ -1,0 +1,149 @@
+package server
+
+import (
+	"crypto/subtle"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// Authentication model: two disjoint bearer-token realms.
+//
+//   - /v1 (query plane): analyst API keys minted by the ledger. Only
+//     active when Config.Ledger is set; without a ledger the query
+//     plane is open, as before (legacy mode, no cross-session
+//     accounting).
+//   - /admin (control plane): the single operator token from
+//     Config.AdminToken. Admin access never doubles as analyst access
+//     or vice versa — an analyst key on /admin is 403, and the admin
+//     token on /v1 is 401.
+//
+// /healthz and /stats are unauthenticated: liveness probes cannot carry
+// credentials, and /stats exposes only coarse aggregates.
+
+// bearerToken extracts the RFC 6750 bearer credential.
+func bearerToken(r *http.Request) (string, error) {
+	h := r.Header.Get("Authorization")
+	if h == "" {
+		return "", fmt.Errorf("%w: missing Authorization header", ErrUnauthorized)
+	}
+	tok, ok := strings.CutPrefix(h, "Bearer ")
+	if !ok || tok == "" {
+		return "", fmt.Errorf("%w: Authorization header is not a bearer token", ErrUnauthorized)
+	}
+	return tok, nil
+}
+
+// withAnalyst authenticates the query plane. The resolved analyst id is
+// handed to the wrapped handler ("" when the server has no ledger).
+func (s *Server) withAnalyst(h func(w http.ResponseWriter, r *http.Request, analyst string)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		analyst := ""
+		if s.cfg.Ledger != nil {
+			tok, err := bearerToken(r)
+			if err != nil {
+				writeErr(w, err)
+				return
+			}
+			info, err := s.cfg.Ledger.Authenticate(tok)
+			if err != nil {
+				writeErr(w, err) // ErrBadKey -> 401, ErrDisabled -> 403
+				return
+			}
+			analyst = info.ID
+		}
+		h(w, r, analyst)
+	}
+}
+
+// withAdmin authenticates the control plane against Config.AdminToken.
+func (s *Server) withAdmin(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.cfg.Ledger == nil || s.cfg.AdminToken == "" {
+			writeErr(w, fmt.Errorf("%w: admin API is disabled (no ledger or no admin token configured)", ErrForbidden))
+			return
+		}
+		tok, err := bearerToken(r)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		if subtle.ConstantTimeCompare([]byte(tok), []byte(s.cfg.AdminToken)) != 1 {
+			writeErr(w, fmt.Errorf("%w: bad admin token", ErrForbidden))
+			return
+		}
+		h(w, r)
+	}
+}
+
+// adminRoutes mounts the budget-administration API:
+//
+//	POST /admin/analysts              CreateAnalystRequest -> AnalystCreated (key shown ONCE)
+//	GET  /admin/analysts              -> []ledger.AnalystInfo
+//	POST /admin/analysts/{id}/disable -> ledger.AnalystInfo
+//	POST /admin/analysts/{id}/enable  -> ledger.AnalystInfo
+//	GET  /admin/budgets               -> []ledger.AccountInfo (touched accounts)
+//	POST /admin/budgets               BudgetGrantRequest -> ledger.AccountInfo
+//	GET  /admin/spend                 -> SpendReport (accounts + totals)
+func (s *Server) adminRoutes(mux *http.ServeMux) {
+	mux.HandleFunc("POST /admin/analysts", s.withAdmin(func(w http.ResponseWriter, r *http.Request) {
+		var req CreateAnalystRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		info, key, err := s.cfg.Ledger.CreateAnalyst(req.Name, req.SessionCap)
+		if err != nil {
+			writeErr(w, badWrap(err))
+			return
+		}
+		writeJSON(w, http.StatusCreated, AnalystCreated{AnalystInfo: info, Key: key})
+	}))
+	mux.HandleFunc("GET /admin/analysts", s.withAdmin(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.cfg.Ledger.Analysts())
+	}))
+	setDisabled := func(disabled bool) http.HandlerFunc {
+		return s.withAdmin(func(w http.ResponseWriter, r *http.Request) {
+			id := r.PathValue("id")
+			if err := s.cfg.Ledger.SetDisabled(id, disabled); err != nil {
+				writeErr(w, err)
+				return
+			}
+			respond(w, http.StatusOK)(s.cfg.Ledger.Analyst(id))
+		})
+	}
+	mux.HandleFunc("POST /admin/analysts/{id}/disable", setDisabled(true))
+	mux.HandleFunc("POST /admin/analysts/{id}/enable", setDisabled(false))
+	mux.HandleFunc("GET /admin/budgets", s.withAdmin(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.cfg.Ledger.Accounts())
+	}))
+	mux.HandleFunc("POST /admin/budgets", s.withAdmin(func(w http.ResponseWriter, r *http.Request) {
+		var req BudgetGrantRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		if err := s.cfg.Ledger.SetBudget(req.Analyst, req.Dataset, req.Budget); err != nil {
+			writeErr(w, badWrap(err))
+			return
+		}
+		respond(w, http.StatusOK)(s.cfg.Ledger.Account(req.Analyst, req.Dataset))
+	}))
+	mux.HandleFunc("GET /admin/spend", s.withAdmin(func(w http.ResponseWriter, r *http.Request) {
+		accounts := s.cfg.Ledger.Accounts()
+		report := SpendReport{Accounts: accounts}
+		for _, a := range accounts {
+			report.TotalSpent += a.Spent
+		}
+		report.Analysts, report.TouchedAccounts = s.cfg.Ledger.Counts()
+		writeJSON(w, http.StatusOK, report)
+	}))
+}
+
+// badWrap turns ledger validation failures into 400s while letting
+// already-typed sentinels (unknown analyst, closed, …) keep their
+// status.
+func badWrap(err error) error {
+	if statusOf(err) != http.StatusInternalServerError {
+		return err
+	}
+	return fmt.Errorf("%w: %v", ErrBadRequest, err)
+}

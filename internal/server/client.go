@@ -2,15 +2,18 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strings"
+	"time"
 
 	"osdp/internal/core"
 	"osdp/internal/dataset"
+	"osdp/internal/ledger"
 )
 
 // maxResponseBytes bounds how much of a response the client buffers. It
@@ -22,9 +25,17 @@ const maxResponseBytes = 1 << 30
 // Client is a Go client for the HTTP API. Examples and the end-to-end
 // tests use it so the real wire format is exercised, not handler
 // internals. A Client is safe for concurrent use.
+//
+// Every method takes a context.Context and threads it into the HTTP
+// request, so callers can cancel in-flight calls; WithTimeout adds a
+// per-request deadline on top. Against a ledger-backed server, build an
+// authenticated view with WithToken (an analyst API key for /v1, the
+// admin token for /admin).
 type Client struct {
-	base string
-	hc   *http.Client
+	base    string
+	hc      *http.Client
+	token   string        // bearer credential; empty sends no Authorization header
+	timeout time.Duration // per-request deadline; 0 relies on ctx alone
 }
 
 // NewClient returns a client for a server at base (e.g.
@@ -36,10 +47,30 @@ func NewClient(base string, hc *http.Client) *Client {
 	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
 }
 
+// WithToken returns a copy of the client that authenticates every
+// request with the given bearer token. The original client is
+// unchanged, so one process can hold differently-privileged views (e.g.
+// an analyst key and the admin token) over one connection pool.
+func (c *Client) WithToken(token string) *Client {
+	cp := *c
+	cp.token = token
+	return &cp
+}
+
+// WithTimeout returns a copy of the client that bounds every request to
+// d (on top of whatever deadline the caller's context carries). 0
+// removes the bound.
+func (c *Client) WithTimeout(d time.Duration) *Client {
+	cp := *c
+	cp.timeout = d
+	return &cp
+}
+
 // APIError is a non-2xx answer from the server. It maps back onto the
 // package sentinels so callers can errors.Is against ErrBadRequest,
-// ErrNotFound, ErrConflict, ErrTooManySessions, core.ErrBudgetExceeded,
-// and core.ErrEmptySample across the wire.
+// ErrUnauthorized, ErrForbidden, ErrNotFound, ErrConflict,
+// ErrTooManySessions, core.ErrBudgetExceeded, and core.ErrEmptySample
+// across the wire.
 type APIError struct {
 	Status  int
 	Message string
@@ -56,6 +87,10 @@ func (e *APIError) Is(target error) bool {
 	switch target {
 	case ErrBadRequest:
 		return e.Status == http.StatusBadRequest
+	case ErrUnauthorized:
+		return e.Status == http.StatusUnauthorized
+	case ErrForbidden:
+		return e.Status == http.StatusForbidden
 	case ErrNotFound:
 		return e.Status == http.StatusNotFound
 	case ErrConflict, core.ErrEmptySample:
@@ -68,34 +103,45 @@ func (e *APIError) Is(target error) bool {
 	return false
 }
 
+// Healthz reports liveness.
+func (c *Client) Healthz(ctx context.Context) error {
+	_, err := do[map[string]any](ctx, c, http.MethodGet, "/healthz", nil)
+	return err
+}
+
+// Stats fetches the coarse service aggregates.
+func (c *Client) Stats(ctx context.Context) (StatsResponse, error) {
+	return do[StatsResponse](ctx, c, http.MethodGet, "/stats", nil)
+}
+
 // RegisterDataset registers a dataset from an in-memory table.
-func (c *Client) RegisterDataset(name string, t *dataset.Table, policy PolicySpec) (DatasetInfo, error) {
+func (c *Client) RegisterDataset(ctx context.Context, name string, t *dataset.Table, policy PolicySpec) (DatasetInfo, error) {
 	var b strings.Builder
 	if err := dataset.WriteCSV(&b, t); err != nil {
 		return DatasetInfo{}, err
 	}
-	return c.RegisterDatasetCSV(RegisterDatasetRequest{Name: name, CSV: b.String(), Policy: policy})
+	return c.RegisterDatasetCSV(ctx, RegisterDatasetRequest{Name: name, CSV: b.String(), Policy: policy})
 }
 
 // RegisterDatasetCSV registers a dataset from a raw wire request.
-func (c *Client) RegisterDatasetCSV(req RegisterDatasetRequest) (DatasetInfo, error) {
-	return do[DatasetInfo](c, http.MethodPost, "/v1/datasets", req)
+func (c *Client) RegisterDatasetCSV(ctx context.Context, req RegisterDatasetRequest) (DatasetInfo, error) {
+	return do[DatasetInfo](ctx, c, http.MethodPost, "/v1/datasets", req)
 }
 
 // Datasets lists registered datasets.
-func (c *Client) Datasets() ([]DatasetInfo, error) {
-	return do[[]DatasetInfo](c, http.MethodGet, "/v1/datasets", nil)
+func (c *Client) Datasets(ctx context.Context) ([]DatasetInfo, error) {
+	return do[[]DatasetInfo](ctx, c, http.MethodGet, "/v1/datasets", nil)
 }
 
 // Dataset fetches one dataset's info.
-func (c *Client) Dataset(name string) (DatasetInfo, error) {
-	return do[DatasetInfo](c, http.MethodGet, "/v1/datasets/"+url.PathEscape(name), nil)
+func (c *Client) Dataset(ctx context.Context, name string) (DatasetInfo, error) {
+	return do[DatasetInfo](ctx, c, http.MethodGet, "/v1/datasets/"+url.PathEscape(name), nil)
 }
 
 // OpenSession opens a budgeted session and returns a handle for querying
 // it. seed, when non-nil, asks for reproducible noise.
-func (c *Client) OpenSession(dataset string, budget float64, seed *int64) (*SessionClient, error) {
-	info, err := do[SessionInfo](c, http.MethodPost, "/v1/sessions",
+func (c *Client) OpenSession(ctx context.Context, dataset string, budget float64, seed *int64) (*SessionClient, error) {
+	info, err := do[SessionInfo](ctx, c, http.MethodPost, "/v1/sessions",
 		OpenSessionRequest{Dataset: dataset, Budget: budget, Seed: seed})
 	if err != nil {
 		return nil, err
@@ -108,7 +154,8 @@ func (c *Client) OpenSession(dataset string, budget float64, seed *int64) (*Sess
 func (c *Client) Session(id string) *SessionClient { return &SessionClient{c: c, id: id} }
 
 // SessionClient queries one open session. It is safe for concurrent use;
-// the server's budget accountant arbitrates racing charges.
+// the server's budget accountants arbitrate racing charges. It inherits
+// the parent client's token and timeout.
 type SessionClient struct {
 	c  *Client
 	id string
@@ -118,33 +165,33 @@ type SessionClient struct {
 func (s *SessionClient) ID() string { return s.id }
 
 // Info fetches the current budget state.
-func (s *SessionClient) Info() (SessionInfo, error) {
-	return do[SessionInfo](s.c, http.MethodGet, "/v1/sessions/"+url.PathEscape(s.id), nil)
+func (s *SessionClient) Info(ctx context.Context) (SessionInfo, error) {
+	return do[SessionInfo](ctx, s.c, http.MethodGet, "/v1/sessions/"+url.PathEscape(s.id), nil)
 }
 
 // Close closes the session, returning its final state.
-func (s *SessionClient) Close() (SessionInfo, error) {
-	return do[SessionInfo](s.c, http.MethodDelete, "/v1/sessions/"+url.PathEscape(s.id), nil)
+func (s *SessionClient) Close(ctx context.Context) (SessionInfo, error) {
+	return do[SessionInfo](ctx, s.c, http.MethodDelete, "/v1/sessions/"+url.PathEscape(s.id), nil)
 }
 
 // Query sends a raw QueryRequest.
-func (s *SessionClient) Query(req QueryRequest) (QueryResponse, error) {
-	return do[QueryResponse](s.c, http.MethodPost, "/v1/sessions/"+url.PathEscape(s.id)+"/query", req)
+func (s *SessionClient) Query(ctx context.Context, req QueryRequest) (QueryResponse, error) {
+	return do[QueryResponse](ctx, s.c, http.MethodPost, "/v1/sessions/"+url.PathEscape(s.id)+"/query", req)
 }
 
 // Histogram answers a real-valued histogram query.
-func (s *SessionClient) Histogram(eps float64, where *PredicateSpec, dims ...DomainSpec) (QueryResponse, error) {
-	return s.Query(QueryRequest{Kind: KindHistogram, Eps: eps, Where: where, Dims: dims})
+func (s *SessionClient) Histogram(ctx context.Context, eps float64, where *PredicateSpec, dims ...DomainSpec) (QueryResponse, error) {
+	return s.Query(ctx, QueryRequest{Kind: KindHistogram, Eps: eps, Where: where, Dims: dims})
 }
 
 // IntHistogram answers an integer-valued histogram query.
-func (s *SessionClient) IntHistogram(eps float64, where *PredicateSpec, dims ...DomainSpec) (QueryResponse, error) {
-	return s.Query(QueryRequest{Kind: KindIntHistogram, Eps: eps, Where: where, Dims: dims})
+func (s *SessionClient) IntHistogram(ctx context.Context, eps float64, where *PredicateSpec, dims ...DomainSpec) (QueryResponse, error) {
+	return s.Query(ctx, QueryRequest{Kind: KindIntHistogram, Eps: eps, Where: where, Dims: dims})
 }
 
 // Count answers a counting query; a nil predicate counts all records.
-func (s *SessionClient) Count(eps float64, where *PredicateSpec) (float64, error) {
-	resp, err := s.Query(QueryRequest{Kind: KindCount, Eps: eps, Where: where})
+func (s *SessionClient) Count(ctx context.Context, eps float64, where *PredicateSpec) (float64, error) {
+	resp, err := s.Query(ctx, QueryRequest{Kind: KindCount, Eps: eps, Where: where})
 	if err != nil {
 		return 0, err
 	}
@@ -152,8 +199,8 @@ func (s *SessionClient) Count(eps float64, where *PredicateSpec) (float64, error
 }
 
 // Quantile answers the q-quantile of a numeric attribute.
-func (s *SessionClient) Quantile(eps float64, attr string, q float64) (float64, error) {
-	resp, err := s.Query(QueryRequest{Kind: KindQuantile, Eps: eps, Attr: attr, Q: q})
+func (s *SessionClient) Quantile(ctx context.Context, eps float64, attr string, q float64) (float64, error) {
+	resp, err := s.Query(ctx, QueryRequest{Kind: KindQuantile, Eps: eps, Attr: attr, Q: q})
 	if err != nil {
 		return 0, err
 	}
@@ -162,17 +209,60 @@ func (s *SessionClient) Quantile(eps float64, attr string, q float64) (float64, 
 
 // Sample draws an OsdpRR release of the dataset and parses it back into
 // a table.
-func (s *SessionClient) Sample(eps float64) (*dataset.Table, error) {
-	resp, err := s.Query(QueryRequest{Kind: KindSample, Eps: eps})
+func (s *SessionClient) Sample(ctx context.Context, eps float64) (*dataset.Table, error) {
+	resp, err := s.Query(ctx, QueryRequest{Kind: KindSample, Eps: eps})
 	if err != nil {
 		return nil, err
 	}
 	return dataset.ReadCSV(strings.NewReader(resp.SampleCSV))
 }
 
+// Admin methods: the client must carry the ADMIN token (WithToken), not
+// an analyst key.
+
+// CreateAnalyst mints an analyst principal; the returned Key is shown
+// exactly once.
+func (c *Client) CreateAnalyst(ctx context.Context, req CreateAnalystRequest) (AnalystCreated, error) {
+	return do[AnalystCreated](ctx, c, http.MethodPost, "/admin/analysts", req)
+}
+
+// Analysts lists principals.
+func (c *Client) Analysts(ctx context.Context) ([]ledger.AnalystInfo, error) {
+	return do[[]ledger.AnalystInfo](ctx, c, http.MethodGet, "/admin/analysts", nil)
+}
+
+// SetAnalystDisabled disables (revokes) or re-enables an analyst.
+func (c *Client) SetAnalystDisabled(ctx context.Context, id string, disabled bool) (ledger.AnalystInfo, error) {
+	verb := "enable"
+	if disabled {
+		verb = "disable"
+	}
+	return do[ledger.AnalystInfo](ctx, c, http.MethodPost, "/admin/analysts/"+url.PathEscape(id)+"/"+verb, nil)
+}
+
+// SetBudget grants an (analyst, dataset) ε budget.
+func (c *Client) SetBudget(ctx context.Context, req BudgetGrantRequest) (ledger.AccountInfo, error) {
+	return do[ledger.AccountInfo](ctx, c, http.MethodPost, "/admin/budgets", req)
+}
+
+// Budgets lists every touched ledger account.
+func (c *Client) Budgets(ctx context.Context) ([]ledger.AccountInfo, error) {
+	return do[[]ledger.AccountInfo](ctx, c, http.MethodGet, "/admin/budgets", nil)
+}
+
+// Spend fetches the operator audit view of cumulative ε leakage.
+func (c *Client) Spend(ctx context.Context) (SpendReport, error) {
+	return do[SpendReport](ctx, c, http.MethodGet, "/admin/spend", nil)
+}
+
 // do sends one JSON round trip and decodes the answer or the error body.
-func do[T any](c *Client, method, path string, body any) (T, error) {
+func do[T any](ctx context.Context, c *Client, method, path string, body any) (T, error) {
 	var zero T
+	if c.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
+	}
 	var rd io.Reader
 	if body != nil {
 		buf, err := json.Marshal(body)
@@ -181,12 +271,15 @@ func do[T any](c *Client, method, path string, body any) (T, error) {
 		}
 		rd = bytes.NewReader(buf)
 	}
-	req, err := http.NewRequest(method, c.base+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
 		return zero, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {

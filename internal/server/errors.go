@@ -6,6 +6,7 @@ import (
 	"net/http"
 
 	"osdp/internal/core"
+	"osdp/internal/ledger"
 )
 
 // Sentinel errors classifying failures; the HTTP layer maps them to
@@ -18,8 +19,16 @@ var (
 	ErrNotFound = errors.New("server: not found")
 	// ErrConflict marks duplicate registrations.
 	ErrConflict = errors.New("server: conflict")
-	// ErrTooManySessions marks the MaxSessions cap.
+	// ErrTooManySessions marks the MaxSessions cap and the per-analyst
+	// session cap.
 	ErrTooManySessions = errors.New("server: too many sessions")
+	// ErrUnauthorized marks requests with missing or unknown credentials
+	// (401: who are you?).
+	ErrUnauthorized = errors.New("server: unauthorized")
+	// ErrForbidden marks authenticated requests that are not allowed to
+	// touch the resource: disabled analysts, another analyst's session,
+	// or a bad admin token (403: you may not).
+	ErrForbidden = errors.New("server: forbidden")
 )
 
 func badf(format string, args ...any) error {
@@ -34,7 +43,11 @@ func statusOf(err error) int {
 	switch {
 	case errors.Is(err, ErrBadRequest):
 		return http.StatusBadRequest
-	case errors.Is(err, ErrNotFound):
+	case errors.Is(err, ErrUnauthorized), errors.Is(err, ledger.ErrBadKey):
+		return http.StatusUnauthorized
+	case errors.Is(err, ErrForbidden), errors.Is(err, ledger.ErrDisabled):
+		return http.StatusForbidden
+	case errors.Is(err, ErrNotFound), errors.Is(err, ledger.ErrUnknownAnalyst):
 		return http.StatusNotFound
 	case errors.Is(err, ErrConflict):
 		return http.StatusConflict
@@ -44,6 +57,10 @@ func statusOf(err error) int {
 		return http.StatusPaymentRequired
 	case errors.Is(err, core.ErrEmptySample):
 		return http.StatusConflict
+	case errors.Is(err, ledger.ErrClosed):
+		// The control plane is gone (shutdown drain): a server-side,
+		// retriable condition — not the client's fault.
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
 	}

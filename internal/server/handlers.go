@@ -13,7 +13,8 @@ const maxBodyBytes = 64 << 20
 
 // Handler returns the HTTP API:
 //
-//	GET    /v1/healthz              liveness + session count
+//	GET    /healthz                 liveness (also GET /v1/healthz)
+//	GET    /stats                   -> StatsResponse (coarse aggregates)
 //	POST   /v1/datasets             RegisterDatasetRequest  -> DatasetInfo
 //	GET    /v1/datasets             -> []DatasetInfo
 //	GET    /v1/datasets/{name}      -> DatasetInfo
@@ -22,48 +23,59 @@ const maxBodyBytes = 64 << 20
 //	DELETE /v1/sessions/{id}        -> SessionInfo (final state)
 //	POST   /v1/sessions/{id}/query  QueryRequest            -> QueryResponse
 //
+// plus the /admin control plane (see adminRoutes). With Config.Ledger
+// set, every /v1 route requires an analyst bearer key; /healthz and
+// /stats stay open.
+//
 // Errors are JSON ErrorResponse bodies with a meaningful status: 400 for
-// malformed requests, 402 when the ε budget is exhausted, 404 for unknown
-// ids, 409 for conflicts and empty quantile samples, 429 at the session
+// malformed requests, 401/403 for missing/forbidden credentials, 402
+// when the ε budget (session or ledger) is exhausted, 404 for unknown
+// ids, 409 for conflicts and empty quantile samples, 429 at a session
 // cap.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+	healthz := func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "sessions": s.SessionCount()})
+	}
+	mux.HandleFunc("GET /healthz", healthz)
+	mux.HandleFunc("GET /v1/healthz", healthz) // legacy path
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
 	})
-	mux.HandleFunc("POST /v1/datasets", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/datasets", s.withAnalyst(func(w http.ResponseWriter, r *http.Request, _ string) {
 		var req RegisterDatasetRequest
 		if !readJSON(w, r, &req) {
 			return
 		}
 		respond(w, http.StatusCreated)(s.RegisterDataset(req))
-	})
-	mux.HandleFunc("GET /v1/datasets", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("GET /v1/datasets", s.withAnalyst(func(w http.ResponseWriter, r *http.Request, _ string) {
 		writeJSON(w, http.StatusOK, s.Datasets())
-	})
-	mux.HandleFunc("GET /v1/datasets/{name}", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("GET /v1/datasets/{name}", s.withAnalyst(func(w http.ResponseWriter, r *http.Request, _ string) {
 		respond(w, http.StatusOK)(s.DatasetInfo(r.PathValue("name")))
-	})
-	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("POST /v1/sessions", s.withAnalyst(func(w http.ResponseWriter, r *http.Request, analyst string) {
 		var req OpenSessionRequest
 		if !readJSON(w, r, &req) {
 			return
 		}
-		respond(w, http.StatusCreated)(s.OpenSession(req))
-	})
-	mux.HandleFunc("GET /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
-		respond(w, http.StatusOK)(s.SessionInfo(r.PathValue("id")))
-	})
-	mux.HandleFunc("DELETE /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
-		respond(w, http.StatusOK)(s.CloseSession(r.PathValue("id")))
-	})
-	mux.HandleFunc("POST /v1/sessions/{id}/query", func(w http.ResponseWriter, r *http.Request) {
+		respond(w, http.StatusCreated)(s.OpenSession(analyst, req))
+	}))
+	mux.HandleFunc("GET /v1/sessions/{id}", s.withAnalyst(func(w http.ResponseWriter, r *http.Request, analyst string) {
+		respond(w, http.StatusOK)(s.SessionInfo(analyst, r.PathValue("id")))
+	}))
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.withAnalyst(func(w http.ResponseWriter, r *http.Request, analyst string) {
+		respond(w, http.StatusOK)(s.CloseSession(analyst, r.PathValue("id")))
+	}))
+	mux.HandleFunc("POST /v1/sessions/{id}/query", s.withAnalyst(func(w http.ResponseWriter, r *http.Request, analyst string) {
 		var req QueryRequest
 		if !readJSON(w, r, &req) {
 			return
 		}
-		respond(w, http.StatusOK)(s.Query(r.PathValue("id"), req))
-	})
+		respond(w, http.StatusOK)(s.Query(analyst, r.PathValue("id"), req))
+	}))
+	s.adminRoutes(mux)
 	return mux
 }
 

@@ -1,0 +1,493 @@
+package server
+
+import (
+	"errors"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"osdp/internal/core"
+	"osdp/internal/dataset"
+	"osdp/internal/ledger"
+)
+
+const adminToken = "test-admin-token"
+
+// newLedgerServer spins up a full HTTP server backed by a ledger opened
+// over dir (in-memory when dir is ""). It returns the unauthenticated
+// base client; callers mint analysts via the admin view.
+func newLedgerServer(t *testing.T, dir string, lcfg ledger.Config, cfg Config) (*Client, *Server) {
+	t.Helper()
+	lcfg.Dir = dir
+	led, err := ledger.Open(lcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Ledger = led
+	cfg.AdminToken = adminToken
+	cfg.AllowSeededSessions = true
+	srv := New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close(); led.Close() })
+	return NewClient(ts.URL, ts.Client()), srv
+}
+
+func registerPeople(t *testing.T, srv *Server, rows int) {
+	t.Helper()
+	tbl, err := dataset.ReadCSV(strings.NewReader(peopleCSV(rows)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := CompilePolicy(testPolicy(), tbl.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.RegisterTable("people", tbl, p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// mintAnalyst creates a principal over the wire and returns an
+// authenticated client view plus the analyst id.
+func mintAnalyst(t *testing.T, c *Client, name string, sessionCap int) (*Client, string) {
+	t.Helper()
+	created, err := c.WithToken(adminToken).CreateAnalyst(ctx, CreateAnalystRequest{Name: name, SessionCap: sessionCap})
+	if err != nil {
+		t.Fatalf("create analyst: %v", err)
+	}
+	if created.Key == "" || created.ID == "" {
+		t.Fatalf("analyst created without key or id: %+v", created)
+	}
+	return c.WithToken(created.Key), created.ID
+}
+
+// TestLedgerCrossSessionComposition is the PR's acceptance test: one
+// analyst opening N sessions over one dataset cannot spend more than
+// the ledger budget IN TOTAL, and after a server restart the replayed
+// ledger still refuses the over-budget query.
+func TestLedgerCrossSessionComposition(t *testing.T) {
+	dir := t.TempDir()
+	c, srv := newLedgerServer(t, dir, ledger.Config{DefaultBudget: 1.0}, Config{})
+	registerPeople(t, srv, 200)
+	ac, analyst := mintAnalyst(t, c, "alice", 0)
+
+	// N sessions, each with UNLIMITED session budget: only the ledger
+	// binds. 3 charges of 0.3 fit in 1.0; the 4th must be refused no
+	// matter which session carries it.
+	const n = 3
+	sessions := make([]*SessionClient, n)
+	for i := range sessions {
+		sc, err := ac.OpenSession(ctx, "people", 0, seed(int64(i+1)))
+		if err != nil {
+			t.Fatalf("open session %d: %v", i, err)
+		}
+		sessions[i] = sc
+	}
+	for i, sc := range sessions {
+		if _, err := sc.Count(ctx, 0.3, nil); err != nil {
+			t.Fatalf("query %d within ledger budget: %v", i, err)
+		}
+	}
+	// Every session is individually unlimited, but the ledger account is
+	// at 0.9/1.0: one more 0.3 charge must fail on EVERY session, with
+	// the budget sentinel over the wire.
+	for i, sc := range sessions {
+		if _, err := sc.Count(ctx, 0.3, nil); !errors.Is(err, core.ErrBudgetExceeded) {
+			t.Fatalf("session %d: cross-session over-spend got %v, want ErrBudgetExceeded", i, err)
+		}
+	}
+	// A FRESH session is no escape hatch either.
+	fresh, err := ac.OpenSession(ctx, "people", 0, seed(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fresh.Count(ctx, 0.3, nil); !errors.Is(err, core.ErrBudgetExceeded) {
+		t.Fatalf("fresh session laundered budget: got %v, want ErrBudgetExceeded", err)
+	}
+	// The remaining 0.1 is still spendable — the refusals above must not
+	// have burned anything.
+	if _, err := fresh.Count(ctx, 0.1, nil); err != nil {
+		t.Fatalf("spending the remainder: %v", err)
+	}
+
+	st, err := ac.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.LedgerEnabled || !st.LedgerDurable || math.Abs(st.SpentEps-1.0) > 1e-9 {
+		t.Fatalf("stats %+v, want durable ledger with 1.0 spent", st)
+	}
+
+	// ---- Restart the server mid-transcript. ----
+	// Simulate process death: drop the serving state and the live ledger
+	// handle, then reopen everything from disk.
+	srv.Close()
+	if err := srv.cfg.Ledger.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c2, srv2 := newLedgerServer(t, dir, ledger.Config{DefaultBudget: 1.0}, Config{})
+	registerPeople(t, srv2, 200)
+
+	// The analyst's identity replays from the WAL: the ORIGINAL key must
+	// still authenticate against the reopened ledger.
+	sc, err := acReusing(t, c2, ac).OpenSession(ctx, "people", 0, seed(7))
+	if err != nil {
+		t.Fatalf("open session after restart: %v", err)
+	}
+	// The account replayed at 1.0/1.0 spent: the (N+1)th over-budget
+	// query is refused by the REPLAYED ledger.
+	if _, err := sc.Count(ctx, 0.05, nil); !errors.Is(err, core.ErrBudgetExceeded) {
+		t.Fatalf("restart forgot spent budget: got %v, want ErrBudgetExceeded", err)
+	}
+	// And the spend survived exactly.
+	report, err := c2.WithToken(adminToken).Spend(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(report.TotalSpent-1.0) > 1e-9 {
+		t.Fatalf("replayed total spent %g, want 1.0", report.TotalSpent)
+	}
+	if len(report.Accounts) != 1 || report.Accounts[0].Analyst != analyst {
+		t.Fatalf("replayed accounts %+v", report.Accounts)
+	}
+}
+
+// acReusing rebuilds an authenticated view on a NEW base client using
+// the token carried by an existing authenticated client.
+func acReusing(t *testing.T, base *Client, authed *Client) *Client {
+	t.Helper()
+	if authed.token == "" {
+		t.Fatal("authed client has no token")
+	}
+	return base.WithToken(authed.token)
+}
+
+// TestAuthTypedErrors pins every credential failure class over the wire.
+func TestAuthTypedErrors(t *testing.T) {
+	c, srv := newLedgerServer(t, "", ledger.Config{DefaultBudget: 5}, Config{})
+	registerPeople(t, srv, 50)
+	ac, analystID := mintAnalyst(t, c, "alice", 0)
+
+	// Unauthenticated and wrong-token /v1 requests: 401.
+	if _, err := c.Datasets(ctx); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("no token: got %v, want ErrUnauthorized", err)
+	}
+	if _, err := c.WithToken("osdp_wrong").OpenSession(ctx, "people", 1, nil); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("wrong token: got %v, want ErrUnauthorized", err)
+	}
+	// The admin token is NOT an analyst key.
+	if _, err := c.WithToken(adminToken).Datasets(ctx); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("admin token on /v1: got %v, want ErrUnauthorized", err)
+	}
+
+	// Admin plane: analyst keys and garbage are 403; no token is 401.
+	if _, err := ac.Analysts(ctx); !errors.Is(err, ErrForbidden) {
+		t.Fatalf("analyst key on /admin: got %v, want ErrForbidden", err)
+	}
+	if _, err := c.Analysts(ctx); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("no token on /admin: got %v, want ErrUnauthorized", err)
+	}
+
+	// Session ownership: analyst B cannot see, query, or close A's
+	// session.
+	sc, err := ac.OpenSession(ctx, "people", 1, seed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, _ := mintAnalyst(t, c, "bob", 0)
+	if _, err := bc.Session(sc.ID()).Info(ctx); !errors.Is(err, ErrForbidden) {
+		t.Fatalf("cross-analyst info: got %v, want ErrForbidden", err)
+	}
+	if _, err := bc.Session(sc.ID()).Count(ctx, 0.1, nil); !errors.Is(err, ErrForbidden) {
+		t.Fatalf("cross-analyst query: got %v, want ErrForbidden", err)
+	}
+	if _, err := bc.Session(sc.ID()).Close(ctx); !errors.Is(err, ErrForbidden) {
+		t.Fatalf("cross-analyst close: got %v, want ErrForbidden", err)
+	}
+
+	// Disabling revokes access immediately (403), re-enabling restores.
+	admin := c.WithToken(adminToken)
+	if _, err := admin.SetAnalystDisabled(ctx, analystID, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ac.Datasets(ctx); !errors.Is(err, ErrForbidden) {
+		t.Fatalf("disabled analyst: got %v, want ErrForbidden", err)
+	}
+	if _, err := admin.SetAnalystDisabled(ctx, analystID, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ac.Datasets(ctx); err != nil {
+		t.Fatalf("re-enabled analyst: %v", err)
+	}
+
+	// Unknown analyst id on admin ops: 404.
+	if _, err := admin.SetAnalystDisabled(ctx, "a-nope", true); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("disable unknown: got %v, want ErrNotFound", err)
+	}
+	if _, err := admin.SetBudget(ctx, BudgetGrantRequest{Analyst: "a-nope", Dataset: "people", Budget: 1}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("grant to unknown: got %v, want ErrNotFound", err)
+	}
+
+	// /healthz and /stats need no credentials even in ledger mode.
+	if err := c.Healthz(ctx); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	if _, err := c.Stats(ctx); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+}
+
+// TestAdminBudgetGrants exercises explicit grants end to end: a grant
+// overrides the default budget, and lowering below spend freezes the
+// account without erasing it.
+func TestAdminBudgetGrants(t *testing.T) {
+	c, srv := newLedgerServer(t, "", ledger.Config{DefaultBudget: 10}, Config{})
+	registerPeople(t, srv, 50)
+	ac, analystID := mintAnalyst(t, c, "alice", 0)
+	admin := c.WithToken(adminToken)
+
+	acct, err := admin.SetBudget(ctx, BudgetGrantRequest{Analyst: analystID, Dataset: "people", Budget: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acct.Budget != 0.5 {
+		t.Fatalf("granted budget %g, want 0.5", acct.Budget)
+	}
+
+	sc, err := ac.OpenSession(ctx, "people", 0, seed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Count(ctx, 0.4, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Count(ctx, 0.2, nil); !errors.Is(err, core.ErrBudgetExceeded) {
+		t.Fatalf("grant not enforced: got %v, want ErrBudgetExceeded", err)
+	}
+
+	// Lower below spend: frozen, history intact.
+	if _, err := admin.SetBudget(ctx, BudgetGrantRequest{Analyst: analystID, Dataset: "people", Budget: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	budgets, err := admin.Budgets(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(budgets) != 1 || math.Abs(budgets[0].Spent-0.4) > 1e-12 || budgets[0].Remaining != 0 {
+		t.Fatalf("frozen account %+v", budgets)
+	}
+	if _, err := sc.Count(ctx, 0.05, nil); !errors.Is(err, core.ErrBudgetExceeded) {
+		t.Fatalf("frozen account accepted a charge: %v", err)
+	}
+}
+
+// TestPerAnalystSessionCap checks the cap binds per analyst, closing a
+// session frees its slot, and other analysts are unaffected.
+func TestPerAnalystSessionCap(t *testing.T) {
+	c, srv := newLedgerServer(t, "", ledger.Config{DefaultBudget: 10}, Config{MaxSessionsPerAnalyst: 2})
+	registerPeople(t, srv, 50)
+	ac, _ := mintAnalyst(t, c, "alice", 0)
+	bc, _ := mintAnalyst(t, c, "bob", 0)
+
+	s1, err := ac.OpenSession(ctx, "people", 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ac.OpenSession(ctx, "people", 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ac.OpenSession(ctx, "people", 1, nil); !errors.Is(err, ErrTooManySessions) {
+		t.Fatalf("cap not enforced: got %v, want ErrTooManySessions", err)
+	}
+	// Bob has his own cap.
+	if _, err := bc.OpenSession(ctx, "people", 1, nil); err != nil {
+		t.Fatalf("bob blocked by alice's cap: %v", err)
+	}
+	// Closing frees a slot.
+	if _, err := s1.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ac.OpenSession(ctx, "people", 1, nil); err != nil {
+		t.Fatalf("slot not freed by close: %v", err)
+	}
+
+	// A per-analyst override beats the server default.
+	cc, _ := mintAnalyst(t, c, "carol", 1)
+	if _, err := cc.OpenSession(ctx, "people", 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cc.OpenSession(ctx, "people", 1, nil); !errors.Is(err, ErrTooManySessions) {
+		t.Fatalf("per-analyst cap override: got %v, want ErrTooManySessions", err)
+	}
+}
+
+// TestLedgerRefundOnSessionBudgetExhaustion pins the pre-noise refund
+// path: when the SESSION accountant rejects a charge the ledger already
+// admitted, the reservation is returned — the analyst is not billed for
+// noise that was never drawn.
+func TestLedgerRefundOnSessionBudgetExhaustion(t *testing.T) {
+	c, srv := newLedgerServer(t, "", ledger.Config{DefaultBudget: 10}, Config{})
+	registerPeople(t, srv, 50)
+	ac, _ := mintAnalyst(t, c, "alice", 0)
+	admin := c.WithToken(adminToken)
+
+	// Session budget 0.5 binds before the ledger's 10.
+	sc, err := ac.OpenSession(ctx, "people", 0.5, seed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Count(ctx, 0.4, nil); err != nil {
+		t.Fatal(err)
+	}
+	// 0.4 + 0.4 exceeds the SESSION budget: refused, and the ledger must
+	// show only the first 0.4 — the second charge was refunded.
+	if _, err := sc.Count(ctx, 0.4, nil); !errors.Is(err, core.ErrBudgetExceeded) {
+		t.Fatalf("session budget: got %v, want ErrBudgetExceeded", err)
+	}
+	report, err := admin.Spend(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(report.TotalSpent-0.4) > 1e-12 {
+		t.Fatalf("ledger shows %g spent, want 0.4 (pre-noise failure must refund)", report.TotalSpent)
+	}
+
+	// An empty quantile sample draws real randomness: NO refund.
+	vaultCSV := peopleCSV(30)
+	tbl, err := dataset.ReadCSV(strings.NewReader(vaultCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.RegisterTable("vault", tbl, dataset.AllSensitive()); err != nil {
+		t.Fatal(err)
+	}
+	vc, err := ac.OpenSession(ctx, "vault", 0, seed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vc.Quantile(ctx, 0.3, "Age", 0.5); !errors.Is(err, core.ErrEmptySample) {
+		t.Fatalf("all-sensitive quantile: got %v, want ErrEmptySample", err)
+	}
+	report, err = admin.Spend(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(report.TotalSpent-(0.4+0.3)) > 1e-12 {
+		t.Fatalf("ledger shows %g spent, want 0.7 (empty sample must NOT refund)", report.TotalSpent)
+	}
+}
+
+// TestTTLEvictionRacingInflightQuery is the satellite race test: TTL
+// eviction sweeps concurrently with in-flight queries. The invariant —
+// checked under -race — is that the ledger's spend equals exactly
+// accepted-queries × ε (an evicted session fails closed with NotFound
+// and never produces a half-charged answer), and post-eviction queries
+// spend nothing.
+func TestTTLEvictionRacingInflightQuery(t *testing.T) {
+	led, err := ledger.Open(ledger.Config{DefaultBudget: 0}) // unlimited: only counting matters
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer led.Close()
+	info, _, err := led.CreateAnalyst("alice", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	now := time.Unix(1000, 0)
+	var clockMu sync.Mutex
+	clock := func() time.Time { clockMu.Lock(); defer clockMu.Unlock(); return now }
+	advance := func(d time.Duration) { clockMu.Lock(); now = now.Add(d); clockMu.Unlock() }
+
+	srv := New(Config{
+		SessionTTL:          time.Minute,
+		AllowSeededSessions: true,
+		Ledger:              led,
+		now:                 clock,
+	})
+	defer srv.Close()
+	registerPeople(t, srv, 100)
+
+	const (
+		workers = 8
+		rounds  = 20
+		eps     = 0.001
+	)
+	var accepted, notFound atomic.Int64
+	for round := 0; round < 4; round++ {
+		si, err := srv.OpenSession(info.ID, OpenSessionRequest{Dataset: "people", Budget: 0, Seed: seed(int64(round + 1))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A few queries land before the race starts, so the charge path
+		// is exercised even when the sweeper wins instantly.
+		for i := 0; i < 3; i++ {
+			if _, err := srv.Query(info.ID, si.ID, QueryRequest{Kind: KindCount, Eps: eps}); err != nil {
+				t.Fatal(err)
+			}
+			accepted.Add(1)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < rounds; i++ {
+					_, err := srv.Query(info.ID, si.ID, QueryRequest{Kind: KindCount, Eps: eps})
+					switch {
+					case err == nil:
+						accepted.Add(1)
+					case errors.Is(err, ErrNotFound):
+						// Evicted mid-stream: fail closed is correct.
+						notFound.Add(1)
+					default:
+						t.Errorf("unexpected query error: %v", err)
+					}
+				}
+			}()
+		}
+		// Race the TTL straight through the in-flight queries.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			advance(2 * time.Minute)
+			srv.Sweep()
+		}()
+		wg.Wait()
+
+		// The evicted session must be gone for good...
+		if _, err := srv.SessionInfo(info.ID, si.ID); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("round %d: evicted session still visible: %v", round, err)
+		}
+		// ...and every query either charged exactly once (accepted) or
+		// charged nothing (notFound): ledger spend == accepted × eps.
+		acct, err := led.Account(info.ID, "people")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := float64(accepted.Load()) * eps; math.Abs(acct.Spent-want) > 1e-9 {
+			t.Fatalf("round %d: ledger spent %g, accepted %d × %g = %g — double- or under-spend",
+				round, acct.Spent, accepted.Load(), eps, want)
+		}
+	}
+	if accepted.Load() == 0 {
+		t.Fatal("no query ever succeeded; the race never exercised the charge path")
+	}
+	t.Logf("accepted %d, failed-closed %d", accepted.Load(), notFound.Load())
+}
+
+// TestLegacyModeRejectsAnalystParam guards the no-ledger path: passing
+// an analyst id to a ledger-less server is a programming error, not a
+// silent no-op.
+func TestLegacyModeRejectsAnalystParam(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Close()
+	registerPeople(t, srv, 10)
+	if _, err := srv.OpenSession("a-123", OpenSessionRequest{Dataset: "people", Budget: 1}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("analyst on ledger-less server: got %v, want ErrBadRequest", err)
+	}
+}

@@ -1,20 +1,32 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
+	"osdp/internal/core"
 	"osdp/internal/dataset"
 	"osdp/internal/histogram"
 )
 
-// Query answers one query against an open session. Validation happens
-// before execution so malformed requests never charge the budget; once a
-// charge succeeds the response always carries the post-charge budget
-// state. Queries on the same session may run concurrently — the budget
-// accountant and the locked noise source serialise the shared state.
-func (s *Server) Query(id string, req QueryRequest) (QueryResponse, error) {
-	se, d, err := s.lookup(id)
+// Query answers one query against an open session on behalf of analyst.
+// Validation and compilation happen before ANY budget is touched, so
+// malformed requests never charge; with a ledger configured the charge
+// order is then
+//
+//	1. charge the analyst's durable (analyst, dataset) ledger account
+//	2. charge the session accountant and draw noise (core.Session)
+//
+// and a failure at step 2 that provably released no noise (the session
+// accountant rejected the charge) refunds step 1. Failures AFTER noise
+// — an empty quantile sample, CSV encoding of a released sample — never
+// refund: the randomness was observed, the ε is spent (Theorem 3.3).
+// Once a charge succeeds the response always carries the post-charge
+// budget state. Queries on the same session may run concurrently — the
+// accountants and the locked noise source serialise the shared state.
+func (s *Server) Query(analyst, id string, req QueryRequest) (QueryResponse, error) {
+	se, d, err := s.lookup(analyst, id)
 	if err != nil {
 		return QueryResponse{}, err
 	}
@@ -23,28 +35,36 @@ func (s *Server) Query(id string, req QueryRequest) (QueryResponse, error) {
 		return resp, badf("eps must be at least %g, got %g", MinQueryEps, req.Eps)
 	}
 
+	// Compile and validate first; run executes the mechanism (charging
+	// the session accountant and drawing noise) only after the ledger
+	// has admitted the charge.
+	var run func() error
 	switch req.Kind {
 	case KindHistogram, KindIntHistogram:
 		q, err := s.compileHistogramQuery(req, d)
 		if err != nil {
 			return resp, err
 		}
-		var h *histogram.Histogram
-		if req.Kind == KindHistogram {
-			h, err = se.sess.Histogram(q, req.Eps)
-		} else {
-			h, err = se.sess.IntHistogram(q, req.Eps)
-		}
-		if err != nil {
-			return resp, err
-		}
-		resp.Counts = h.Counts()
-		resp.DimLabels = make([][]string, len(q.Dims))
-		for i, dom := range q.Dims {
-			resp.DimLabels[i] = dom.Labels()
-		}
-		if len(q.Dims) == 1 {
-			resp.Labels = resp.DimLabels[0]
+		run = func() error {
+			var h *histogram.Histogram
+			var err error
+			if req.Kind == KindHistogram {
+				h, err = se.sess.Histogram(q, req.Eps)
+			} else {
+				h, err = se.sess.IntHistogram(q, req.Eps)
+			}
+			if err != nil {
+				return err
+			}
+			resp.Counts = h.Counts()
+			resp.DimLabels = make([][]string, len(q.Dims))
+			for i, dom := range q.Dims {
+				resp.DimLabels[i] = dom.Labels()
+			}
+			if len(q.Dims) == 1 {
+				resp.Labels = resp.DimLabels[0]
+			}
+			return nil
 		}
 
 	case KindCount:
@@ -55,11 +75,14 @@ func (s *Server) Query(id string, req QueryRequest) (QueryResponse, error) {
 				return resp, fmt.Errorf("%w: %v", ErrBadRequest, err)
 			}
 		}
-		c, err := se.sess.Count(pred, req.Eps)
-		if err != nil {
-			return resp, err
+		run = func() error {
+			c, err := se.sess.Count(pred, req.Eps)
+			if err != nil {
+				return err
+			}
+			resp.Value = &c
+			return nil
 		}
-		resp.Value = &c
 
 	case KindQuantile:
 		kind, ok := d.table.Schema().KindOf(req.Attr)
@@ -72,25 +95,48 @@ func (s *Server) Query(id string, req QueryRequest) (QueryResponse, error) {
 		if req.Q < 0 || req.Q > 1 {
 			return resp, badf("q=%g outside [0, 1]", req.Q)
 		}
-		v, err := se.sess.Quantile(req.Attr, req.Q, req.Eps)
-		if err != nil {
-			return resp, err
+		run = func() error {
+			v, err := se.sess.Quantile(req.Attr, req.Q, req.Eps)
+			if err != nil {
+				return err
+			}
+			resp.Value = &v
+			return nil
 		}
-		resp.Value = &v
 
 	case KindSample:
-		t, err := se.sess.Sample(req.Eps)
-		if err != nil {
-			return resp, err
+		run = func() error {
+			t, err := se.sess.Sample(req.Eps)
+			if err != nil {
+				return err
+			}
+			var b strings.Builder
+			if err := dataset.WriteCSV(&b, t); err != nil {
+				return err
+			}
+			resp.SampleCSV = b.String()
+			return nil
 		}
-		var b strings.Builder
-		if err := dataset.WriteCSV(&b, t); err != nil {
-			return resp, err
-		}
-		resp.SampleCSV = b.String()
 
 	default:
 		return resp, badf("unknown query kind %q", req.Kind)
+	}
+
+	charge := core.Guarantee{Policy: d.policy, Epsilon: req.Eps}
+	if s.cfg.Ledger != nil {
+		if err := s.cfg.Ledger.Charge(se.analyst, se.dataset, charge); err != nil {
+			return resp, err
+		}
+	}
+	if err := run(); err != nil {
+		if s.cfg.Ledger != nil && errors.Is(err, core.ErrBudgetExceeded) {
+			// The session accountant rejected the charge before the
+			// mechanism ran: no noise was drawn, so the ledger
+			// reservation may be returned. A failed refund keeps the
+			// charge — the ledger only ever errs toward more spend.
+			_ = s.cfg.Ledger.Refund(se.analyst, se.dataset, charge)
+		}
+		return resp, err
 	}
 
 	resp.Budget = infoFor(se)

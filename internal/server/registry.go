@@ -12,6 +12,7 @@ import (
 
 	"osdp/internal/core"
 	"osdp/internal/dataset"
+	"osdp/internal/ledger"
 	"osdp/internal/noise"
 )
 
@@ -37,6 +38,22 @@ type Config struct {
 	// noise, voiding the OSDP guarantee. Leave this off in production;
 	// turn it on for reproducible tests and demos.
 	AllowSeededSessions bool
+	// Ledger, when set, turns on the privacy-budget control plane: every
+	// /v1 request must authenticate with an analyst API key, every
+	// ε-bearing query is charged to the analyst's durable per-dataset
+	// ledger account BEFORE any noise is drawn, and sessions are bound
+	// to the analyst that opened them. Without it the server runs in the
+	// legacy per-session-budget mode with no identity (composition
+	// across sessions unaccounted).
+	Ledger *ledger.Ledger
+	// AdminToken guards the /admin API (analyst creation, budget grants,
+	// spend inspection). Empty disables /admin entirely. It is a bearer
+	// token distinct from every analyst key.
+	AdminToken string
+	// MaxSessionsPerAnalyst caps one analyst's concurrently open
+	// sessions (0 = unlimited). An analyst's own SessionCap, when set,
+	// takes precedence. Only meaningful with Ledger.
+	MaxSessionsPerAnalyst int
 	// now is stubbed by tests; defaults to time.Now.
 	now func() time.Time
 }
@@ -54,10 +71,12 @@ type ds struct {
 }
 
 // session is one client's budgeted OSDP endpoint plus bookkeeping for
-// TTL eviction.
+// TTL eviction. analyst is the owning principal's id ("" when the
+// server runs without a ledger).
 type session struct {
 	id       string
 	dataset  string
+	analyst  string
 	sess     *core.Session
 	created  time.Time
 	lastUsed time.Time
@@ -71,9 +90,10 @@ type session struct {
 type Server struct {
 	cfg Config
 
-	mu       sync.Mutex
-	datasets map[string]*ds
-	sessions map[string]*session
+	mu         sync.Mutex
+	datasets   map[string]*ds
+	sessions   map[string]*session
+	perAnalyst map[string]int // live sessions per analyst id
 
 	janitorStop chan struct{}
 	janitorDone chan struct{}
@@ -88,9 +108,10 @@ func New(cfg Config) *Server {
 		cfg.now = time.Now
 	}
 	return &Server{
-		cfg:      cfg,
-		datasets: make(map[string]*ds),
-		sessions: make(map[string]*session),
+		cfg:        cfg,
+		datasets:   make(map[string]*ds),
+		sessions:   make(map[string]*session),
+		perAnalyst: make(map[string]int),
 	}
 }
 
@@ -127,6 +148,7 @@ func (s *Server) Close() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.sessions = make(map[string]*session)
+	s.perAnalyst = make(map[string]int)
 }
 
 // Sweep evicts every session idle longer than SessionTTL and returns how
@@ -145,11 +167,25 @@ func (s *Server) sweepLocked() int {
 	n := 0
 	for id, se := range s.sessions {
 		if se.lastUsed.Before(cutoff) {
-			delete(s.sessions, id)
+			s.dropSessionLocked(id, se)
 			n++
 		}
 	}
 	return n
+}
+
+// dropSessionLocked forgets a session and releases its slot in the
+// per-analyst count. Every eviction/close path goes through it so the
+// analyst cap can never leak slots.
+func (s *Server) dropSessionLocked(id string, se *session) {
+	delete(s.sessions, id)
+	if se.analyst != "" {
+		if n := s.perAnalyst[se.analyst] - 1; n > 0 {
+			s.perAnalyst[se.analyst] = n
+		} else {
+			delete(s.perAnalyst, se.analyst)
+		}
+	}
 }
 
 // RegisterTable registers an in-memory table under name. Used by
@@ -225,9 +261,15 @@ func datasetInfo(name string, d *ds) DatasetInfo {
 	}
 }
 
-// OpenSession opens a budgeted session over a registered dataset and
-// returns its info (including the fresh session id).
-func (s *Server) OpenSession(req OpenSessionRequest) (SessionInfo, error) {
+// OpenSession opens a budgeted session over a registered dataset for
+// the given analyst and returns its info (including the fresh session
+// id). analyst is the authenticated principal's id; pass "" only on a
+// server running without a ledger. Opening is free — ε is charged per
+// query — but counts against the analyst's session cap.
+func (s *Server) OpenSession(analyst string, req OpenSessionRequest) (SessionInfo, error) {
+	if err := s.checkAnalyst(analyst); err != nil {
+		return SessionInfo{}, err
+	}
 	// NaN slips past <, ==, and > alike, which would bypass both the
 	// cap and the unlimited-session ban below.
 	if math.IsNaN(req.Budget) || math.IsInf(req.Budget, 0) || req.Budget < 0 {
@@ -268,6 +310,14 @@ func (s *Server) OpenSession(req OpenSessionRequest) (SessionInfo, error) {
 	if s.cfg.MaxSessions > 0 && len(s.sessions) >= s.cfg.MaxSessions {
 		return SessionInfo{}, fmt.Errorf("%w: limit %d reached", ErrTooManySessions, s.cfg.MaxSessions)
 	}
+	if cap := s.analystSessionCap(analyst); cap > 0 && s.perAnalyst[analyst] >= cap {
+		// Abandoned-but-unswept sessions must not hold the analyst's
+		// cap any more than the global one.
+		s.sweepLocked()
+		if s.perAnalyst[analyst] >= cap {
+			return SessionInfo{}, fmt.Errorf("%w: analyst %s at its cap of %d concurrent sessions", ErrTooManySessions, analyst, cap)
+		}
+	}
 	id, err := newSessionID()
 	if err != nil {
 		return SessionInfo{}, err
@@ -276,6 +326,7 @@ func (s *Server) OpenSession(req OpenSessionRequest) (SessionInfo, error) {
 	se := &session{
 		id:      id,
 		dataset: req.Dataset,
+		analyst: analyst,
 		// Reuse the partition cached at registration: opening N
 		// sessions must not split the table N times.
 		sess:     core.NewSessionWithPartition(d.table, d.ns, d.policy, req.Budget, src),
@@ -283,21 +334,64 @@ func (s *Server) OpenSession(req OpenSessionRequest) (SessionInfo, error) {
 		lastUsed: now,
 	}
 	s.sessions[id] = se
+	if analyst != "" {
+		s.perAnalyst[analyst]++
+	}
 	return infoFor(se), nil
 }
 
-// lookup fetches a live session and its dataset, bumping lastUsed.
-// Expired sessions are evicted here even when no janitor runs.
-func (s *Server) lookup(id string) (*session, *ds, error) {
+// checkAnalyst validates the analyst/ledger pairing: ledger-backed
+// servers require a principal on every session operation, ledger-less
+// servers forbid one (there is nothing to charge).
+func (s *Server) checkAnalyst(analyst string) error {
+	if s.cfg.Ledger == nil {
+		if analyst != "" {
+			return fmt.Errorf("%w: server has no ledger; analyst identity is not accepted", ErrBadRequest)
+		}
+		return nil
+	}
+	if analyst == "" {
+		return fmt.Errorf("%w: missing analyst identity", ErrUnauthorized)
+	}
+	return nil
+}
+
+// analystSessionCap resolves the effective concurrent-session cap for
+// an analyst: their own SessionCap when set, else the server default,
+// else the ledger default. 0 = unlimited. Callers hold s.mu.
+func (s *Server) analystSessionCap(analyst string) int {
+	if analyst == "" || s.cfg.Ledger == nil {
+		return 0
+	}
+	if info, err := s.cfg.Ledger.Analyst(analyst); err == nil && info.SessionCap > 0 {
+		return info.SessionCap
+	}
+	if s.cfg.MaxSessionsPerAnalyst > 0 {
+		return s.cfg.MaxSessionsPerAnalyst
+	}
+	return s.cfg.Ledger.DefaultSessionCap()
+}
+
+// lookup fetches a live session and its dataset, bumping lastUsed and
+// enforcing ownership: a session is only visible to the analyst that
+// opened it. Expired sessions are evicted here even when no janitor
+// runs — an evicted session fails closed with ErrNotFound.
+func (s *Server) lookup(analyst, id string) (*session, *ds, error) {
+	if err := s.checkAnalyst(analyst); err != nil {
+		return nil, nil, err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	se, ok := s.sessions[id]
 	if !ok {
 		return nil, nil, fmt.Errorf("%w: unknown session %q", ErrNotFound, id)
 	}
+	if se.analyst != analyst {
+		return nil, nil, fmt.Errorf("%w: session %q belongs to another analyst", ErrForbidden, id)
+	}
 	now := s.cfg.now()
 	if s.cfg.SessionTTL > 0 && se.lastUsed.Before(now.Add(-s.cfg.SessionTTL)) {
-		delete(s.sessions, id)
+		s.dropSessionLocked(id, se)
 		return nil, nil, fmt.Errorf("%w: session %q expired", ErrNotFound, id)
 	}
 	se.lastUsed = now
@@ -308,9 +402,9 @@ func (s *Server) lookup(id string) (*session, *ds, error) {
 	return se, d, nil
 }
 
-// SessionInfo reports a session's budget state.
-func (s *Server) SessionInfo(id string) (SessionInfo, error) {
-	se, _, err := s.lookup(id)
+// SessionInfo reports a session's budget state to its owning analyst.
+func (s *Server) SessionInfo(analyst, id string) (SessionInfo, error) {
+	se, _, err := s.lookup(analyst, id)
 	if err != nil {
 		return SessionInfo{}, err
 	}
@@ -324,14 +418,20 @@ func (s *Server) SessionInfo(id string) (SessionInfo, error) {
 // the returned state can trail the transcript by those in-flight charges;
 // audits needing exactness must quiesce clients before closing. Closing
 // an unknown id is an error so clients notice double-closes.
-func (s *Server) CloseSession(id string) (SessionInfo, error) {
+func (s *Server) CloseSession(analyst, id string) (SessionInfo, error) {
+	if err := s.checkAnalyst(analyst); err != nil {
+		return SessionInfo{}, err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	se, ok := s.sessions[id]
 	if !ok {
 		return SessionInfo{}, fmt.Errorf("%w: unknown session %q", ErrNotFound, id)
 	}
-	delete(s.sessions, id)
+	if se.analyst != analyst {
+		return SessionInfo{}, fmt.Errorf("%w: session %q belongs to another analyst", ErrForbidden, id)
+	}
+	s.dropSessionLocked(id, se)
 	return infoFor(se), nil
 }
 
@@ -356,12 +456,33 @@ func infoFor(se *session) SessionInfo {
 	return SessionInfo{
 		ID:        se.id,
 		Dataset:   se.dataset,
+		Analyst:   se.analyst,
 		Budget:    budget,
 		Spent:     spent,
 		Remaining: remaining,
 		Guarantee: composite.String(),
 		Policy:    se.sess.Policy().String(),
 	}
+}
+
+// Stats reports coarse service health: registry sizes plus, when the
+// control plane is on, ledger aggregates. Everything here is an
+// aggregate an operator dashboard can poll — no per-analyst detail (the
+// admin API has that).
+func (s *Server) Stats() StatsResponse {
+	s.mu.Lock()
+	resp := StatsResponse{
+		Datasets: len(s.datasets),
+		Sessions: len(s.sessions),
+	}
+	s.mu.Unlock()
+	if l := s.cfg.Ledger; l != nil {
+		resp.LedgerEnabled = true
+		resp.LedgerDurable = l.Durable()
+		resp.Analysts, resp.Accounts = l.Counts()
+		resp.SpentEps = l.TotalSpent()
+	}
+	return resp
 }
 
 // validName reports whether a dataset name is safe to embed as a URL

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -14,6 +15,10 @@ import (
 	"osdp/internal/core"
 	"osdp/internal/dataset"
 )
+
+// ctx is shared by tests that don't exercise cancellation; the client
+// threads it into every request.
+var ctx = context.Background()
 
 // peopleCSV is a small typed dataset: minors and opted-out users are the
 // sensitive records under testPolicy.
@@ -55,7 +60,7 @@ func seed(n int64) *int64 { return &n }
 func TestEndToEndAllQueryKinds(t *testing.T) {
 	c := newTestClient(t, Config{})
 
-	info, err := c.RegisterDatasetCSV(RegisterDatasetRequest{
+	info, err := c.RegisterDatasetCSV(ctx, RegisterDatasetRequest{
 		Name: "people", CSV: peopleCSV(400), Policy: testPolicy(),
 	})
 	if err != nil {
@@ -65,13 +70,13 @@ func TestEndToEndAllQueryKinds(t *testing.T) {
 		t.Fatalf("unexpected dataset info: %+v", info)
 	}
 
-	sc, err := c.OpenSession("people", 5, seed(1))
+	sc, err := c.OpenSession(ctx, "people", 5, seed(1))
 	if err != nil {
 		t.Fatalf("open session: %v", err)
 	}
 
 	// histogram over derived categorical domain
-	h, err := sc.Histogram(0.5, nil, DomainSpec{Attr: "City"})
+	h, err := sc.Histogram(ctx, 0.5, nil, DomainSpec{Attr: "City"})
 	if err != nil {
 		t.Fatalf("histogram: %v", err)
 	}
@@ -84,7 +89,7 @@ func TestEndToEndAllQueryKinds(t *testing.T) {
 
 	// int-histogram over numeric buckets, with a condition
 	adults := &PredicateSpec{Op: "cmp", Attr: "Age", Cmp: ">=", Value: float64(18)}
-	ih, err := sc.IntHistogram(0.5, adults, DomainSpec{Attr: "Age", Lo: 0, Width: 20, Bins: 5})
+	ih, err := sc.IntHistogram(ctx, 0.5, adults, DomainSpec{Attr: "Age", Lo: 0, Width: 20, Bins: 5})
 	if err != nil {
 		t.Fatalf("int-histogram: %v", err)
 	}
@@ -99,7 +104,7 @@ func TestEndToEndAllQueryKinds(t *testing.T) {
 
 	// 2-D histogram over derived domains: counts flatten row-major and
 	// DimLabels tells the client what bins it paid for.
-	h2, err := sc.Histogram(0.5, nil, DomainSpec{Attr: "City"}, DomainSpec{Attr: "OptIn"})
+	h2, err := sc.Histogram(ctx, 0.5, nil, DomainSpec{Attr: "City"}, DomainSpec{Attr: "OptIn"})
 	if err != nil {
 		t.Fatalf("2-D histogram: %v", err)
 	}
@@ -114,7 +119,7 @@ func TestEndToEndAllQueryKinds(t *testing.T) {
 	}
 
 	// count
-	n, err := sc.Count(0.5, &PredicateSpec{Op: "cmp", Attr: "City", Cmp: "=", Value: "irvine"})
+	n, err := sc.Count(ctx, 0.5, &PredicateSpec{Op: "cmp", Attr: "City", Cmp: "=", Value: "irvine"})
 	if err != nil {
 		t.Fatalf("count: %v", err)
 	}
@@ -123,7 +128,7 @@ func TestEndToEndAllQueryKinds(t *testing.T) {
 	}
 
 	// quantile
-	med, err := sc.Quantile(1, "Age", 0.5)
+	med, err := sc.Quantile(ctx, 1, "Age", 0.5)
 	if err != nil {
 		t.Fatalf("quantile: %v", err)
 	}
@@ -132,7 +137,7 @@ func TestEndToEndAllQueryKinds(t *testing.T) {
 	}
 
 	// sample
-	sample, err := sc.Sample(1)
+	sample, err := sc.Sample(ctx, 1)
 	if err != nil {
 		t.Fatalf("sample: %v", err)
 	}
@@ -147,7 +152,7 @@ func TestEndToEndAllQueryKinds(t *testing.T) {
 		}
 	}
 
-	st, err := sc.Info()
+	st, err := sc.Info(ctx)
 	if err != nil {
 		t.Fatalf("info: %v", err)
 	}
@@ -159,10 +164,10 @@ func TestEndToEndAllQueryKinds(t *testing.T) {
 	}
 
 	// closing twice: second close is a 404
-	if _, err := sc.Close(); err != nil {
+	if _, err := sc.Close(ctx); err != nil {
 		t.Fatalf("close: %v", err)
 	}
-	if _, err := sc.Close(); !errors.Is(err, ErrNotFound) {
+	if _, err := sc.Close(ctx); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("double close: got %v, want ErrNotFound", err)
 	}
 }
@@ -174,7 +179,7 @@ func TestEndToEndAllQueryKinds(t *testing.T) {
 // registry locking.
 func TestConcurrentClientsSharedSession(t *testing.T) {
 	c := newTestClient(t, Config{})
-	if _, err := c.RegisterDatasetCSV(RegisterDatasetRequest{
+	if _, err := c.RegisterDatasetCSV(ctx, RegisterDatasetRequest{
 		Name: "people", CSV: peopleCSV(300), Policy: testPolicy(),
 	}); err != nil {
 		t.Fatalf("register: %v", err)
@@ -186,7 +191,7 @@ func TestConcurrentClientsSharedSession(t *testing.T) {
 		rounds  = 10
 		eps     = 0.05 // total demand 12*10*0.05 = 6.0 >> budget
 	)
-	owner, err := c.OpenSession("people", budget, seed(7))
+	owner, err := c.OpenSession(ctx, "people", budget, seed(7))
 	if err != nil {
 		t.Fatalf("open session: %v", err)
 	}
@@ -204,11 +209,11 @@ func TestConcurrentClientsSharedSession(t *testing.T) {
 				var err error
 				switch j % 3 {
 				case 0:
-					_, err = sc.Count(eps, nil)
+					_, err = sc.Count(ctx, eps, nil)
 				case 1:
-					_, err = sc.Histogram(eps, nil, DomainSpec{Attr: "City"})
+					_, err = sc.Histogram(ctx, eps, nil, DomainSpec{Attr: "City"})
 				default:
-					_, err = sc.IntHistogram(eps, nil, DomainSpec{Attr: "Age", Lo: 0, Width: 20, Bins: 5})
+					_, err = sc.IntHistogram(ctx, eps, nil, DomainSpec{Attr: "Age", Lo: 0, Width: 20, Bins: 5})
 				}
 				switch {
 				case err == nil:
@@ -224,7 +229,7 @@ func TestConcurrentClientsSharedSession(t *testing.T) {
 	}
 	wg.Wait()
 
-	st, err := owner.Info()
+	st, err := owner.Info(ctx)
 	if err != nil {
 		t.Fatalf("info: %v", err)
 	}
@@ -247,26 +252,26 @@ func TestConcurrentClientsSharedSession(t *testing.T) {
 // session's budget leaves another untouched.
 func TestIndependentSessionBudgets(t *testing.T) {
 	c := newTestClient(t, Config{})
-	if _, err := c.RegisterDatasetCSV(RegisterDatasetRequest{
+	if _, err := c.RegisterDatasetCSV(ctx, RegisterDatasetRequest{
 		Name: "people", CSV: peopleCSV(100), Policy: testPolicy(),
 	}); err != nil {
 		t.Fatalf("register: %v", err)
 	}
-	a, err := c.OpenSession("people", 1, seed(1))
+	a, err := c.OpenSession(ctx, "people", 1, seed(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := c.OpenSession("people", 1, seed(2))
+	b, err := c.OpenSession(ctx, "people", 1, seed(2))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := a.Count(1, nil); err != nil {
+	if _, err := a.Count(ctx, 1, nil); err != nil {
 		t.Fatalf("exhausting session a: %v", err)
 	}
-	if _, err := a.Count(0.1, nil); !errors.Is(err, core.ErrBudgetExceeded) {
+	if _, err := a.Count(ctx, 0.1, nil); !errors.Is(err, core.ErrBudgetExceeded) {
 		t.Fatalf("session a should be exhausted, got %v", err)
 	}
-	if _, err := b.Count(0.5, nil); err != nil {
+	if _, err := b.Count(ctx, 0.5, nil); err != nil {
 		t.Fatalf("session b should be unaffected: %v", err)
 	}
 }
@@ -276,21 +281,21 @@ func TestIndependentSessionBudgets(t *testing.T) {
 // zero records, the answer is 409/ErrEmptySample, and the charge stands.
 func TestQuantileEmptySampleOverWire(t *testing.T) {
 	c := newTestClient(t, Config{})
-	if _, err := c.RegisterDatasetCSV(RegisterDatasetRequest{
+	if _, err := c.RegisterDatasetCSV(ctx, RegisterDatasetRequest{
 		Name: "vault", CSV: peopleCSV(50),
 		Policy: PolicySpec{Name: "P_all", SensitiveWhen: PredicateSpec{Op: "true"}},
 	}); err != nil {
 		t.Fatalf("register: %v", err)
 	}
-	sc, err := c.OpenSession("vault", 2, seed(1))
+	sc, err := c.OpenSession(ctx, "vault", 2, seed(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = sc.Quantile(0.5, "Age", 0.5)
+	_, err = sc.Quantile(ctx, 0.5, "Age", 0.5)
 	if !errors.Is(err, core.ErrEmptySample) {
 		t.Fatalf("got %v, want ErrEmptySample", err)
 	}
-	st, err := sc.Info()
+	st, err := sc.Info(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,58 +308,58 @@ func TestQuantileEmptySampleOverWire(t *testing.T) {
 // sentinel through the wire.
 func TestErrorMapping(t *testing.T) {
 	c := newTestClient(t, Config{MaxSessions: 1})
-	if _, err := c.RegisterDatasetCSV(RegisterDatasetRequest{
+	if _, err := c.RegisterDatasetCSV(ctx, RegisterDatasetRequest{
 		Name: "people", CSV: peopleCSV(50), Policy: testPolicy(),
 	}); err != nil {
 		t.Fatalf("register: %v", err)
 	}
 
 	// duplicate dataset -> 409
-	if _, err := c.RegisterDatasetCSV(RegisterDatasetRequest{
+	if _, err := c.RegisterDatasetCSV(ctx, RegisterDatasetRequest{
 		Name: "people", CSV: peopleCSV(50), Policy: testPolicy(),
 	}); !errors.Is(err, ErrConflict) {
 		t.Fatalf("duplicate register: got %v, want ErrConflict", err)
 	}
 	// bad policy attribute -> 400
-	if _, err := c.RegisterDatasetCSV(RegisterDatasetRequest{
+	if _, err := c.RegisterDatasetCSV(ctx, RegisterDatasetRequest{
 		Name: "bad", CSV: peopleCSV(5),
 		Policy: PolicySpec{Name: "p", SensitiveWhen: PredicateSpec{Op: "cmp", Attr: "Nope", Cmp: "=", Value: "x"}},
 	}); !errors.Is(err, ErrBadRequest) {
 		t.Fatalf("bad policy: got %v, want ErrBadRequest", err)
 	}
 	// unknown dataset -> 404
-	if _, err := c.OpenSession("ghost", 1, nil); !errors.Is(err, ErrNotFound) {
+	if _, err := c.OpenSession(ctx, "ghost", 1, nil); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("unknown dataset: got %v, want ErrNotFound", err)
 	}
-	sc, err := c.OpenSession("people", 1, seed(1))
+	sc, err := c.OpenSession(ctx, "people", 1, seed(1))
 	if err != nil {
 		t.Fatal(err)
 	}
 	// session cap -> 429
-	if _, err := c.OpenSession("people", 1, nil); !errors.Is(err, ErrTooManySessions) {
+	if _, err := c.OpenSession(ctx, "people", 1, nil); !errors.Is(err, ErrTooManySessions) {
 		t.Fatalf("session cap: got %v, want ErrTooManySessions", err)
 	}
 	// unknown query kind -> 400
-	if _, err := sc.Query(QueryRequest{Kind: "mean", Eps: 0.1}); !errors.Is(err, ErrBadRequest) {
+	if _, err := sc.Query(ctx, QueryRequest{Kind: "mean", Eps: 0.1}); !errors.Is(err, ErrBadRequest) {
 		t.Fatalf("unknown kind: got %v, want ErrBadRequest", err)
 	}
 	// non-positive eps -> 400, nothing charged
-	if _, err := sc.Count(0, nil); !errors.Is(err, ErrBadRequest) {
+	if _, err := sc.Count(ctx, 0, nil); !errors.Is(err, ErrBadRequest) {
 		t.Fatalf("zero eps: got %v, want ErrBadRequest", err)
 	}
 	// subnormal eps -> 400: 1/eps would overflow to +Inf in the samplers
-	if _, err := sc.Count(1e-320, nil); !errors.Is(err, ErrBadRequest) {
+	if _, err := sc.Count(ctx, 1e-320, nil); !errors.Is(err, ErrBadRequest) {
 		t.Fatalf("subnormal eps: got %v, want ErrBadRequest", err)
 	}
 	// string quantile -> 400
-	if _, err := sc.Quantile(0.1, "City", 0.5); !errors.Is(err, ErrBadRequest) {
+	if _, err := sc.Quantile(ctx, 0.1, "City", 0.5); !errors.Is(err, ErrBadRequest) {
 		t.Fatalf("string quantile: got %v, want ErrBadRequest", err)
 	}
 	// unknown session -> 404
-	if _, err := c.Session("deadbeef").Count(0.1, nil); !errors.Is(err, ErrNotFound) {
+	if _, err := c.Session("deadbeef").Count(ctx, 0.1, nil); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("unknown session: got %v, want ErrNotFound", err)
 	}
-	if st, err := sc.Info(); err != nil || st.Spent != 0 {
+	if st, err := sc.Info(ctx); err != nil || st.Spent != 0 {
 		t.Fatalf("rejected queries must not charge: spent %g, err %v", st.Spent, err)
 	}
 }
@@ -372,31 +377,31 @@ func TestHardeningGates(t *testing.T) {
 	defer func() { ts.Close(); srv.Close() }()
 	c := NewClient(ts.URL, ts.Client())
 
-	if _, err := c.RegisterDatasetCSV(RegisterDatasetRequest{
+	if _, err := c.RegisterDatasetCSV(ctx, RegisterDatasetRequest{
 		Name: "people", CSV: peopleCSV(50), Policy: testPolicy(),
 	}); err != nil {
 		t.Fatalf("register: %v", err)
 	}
 
-	if _, err := c.OpenSession("people", 1, seed(42)); !errors.Is(err, ErrBadRequest) {
+	if _, err := c.OpenSession(ctx, "people", 1, seed(42)); !errors.Is(err, ErrBadRequest) {
 		t.Fatalf("seeded session without AllowSeededSessions: got %v, want ErrBadRequest", err)
 	}
-	if _, err := c.OpenSession("people", 5, nil); !errors.Is(err, ErrBadRequest) {
+	if _, err := c.OpenSession(ctx, "people", 5, nil); !errors.Is(err, ErrBadRequest) {
 		t.Fatalf("budget above MaxSessionBudget: got %v, want ErrBadRequest", err)
 	}
-	if _, err := c.OpenSession("people", 0, nil); !errors.Is(err, ErrBadRequest) {
+	if _, err := c.OpenSession(ctx, "people", 0, nil); !errors.Is(err, ErrBadRequest) {
 		t.Fatalf("unlimited budget under MaxSessionBudget: got %v, want ErrBadRequest", err)
 	}
-	sc, err := c.OpenSession("people", 2, nil)
+	sc, err := c.OpenSession(ctx, "people", 2, nil)
 	if err != nil {
 		t.Fatalf("compliant session: %v", err)
 	}
-	if _, err := sc.Count(0.1, nil); err != nil {
+	if _, err := sc.Count(ctx, 0.1, nil); err != nil {
 		t.Fatalf("query on secure-source session: %v", err)
 	}
 
 	for _, name := range []string{"us/census", "a b", "x%2fy", "", ".", ".."} {
-		if _, err := c.RegisterDatasetCSV(RegisterDatasetRequest{
+		if _, err := c.RegisterDatasetCSV(ctx, RegisterDatasetRequest{
 			Name: name, CSV: peopleCSV(5), Policy: testPolicy(),
 		}); !errors.Is(err, ErrBadRequest) {
 			t.Errorf("name %q: got %v, want ErrBadRequest", name, err)
@@ -423,7 +428,7 @@ func TestSessionTTLEviction(t *testing.T) {
 
 	open := func() string {
 		t.Helper()
-		info, err := srv.OpenSession(OpenSessionRequest{Dataset: "people", Budget: 1, Seed: seed(1)})
+		info, err := srv.OpenSession("", OpenSessionRequest{Dataset: "people", Budget: 1, Seed: seed(1)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -433,7 +438,7 @@ func TestSessionTTLEviction(t *testing.T) {
 	// Lazy path: expired id is rejected and removed on access.
 	stale := open()
 	advance(2 * time.Minute)
-	if _, err := srv.SessionInfo(stale); !errors.Is(err, ErrNotFound) {
+	if _, err := srv.SessionInfo("", stale); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("expired session: got %v, want ErrNotFound", err)
 	}
 	if n := srv.SessionCount(); n != 0 {
@@ -443,17 +448,17 @@ func TestSessionTTLEviction(t *testing.T) {
 	// Sweep path: activity keeps a session alive, idleness kills it.
 	live, idle := open(), open()
 	advance(45 * time.Second)
-	if _, err := srv.SessionInfo(live); err != nil { // bumps lastUsed
+	if _, err := srv.SessionInfo("", live); err != nil { // bumps lastUsed
 		t.Fatal(err)
 	}
 	advance(30 * time.Second) // live idle 30s, idle idle 75s
 	if n := srv.Sweep(); n != 1 {
 		t.Fatalf("Sweep evicted %d, want 1", n)
 	}
-	if _, err := srv.SessionInfo(idle); !errors.Is(err, ErrNotFound) {
+	if _, err := srv.SessionInfo("", idle); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("idle session should be gone, got %v", err)
 	}
-	if _, err := srv.SessionInfo(live); err != nil {
+	if _, err := srv.SessionInfo("", live); err != nil {
 		t.Fatalf("active session should survive: %v", err)
 	}
 }
@@ -472,7 +477,7 @@ func TestOpenSessionRejectsNonFiniteBudget(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, budget := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
-		if _, err := srv.OpenSession(OpenSessionRequest{Dataset: "people", Budget: budget}); !errors.Is(err, ErrBadRequest) {
+		if _, err := srv.OpenSession("", OpenSessionRequest{Dataset: "people", Budget: budget}); !errors.Is(err, ErrBadRequest) {
 			t.Errorf("budget %v: got %v, want ErrBadRequest", budget, err)
 		}
 	}
@@ -495,18 +500,18 @@ func TestExpiredSessionsDoNotHoldCap(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if _, err := srv.OpenSession(OpenSessionRequest{Dataset: "people", Budget: 1}); err != nil {
+	if _, err := srv.OpenSession("", OpenSessionRequest{Dataset: "people", Budget: 1}); err != nil {
 		t.Fatalf("first session: %v", err)
 	}
 	// Cap is full and the occupant is live: refuse.
-	if _, err := srv.OpenSession(OpenSessionRequest{Dataset: "people", Budget: 1}); !errors.Is(err, ErrTooManySessions) {
+	if _, err := srv.OpenSession("", OpenSessionRequest{Dataset: "people", Budget: 1}); !errors.Is(err, ErrTooManySessions) {
 		t.Fatalf("cap with live occupant: got %v, want ErrTooManySessions", err)
 	}
 	// Occupant expires: the cap must make way without a janitor.
 	mu.Lock()
 	now = now.Add(2 * time.Minute)
 	mu.Unlock()
-	if _, err := srv.OpenSession(OpenSessionRequest{Dataset: "people", Budget: 1}); err != nil {
+	if _, err := srv.OpenSession("", OpenSessionRequest{Dataset: "people", Budget: 1}); err != nil {
 		t.Fatalf("cap held by expired session: %v", err)
 	}
 	if n := srv.SessionCount(); n != 1 {

@@ -15,12 +15,18 @@
 //
 // Scope of the guarantee: each session's transcript is individually
 // (P, budget)-OSDP, enforced by its accountant, and MaxSessionBudget
-// bounds any one transcript. The server has no client identity yet, so
-// composition ACROSS sessions (one analyst opening many) is not
-// accounted; deployments needing an end-to-end per-dataset bound must
-// put authentication in front and map clients to budgets. Seeded
-// (reproducible) sessions are refused unless Config.AllowSeededSessions
-// is set, because predictable noise voids the guarantee outright.
+// bounds any one transcript. With Config.Ledger set the server also
+// accounts composition ACROSS sessions: every /v1 request authenticates
+// an analyst (bearer API key), every ε-bearing query is charged to the
+// analyst's durable per-dataset ledger account before noise is drawn,
+// and the Theorem 3.3 bound therefore covers the analyst's whole
+// transcript over a dataset — N sessions draw from ONE budget, and the
+// spend survives server restarts (see internal/ledger for the
+// durability contract). Without a ledger the server runs in the legacy
+// identity-free mode and cross-session composition is unaccounted.
+// Seeded (reproducible) sessions are refused unless
+// Config.AllowSeededSessions is set, because predictable noise voids
+// the guarantee outright.
 package server
 
 import (
@@ -29,6 +35,7 @@ import (
 
 	"osdp/internal/dataset"
 	"osdp/internal/histogram"
+	"osdp/internal/ledger"
 )
 
 // PredicateSpec is the JSON form of a dataset.Predicate: an expression
@@ -103,10 +110,14 @@ type OpenSessionRequest struct {
 	Seed    *int64  `json:"seed,omitempty"`
 }
 
-// SessionInfo reports a session's identity and budget state.
+// SessionInfo reports a session's identity and budget state. Analyst is
+// the owning principal's id (empty on ledger-less servers). Budget
+// figures are the SESSION accountant's; the analyst's cross-session
+// ledger account is inspected via the admin API or /stats.
 type SessionInfo struct {
 	ID        string  `json:"id"`
 	Dataset   string  `json:"dataset"`
+	Analyst   string  `json:"analyst,omitempty"`
 	Budget    float64 `json:"budget"`
 	Spent     float64 `json:"spent"`
 	Remaining float64 `json:"remaining"`
@@ -167,6 +178,52 @@ const MinQueryEps = 1e-9
 // ErrorResponse is the body of every non-2xx answer.
 type ErrorResponse struct {
 	Error string `json:"error"`
+}
+
+// StatsResponse is GET /stats: coarse service aggregates safe to expose
+// without credentials. Ledger fields are zero on ledger-less servers.
+type StatsResponse struct {
+	Datasets      int     `json:"datasets"`
+	Sessions      int     `json:"sessions"`
+	LedgerEnabled bool    `json:"ledger"`
+	LedgerDurable bool    `json:"ledger_durable,omitempty"`
+	Analysts      int     `json:"analysts,omitempty"`
+	Accounts      int     `json:"accounts,omitempty"`
+	SpentEps      float64 `json:"spent_eps,omitempty"`
+}
+
+// CreateAnalystRequest mints an analyst principal (admin only).
+// SessionCap, when > 0, overrides the server's per-analyst concurrent
+// session cap for this analyst.
+type CreateAnalystRequest struct {
+	Name       string `json:"name"`
+	SessionCap int    `json:"session_cap,omitempty"`
+}
+
+// AnalystCreated is the one-time answer to analyst creation: Key is the
+// plaintext API key, returned exactly once — the server stores only its
+// hash.
+type AnalystCreated struct {
+	ledger.AnalystInfo
+	Key string `json:"key"`
+}
+
+// BudgetGrantRequest sets the ε budget of one (analyst, dataset)
+// account, replacing the server default. Lowering a budget below the
+// spent total freezes the account without erasing history.
+type BudgetGrantRequest struct {
+	Analyst string  `json:"analyst"`
+	Dataset string  `json:"dataset"`
+	Budget  float64 `json:"budget"`
+}
+
+// SpendReport is GET /admin/spend: every touched ledger account plus
+// totals, the operator's audit view of cumulative leakage.
+type SpendReport struct {
+	Analysts        int                  `json:"analysts"`
+	TouchedAccounts int                  `json:"touched_accounts"`
+	TotalSpent      float64              `json:"total_spent_eps"`
+	Accounts        []ledger.AccountInfo `json:"accounts"`
 }
 
 // CompilePolicy turns a PolicySpec into a dataset.Policy against a

@@ -131,16 +131,16 @@ func TestTwoDimBinProductCap(t *testing.T) {
 	if err := srv.RegisterTable("d", tbl, dataset.AllNonSensitive()); err != nil {
 		t.Fatal(err)
 	}
-	info, err := srv.OpenSession(OpenSessionRequest{Dataset: "d", Budget: 1})
+	info, err := srv.OpenSession("", OpenSessionRequest{Dataset: "d", Budget: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	half := DomainSpec{Attr: "Age", Lo: 0, Width: 1e-3, Bins: MaxQueryBins / 2}
-	_, err = srv.Query(info.ID, QueryRequest{Kind: KindHistogram, Eps: 0.5, Dims: []DomainSpec{half, half}})
+	_, err = srv.Query("", info.ID, QueryRequest{Kind: KindHistogram, Eps: 0.5, Dims: []DomainSpec{half, half}})
 	if err == nil {
 		t.Fatal("expected the 2-D bin-product cap to reject the query")
 	}
-	if spent, _ := srv.SessionInfo(info.ID); spent.Spent != 0 {
+	if spent, _ := srv.SessionInfo("", info.ID); spent.Spent != 0 {
 		t.Fatalf("rejected query charged %g", spent.Spent)
 	}
 }
