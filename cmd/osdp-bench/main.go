@@ -7,6 +7,7 @@
 //	           [-quick] [-seed N] [-trials N]
 //	osdp-bench -dataplane BENCH_dataplane.json [-quick]
 //	osdp-bench -ledger BENCH_ledger.json [-quick]
+//	osdp-bench -workload BENCH_workload.json [-quick]
 //
 // -quick shrinks the workloads for a fast smoke run; the default
 // configuration matches the scales recorded in EXPERIMENTS.md.
@@ -21,6 +22,14 @@
 // per-query charge path: in-memory, WAL, and WAL+fsync variants, with
 // allocations per charge) and writes the result to the given JSON file,
 // the artifact CI tracks so ledger overhead cannot silently regress.
+//
+// -workload runs only the range-workload estimator benchmark (the
+// serving-side workload engine: per-estimator synopsis fit latency,
+// per-range answer latency, and workload L1 error vs the flat Laplace
+// baseline on a clustered 1M-row table — 100k with -quick) and writes
+// the result to the given JSON file, the artifact CI tracks so the
+// structure-exploiting estimators' range-workload advantage cannot
+// silently regress.
 package main
 
 import (
@@ -41,6 +50,7 @@ func main() {
 	trials := flag.Int("trials", 0, "override the trial count (0 keeps the default)")
 	dataplane := flag.String("dataplane", "", "run the data-plane benchmark and write its JSON result to this file")
 	ledgerOut := flag.String("ledger", "", "run the budget-ledger benchmark and write its JSON result to this file")
+	workloadOut := flag.String("workload", "", "run the range-workload estimator benchmark and write its JSON result to this file")
 	flag.Parse()
 
 	if *dataplane != "" {
@@ -52,6 +62,13 @@ func main() {
 	}
 	if *ledgerOut != "" {
 		if err := runLedger(*ledgerOut, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *workloadOut != "" {
+		if err := runWorkloadBench(*workloadOut, *quick); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -189,6 +206,29 @@ func runDataplane(path string, quick bool) error {
 	res, err := experiments.MeasureDataplane(rows, 64, minDur)
 	if err != nil {
 		return fmt.Errorf("dataplane benchmark: %w", err)
+	}
+	fmt.Println(res.String())
+	body, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return fmt.Errorf("encoding %s: %w", path, err)
+	}
+	if err := os.WriteFile(path, append(body, '\n'), 0o644); err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// runWorkloadBench measures the range-workload estimators and writes
+// the result as JSON.
+func runWorkloadBench(path string, quick bool) error {
+	rows, queries := 1_000_000, 1000
+	if quick {
+		rows, queries = 100_000, 200
+	}
+	res, err := experiments.MeasureWorkload(rows, 1024, queries, 1.0)
+	if err != nil {
+		return fmt.Errorf("workload benchmark: %w", err)
 	}
 	fmt.Println(res.String())
 	body, err := json.MarshalIndent(res, "", "  ")

@@ -1,5 +1,7 @@
-// Command osdp-cli answers a histogram query under one-sided differential
-// privacy from the command line. The input is a CSV with one row per bin:
+// Command osdp-cli answers OSDP queries from the command line, in two
+// modes.
+//
+// OFFLINE (default): the input is a CSV with one row per bin:
 //
 //	count[,ns_count]
 //
@@ -8,20 +10,37 @@
 // mechanism's noisy histogram is written to stdout with per-bin and
 // aggregate error against the true counts.
 //
+// SERVER (-server URL): the CLI talks to a running osdp-server,
+// opening a session over -dataset and answering a range-count workload
+// from a single fitted synopsis (one composed ε charge for the whole
+// batch). Against a -ledger server every request must carry an analyst
+// API key: pass it with -token or the OSDP_TOKEN environment variable
+// (prefer the env var, which keeps the secret out of process
+// listings). Ranges are -ranges random intervals over the declared
+// domain (log-uniform lengths, seeded by -seed); answers are written
+// as "lo,hi,answer" CSV with the post-charge budget in a trailing
+// comment.
+//
 // Usage:
 //
 //	osdp-cli -mech osdplaplace|osdplaplacel1|osdpgeometric|osdprr|dawaz|dawa|hier|hierz|laplace
 //	         [-eps E] [-rho R] [-seed N] [-in FILE] [-secure] [-snap LAMBDA]
+//	osdp-cli -server URL -dataset NAME -attr ATTR -bins N [-lo X] [-width W]
+//	         [-estimator flat|hier|dawa|ahp|agrid] [-ranges N] [-eps E]
+//	         [-budget E] [-token KEY] [-seed N]
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"osdp/internal/core"
 	"osdp/internal/dawa"
@@ -30,17 +49,47 @@ import (
 	"osdp/internal/mechanism"
 	"osdp/internal/metrics"
 	"osdp/internal/noise"
+	"osdp/internal/server"
 )
 
 func main() {
-	mech := flag.String("mech", "osdplaplacel1", "mechanism to run")
+	mech := flag.String("mech", "osdplaplacel1", "mechanism to run (offline mode)")
 	eps := flag.Float64("eps", 1.0, "privacy parameter ε")
 	rho := flag.Float64("rho", 0.1, "DAWAz/Hierz zero-detection budget share")
 	seed := flag.Int64("seed", 1, "random seed (ignored with -secure)")
 	in := flag.String("in", "-", "input CSV ('-' = stdin)")
 	secure := flag.Bool("secure", false, "draw noise from crypto/rand instead of the seeded PRNG")
 	snap := flag.Float64("snap", 0, "if > 0, snap outputs to this grid (floating-point hardening)")
+	serverURL := flag.String("server", "", "osdp-server base URL; switches to server mode")
+	token := flag.String("token", "", "analyst API key for -ledger servers (default $OSDP_TOKEN)")
+	dsName := flag.String("dataset", "", "server mode: dataset to query")
+	attr := flag.String("attr", "", "server mode: numeric attribute the workload ranges over")
+	lo := flag.Float64("lo", 0, "server mode: domain lower bound")
+	width := flag.Float64("width", 1, "server mode: domain bin width")
+	bins := flag.Int("bins", 0, "server mode: domain bin count")
+	estimator := flag.String("estimator", "flat", "server mode: workload estimator (flat|hier|dawa|ahp|agrid)")
+	nRanges := flag.Int("ranges", 100, "server mode: number of random range queries")
+	budget := flag.Float64("budget", 0, "server mode: session ε budget (0 = unlimited)")
 	flag.Parse()
+
+	if *serverURL != "" {
+		if *token == "" {
+			// The env fallback keeps the key out of `ps` output; an
+			// explicit -token still wins for scripting.
+			*token = os.Getenv("OSDP_TOKEN")
+		}
+		err := runWorkload(workloadRun{
+			base: *serverURL, token: *token, dataset: *dsName,
+			attr: *attr, lo: *lo, width: *width, bins: *bins,
+			estimator: *estimator, ranges: *nRanges,
+			eps: *eps, budget: *budget, seed: *seed,
+			out: os.Stdout,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	var r io.Reader = os.Stdin
 	if *in != "-" {
@@ -137,6 +186,66 @@ func readHistograms(r io.Reader) (x, xns *histogram.Histogram, err error) {
 		return nil, nil, fmt.Errorf("no histogram rows in input")
 	}
 	return histogram.FromCounts(full), histogram.FromCounts(ns), nil
+}
+
+// workloadRun is the server-mode configuration, factored out of main
+// so the authentication path is testable against a real HTTP server.
+type workloadRun struct {
+	base, token   string
+	dataset, attr string
+	estimator     string
+	lo, width     float64
+	bins, ranges  int
+	eps, budget   float64
+	seed          int64
+	out           io.Writer
+}
+
+// runWorkload opens a session and answers a random range-count
+// workload from one fitted synopsis. The whole batch charges eps once.
+func runWorkload(cfg workloadRun) error {
+	switch {
+	case cfg.dataset == "":
+		return fmt.Errorf("server mode needs -dataset")
+	case cfg.attr == "":
+		return fmt.Errorf("server mode needs -attr")
+	case cfg.bins <= 0:
+		return fmt.Errorf("server mode needs -bins > 0")
+	case cfg.ranges <= 0:
+		return fmt.Errorf("server mode needs -ranges > 0")
+	}
+	c := server.NewClient(cfg.base, nil).WithTimeout(time.Minute)
+	if cfg.token != "" {
+		c = c.WithToken(cfg.token)
+	}
+	ctx := context.Background()
+	sc, err := c.OpenSession(ctx, cfg.dataset, cfg.budget, nil)
+	if err != nil {
+		return fmt.Errorf("opening session (a -ledger server needs -token/$OSDP_TOKEN): %w", err)
+	}
+	defer sc.Close(ctx)
+
+	// The same log-uniform workload the benchmarks score on, so CLI
+	// answers are comparable to BENCH_workload.json.
+	workload := metrics.RandomRangeWorkload(cfg.ranges, cfg.bins, rand.New(rand.NewSource(cfg.seed)))
+	ranges := make([]server.RangeSpec, len(workload))
+	for i, rq := range workload {
+		ranges[i] = server.RangeSpec{Lo: rq.Lo, Hi: rq.Hi}
+	}
+	dims := []server.DomainSpec{{Attr: cfg.attr, Lo: cfg.lo, Width: cfg.width, Bins: cfg.bins}}
+	resp, err := sc.Workload(ctx, cfg.eps, cfg.estimator, nil, dims, ranges)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(cfg.out)
+	defer w.Flush()
+	fmt.Fprintln(w, "lo,hi,answer")
+	for i, r := range ranges {
+		fmt.Fprintf(w, "%d,%d,%g\n", r.Lo, r.Hi, resp.Answers[i])
+	}
+	fmt.Fprintf(w, "# estimator=%s queries=%d eps=%g session_spent=%g guarantee=%s\n",
+		resp.Estimator, len(ranges), cfg.eps, resp.Budget.Spent, resp.Budget.Guarantee)
+	return nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"osdp/internal/dataset"
+	"osdp/internal/ledger"
+	"osdp/internal/server"
+)
+
+// newLedgerServer spins up a ledger-backed osdp-server over HTTP and
+// returns its URL plus a freshly minted analyst key — the environment
+// the CLI was broken against before it grew -token.
+func newLedgerServer(t *testing.T) (url, key string) {
+	t.Helper()
+	led, err := ledger.Open(ledger.Config{DefaultBudget: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.Config{Ledger: led, AdminToken: "admin"})
+	csv := "Age:int\n"
+	for i := 0; i < 200; i++ {
+		csv += "42\n"
+	}
+	tbl, err := dataset.ReadCSV(strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.RegisterTable("people", tbl, dataset.AllSensitive()); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close(); led.Close() })
+	created, err := server.NewClient(ts.URL, ts.Client()).WithToken("admin").
+		CreateAnalyst(context.Background(), server.CreateAnalystRequest{Name: "cli"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts.URL, created.Key
+}
+
+// TestServerModeAuthenticates is the regression test for the PR 3
+// fallout: the CLI must be able to talk to a -ledger server. With the
+// analyst key it answers a workload; without one it must surface the
+// 401 instead of silently failing.
+func TestServerModeAuthenticates(t *testing.T) {
+	url, key := newLedgerServer(t)
+	var out strings.Builder
+	cfg := workloadRun{
+		base: url, token: key, dataset: "people", attr: "Age",
+		lo: 0, width: 1, bins: 100, estimator: "hier",
+		ranges: 20, eps: 0.5, seed: 1, out: &out,
+	}
+	if err := runWorkload(cfg); err != nil {
+		t.Fatalf("authenticated CLI run: %v", err)
+	}
+	got := out.String()
+	if !strings.HasPrefix(got, "lo,hi,answer\n") {
+		t.Fatalf("unexpected output header:\n%s", got)
+	}
+	// header + 20 answers + budget comment
+	if lines := strings.Count(strings.TrimSpace(got), "\n"); lines != 21 {
+		t.Fatalf("got %d output lines, want 22:\n%s", lines+1, got)
+	}
+	if !strings.Contains(got, "session_spent=0.5") {
+		t.Fatalf("budget trailer missing the single 0.5 charge:\n%s", got)
+	}
+
+	// No token: the 401 must reach the caller as ErrUnauthorized.
+	cfg.token = ""
+	cfg.out = &strings.Builder{}
+	err := runWorkload(cfg)
+	if !errors.Is(err, server.ErrUnauthorized) {
+		t.Fatalf("tokenless CLI run: got %v, want ErrUnauthorized", err)
+	}
+}

@@ -121,7 +121,7 @@ func main() {
 		srv.StartJanitor(*ttl / 4)
 	}
 
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	hs := newHTTPServer(*addr, srv.Handler())
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
@@ -140,6 +140,24 @@ func main() {
 			log.Printf("osdp-server shutdown: %v", err)
 		}
 		srv.Close()
+	}
+}
+
+// newHTTPServer wraps the handler in an http.Server with every timeout
+// set. The zero-value timeouts http.Server ships with let one
+// slow-loris client pin a connection (and its goroutine) forever by
+// trickling header bytes; a fleet of them exhausts the server without
+// ever completing a request. Read/Write are generous because request
+// bodies legitimately reach the 64 MB CSV-registration cap and sample
+// responses can exceed it.
+func newHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       5 * time.Minute,
+		WriteTimeout:      5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
 	}
 }
 

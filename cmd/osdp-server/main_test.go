@@ -1,0 +1,37 @@
+package main
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestHTTPServerTimeouts pins the slow-loris hardening: the zero-value
+// http.Server has no timeouts at all, so a client trickling bytes
+// holds a connection (and goroutine) forever. Every timeout must be
+// set, and the header timeout must be the tightest read bound.
+func TestHTTPServerTimeouts(t *testing.T) {
+	hs := newHTTPServer(":0", http.NewServeMux())
+	if hs.ReadHeaderTimeout <= 0 {
+		t.Fatal("ReadHeaderTimeout unset: slow-loris headers pin connections forever")
+	}
+	if hs.ReadTimeout <= 0 {
+		t.Fatal("ReadTimeout unset: slow request bodies pin connections forever")
+	}
+	if hs.WriteTimeout <= 0 {
+		t.Fatal("WriteTimeout unset: slow readers pin responses forever")
+	}
+	if hs.IdleTimeout <= 0 {
+		t.Fatal("IdleTimeout unset: idle keep-alive connections accumulate")
+	}
+	if hs.ReadHeaderTimeout > hs.ReadTimeout {
+		t.Fatalf("ReadHeaderTimeout %v exceeds ReadTimeout %v; headers must be the tightest bound",
+			hs.ReadHeaderTimeout, hs.ReadTimeout)
+	}
+	if hs.ReadHeaderTimeout > 30*time.Second {
+		t.Fatalf("ReadHeaderTimeout %v is too generous to stop a slow-loris", hs.ReadHeaderTimeout)
+	}
+	if hs.Addr != ":0" || hs.Handler == nil {
+		t.Fatalf("addr/handler not wired: %q, %v", hs.Addr, hs.Handler)
+	}
+}

@@ -1,0 +1,27 @@
+package agrid
+
+import (
+	"fmt"
+
+	"osdp/internal/histogram"
+	"osdp/internal/noise"
+)
+
+// Fit adapts AGrid to core.WorkloadEstimator. AGrid is the native 2-D
+// estimator: rows×cols is the grid it adapts to. A 1-D domain arrives
+// as rows×1 and degenerates to a 1-D adaptive grid (coarse runs
+// refined where the noisy mass is). Returns errors instead of
+// panicking: the serving layer calls it after the budget is charged.
+func (a *Algorithm) Fit(x *histogram.Histogram, rows, cols int, eps float64, src noise.Source) (*histogram.Histogram, error) {
+	if eps <= 0 {
+		return nil, fmt.Errorf("agrid: eps must be positive, got %g", eps)
+	}
+	if rows <= 0 || cols <= 0 || rows*cols != x.Bins() {
+		return nil, fmt.Errorf("agrid: shape %dx%d does not match %d bins", rows, cols, x.Bins())
+	}
+	if a.Alpha <= 0 || a.Alpha >= 1 {
+		return nil, fmt.Errorf("agrid: alpha %g must lie in (0, 1)", a.Alpha)
+	}
+	est, _ := a.Estimate(x, rows, cols, eps, src)
+	return est, nil
+}

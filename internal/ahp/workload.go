@@ -1,0 +1,25 @@
+package ahp
+
+import (
+	"fmt"
+
+	"osdp/internal/histogram"
+	"osdp/internal/noise"
+)
+
+// Fit adapts AHP to core.WorkloadEstimator: one ε-DP release whose
+// value-based clusters smooth noise across bins with similar counts.
+// 2-D domains are fitted over the flattened row-major vector (AHP's
+// clusters are arbitrary bin sets, so flattening loses nothing).
+// Returns errors instead of panicking: the serving layer calls it
+// after the budget is charged.
+func (a *Algorithm) Fit(x *histogram.Histogram, rows, cols int, eps float64, src noise.Source) (*histogram.Histogram, error) {
+	if eps <= 0 {
+		return nil, fmt.Errorf("ahp: eps must be positive, got %g", eps)
+	}
+	if a.ClusterBudgetRatio <= 0 || a.ClusterBudgetRatio >= 1 {
+		return nil, fmt.Errorf("ahp: cluster budget ratio %g must lie in (0, 1)", a.ClusterBudgetRatio)
+	}
+	est, _ := a.Estimate(x, eps, src)
+	return est, nil
+}

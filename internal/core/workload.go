@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+
+	"osdp/internal/histogram"
+	"osdp/internal/noise"
+)
+
+// This file is the workload-answering engine: batteries of range-count
+// queries (the paper's §6.3.3 evaluation workload, and DAWA's original
+// target) answered from ONE private synopsis. An estimator releases a
+// single (P, ε)-OSDP estimate of the workload domain's histogram; every
+// range answer is then post-processing of that release, so a
+// 1000-query workload costs exactly the ε of the one release —
+// formally, the composed guarantee is WorkloadComposite below, not a
+// Theorem 3.3 sum.
+
+// WorkloadEstimator fits one private synopsis of a histogram under an
+// ε budget. x must be the histogram over NON-SENSITIVE records only
+// (the server evaluates it over the registered non-sensitive
+// partition); rows×cols is the domain shape, flattened row-major with
+// the first dimension outermost, and cols == 1 for 1-D domains. The
+// returned estimate covers the full domain; callers answer ranges from
+// it via Synopsis.
+//
+// Privacy: every implementation is an ε-DP release of x. Under a
+// one-sided neighbor (a sensitive record replaced by an arbitrary
+// one) the non-sensitive histogram changes by at most one record —
+// within the bounded-model sensitivity the mechanisms are calibrated
+// for — so by the Lemma 3.1 argument the release is (P, ε)-OSDP.
+//
+// The four structure-exploiting packages (dawa, ahp, agrid, hier)
+// adapt their offline APIs to this interface; Flat below is the
+// baseline.
+type WorkloadEstimator interface {
+	// Name identifies the estimator in responses and reports.
+	Name() string
+	// Fit releases the private synopsis. It must return an error, not
+	// panic, on invalid configuration: the serving layer calls it after
+	// budget has been charged.
+	Fit(x *histogram.Histogram, rows, cols int, eps float64, src noise.Source) (*histogram.Histogram, error)
+}
+
+// Flat is the baseline WorkloadEstimator: the server's standard
+// per-bin mechanism (OsdpLaplaceL1, Algorithm 2) with no structural
+// model. Its one-sided per-bin noise never cancels over a range, so
+// long-range error grows linearly in range length — the gap the
+// structure-exploiting estimators close.
+type Flat struct{}
+
+// Name implements WorkloadEstimator.
+func (Flat) Name() string { return "flat" }
+
+// Fit implements WorkloadEstimator via OsdpLaplaceL1.
+func (Flat) Fit(x *histogram.Histogram, rows, cols int, eps float64, src noise.Source) (*histogram.Histogram, error) {
+	if eps <= 0 {
+		return nil, fmt.Errorf("core: flat estimator needs eps > 0, got %g", eps)
+	}
+	return OsdpLaplaceL1(x, eps, src), nil
+}
+
+// BinRange is one inclusive rectangle of histogram bins: [Lo0, Hi0]
+// over the first (outermost) dimension and [Lo1, Hi1] over the second.
+// For 1-D domains the second dimension is the single column 0, so
+// Lo1 == Hi1 == 0.
+type BinRange struct {
+	Lo0, Hi0 int
+	Lo1, Hi1 int
+}
+
+// valid reports whether the rectangle fits a rows×cols domain.
+func (r BinRange) valid(rows, cols int) bool {
+	return 0 <= r.Lo0 && r.Lo0 <= r.Hi0 && r.Hi0 < rows &&
+		0 <= r.Lo1 && r.Lo1 <= r.Hi1 && r.Hi1 < cols
+}
+
+// Synopsis answers rectangle-sum queries over a fitted estimate in
+// O(1) each, via a summed-area table. Building it is one pass over the
+// estimate; answering a workload of any size is then linear in the
+// number of queries, independent of domain size. A Synopsis is
+// immutable after construction and safe for concurrent use.
+type Synopsis struct {
+	rows, cols int
+	sat        []float64 // (rows+1)×(cols+1), sat[i][j] = sum over [0,i)×[0,j)
+}
+
+// NewSynopsis builds the summed-area table of est interpreted as a
+// rows×cols row-major grid (cols == 1 for 1-D).
+func NewSynopsis(est *histogram.Histogram, rows, cols int) (*Synopsis, error) {
+	if rows <= 0 || cols <= 0 || rows*cols != est.Bins() {
+		return nil, fmt.Errorf("core: synopsis shape %dx%d does not match %d bins", rows, cols, est.Bins())
+	}
+	s := &Synopsis{rows: rows, cols: cols, sat: make([]float64, (rows+1)*(cols+1))}
+	w := cols + 1
+	for i := 0; i < rows; i++ {
+		var rowSum float64
+		for j := 0; j < cols; j++ {
+			rowSum += est.Count(i*cols + j)
+			s.sat[(i+1)*w+j+1] = s.sat[i*w+j+1] + rowSum
+		}
+	}
+	return s, nil
+}
+
+// Rows returns the first-dimension size.
+func (s *Synopsis) Rows() int { return s.rows }
+
+// Cols returns the second-dimension size (1 for 1-D synopses).
+func (s *Synopsis) Cols() int { return s.cols }
+
+// RangeSum answers one inclusive rectangle sum.
+func (s *Synopsis) RangeSum(r BinRange) (float64, error) {
+	if !r.valid(s.rows, s.cols) {
+		return 0, fmt.Errorf("core: range [%d,%d]x[%d,%d] outside %dx%d synopsis",
+			r.Lo0, r.Hi0, r.Lo1, r.Hi1, s.rows, s.cols)
+	}
+	w := s.cols + 1
+	return s.sat[(r.Hi0+1)*w+r.Hi1+1] - s.sat[r.Lo0*w+r.Hi1+1] -
+		s.sat[(r.Hi0+1)*w+r.Lo1] + s.sat[r.Lo0*w+r.Lo1], nil
+}
+
+// WorkloadComposite returns the guarantee of answering n range queries
+// from ONE synopsis released under g. Every answer is deterministic
+// post-processing of the same release, so the batch leaks exactly what
+// the release leaks: the n per-answer charges compose like parallel
+// charges of identical guarantees (max ε, same policy) rather than
+// Theorem 3.3's sum — ParallelComposite of n copies of g is g itself.
+func WorkloadComposite(g Guarantee, n int) Guarantee {
+	if n <= 0 {
+		return ParallelComposite(nil)
+	}
+	charges := make([]Guarantee, n)
+	for i := range charges {
+		charges[i] = g
+	}
+	return ParallelComposite(charges)
+}
+
+// workloadShape derives the rows×cols synopsis shape from a query's
+// dimensions (cols == 1 for 1-D queries).
+func workloadShape(q histogram.Query) (rows, cols int, err error) {
+	switch len(q.Dims) {
+	case 1:
+		return q.Dims[0].Size(), 1, nil
+	case 2:
+		return q.Dims[0].Size(), q.Dims[1].Size(), nil
+	default:
+		return 0, 0, fmt.Errorf("core: workload queries take 1 or 2 dims, got %d", len(q.Dims))
+	}
+}
+
+// Workload answers a batch of range-count queries under ONE ε charge:
+// the estimator fits a single private synopsis of q's histogram over
+// the non-sensitive records, and every range is answered from it by
+// post-processing. Validation happens before the charge, so a
+// malformed batch never spends; after the charge the whole batch
+// either answers or the randomness is considered observed (there is no
+// per-range failure mode — answering is deterministic arithmetic on
+// the release). The transcript charge recorded is the single synopsis
+// guarantee (see WorkloadComposite).
+func (s *Session) Workload(q histogram.Query, est WorkloadEstimator, ranges []BinRange, eps float64) ([]float64, error) {
+	if est == nil {
+		return nil, fmt.Errorf("core: workload needs an estimator")
+	}
+	rows, cols, err := workloadShape(q)
+	if err != nil {
+		return nil, err
+	}
+	if len(ranges) == 0 {
+		return nil, fmt.Errorf("core: workload has no range queries")
+	}
+	for i, r := range ranges {
+		if !r.valid(rows, cols) {
+			return nil, fmt.Errorf("core: workload range %d = [%d,%d]x[%d,%d] outside the %dx%d domain",
+				i, r.Lo0, r.Hi0, r.Lo1, r.Hi1, rows, cols)
+		}
+	}
+	if err := s.charge(eps); err != nil {
+		return nil, fmt.Errorf("core: workload rejected: %w", err)
+	}
+	fitted, err := est.Fit(q.Eval(s.ns), rows, cols, eps, s.src)
+	if err != nil {
+		return nil, fmt.Errorf("core: workload estimator %s: %w", est.Name(), err)
+	}
+	syn, err := NewSynopsis(fitted, rows, cols)
+	if err != nil {
+		return nil, fmt.Errorf("core: workload estimator %s returned a malformed synopsis: %w", est.Name(), err)
+	}
+	answers := make([]float64, len(ranges))
+	for i, r := range ranges {
+		answers[i], _ = syn.RangeSum(r) // ranges validated above
+	}
+	return answers, nil
+}

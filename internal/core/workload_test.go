@@ -1,0 +1,177 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"osdp/internal/dataset"
+	"osdp/internal/histogram"
+	"osdp/internal/noise"
+)
+
+// naiveRectSum is the reference the summed-area table is checked
+// against: direct accumulation over the rectangle.
+func naiveRectSum(h *histogram.Histogram, cols int, r BinRange) float64 {
+	var s float64
+	for i := r.Lo0; i <= r.Hi0; i++ {
+		for j := r.Lo1; j <= r.Hi1; j++ {
+			s += h.Count(i*cols + j)
+		}
+	}
+	return s
+}
+
+func TestSynopsisMatchesNaiveSums(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, shape := range [][2]int{{1, 1}, {1, 17}, {17, 1}, {5, 9}, {32, 32}} {
+		rows, cols := shape[0], shape[1]
+		h := histogram.New(rows * cols)
+		for i := 0; i < h.Bins(); i++ {
+			h.SetCount(i, math.Floor(rng.Float64()*100))
+		}
+		syn, err := NewSynopsis(h, rows, cols)
+		if err != nil {
+			t.Fatalf("%dx%d: %v", rows, cols, err)
+		}
+		for trial := 0; trial < 200; trial++ {
+			lo0 := rng.Intn(rows)
+			hi0 := lo0 + rng.Intn(rows-lo0)
+			lo1 := rng.Intn(cols)
+			hi1 := lo1 + rng.Intn(cols-lo1)
+			r := BinRange{Lo0: lo0, Hi0: hi0, Lo1: lo1, Hi1: hi1}
+			got, err := syn.RangeSum(r)
+			if err != nil {
+				t.Fatalf("%dx%d %+v: %v", rows, cols, r, err)
+			}
+			if want := naiveRectSum(h, cols, r); math.Abs(got-want) > 1e-6 {
+				t.Fatalf("%dx%d %+v: got %g, want %g", rows, cols, r, got, want)
+			}
+		}
+	}
+}
+
+func TestSynopsisRejectsBadShapesAndRanges(t *testing.T) {
+	h := histogram.New(12)
+	if _, err := NewSynopsis(h, 5, 2); err == nil {
+		t.Fatal("5x2 over 12 bins accepted")
+	}
+	if _, err := NewSynopsis(h, 0, 12); err == nil {
+		t.Fatal("zero rows accepted")
+	}
+	syn, err := NewSynopsis(h, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []BinRange{
+		{Lo0: -1, Hi0: 0}, {Lo0: 0, Hi0: 3}, {Lo0: 2, Hi0: 1},
+		{Lo1: -1, Hi1: 0}, {Lo1: 0, Hi1: 4}, {Lo1: 3, Hi1: 2},
+	} {
+		if _, err := syn.RangeSum(r); err == nil {
+			t.Fatalf("range %+v accepted over 3x4", r)
+		}
+	}
+}
+
+func TestWorkloadComposite(t *testing.T) {
+	g := Guarantee{Policy: dataset.AllSensitive(), Epsilon: 0.7}
+	for _, n := range []int{1, 2, 1000} {
+		if got := WorkloadComposite(g, n).Epsilon; got != 0.7 {
+			t.Fatalf("n=%d: composed eps %g, want 0.7 (post-processing must not add)", n, got)
+		}
+	}
+	if got := WorkloadComposite(g, 0).Epsilon; got != 0 {
+		t.Fatalf("empty workload composed eps %g, want 0", got)
+	}
+}
+
+// workloadTable is a small numeric table: Age 0..79, all non-sensitive
+// under the never-sensitive policy so xns == x and answers can be
+// compared to exact counts.
+func workloadTable(t *testing.T, rows int) (*dataset.Table, dataset.Policy) {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString("Age:int\n")
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&b, "%d\n", (i*7)%80)
+	}
+	tbl, err := dataset.ReadCSV(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl, dataset.NewPolicy("open", dataset.False())
+}
+
+func TestSessionWorkloadSingleChargeAndAccuracy(t *testing.T) {
+	tbl, pol := workloadTable(t, 400)
+	se := NewSession(tbl, pol, 10, noise.Locked(noise.NewSource(1)))
+	dom := histogram.NewNumericDomain("Age", 0, 1, 80)
+	q := histogram.NewQuery(nil, dom)
+
+	ranges := make([]BinRange, 100)
+	rng := rand.New(rand.NewSource(2))
+	for i := range ranges {
+		lo := rng.Intn(80)
+		ranges[i] = BinRange{Lo0: lo, Hi0: lo + rng.Intn(80-lo)}
+	}
+	// Large eps: the flat estimator's noise is tiny, so answers must
+	// track the true range counts closely.
+	answers, err := se.Workload(q, Flat{}, ranges, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != len(ranges) {
+		t.Fatalf("got %d answers for %d ranges", len(answers), len(ranges))
+	}
+	truth := q.Eval(tbl)
+	for i, r := range ranges {
+		want := truth.RangeSum(r.Lo0, r.Hi0)
+		if math.Abs(answers[i]-want) > 30 {
+			t.Fatalf("range %d [%d,%d]: answer %g too far from true %g", i, r.Lo0, r.Hi0, answers[i], want)
+		}
+	}
+	// The whole 100-query batch must have charged exactly ONE eps.
+	if spent := se.Spent(); spent != 5 {
+		t.Fatalf("spent %g after 100-range workload, want exactly 5 (one composed charge)", spent)
+	}
+	if g := se.Guarantee(); g.Epsilon != 5 {
+		t.Fatalf("composite guarantee eps %g, want 5", g.Epsilon)
+	}
+}
+
+func TestSessionWorkloadValidatesBeforeCharging(t *testing.T) {
+	tbl, pol := workloadTable(t, 50)
+	se := NewSession(tbl, pol, 10, noise.Locked(noise.NewSource(1)))
+	q := histogram.NewQuery(nil, histogram.NewNumericDomain("Age", 0, 1, 80))
+
+	cases := []struct {
+		name   string
+		est    WorkloadEstimator
+		ranges []BinRange
+	}{
+		{"nil estimator", nil, []BinRange{{Lo0: 0, Hi0: 1}}},
+		{"empty ranges", Flat{}, nil},
+		{"out of bounds", Flat{}, []BinRange{{Lo0: 0, Hi0: 80}}},
+		{"inverted", Flat{}, []BinRange{{Lo0: 5, Hi0: 2}}},
+		{"second dim on 1-D", Flat{}, []BinRange{{Lo0: 0, Hi0: 1, Lo1: 0, Hi1: 1}}},
+	}
+	for _, tc := range cases {
+		if _, err := se.Workload(q, tc.est, tc.ranges, 1); err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+		if spent := se.Spent(); spent != 0 {
+			t.Fatalf("%s: charged %g before validation", tc.name, spent)
+		}
+	}
+	// Budget rejection must carry the sentinel so serving layers refund
+	// their outer ledger reservation.
+	if _, err := se.Workload(q, Flat{}, []BinRange{{Lo0: 0, Hi0: 9}}, 11); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("over-budget workload: got %v, want ErrBudgetExceeded", err)
+	}
+	if spent := se.Spent(); spent != 0 {
+		t.Fatalf("rejected workload spent %g", spent)
+	}
+}

@@ -1,0 +1,27 @@
+package dawa
+
+import (
+	"fmt"
+
+	"osdp/internal/histogram"
+	"osdp/internal/noise"
+)
+
+// Fit adapts DAWA to core.WorkloadEstimator: one ε-DP release of the
+// workload domain's histogram whose partition structure makes bucket
+// noise cancel inside any range covering whole buckets — DAWA's
+// original target workload. 2-D domains are fitted over the flattened
+// row-major vector (the partition DP sees a 1-D domain; rectangle
+// answers still come from the synopsis). Unlike Estimate it returns
+// errors instead of panicking, because the serving layer calls it
+// after the budget is charged.
+func (a *Algorithm) Fit(x *histogram.Histogram, rows, cols int, eps float64, src noise.Source) (*histogram.Histogram, error) {
+	if eps <= 0 {
+		return nil, fmt.Errorf("dawa: eps must be positive, got %g", eps)
+	}
+	if a.PartitionRatio <= 0 || a.PartitionRatio >= 1 {
+		return nil, fmt.Errorf("dawa: partition ratio %g must lie in (0, 1)", a.PartitionRatio)
+	}
+	est, _ := a.Estimate(x, eps, src)
+	return est, nil
+}

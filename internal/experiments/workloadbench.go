@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"time"
+
+	"osdp/internal/agrid"
+	"osdp/internal/ahp"
+	"osdp/internal/core"
+	"osdp/internal/dataset"
+	"osdp/internal/dawa"
+	"osdp/internal/hier"
+	"osdp/internal/histogram"
+	"osdp/internal/metrics"
+	"osdp/internal/noise"
+)
+
+// This file is the range-workload benchmark behind cmd/osdp-bench
+// -workload and BENCH_workload.json: the serving-side estimator
+// comparison (per-estimator fit latency, answer latency, and workload
+// L1 error against the flat Laplace baseline) on a clustered table of
+// serving scale. It is the artifact CI tracks so "a structure-
+// exploiting estimator beats flat on range workloads" cannot silently
+// regress.
+
+// WorkloadBenchTable builds a rows-long single-attribute table whose
+// integer values cluster around a few dense centers over [0, bins)
+// with a thin uniform background — the data shape DAWA-style
+// partitioning exists for (long empty runs, a few tight spikes).
+// Deterministic in seed.
+func WorkloadBenchTable(rows, bins int, seed int64) *dataset.Table {
+	rng := rand.New(rand.NewSource(seed))
+	s := dataset.NewSchema(dataset.Field{Name: "V", Kind: dataset.KindInt})
+	centers := make([]float64, 5)
+	for i := range centers {
+		centers[i] = float64(bins) * (0.1 + 0.2*float64(i)) // spread across the domain
+	}
+	sd := float64(bins) / 100
+	tb := dataset.NewTable(s)
+	for i := 0; i < rows; i++ {
+		var v int
+		if rng.Float64() < 0.9 {
+			c := centers[rng.Intn(len(centers))]
+			v = int(math.Round(c + rng.NormFloat64()*sd))
+		} else {
+			v = rng.Intn(bins)
+		}
+		if v < 0 {
+			v = 0
+		}
+		if v >= bins {
+			v = bins - 1
+		}
+		tb.AppendValues(dataset.Int(int64(v)))
+	}
+	return tb
+}
+
+// WorkloadEstimatorResult is one estimator's row in the benchmark.
+type WorkloadEstimatorResult struct {
+	Estimator string `json:"estimator"`
+	// FitMs is the one-time synopsis cost per workload request: fitting
+	// the private estimate plus building the summed-area table.
+	FitMs float64 `json:"fit_ms"`
+	// AnswerNsPerQuery is the marginal cost of each additional range in
+	// the batch (an O(1) synopsis lookup).
+	AnswerNsPerQuery float64 `json:"answer_ns_per_query"`
+	// WorkloadL1 is the total L1 error over the workload,
+	// Σ_q |q(x) − q(x̃)|.
+	WorkloadL1 float64 `json:"workload_l1_error"`
+	// FlatL1Ratio is flat's WorkloadL1 divided by this estimator's:
+	// > 1 means the estimator beats the flat Laplace baseline.
+	FlatL1Ratio float64 `json:"l1_vs_flat"`
+}
+
+// WorkloadResult is the machine-readable outcome written to
+// BENCH_workload.json.
+type WorkloadResult struct {
+	Rows       int                       `json:"rows"`
+	Bins       int                       `json:"bins"`
+	Queries    int                       `json:"queries"`
+	Eps        float64                   `json:"eps"`
+	EvalMs     float64                   `json:"hist_eval_ms"` // shared: true histogram evaluation over the table
+	Estimators []WorkloadEstimatorResult `json:"estimators"`
+}
+
+// workloadBenchEstimators is the comparison set, flat first (it is the
+// baseline the ratios divide by).
+func workloadBenchEstimators() []struct {
+	name string
+	est  core.WorkloadEstimator
+} {
+	return []struct {
+		name string
+		est  core.WorkloadEstimator
+	}{
+		{"flat", core.Flat{}},
+		{"hier", hier.Estimator{}},
+		{"dawa", dawa.New()},
+		{"ahp", ahp.New()},
+		{"agrid", agrid.New()},
+	}
+}
+
+// MeasureWorkload fits every estimator on the clustered table's
+// histogram and scores it on a log-uniform random range workload,
+// reporting fit/answer latency and total workload L1 error against the
+// flat baseline. The table is policy-free (all records non-sensitive),
+// so the comparison isolates estimator quality: xns == x and every
+// estimator answers the same ground truth.
+func MeasureWorkload(rows, bins, queries int, eps float64) (WorkloadResult, error) {
+	if rows <= 0 || bins <= 1 || queries <= 0 || eps <= 0 {
+		return WorkloadResult{}, fmt.Errorf("workload benchmark: bad shape rows=%d bins=%d queries=%d eps=%g", rows, bins, queries, eps)
+	}
+	tb := WorkloadBenchTable(rows, bins, 1)
+	q := histogram.NewQuery(nil, histogram.NewNumericDomain("V", 0, 1, bins))
+
+	evalStart := time.Now()
+	x := q.Eval(tb)
+	evalMs := float64(time.Since(evalStart).Nanoseconds()) / 1e6
+
+	w := metrics.RandomRangeWorkload(queries, bins, rand.New(rand.NewSource(2)))
+	// Truths are hoisted out of the timed answer loop: they are the
+	// scoring reference, not part of the serving path.
+	truths := make([]float64, len(w))
+	for i, rq := range w {
+		truths[i] = rq.Answer(x)
+	}
+	res := WorkloadResult{Rows: rows, Bins: bins, Queries: queries, Eps: eps, EvalMs: evalMs}
+	src := noise.Locked(noise.NewSource(3))
+	var flatL1 float64
+	for _, e := range workloadBenchEstimators() {
+		fitStart := time.Now()
+		fitted, err := e.est.Fit(x, bins, 1, eps, src)
+		if err != nil {
+			return WorkloadResult{}, fmt.Errorf("workload benchmark: %s: %w", e.name, err)
+		}
+		syn, err := core.NewSynopsis(fitted, bins, 1)
+		if err != nil {
+			return WorkloadResult{}, fmt.Errorf("workload benchmark: %s: %w", e.name, err)
+		}
+		fitMs := float64(time.Since(fitStart).Nanoseconds()) / 1e6
+
+		answers := make([]float64, len(w))
+		answerStart := time.Now()
+		for i, rq := range w {
+			a, err := syn.RangeSum(core.BinRange{Lo0: rq.Lo, Hi0: rq.Hi})
+			if err != nil {
+				return WorkloadResult{}, fmt.Errorf("workload benchmark: %s: %w", e.name, err)
+			}
+			answers[i] = a
+		}
+		answerNs := float64(time.Since(answerStart).Nanoseconds()) / float64(len(w))
+		var l1 float64
+		for i := range w {
+			l1 += math.Abs(truths[i] - answers[i])
+		}
+
+		row := WorkloadEstimatorResult{
+			Estimator:        e.name,
+			FitMs:            fitMs,
+			AnswerNsPerQuery: answerNs,
+			WorkloadL1:       l1,
+		}
+		if e.name == "flat" {
+			flatL1 = l1
+		}
+		if l1 > 0 {
+			row.FlatL1Ratio = flatL1 / l1
+		}
+		res.Estimators = append(res.Estimators, row)
+	}
+	return res, nil
+}
+
+// String renders the result as a report-style table.
+func (r WorkloadResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload: %d rows, %d bins, %d queries, eps=%g, hist eval %.2f ms\n",
+		r.Rows, r.Bins, r.Queries, r.Eps, r.EvalMs)
+	fmt.Fprintf(&b, "%-8s %10s %14s %14s %10s\n", "est", "fit ms", "answer ns/q", "L1 error", "vs flat")
+	for _, e := range r.Estimators {
+		fmt.Fprintf(&b, "%-8s %10.2f %14.1f %14.1f %9.2fx\n",
+			e.Estimator, e.FitMs, e.AnswerNsPerQuery, e.WorkloadL1, e.FlatL1Ratio)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestWorkloadBenchStructureBeatsFlat enforces the workload
+// acceptance criterion at quick scale: on clustered data at least one
+// structure-exploiting estimator must beat the flat Laplace baseline
+// on workload L1 error. Seeds are fixed, so a regression here is a
+// code change, not noise.
+func TestWorkloadBenchStructureBeatsFlat(t *testing.T) {
+	res, err := MeasureWorkload(100_000, 512, 200, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Estimators) != 5 || res.Estimators[0].Estimator != "flat" {
+		t.Fatalf("unexpected estimator set: %+v", res.Estimators)
+	}
+	flat := res.Estimators[0].WorkloadL1
+	if flat <= 0 {
+		t.Fatalf("flat baseline reported zero error (%g): scoring is broken", flat)
+	}
+	best, bestName := flat, "flat"
+	for _, e := range res.Estimators[1:] {
+		if e.WorkloadL1 < best {
+			best, bestName = e.WorkloadL1, e.Estimator
+		}
+	}
+	if bestName == "flat" {
+		t.Fatalf("no structure-exploiting estimator beat flat (L1 %.1f):\n%s", flat, res.String())
+	}
+	t.Logf("best estimator %s: L1 %.1f vs flat %.1f (%.2fx)\n%s", bestName, best, flat, flat/best, res.String())
+}
+
+func TestMeasureWorkloadRejectsBadShapes(t *testing.T) {
+	for _, c := range []struct{ rows, bins, queries int }{
+		{0, 16, 10}, {100, 1, 10}, {100, 16, 0},
+	} {
+		if _, err := MeasureWorkload(c.rows, c.bins, c.queries, 1.0); err == nil {
+			t.Fatalf("MeasureWorkload(%d, %d, %d) accepted", c.rows, c.bins, c.queries)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package hier
+
+import (
+	"fmt"
+
+	"osdp/internal/histogram"
+	"osdp/internal/noise"
+)
+
+// Fit adapts Hier to core.WorkloadEstimator. Constrained inference
+// makes every parent equal the sum of its children, so sums of the
+// consistent leaves reproduce the tree's canonical range
+// decompositions exactly — a dense leaf release loses nothing
+// relative to answering from the tree, and it is exactly what the
+// synopsis answers ranges from. Unlike Estimate, the leaves are NOT
+// clamped non-negative: zeroing negative leaves would break the
+// parent/child identity and turn the cancelling range noise into a
+// systematic positive bias that grows with range length — the very
+// error the hierarchy exists to avoid. (Individual range answers may
+// therefore come back slightly negative; that is the unbiased
+// estimate.) 2-D domains are fitted over the flattened row-major
+// vector. Returns errors instead of panicking: the serving layer
+// calls it after the budget is charged.
+func (Estimator) Fit(x *histogram.Histogram, rows, cols int, eps float64, src noise.Source) (*histogram.Histogram, error) {
+	if eps <= 0 {
+		return nil, fmt.Errorf("hier: eps must be positive, got %g", eps)
+	}
+	return Build(x, eps, src).Leaves(), nil
+}

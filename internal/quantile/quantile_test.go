@@ -188,3 +188,54 @@ func TestSampleQuantileBeatsDPOnWideDomains(t *testing.T) {
 			sampleErr/trials, dpErr/trials, eps)
 	}
 }
+
+// TestExponentialClampsOutliers pins the clamp path: values outside the
+// public range [lo, hi] are clamped onto its endpoints before the
+// mechanism runs, so (a) the release always lands inside [lo, hi] no
+// matter how wild the data is, and (b) pre-clamping the input yourself
+// changes nothing — the same seeded source yields the identical
+// release.
+func TestExponentialClampsOutliers(t *testing.T) {
+	raw := []float64{-1e12, -5, 3, 4, 4.5, 7, 42, 1e12, math.Inf(-1), math.Inf(1)}
+	const lo, hi = 0.0, 10.0
+	clamped := make([]float64, len(raw))
+	for i, v := range raw {
+		clamped[i] = math.Max(lo, math.Min(hi, v))
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		for seed := int64(1); seed <= 20; seed++ {
+			got, err := Exponential(raw, q, lo, hi, 1.0, noise.NewSource(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got < lo || got > hi {
+				t.Fatalf("q=%g seed=%d: release %g escaped [%g, %g]", q, seed, got, lo, hi)
+			}
+			pre, err := Exponential(clamped, q, lo, hi, 1.0, noise.NewSource(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != pre {
+				t.Fatalf("q=%g seed=%d: raw input released %g but pre-clamped input %g; clamp must be internal and exact", q, seed, got, pre)
+			}
+		}
+	}
+}
+
+// TestExponentialAllValuesOnOneBound pins the degenerate clamp: when
+// every value clamps onto the same endpoint, all inter-point gaps are
+// zero-width, so the only selectable gap is the remainder of the
+// public range — the mechanism must still answer (inside [lo, hi])
+// rather than error, for every seed.
+func TestExponentialAllValuesOnOneBound(t *testing.T) {
+	all := []float64{-100, -50, -1} // all clamp to lo = 0
+	for seed := int64(1); seed <= 50; seed++ {
+		got, err := Exponential(all, 0.5, 0, 10, 50, noise.NewSource(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < 0 || got > 10 {
+			t.Fatalf("seed %d: release %g escaped the public range", seed, got)
+		}
+	}
+}

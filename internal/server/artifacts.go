@@ -43,9 +43,13 @@ const maxDerivedDomainKeys = 1 << 16
 //     PredicateSpec trees and domains for explicit shapes (keys or
 //     lo/width/bins), keyed by the canonical JSON of their spec. A reused
 //     Domain carries its bin vector with it, so repeated shapes skip the
-//     binning pass too.
+//     binning pass too. Workload queries ride the same LRUs: their
+//     numeric synopsis domains are explicit shapes, so a repeated
+//     workload shape reuses its compiled domain and bin vector.
 //   - Computed PER QUERY: the WHERE selection bitset, the noised counts,
-//     and everything ε-bearing. Nothing derived from noise is ever cached.
+//     and everything ε-bearing — including every fitted workload
+//     synopsis, which is a noised release and must be drawn fresh per
+//     charge. Nothing derived from noise is ever cached.
 //
 // derived is read-only after construction; the LRUs carry their own
 // locks.

@@ -207,6 +207,18 @@ func (s *SessionClient) Quantile(ctx context.Context, eps float64, attr string, 
 	return *resp.Value, nil
 }
 
+// Workload answers a batch of range-count queries from ONE fitted
+// synopsis under a single composed ε charge. estimator is one of the
+// Estimator* names ("" = flat); dims declare the synopsis domain (1 or
+// 2 numeric lo/width/bins shapes); ranges are inclusive bin intervals
+// into those domains. Answers come back in request order.
+func (s *SessionClient) Workload(ctx context.Context, eps float64, estimator string, where *PredicateSpec, dims []DomainSpec, ranges []RangeSpec) (QueryResponse, error) {
+	return s.Query(ctx, QueryRequest{
+		Kind: KindWorkload, Eps: eps, Estimator: estimator,
+		Where: where, Dims: dims, Ranges: ranges,
+	})
+}
+
 // Sample draws an OsdpRR release of the dataset and parses it back into
 // a table.
 func (s *SessionClient) Sample(ctx context.Context, eps float64) (*dataset.Table, error) {

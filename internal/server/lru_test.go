@@ -1,0 +1,92 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestLRURejectsNonPositiveCapacity pins the construction guard: a
+// zero capacity would silently cache nothing (every put immediately
+// evicted) and a negative one would never evict at all — both
+// misconfigurations must fail loudly at construction, not degrade
+// quietly in production.
+func TestLRURejectsNonPositiveCapacity(t *testing.T) {
+	for _, capacity := range []int{0, -1, -100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("newLRU(%d) accepted a non-positive capacity", capacity)
+				}
+			}()
+			newLRU[int](capacity)
+		}()
+	}
+}
+
+// TestLRUEvictionOrderAtCapacityOne pins eviction order at the
+// smallest legal capacity: every insert of a new key evicts the
+// previous one, and a refresh of the resident key does not.
+func TestLRUEvictionOrderAtCapacityOne(t *testing.T) {
+	c := newLRU[int](1)
+	c.put("a", 1)
+	if v, ok := c.get("a"); !ok || v != 1 {
+		t.Fatalf("get a = %d, %v; want 1, true", v, ok)
+	}
+	c.put("b", 2)
+	if _, ok := c.get("a"); ok {
+		t.Fatal("a survived b's insert at capacity 1")
+	}
+	if v, ok := c.get("b"); !ok || v != 2 {
+		t.Fatalf("get b = %d, %v; want 2, true", v, ok)
+	}
+	// Refreshing the resident key must not evict it…
+	c.put("b", 3)
+	if v, ok := c.get("b"); !ok || v != 3 {
+		t.Fatalf("refreshed b = %d, %v; want 3, true", v, ok)
+	}
+	// …and the cache never exceeds its capacity.
+	if n := c.len(); n != 1 {
+		t.Fatalf("len = %d at capacity 1", n)
+	}
+}
+
+// TestLRURecencyOrder pins that get refreshes recency: after touching
+// the oldest entry, the other one is evicted first.
+func TestLRURecencyOrder(t *testing.T) {
+	c := newLRU[int](2)
+	c.put("a", 1)
+	c.put("b", 2)
+	c.get("a")    // a is now most recently used
+	c.put("c", 3) // must evict b, not a
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived: get did not refresh a's recency")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a evicted despite being most recently used")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Fatal("c missing")
+	}
+}
+
+// TestLRUConcurrentUse exercises the mutex under the race detector.
+func TestLRUConcurrentUse(t *testing.T) {
+	c := newLRU[int](8)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", (g*7+i)%16)
+				c.put(k, i)
+				c.get(k)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := c.len(); n > 8 {
+		t.Fatalf("len = %d exceeds capacity 8", n)
+	}
+}

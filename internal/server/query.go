@@ -5,8 +5,12 @@ import (
 	"fmt"
 	"strings"
 
+	"osdp/internal/agrid"
+	"osdp/internal/ahp"
 	"osdp/internal/core"
 	"osdp/internal/dataset"
+	"osdp/internal/dawa"
+	"osdp/internal/hier"
 	"osdp/internal/histogram"
 )
 
@@ -15,8 +19,8 @@ import (
 // malformed requests never charge; with a ledger configured the charge
 // order is then
 //
-//	1. charge the analyst's durable (analyst, dataset) ledger account
-//	2. charge the session accountant and draw noise (core.Session)
+//  1. charge the analyst's durable (analyst, dataset) ledger account
+//  2. charge the session accountant and draw noise (core.Session)
 //
 // and a failure at step 2 that provably released no noise (the session
 // accountant rejected the charge) refunds step 1. Failures AFTER noise
@@ -25,6 +29,12 @@ import (
 // Once a charge succeeds the response always carries the post-charge
 // budget state. Queries on the same session may run concurrently — the
 // accountants and the locked noise source serialise the shared state.
+//
+// A workload request charges req.Eps ONCE for its entire range batch:
+// the estimator releases a single synopsis and every range answer is
+// post-processing of it (core.WorkloadComposite), so the ledger and
+// session accountant each record exactly one charge regardless of
+// batch size.
 func (s *Server) Query(analyst, id string, req QueryRequest) (QueryResponse, error) {
 	se, d, err := s.lookup(analyst, id)
 	if err != nil {
@@ -118,6 +128,28 @@ func (s *Server) Query(analyst, id string, req QueryRequest) (QueryResponse, err
 			return nil
 		}
 
+	case KindWorkload:
+		est, q, ranges, err := s.compileWorkloadQuery(req, d)
+		if err != nil {
+			return resp, err
+		}
+		// Echo the canonical wire name, not the estimator's report name
+		// ("hier", not "Hier"), so clients can compare against what they
+		// sent.
+		name := req.Estimator
+		if name == "" {
+			name = EstimatorFlat
+		}
+		run = func() error {
+			answers, err := se.sess.Workload(q, est, ranges, req.Eps)
+			if err != nil {
+				return err
+			}
+			resp.Answers = answers
+			resp.Estimator = name
+			return nil
+		}
+
 	default:
 		return resp, badf("unknown query kind %q", req.Kind)
 	}
@@ -141,6 +173,85 @@ func (s *Server) Query(analyst, id string, req QueryRequest) (QueryResponse, err
 
 	resp.Budget = infoFor(se)
 	return resp, nil
+}
+
+// workloadEstimator resolves a wire estimator name. Every entry is an
+// ε-DP release of the non-sensitive workload histogram, hence
+// (P, ε)-OSDP served answers; see core.WorkloadEstimator for the
+// composition argument that prices a whole batch at one ε.
+func workloadEstimator(name string) (core.WorkloadEstimator, error) {
+	switch name {
+	case "", EstimatorFlat:
+		return core.Flat{}, nil
+	case EstimatorHier:
+		return hier.Estimator{}, nil
+	case EstimatorDAWA:
+		return dawa.New(), nil
+	case EstimatorAHP:
+		return ahp.New(), nil
+	case EstimatorAGrid:
+		return agrid.New(), nil
+	default:
+		return nil, badf("unknown estimator %q (known: %s, %s, %s, %s, %s)",
+			name, EstimatorFlat, EstimatorHier, EstimatorDAWA, EstimatorAHP, EstimatorAGrid)
+	}
+}
+
+// compileWorkloadQuery validates and compiles a workload request:
+// estimator, synopsis domain(s), and the range batch. Everything here
+// runs BEFORE any budget is touched. Workload dims must be explicit
+// numeric shapes (lo/width/bins): range indices only mean anything
+// over an ordered equi-width binning the client declared, and the
+// explicit shape rides the same per-dataset domain LRU as histogram
+// queries, so a repeated workload shape reuses its compiled domain and
+// bin vector.
+func (s *Server) compileWorkloadQuery(req QueryRequest, d *ds) (core.WorkloadEstimator, histogram.Query, []core.BinRange, error) {
+	var zero histogram.Query
+	est, err := workloadEstimator(req.Estimator)
+	if err != nil {
+		return nil, zero, nil, err
+	}
+	for _, spec := range req.Dims {
+		if spec.Bins <= 0 || len(spec.Keys) > 0 {
+			return nil, zero, nil, badf("workload dims must be numeric lo/width/bins shapes; %q is not", spec.Attr)
+		}
+	}
+	q, err := s.compileHistogramQuery(req, d)
+	if err != nil {
+		return nil, zero, nil, err
+	}
+	if len(req.Ranges) == 0 {
+		return nil, zero, nil, badf("workload has no range queries")
+	}
+	if len(req.Ranges) > MaxWorkloadRanges {
+		return nil, zero, nil, badf("workload has %d ranges, cap is %d", len(req.Ranges), MaxWorkloadRanges)
+	}
+	twoD := len(q.Dims) == 2
+	rows := q.Dims[0].Size()
+	cols := 1
+	if twoD {
+		cols = q.Dims[1].Size()
+	}
+	ranges := make([]core.BinRange, len(req.Ranges))
+	for i, r := range req.Ranges {
+		br := core.BinRange{Lo0: r.Lo, Hi0: r.Hi}
+		switch {
+		case twoD:
+			if r.Lo2 == nil || r.Hi2 == nil {
+				return nil, zero, nil, badf("range %d: 2-D workloads need lo2 and hi2", i)
+			}
+			br.Lo1, br.Hi1 = *r.Lo2, *r.Hi2
+		case r.Lo2 != nil || r.Hi2 != nil:
+			return nil, zero, nil, badf("range %d: lo2/hi2 are only valid on 2-D workloads", i)
+		}
+		if br.Lo0 < 0 || br.Hi0 < br.Lo0 || br.Hi0 >= rows ||
+			br.Lo1 < 0 || br.Hi1 < br.Lo1 || br.Hi1 >= cols {
+			return nil, zero, nil, badf("range %d = [%d,%d]x[%d,%d] outside the %dx%d domain",
+				i, br.Lo0, br.Hi0, br.Lo1, br.Hi1, rows, cols)
+		}
+		ranges[i] = br
+	}
+	return est, q, ranges, nil
 }
 
 func (s *Server) compileHistogramQuery(req QueryRequest, d *ds) (histogram.Query, error) {

@@ -3,7 +3,7 @@
 // registers datasets with their privacy policies, opens per-client
 // core.Sessions — each with an independent ε budget and a goroutine-safe
 // noise source — and answers histogram, int-histogram, count, quantile,
-// and sample queries over HTTP/JSON.
+// sample, and range-workload queries over HTTP/JSON.
 //
 // The wire format is plain JSON. Predicates (query conditions and policy
 // sensitivity rules) travel as expression trees (PredicateSpec) that are
@@ -132,7 +132,35 @@ const (
 	KindCount        = "count"
 	KindQuantile     = "quantile"
 	KindSample       = "sample"
+	KindWorkload     = "workload"
 )
+
+// Estimator names accepted by QueryRequest.Estimator for workload
+// queries. Empty defaults to EstimatorFlat.
+const (
+	EstimatorFlat  = "flat"  // per-bin OsdpLaplaceL1, no structural model
+	EstimatorHier  = "hier"  // consistent interval tree (Hay et al.)
+	EstimatorDAWA  = "dawa"  // data-aware contiguous partition (Li et al.)
+	EstimatorAHP   = "ahp"   // value-based clustering (Zhang et al.)
+	EstimatorAGrid = "agrid" // adaptive 2-D grid (Qardaji et al.)
+)
+
+// MaxWorkloadRanges caps the number of range queries one workload
+// request may carry. Each answer is O(1) against the fitted synopsis
+// and 8 output bytes, so the cap guards the response size, not CPU.
+const MaxWorkloadRanges = 1 << 20
+
+// RangeSpec is one range-count query of a workload: inclusive bin
+// index ranges into the workload's declared domain(s). Lo/Hi index the
+// FIRST dimension's bins. For 2-D workloads Lo2/Hi2 (both required)
+// index the second dimension, and the answer is the rectangle sum;
+// they must be absent on 1-D workloads.
+type RangeSpec struct {
+	Lo  int  `json:"lo"`
+	Hi  int  `json:"hi"`
+	Lo2 *int `json:"lo2,omitempty"`
+	Hi2 *int `json:"hi2,omitempty"`
+}
 
 // QueryRequest is a query against an open session. Eps is the privacy
 // level charged to the session budget. Which remaining fields apply
@@ -142,13 +170,18 @@ const (
 //   - count: Where (the counted predicate; nil counts all records)
 //   - quantile: Attr and Q in [0, 1]
 //   - sample: no extra fields
+//   - workload: Dims (1 or 2 numeric lo/width/bins shapes), Ranges
+//     (the batch of range-count queries, answered under ONE composed ε
+//     charge), optional Where, optional Estimator (default "flat")
 type QueryRequest struct {
-	Kind  string         `json:"kind"`
-	Eps   float64        `json:"eps"`
-	Where *PredicateSpec `json:"where,omitempty"`
-	Dims  []DomainSpec   `json:"dims,omitempty"`
-	Attr  string         `json:"attr,omitempty"`
-	Q     float64        `json:"q,omitempty"`
+	Kind      string         `json:"kind"`
+	Eps       float64        `json:"eps"`
+	Where     *PredicateSpec `json:"where,omitempty"`
+	Dims      []DomainSpec   `json:"dims,omitempty"`
+	Attr      string         `json:"attr,omitempty"`
+	Q         float64        `json:"q,omitempty"`
+	Estimator string         `json:"estimator,omitempty"`
+	Ranges    []RangeSpec    `json:"ranges,omitempty"`
 }
 
 // QueryResponse carries the answer for any query kind; unset fields are
@@ -167,6 +200,8 @@ type QueryResponse struct {
 	DimLabels [][]string  `json:"dim_labels,omitempty"` // histograms: labels per dimension
 	Counts    []float64   `json:"counts,omitempty"`     // histograms
 	SampleCSV string      `json:"sample_csv,omitempty"` // sample
+	Answers   []float64   `json:"answers,omitempty"`    // workload: one per RangeSpec, in request order
+	Estimator string      `json:"estimator,omitempty"`  // workload: the estimator that fitted the synopsis
 	Budget    SessionInfo `json:"budget"`
 }
 

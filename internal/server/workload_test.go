@@ -1,0 +1,333 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"osdp/internal/core"
+	"osdp/internal/dataset"
+	"osdp/internal/histogram"
+	"osdp/internal/ledger"
+)
+
+// ageDomain is the 1-D workload domain the tests use: one bin per year
+// of Age, matching peopleCSV's 5..84 value range.
+func ageDomain() DomainSpec { return DomainSpec{Attr: "Age", Lo: 0, Width: 1, Bins: 90} }
+
+// randomAgeRanges draws n inclusive bin ranges over ageDomain.
+func randomAgeRanges(n int, rng *rand.Rand) []RangeSpec {
+	out := make([]RangeSpec, n)
+	for i := range out {
+		lo := rng.Intn(90)
+		out[i] = RangeSpec{Lo: lo, Hi: lo + rng.Intn(90-lo)}
+	}
+	return out
+}
+
+// trueNSRangeSums computes the exact non-sensitive range counts the
+// workload answers approximate, independently of the server stack.
+func trueNSRangeSums(t *testing.T, csv string, spec PolicySpec, dom DomainSpec, ranges []RangeSpec) []float64 {
+	t.Helper()
+	tbl, err := dataset.ReadCSV(strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := CompilePolicy(spec, tbl.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ns := tbl.Split(pol)
+	h := histogram.NewQuery(nil, histogram.NewNumericDomain(dom.Attr, dom.Lo, dom.Width, dom.Bins)).Eval(ns)
+	out := make([]float64, len(ranges))
+	for i, r := range ranges {
+		out[i] = h.RangeSum(r.Lo, r.Hi)
+	}
+	return out
+}
+
+// TestWorkloadSingleComposedCharge is the PR's acceptance test: a
+// 1000-range workload answered via /v1 in ONE request charges exactly
+// one composed ε — asserted on the durable ledger, the session
+// accountant, and the composite guarantee.
+func TestWorkloadSingleComposedCharge(t *testing.T) {
+	c, srv := newLedgerServer(t, "", ledger.Config{DefaultBudget: 10}, Config{})
+	registerPeople(t, srv, 500)
+	ac, analyst := mintAnalyst(t, c, "alice", 0)
+
+	sc, err := ac.OpenSession(ctx, "people", 0, seed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranges := randomAgeRanges(1000, rand.New(rand.NewSource(3)))
+	const eps = 0.8
+	resp, err := sc.Workload(ctx, eps, EstimatorHier, nil, []DomainSpec{ageDomain()}, ranges)
+	if err != nil {
+		t.Fatalf("1000-range workload: %v", err)
+	}
+	if len(resp.Answers) != 1000 {
+		t.Fatalf("got %d answers, want 1000", len(resp.Answers))
+	}
+	if resp.Estimator != EstimatorHier {
+		t.Fatalf("estimator %q, want %q", resp.Estimator, EstimatorHier)
+	}
+	// The session accountant recorded ONE eps charge…
+	if got := resp.Budget.Spent; math.Abs(got-eps) > 1e-12 {
+		t.Fatalf("session spent %g after 1000-range workload, want exactly %g", got, eps)
+	}
+	// …and so did the analyst's durable ledger account.
+	acct, err := c.WithToken(adminToken).Budgets(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, a := range acct {
+		if a.Analyst == analyst && a.Dataset == "people" {
+			found = true
+			if math.Abs(a.Spent-eps) > 1e-12 {
+				t.Fatalf("ledger spent %g, want exactly %g (one composed charge for the whole batch)", a.Spent, eps)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no ledger account touched by the workload")
+	}
+	// The composite guarantee must price the batch at one eps too.
+	if g := resp.Budget.Guarantee; !strings.Contains(g, "0.8") {
+		t.Fatalf("composite guarantee %q does not reflect the single 0.8 charge", g)
+	}
+}
+
+// TestWorkloadAllEstimators answers the same batch with every
+// estimator over the real wire and sanity-checks the answers against
+// the exact non-sensitive counts at large eps (noise is small there,
+// so every estimator must track the truth).
+func TestWorkloadAllEstimators(t *testing.T) {
+	c := newTestClient(t, Config{})
+	csv := peopleCSV(600)
+	if _, err := c.RegisterDatasetCSV(ctx, RegisterDatasetRequest{Name: "people", CSV: csv, Policy: testPolicy()}); err != nil {
+		t.Fatal(err)
+	}
+	ranges := randomAgeRanges(50, rand.New(rand.NewSource(9)))
+	truth := trueNSRangeSums(t, csv, testPolicy(), ageDomain(), ranges)
+
+	for _, est := range []string{EstimatorFlat, EstimatorHier, EstimatorDAWA, EstimatorAHP, EstimatorAGrid, ""} {
+		sc, err := c.OpenSession(ctx, "people", 0, seed(11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := sc.Workload(ctx, 20, est, nil, []DomainSpec{ageDomain()}, ranges)
+		if err != nil {
+			t.Fatalf("estimator %q: %v", est, err)
+		}
+		if len(resp.Answers) != len(ranges) {
+			t.Fatalf("estimator %q: %d answers for %d ranges", est, len(resp.Answers), len(ranges))
+		}
+		wantName := est
+		if est == "" {
+			wantName = EstimatorFlat
+		}
+		if resp.Estimator != wantName {
+			t.Fatalf("estimator %q echoed as %q", est, resp.Estimator)
+		}
+		for i := range ranges {
+			if math.IsNaN(resp.Answers[i]) || math.Abs(resp.Answers[i]-truth[i]) > 60 {
+				t.Fatalf("estimator %q range %d: answer %g too far from true %g",
+					est, i, resp.Answers[i], truth[i])
+			}
+		}
+	}
+}
+
+// TestWorkload2D exercises the rectangle path end to end with the 2-D
+// native estimator.
+func TestWorkload2D(t *testing.T) {
+	c := newTestClient(t, Config{})
+	var b strings.Builder
+	b.WriteString("X:int,Y:int\n")
+	for i := 0; i < 400; i++ {
+		fmt.Fprintf(&b, "%d,%d\n", i%20, (i*3)%20)
+	}
+	if _, err := c.RegisterDatasetCSV(ctx, RegisterDatasetRequest{
+		Name: "grid", CSV: b.String(),
+		Policy: PolicySpec{Name: "open", SensitiveWhen: PredicateSpec{Op: "false"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := c.OpenSession(ctx, "grid", 0, seed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dims := []DomainSpec{
+		{Attr: "X", Lo: 0, Width: 1, Bins: 20},
+		{Attr: "Y", Lo: 0, Width: 1, Bins: 20},
+	}
+	two := func(lo, hi int) (*int, *int) { return &lo, &hi }
+	// trueRect recomputes a rectangle's count straight from the row
+	// formula, independent of the whole histogram/synopsis stack.
+	trueRect := func(lo, hi, lo2, hi2 int) float64 {
+		n := 0.0
+		for i := 0; i < 400; i++ {
+			if x, y := i%20, (i*3)%20; x >= lo && x <= hi && y >= lo2 && y <= hi2 {
+				n++
+			}
+		}
+		return n
+	}
+	var ranges []RangeSpec
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 40; i++ {
+		lo, hi := rng.Intn(20), 0
+		hi = lo + rng.Intn(20-lo)
+		lo2, hi2 := two(rng.Intn(10), 10+rng.Intn(10))
+		ranges = append(ranges, RangeSpec{Lo: lo, Hi: hi, Lo2: lo2, Hi2: hi2})
+	}
+	// Transposition canaries: rectangles whose truth differs from their
+	// transpose's, so a swapped dim-0/dim-1 mapping anywhere in the
+	// stack cannot cancel out. [1,1]x[3,3] holds a 20-row point mass
+	// ((X=1, Y=3) occurs for i ≡ 1 mod 20) while [3,3]x[1,1] is empty.
+	asym0, asym1 := two(3, 3)
+	ranges = append(ranges, RangeSpec{Lo: 1, Hi: 1, Lo2: asym0, Hi2: asym1})
+	swap0, swap1 := two(1, 1)
+	ranges = append(ranges, RangeSpec{Lo: 3, Hi: 3, Lo2: swap0, Hi2: swap1})
+	// Full-domain rectangle: answer must approximate the total count.
+	full0, full1 := two(0, 19)
+	ranges = append(ranges, RangeSpec{Lo: 0, Hi: 19, Lo2: full0, Hi2: full1})
+
+	if got, want := trueRect(1, 1, 3, 3), 20.0; got != want {
+		t.Fatalf("test-internal truth check: [1,1]x[3,3] = %g, want %g", got, want)
+	}
+	if got := trueRect(3, 3, 1, 1); got != 0 {
+		t.Fatalf("test-internal truth check: [3,3]x[1,1] = %g, want 0", got)
+	}
+
+	resp, err := sc.Workload(ctx, 20, EstimatorAGrid, nil, dims, ranges)
+	if err != nil {
+		t.Fatalf("2-D workload: %v", err)
+	}
+	if len(resp.Answers) != len(ranges) {
+		t.Fatalf("%d answers for %d ranges", len(resp.Answers), len(ranges))
+	}
+	n := len(ranges)
+	if total := resp.Answers[n-1]; math.Abs(total-400) > 80 {
+		t.Fatalf("full-domain rectangle answered %g, want ~400", total)
+	}
+	// The canary answers must each sit near THEIR truth; a transposed
+	// mapping would swap them (20 <-> 0) and trip both checks.
+	if got := resp.Answers[n-3]; math.Abs(got-20) > 9 {
+		t.Fatalf("[1,1]x[3,3] answered %g, want ~20 (transposed dims?)", got)
+	}
+	if got := resp.Answers[n-2]; math.Abs(got-0) > 9 {
+		t.Fatalf("[3,3]x[1,1] answered %g, want ~0 (transposed dims?)", got)
+	}
+	// And every random rectangle tracks its independently computed
+	// truth at eps=20.
+	for i := 0; i < 40; i++ {
+		r := ranges[i]
+		want := trueRect(r.Lo, r.Hi, *r.Lo2, *r.Hi2)
+		if math.Abs(resp.Answers[i]-want) > 60 {
+			t.Fatalf("rect %d [%d,%d]x[%d,%d]: answer %g too far from true %g",
+				i, r.Lo, r.Hi, *r.Lo2, *r.Hi2, resp.Answers[i], want)
+		}
+	}
+	if got := resp.Budget.Spent; math.Abs(got-20) > 1e-12 {
+		t.Fatalf("spent %g, want one 20 charge", got)
+	}
+}
+
+// TestWorkloadValidation pins the reject-before-charge contract: every
+// malformed workload is a 400 and neither the ledger nor the session
+// accountant records anything.
+func TestWorkloadValidation(t *testing.T) {
+	c, srv := newLedgerServer(t, "", ledger.Config{DefaultBudget: 10}, Config{})
+	registerPeople(t, srv, 100)
+	ac, _ := mintAnalyst(t, c, "bob", 0)
+	sc, err := ac.OpenSession(ctx, "people", 0, seed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := []RangeSpec{{Lo: 0, Hi: 10}}
+	lo2 := 1
+	cases := []struct {
+		name string
+		req  QueryRequest
+	}{
+		{"no dims", QueryRequest{Kind: KindWorkload, Eps: 1, Ranges: ok}},
+		{"categorical dim", QueryRequest{Kind: KindWorkload, Eps: 1, Dims: []DomainSpec{{Attr: "City", Keys: []string{"irvine"}}}, Ranges: []RangeSpec{{Lo: 0, Hi: 0}}}},
+		{"derived dim", QueryRequest{Kind: KindWorkload, Eps: 1, Dims: []DomainSpec{{Attr: "Age"}}, Ranges: ok}},
+		{"no ranges", QueryRequest{Kind: KindWorkload, Eps: 1, Dims: []DomainSpec{ageDomain()}}},
+		{"range out of bounds", QueryRequest{Kind: KindWorkload, Eps: 1, Dims: []DomainSpec{ageDomain()}, Ranges: []RangeSpec{{Lo: 0, Hi: 90}}}},
+		{"inverted range", QueryRequest{Kind: KindWorkload, Eps: 1, Dims: []DomainSpec{ageDomain()}, Ranges: []RangeSpec{{Lo: 5, Hi: 2}}}},
+		{"lo2 on 1-D", QueryRequest{Kind: KindWorkload, Eps: 1, Dims: []DomainSpec{ageDomain()}, Ranges: []RangeSpec{{Lo: 0, Hi: 1, Lo2: &lo2, Hi2: &lo2}}}},
+		{"2-D missing hi2", QueryRequest{Kind: KindWorkload, Eps: 1, Dims: []DomainSpec{ageDomain(), ageDomain()}, Ranges: []RangeSpec{{Lo: 0, Hi: 1, Lo2: &lo2}}}},
+		{"unknown estimator", QueryRequest{Kind: KindWorkload, Eps: 1, Estimator: "magic", Dims: []DomainSpec{ageDomain()}, Ranges: ok}},
+	}
+	for _, tc := range cases {
+		if _, err := sc.Query(ctx, tc.req); !errors.Is(err, ErrBadRequest) {
+			t.Fatalf("%s: got %v, want ErrBadRequest", tc.name, err)
+		}
+	}
+	if spent := srv.cfg.Ledger.TotalSpent(); spent != 0 {
+		t.Fatalf("rejected workloads charged the ledger %g", spent)
+	}
+	info, err := sc.Info(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Spent != 0 {
+		t.Fatalf("rejected workloads charged the session %g", info.Spent)
+	}
+}
+
+// TestWorkloadBudgetRejectionRefundsLedger pins the charge/refund
+// contract for the workload path: a session-accountant rejection
+// provably precedes any noise, so the ledger reservation comes back.
+func TestWorkloadBudgetRejectionRefundsLedger(t *testing.T) {
+	c, srv := newLedgerServer(t, "", ledger.Config{DefaultBudget: 10}, Config{})
+	registerPeople(t, srv, 100)
+	ac, _ := mintAnalyst(t, c, "carol", 0)
+	// Session budget 0.5 < eps 1: the ledger admits the charge, the
+	// session accountant refuses it before any noise.
+	sc, err := ac.OpenSession(ctx, "people", 0.5, seed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sc.Workload(ctx, 1, EstimatorDAWA, nil, []DomainSpec{ageDomain()}, randomAgeRanges(10, rand.New(rand.NewSource(1))))
+	if !errors.Is(err, core.ErrBudgetExceeded) {
+		t.Fatalf("got %v, want ErrBudgetExceeded", err)
+	}
+	if spent := srv.cfg.Ledger.TotalSpent(); spent != 0 {
+		t.Fatalf("ledger kept %g after a pre-noise rejection (refund contract broken)", spent)
+	}
+}
+
+// TestWorkloadDomainLRUReuse pins that repeated workload shapes hit the
+// explicit-domain LRU instead of recompiling.
+func TestWorkloadDomainLRUReuse(t *testing.T) {
+	srv := New(Config{AllowSeededSessions: true})
+	registerPeople(t, srv, 100)
+	srv.mu.Lock()
+	d := srv.datasets["people"]
+	srv.mu.Unlock()
+	info, err := srv.OpenSession("", OpenSessionRequest{Dataset: "people", Budget: 0, Seed: seed(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := QueryRequest{Kind: KindWorkload, Eps: 1, Dims: []DomainSpec{ageDomain()},
+		Ranges: []RangeSpec{{Lo: 0, Hi: 10}}}
+	if _, err := srv.Query("", info.ID, req); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.art.domains.len(); got != 1 {
+		t.Fatalf("domain LRU holds %d entries after first workload, want 1", got)
+	}
+	if _, err := srv.Query("", info.ID, req); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.art.domains.len(); got != 1 {
+		t.Fatalf("domain LRU holds %d entries after repeat workload, want 1 (shape must be reused)", got)
+	}
+}
