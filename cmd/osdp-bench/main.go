@@ -8,6 +8,7 @@
 //	osdp-bench -dataplane BENCH_dataplane.json [-quick]
 //	osdp-bench -ledger BENCH_ledger.json [-quick]
 //	osdp-bench -workload BENCH_workload.json [-quick]
+//	osdp-bench -parallel BENCH_parallel.json [-workers N] [-quick]
 //
 // -quick shrinks the workloads for a fast smoke run; the default
 // configuration matches the scales recorded in EXPERIMENTS.md.
@@ -30,6 +31,14 @@
 // the result to the given JSON file, the artifact CI tracks so the
 // structure-exploiting estimators' range-workload advantage cannot
 // silently regress.
+//
+// -parallel runs only the parallel data-plane benchmark (the chunked
+// scan worker pool: serial vs -workers-way filtered group-by scan and
+// predicate selection on the 1M-row table, 256k with -quick) and
+// writes the result to the given JSON file, the artifact CI tracks so
+// the multi-core speedup cannot silently regress. The recorded speedup
+// is bounded by min(workers, CPUs) — on a single-core machine it is
+// ~1.0 by construction.
 package main
 
 import (
@@ -37,6 +46,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -51,6 +61,8 @@ func main() {
 	dataplane := flag.String("dataplane", "", "run the data-plane benchmark and write its JSON result to this file")
 	ledgerOut := flag.String("ledger", "", "run the budget-ledger benchmark and write its JSON result to this file")
 	workloadOut := flag.String("workload", "", "run the range-workload estimator benchmark and write its JSON result to this file")
+	parallelOut := flag.String("parallel", "", "run the parallel data-plane benchmark and write its JSON result to this file")
+	workers := flag.Int("workers", runtime.NumCPU(), "worker count for the -parallel benchmark")
 	flag.Parse()
 
 	if *dataplane != "" {
@@ -69,6 +81,13 @@ func main() {
 	}
 	if *workloadOut != "" {
 		if err := runWorkloadBench(*workloadOut, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *parallelOut != "" {
+		if err := runParallelBench(*parallelOut, *workers, *quick); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -229,6 +248,29 @@ func runWorkloadBench(path string, quick bool) error {
 	res, err := experiments.MeasureWorkload(rows, 1024, queries, 1.0)
 	if err != nil {
 		return fmt.Errorf("workload benchmark: %w", err)
+	}
+	fmt.Println(res.String())
+	body, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return fmt.Errorf("encoding %s: %w", path, err)
+	}
+	if err := os.WriteFile(path, append(body, '\n'), 0o644); err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// runParallelBench measures the serial vs parallel scan and writes the
+// result as JSON.
+func runParallelBench(path string, workers int, quick bool) error {
+	rows, minDur := 1_000_000, 2*time.Second
+	if quick {
+		rows, minDur = 256_000, 300*time.Millisecond
+	}
+	res, err := experiments.MeasureParallel(rows, 64, workers, minDur)
+	if err != nil {
+		return fmt.Errorf("parallel benchmark: %w", err)
 	}
 	fmt.Println(res.String())
 	body, err := json.MarshalIndent(res, "", "  ")

@@ -9,10 +9,16 @@
 // Usage:
 //
 //	osdp-server [-addr :8080] [-ttl 30m] [-max-sessions N]
-//	            [-max-session-eps E] [-allow-seeds]
+//	            [-max-session-eps E] [-allow-seeds] [-scan-workers N]
 //	            [-ledger DIR] [-admin-token TOK] [-default-analyst-eps E]
 //	            [-max-analyst-sessions N]
 //	            [-data NAME=FILE.csv]... [-policy NAME=FILE.json]...
+//
+// -scan-workers caps the data-plane scan parallelism: vectorized
+// predicate evaluation, policy splits, and histogram passes over tables
+// above 64K rows shard across this many goroutines (default: the number
+// of CPUs). 1 forces serial scans; answers are bit-identical either
+// way, so the knob trades latency against CPU share, never correctness.
 //
 // -ledger DIR turns on the privacy-budget control plane: analyst
 // identity (bearer API keys), durable per-(analyst, dataset) ε accounts
@@ -47,6 +53,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -62,6 +69,7 @@ func main() {
 	maxSessions := flag.Int("max-sessions", 0, "cap on concurrently open sessions (0 = unlimited)")
 	maxEps := flag.Float64("max-session-eps", 0, "cap on any one session's ε budget; also forbids unlimited sessions (0 = no cap)")
 	allowSeeds := flag.Bool("allow-seeds", false, "let clients open seeded (reproducible) sessions — predictable noise voids the OSDP guarantee, test/demo use only")
+	scanWorkers := flag.Int("scan-workers", runtime.NumCPU(), "data-plane scan parallelism: goroutines per vectorized pass on large tables (1 = serial)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 	ledgerDir := flag.String("ledger", "", "durable privacy-budget ledger directory; enables analyst auth and cross-session ε accounting")
 	adminToken := flag.String("admin-token", "", "bearer token for the /admin API (default $OSDP_ADMIN_TOKEN); empty disables /admin")
@@ -72,6 +80,12 @@ func main() {
 	flag.Func("data", "NAME=FILE.csv dataset to register at startup (repeatable)", kvInto(data))
 	flag.Func("policy", "NAME=FILE.json policy for the dataset NAME (repeatable)", kvInto(policies))
 	flag.Parse()
+
+	// Set scan parallelism before any dataset loads so registration-time
+	// precompute (splits, bin vectors) already uses the pool.
+	if eff := dataset.SetScanWorkers(*scanWorkers); eff != *scanWorkers {
+		log.Printf("scan workers clamped to %d (requested %d)", eff, *scanWorkers)
+	}
 
 	var led *ledger.Ledger
 	if *ledgerDir != "" {

@@ -1,0 +1,153 @@
+package osdp
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"strings"
+	"testing"
+)
+
+// TestExportedDocComments is the documentation lint CI runs: every
+// exported top-level identifier in the documented-surface packages —
+// the columnar data plane, the histogram substrate, and the serving
+// layer (including the Go client) — must carry a doc comment, and the
+// comment must start with the identifier's name per godoc convention.
+// The packages' doc comments promise concurrency-safety notes; this
+// lint keeps the surface from silently growing undocumented members.
+func TestExportedDocComments(t *testing.T) {
+	for _, dir := range []string{
+		"internal/dataset",
+		"internal/histogram",
+		"internal/server",
+	} {
+		t.Run(dir, func(t *testing.T) {
+			for _, problem := range lintPackageDocs(t, dir) {
+				t.Error(problem)
+			}
+		})
+	}
+}
+
+// lintPackageDocs parses one package directory (tests excluded) and
+// returns a description of every exported declaration with a missing or
+// malformed doc comment.
+func lintPackageDocs(t *testing.T, dir string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing %s: %v", dir, err)
+	}
+	var problems []string
+	report := func(pos token.Pos, format string, args ...any) {
+		problems = append(problems, fmt.Sprintf("%s: %s", fset.Position(pos), fmt.Sprintf(format, args...)))
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() || !exportedReceiver(d) {
+						continue
+					}
+					checkDoc(report, d.Pos(), d.Doc, d.Name.Name)
+				case *ast.GenDecl:
+					lintGenDecl(report, d)
+				}
+			}
+		}
+	}
+	return problems
+}
+
+// exportedReceiver reports whether a method's receiver type is exported
+// (methods on unexported types are not part of the godoc surface).
+func exportedReceiver(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true // plain function
+	}
+	typ := d.Recv.List[0].Type
+	for {
+		switch x := typ.(type) {
+		case *ast.StarExpr:
+			typ = x.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			typ = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return true // unusual shape: lint rather than skip
+		}
+	}
+}
+
+// lintGenDecl checks type/const/var declarations: a doc comment on the
+// group covers its members; otherwise each exported member needs its
+// own.
+func lintGenDecl(report func(token.Pos, string, ...any), d *ast.GenDecl) {
+	if d.Tok != token.TYPE && d.Tok != token.CONST && d.Tok != token.VAR {
+		return
+	}
+	groupDoc := d.Doc != nil
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			doc := s.Doc
+			if doc == nil && groupDoc && len(d.Specs) == 1 {
+				doc = d.Doc
+			}
+			checkDoc(report, s.Pos(), doc, s.Name.Name)
+		case *ast.ValueSpec:
+			var exported *ast.Ident
+			for _, name := range s.Names {
+				if name.IsExported() {
+					exported = name
+					break
+				}
+			}
+			if exported == nil {
+				continue
+			}
+			if s.Doc == nil && s.Comment == nil && !groupDoc {
+				report(s.Pos(), "exported %s %s has no doc comment (and its group has none)",
+					tokenName(d.Tok), exported.Name)
+			}
+		}
+	}
+}
+
+// checkDoc requires a doc comment that follows the "Name ..." godoc
+// convention (allowing the standard "A Name"/"An Name"/"The Name"
+// openers).
+func checkDoc(report func(token.Pos, string, ...any), pos token.Pos, doc *ast.CommentGroup, name string) {
+	if doc == nil || strings.TrimSpace(doc.Text()) == "" {
+		report(pos, "exported %s has no doc comment", name)
+		return
+	}
+	text := strings.TrimSpace(doc.Text())
+	for _, opener := range []string{"", "A ", "An ", "The "} {
+		if strings.HasPrefix(text, opener+name) {
+			return
+		}
+	}
+	report(pos, "doc comment for %s does not start with %q (godoc convention)", name, name)
+}
+
+func tokenName(tok token.Token) string {
+	switch tok {
+	case token.CONST:
+		return "const"
+	case token.VAR:
+		return "var"
+	default:
+		return "declaration"
+	}
+}

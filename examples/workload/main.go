@@ -1,0 +1,96 @@
+// Workload: the full authenticated serving flow against an in-process
+// osdp server — mint an analyst through the admin plane, open a session
+// with the analyst's bearer key, and answer a battery of range-count
+// queries (the `workload` query kind) from ONE private synopsis under
+// ONE composed ε charge, then audit the spend over /admin.
+//
+// Everything runs inside this process (an httptest listener and an
+// in-memory ε-ledger), but every byte crosses the real HTTP/JSON wire —
+// the same flow works against `osdp-server -ledger` by swapping the URL
+// and tokens. See API.md for the endpoints this exercises.
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+
+	"osdp/internal/dataset"
+	"osdp/internal/ledger"
+	"osdp/internal/server"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// --- 1. A dataset: ages clustered around two modes, minors sensitive.
+	schema := dataset.NewSchema(
+		dataset.Field{Name: "Age", Kind: dataset.KindInt},
+	)
+	rng := rand.New(rand.NewSource(1))
+	db := dataset.NewTable(schema)
+	for i := 0; i < 50000; i++ {
+		age := 8 + rng.Intn(12) // school-age cluster
+		if rng.Intn(3) > 0 {
+			age = 25 + rng.Intn(40) // working-age cluster
+		}
+		db.AppendValues(dataset.Int(int64(age)))
+	}
+	policy := dataset.NewPolicy("minors", dataset.Cmp("Age", dataset.OpLe, dataset.Int(17)))
+
+	// --- 2. An authenticated server: in-memory ledger + admin token.
+	led, err := ledger.Open(ledger.Config{DefaultBudget: 2.0}) // no Dir: in-memory
+	must(err)
+	defer led.Close()
+	const adminToken = "demo-admin-token"
+	srv := server.New(server.Config{Ledger: led, AdminToken: adminToken})
+	must(srv.RegisterTable("people", db, policy))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	fmt.Println("server listening (in-process) at", ts.URL)
+
+	// --- 3. Admin plane: mint an analyst. The key is shown exactly once;
+	// the server stores only its hash.
+	admin := server.NewClient(ts.URL, nil).WithToken(adminToken)
+	created, err := admin.CreateAnalyst(ctx, server.CreateAnalystRequest{Name: "alice"})
+	must(err)
+	fmt.Printf("minted analyst %s (%s), default budget ε=2.0 per dataset\n", created.Name, created.ID)
+
+	// --- 4. Query plane: open a session with the analyst's bearer key
+	// and answer 13 range-count queries from ONE hier synopsis. The whole
+	// batch composes to a single ε=0.5 charge (every range answer is
+	// post-processing of the same release).
+	alice := server.NewClient(ts.URL, nil).WithToken(created.Key)
+	sess, err := alice.OpenSession(ctx, "people", 0, nil)
+	must(err)
+	dims := []server.DomainSpec{{Attr: "Age", Lo: 0, Width: 1, Bins: 100}}
+	ranges := []server.RangeSpec{{Lo: 0, Hi: 17}, {Lo: 18, Hi: 64}, {Lo: 65, Hi: 99}}
+	for lo := 0; lo < 100; lo += 10 {
+		ranges = append(ranges, server.RangeSpec{Lo: lo, Hi: lo + 9})
+	}
+	resp, err := sess.Workload(ctx, 0.5, server.EstimatorHier, nil, dims, ranges)
+	must(err)
+	fmt.Printf("\n%d range queries via estimator %q, one composed charge (ε=0.5):\n", len(ranges), resp.Estimator)
+	for i, r := range ranges {
+		trueCount := db.Count(dataset.And(
+			dataset.Cmp("Age", dataset.OpGe, dataset.Int(int64(r.Lo))),
+			dataset.Cmp("Age", dataset.OpLe, dataset.Int(int64(r.Hi))),
+		))
+		fmt.Printf("  ages %2d-%2d  estimate %8.1f  (true %d)\n", r.Lo, r.Hi, resp.Answers[i], trueCount)
+	}
+	fmt.Printf("session after the batch: spent ε=%.2f, guarantee %s\n",
+		resp.Budget.Spent, resp.Budget.Guarantee)
+
+	// --- 5. Audit: the ledger recorded exactly one charge for the batch.
+	report, err := admin.Spend(ctx)
+	must(err)
+	fmt.Printf("\nadmin spend report: %d account(s), total ε spent %.2f\n",
+		report.TouchedAccounts, report.TotalSpent)
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,74 @@
+package osdp
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExamplesCompile keeps every program under examples/ compiling.
+// `go build` on multiple main packages type-checks and discards the
+// binaries, so this is a pure build check — the programs rotted
+// silently before it existed because nothing in CI ever compiled them.
+func TestExamplesCompile(t *testing.T) {
+	requireGo(t)
+	out, err := exec.Command("go", "build", "./examples/...").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build ./examples/... failed: %v\n%s", err, out)
+	}
+}
+
+// TestExamplesRunEndToEnd runs the two self-contained walkthroughs and
+// checks their landmark output lines: quickstart (the two core OSDP
+// mechanisms over a toy table) and workload (the authenticated serving
+// flow — admin-minted analyst, bearer-key session, one composed ε
+// charge for a whole range-query batch — against an in-process server).
+func TestExamplesRunEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples spawn `go run` subprocesses")
+	}
+	requireGo(t)
+	for _, tc := range []struct {
+		example   string
+		landmarks []string
+	}{
+		{"quickstart", []string{
+			"OsdpRR released",
+			"age histogram (true / non-sensitive / OSDP estimate):",
+			"privacy budget:",
+		}},
+		{"workload", []string{
+			"minted analyst alice",
+			"one composed charge",
+			"admin spend report: 1 account(s), total ε spent 0.50",
+		}},
+	} {
+		t.Run(tc.example, func(t *testing.T) {
+			cmd := exec.Command("go", "run", "./examples/"+tc.example)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run ./examples/%s failed: %v\n%s", tc.example, err, out)
+			}
+			for _, want := range tc.landmarks {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("examples/%s output is missing %q:\n%s", tc.example, want, out)
+				}
+			}
+		})
+	}
+}
+
+// requireGo skips when no go toolchain is on PATH (the test harness
+// itself was built by one, but PATH can be stripped in exotic setups).
+func requireGo(t *testing.T) {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	// Run from the module root so ./examples/... resolves.
+	if _, err := os.Stat(filepath.Join("examples", "quickstart")); err != nil {
+		t.Skip("examples/ not visible from the test working directory")
+	}
+}

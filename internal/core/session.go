@@ -34,7 +34,11 @@ var ErrEmptySample = errors.New("sample came up empty")
 // dataset share a single set of column vectors, and the policy split
 // itself is computed at most once per (table, policy) — dataset.Table
 // caches the partition bitsets, so even sessions opened concurrently
-// with plain NewSession reuse one split pass.
+// with plain NewSession reuse one split pass. On tables above 64K rows
+// that split pass, and every histogram/count scan a query performs,
+// shards across the dataset scan worker pool (dataset.SetScanWorkers);
+// parallel answers are bit-identical to serial ones, so the released
+// noise distribution is untouched by the worker count.
 type Session struct {
 	db     *dataset.Table
 	ns     *dataset.Table // non-sensitive partition: a selection view over db's columns

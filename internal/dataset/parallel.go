@@ -1,0 +1,227 @@
+package dataset
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the parallel chunked-execution substrate of the columnar
+// data plane. Every vectorized pass — predicate evaluation
+// (Table.Select), policy-split bitset construction (SplitBits via
+// Select), histogram binning and accumulation (internal/histogram) —
+// shards its row loop over fixed-size chunks dispatched to one small,
+// reusable, package-wide worker pool.
+//
+// Determinism contract: parallel execution is BIT-IDENTICAL to serial
+// execution, for every worker count and every chunk interleaving. The
+// passes guarantee this structurally:
+//
+//   - Bitset and bin-vector passes write POSITIONALLY: chunk boundaries
+//     are multiples of chunkRows (a multiple of 64), so two workers
+//     never touch the same bitset word or vector element.
+//   - Histogram accumulation sums per-worker partials whose entries are
+//     exact small integers (counts bounded by the row count, far below
+//     2^53), so float64 addition is associative here and the merge
+//     order cannot change the result.
+//
+// The differential tests in parallel_test.go pin this equivalence over
+// fuzzed predicates and tables.
+
+// chunkRows is the number of rows one dispatched chunk covers. It is a
+// multiple of 64 so that chunk boundaries fall on Bitset word
+// boundaries: workers filling adjacent chunks write disjoint words, and
+// no merge step is needed at all. 64K rows is large enough that the
+// per-chunk dispatch overhead (one atomic increment) is invisible, and
+// small enough that a chunk's column slice stays cache-friendly.
+const chunkRows = 1 << 16
+
+// MaxScanWorkers hard-caps the pool; SetScanWorkers clamps to it. The
+// pool exists to use the machine's cores, not to multiplex thousands of
+// goroutines; values beyond the cap add scheduling overhead with no
+// possible speedup. Callers keeping per-worker scratch may size it by
+// this constant: worker slots handed to ParallelRows callbacks are
+// always below it, even if the configured worker count changes while a
+// scan is being set up.
+const MaxScanWorkers = 64
+
+// scanWorkers is the configured parallelism (see SetScanWorkers).
+var scanWorkers atomic.Int32
+
+func init() { SetScanWorkers(runtime.NumCPU()) }
+
+// SetScanWorkers sets the data-plane scan parallelism: the maximum
+// number of goroutines (including the caller) a chunked pass may use.
+// n is clamped to [1, 64]; 1 makes every pass run serially on the
+// caller's goroutine. The default is runtime.NumCPU. It returns the
+// value actually set. Safe to call concurrently with running scans —
+// in-flight passes keep the parallelism they started with.
+func SetScanWorkers(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	if n > MaxScanWorkers {
+		n = MaxScanWorkers
+	}
+	scanWorkers.Store(int32(n))
+	return n
+}
+
+// ScanWorkers returns the configured data-plane scan parallelism.
+func ScanWorkers() int { return int(scanWorkers.Load()) }
+
+// ScanParallelism returns the number of worker slots a chunked pass
+// over rows rows may use: at least 1, at most ScanWorkers, and never
+// more than the number of chunks. Tables at or below one chunk (64K
+// rows) therefore always report 1 and pay zero parallel overhead.
+// Callers sizing per-worker scratch (e.g. partial histograms) allocate
+// exactly this many slots.
+func ScanParallelism(rows int) int {
+	w := int(scanWorkers.Load())
+	if nChunks := (rows + chunkRows - 1) / chunkRows; nChunks < w {
+		w = nChunks
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// pool is the lazily-started, package-wide worker pool. Workers are
+// permanent goroutines (started once, reused by every scan in the
+// process); the submitting goroutine always participates as worker 0,
+// so a scan makes progress even when every pool worker is busy with
+// other scans — there is no path where a submission can deadlock.
+var pool struct {
+	mu      sync.Mutex
+	started int           // permanent goroutines running
+	tasks   chan scanTask // UNBUFFERED; try-send only (see ParallelRows)
+}
+
+// scanTask is one worker's share of a chunked pass: grab the next
+// unclaimed chunk index until none remain.
+type scanTask struct {
+	worker  int // this worker's slot in [0, nWorkers)
+	next    *atomic.Int64
+	nChunks int
+	rows    int
+	fn      func(worker, lo, hi int)
+	wg      *sync.WaitGroup
+	pan     *panicBox
+}
+
+// panicBox carries the first panic out of the pool so it can be
+// re-raised on the submitting goroutine instead of killing the process
+// from a bare worker.
+type panicBox struct {
+	mu  sync.Mutex
+	val any
+	set bool
+}
+
+func (t scanTask) run() {
+	defer t.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			t.pan.mu.Lock()
+			if !t.pan.set {
+				t.pan.val, t.pan.set = r, true
+			}
+			t.pan.mu.Unlock()
+			// Poison the counter so sibling workers stop claiming
+			// chunks for a result that will be discarded.
+			t.next.Store(int64(t.nChunks))
+		}
+	}()
+	for {
+		i := int(t.next.Add(1)) - 1
+		if i >= t.nChunks {
+			return
+		}
+		lo := i * chunkRows
+		hi := lo + chunkRows
+		if hi > t.rows {
+			hi = t.rows
+		}
+		t.fn(t.worker, lo, hi)
+	}
+}
+
+// ensureWorkers starts permanent pool goroutines up to n (beyond those
+// already running).
+func ensureWorkers(n int) chan scanTask {
+	pool.mu.Lock()
+	defer pool.mu.Unlock()
+	if pool.tasks == nil {
+		// Unbuffered on purpose: a try-send then succeeds only when a
+		// worker is PARKED on receive, i.e. genuinely idle. A buffer
+		// would accept helper tasks while every worker is busy with
+		// another scan, and the submitter's wg.Wait would stall on
+		// those queued-but-unstarted helpers until the other scan
+		// drains — coupling one query's latency to unrelated queries
+		// for zero work.
+		pool.tasks = make(chan scanTask)
+	}
+	for pool.started < n {
+		go func(ch chan scanTask) {
+			for t := range ch {
+				t.run()
+			}
+		}(pool.tasks)
+		pool.started++
+	}
+	return pool.tasks
+}
+
+// ParallelRows runs fn over the row range [0, rows) in chunks of
+// chunkRows rows, using up to ScanParallelism(rows) goroutines. fn is
+// called with disjoint, chunk-aligned [lo, hi) windows; worker is the
+// calling slot in [0, ScanParallelism(rows)) and is stable within one
+// slot's calls, so fn may keep per-worker scratch indexed by it (each
+// slot is owned by exactly one goroutine for the duration of the call).
+// Chunks are claimed dynamically (work stealing), so fn must not
+// depend on which slot processes which chunk — only on the window it
+// is given. When the table is small or SetScanWorkers(1) is in effect,
+// fn runs once, inline, as fn(0, 0, rows): the serial path IS the
+// parallel path with one worker, which is what makes the differential
+// guarantee testable.
+//
+// fn must be a pure function of its window (plus worker-slot scratch):
+// it must not take locks that a concurrent scan could also want, and
+// writes must stay within its window. A panic in any worker is
+// re-raised on the calling goroutine after all workers have stopped.
+func ParallelRows(rows int, fn func(worker, lo, hi int)) {
+	nw := ScanParallelism(rows)
+	if nw <= 1 {
+		if rows > 0 {
+			fn(0, 0, rows)
+		}
+		return
+	}
+	tasks := ensureWorkers(nw - 1)
+	nChunks := (rows + chunkRows - 1) / chunkRows
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	pan := &panicBox{}
+	t := scanTask{next: &next, nChunks: nChunks, rows: rows, fn: fn, wg: &wg, pan: pan}
+	for w := 1; w < nw; w++ {
+		t.worker = w
+		wg.Add(1)
+		select {
+		case tasks <- t:
+		default:
+			// No worker is parked on the (unbuffered) channel: the pool
+			// is saturated by other scans. Proceed with fewer helpers
+			// rather than queueing behind them — the caller's own loop
+			// below guarantees completion regardless.
+			wg.Done()
+		}
+	}
+	t.worker = 0
+	wg.Add(1)
+	t.run() // the caller participates; also recovers its own panics
+	wg.Wait()
+	if pan.set {
+		panic(pan.val)
+	}
+}

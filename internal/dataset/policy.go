@@ -29,6 +29,7 @@ const (
 	OpGe
 )
 
+// String renders the operator in predicate syntax ("=", "!=", "<", …).
 func (op CmpOp) String() string {
 	switch op {
 	case OpEq:

@@ -74,7 +74,9 @@ func evalPhysical(b *Table, pred Predicate) *Bitset {
 // rows is invisible) and project through the selection; opaque
 // predicates (FuncPredicate) are invoked only on the view's own rows —
 // a predicate that is partial, side-effecting, or only defined on a
-// partition must never see rows the view excludes.
+// partition must never see rows the view excludes. The opaque loop is
+// also kept serial for the same reason: an opaque predicate promised
+// purity, not safety under concurrent invocation.
 func evalViewRelative(t *Table, pred Predicate) *Bitset {
 	base := t.Base()
 	return evalCombinators(pred, len(t.sel),
@@ -91,18 +93,24 @@ func evalViewRelative(t *Table, pred Predicate) *Bitset {
 }
 
 // projectToView maps a bitset over base physical rows onto view positions.
+// Chunked over view positions: workers write disjoint chunk-aligned word
+// ranges of out and only read phys.
 func projectToView(t *Table, phys *Bitset) *Bitset {
 	out := NewBitset(len(t.sel))
-	for i, p := range t.sel {
-		if phys.Get(int(p)) {
-			out.set(i)
+	ParallelRows(len(t.sel), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if phys.Get(int(t.sel[i])) {
+				out.set(i)
+			}
 		}
-	}
+	})
 	return out
 }
 
-// evalGenericPhysical is the row-at-a-time fallback for opaque predicates
-// (FuncPredicate) and mixed-kind columns.
+// evalGenericPhysical is the row-at-a-time fallback for opaque
+// predicates (FuncPredicate). It is deliberately serial: the purity
+// contract opaque predicates sign up to says nothing about safety under
+// concurrent invocation, so they are never called from pool workers.
 func evalGenericPhysical(b *Table, pred Predicate) *Bitset {
 	out := NewBitset(b.nrows)
 	for i := 0; i < b.nrows; i++ {
@@ -154,7 +162,11 @@ func allOrNone(n int, all bool) *Bitset {
 }
 
 // evalCmpPhysical vectorizes one comparison predicate over the typed
-// column vector.
+// column vector. The row loops are chunked across the scan worker pool
+// (ParallelRows): per-leaf setup — operator dispatch, the per-dictionary
+// verdict table — happens once on the calling goroutine, then each
+// worker fills a disjoint chunk-aligned segment of the output bitset,
+// so the parallel result is positionally identical to the serial one.
 func evalCmpPhysical(b *Table, q cmpPredicate) *Bitset {
 	ci := b.schema.ColumnIndex(q.attr)
 	if ci < 0 {
@@ -163,7 +175,19 @@ func evalCmpPhysical(b *Table, q cmpPredicate) *Bitset {
 	}
 	col := b.cols[ci]
 	if !col.pure() {
-		return evalGenericPhysical(b, q)
+		// Mixed-kind column: per-row Value comparison, but still a pure
+		// read of the column store, so the loop can chunk like the
+		// vectorized ones (unlike opaque FuncPredicates, which stay
+		// serial in evalGenericPhysical).
+		out := NewBitset(b.nrows)
+		ParallelRows(b.nrows, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if q.Eval(Record{schema: b.schema, tab: b, row: i}) {
+					out.set(i)
+				}
+			}
+		})
+		return out
 	}
 	n := b.nrows
 	switch col.kind {
@@ -173,7 +197,9 @@ func evalCmpPhysical(b *Table, q cmpPredicate) *Bitset {
 		}
 		if v := q.val.AsFloat(); !math.IsNaN(v) {
 			out := NewBitset(n)
-			vecCmpInts(out, col.ints[:n], v, q.op)
+			ParallelRows(n, func(_, lo, hi int) {
+				vecCmpInts(out, col.ints[lo:hi], v, q.op, lo)
+			})
 			return out
 		}
 		// Value.Compare returns 0 whenever either side is NaN (neither
@@ -185,7 +211,9 @@ func evalCmpPhysical(b *Table, q cmpPredicate) *Bitset {
 		}
 		if v := q.val.AsFloat(); !math.IsNaN(v) {
 			out := NewBitset(n)
-			vecCmpFloats(out, col.floats[:n], v, q.op)
+			ParallelRows(n, func(_, lo, hi int) {
+				vecCmpFloats(out, col.floats[lo:hi], v, q.op, lo)
+			})
 			return out
 		}
 		return allOrNone(n, verdict(0, q.op))
@@ -196,11 +224,13 @@ func evalCmpPhysical(b *Table, q cmpPredicate) *Bitset {
 		out := NewBitset(n)
 		matchTrue := verdict(cmpBool(true, q.val.b), q.op)
 		matchFalse := verdict(cmpBool(false, q.val.b), q.op)
-		for i, x := range col.bools[:n] {
-			if (x && matchTrue) || (!x && matchFalse) {
-				out.set(i)
+		ParallelRows(n, func(_, lo, hi int) {
+			for i, x := range col.bools[lo:hi] {
+				if (x && matchTrue) || (!x && matchFalse) {
+					out.set(lo + i)
+				}
 			}
-		}
+		})
 		return out
 	default: // KindString
 		if q.val.kind != KindString {
@@ -213,11 +243,13 @@ func evalCmpPhysical(b *Table, q cmpPredicate) *Bitset {
 			match[code] = verdict(strings.Compare(s, q.val.s), q.op)
 		}
 		out := NewBitset(n)
-		for i, code := range col.codes[:n] {
-			if match[code] {
-				out.set(i)
+		ParallelRows(n, func(_, lo, hi int) {
+			for i, code := range col.codes[lo:hi] {
+				if match[code] {
+					out.set(lo + i)
+				}
 			}
-		}
+		})
 		return out
 	}
 }
@@ -225,43 +257,45 @@ func evalCmpPhysical(b *Table, q cmpPredicate) *Bitset {
 // vecCmpInts sets the bits of rows whose int value compares to v under
 // op. The operator switch is hoisted out of the row loop — one tight
 // branch-free-ish loop per operator. Comparison is through float64 on
-// both sides, matching Value.Compare's numeric semantics exactly.
-func vecCmpInts(out *Bitset, xs []int64, v float64, op CmpOp) {
+// both sides, matching Value.Compare's numeric semantics exactly. xs is
+// one chunk of the column; off is its first row's index, so bit off+i
+// corresponds to xs[i] (chunks are word-aligned — see ParallelRows).
+func vecCmpInts(out *Bitset, xs []int64, v float64, op CmpOp, off int) {
 	switch op {
 	case OpEq:
 		for i, x := range xs {
 			if float64(x) == v {
-				out.set(i)
+				out.set(off + i)
 			}
 		}
 	case OpNe:
 		for i, x := range xs {
 			if float64(x) != v {
-				out.set(i)
+				out.set(off + i)
 			}
 		}
 	case OpLt:
 		for i, x := range xs {
 			if float64(x) < v {
-				out.set(i)
+				out.set(off + i)
 			}
 		}
 	case OpLe:
 		for i, x := range xs {
 			if float64(x) <= v {
-				out.set(i)
+				out.set(off + i)
 			}
 		}
 	case OpGt:
 		for i, x := range xs {
 			if float64(x) > v {
-				out.set(i)
+				out.set(off + i)
 			}
 		}
 	case OpGe:
 		for i, x := range xs {
 			if float64(x) >= v {
-				out.set(i)
+				out.set(off + i)
 			}
 		}
 	}
@@ -271,42 +305,42 @@ func vecCmpInts(out *Bitset, xs []int64, v float64, op CmpOp) {
 // (handled by the caller), but a stored x may be NaN: Value.Compare
 // yields 0 for it, so Eq/Le/Ge must also match NaN rows and Ne must not
 // (the x != x test is the NaN check).
-func vecCmpFloats(out *Bitset, xs []float64, v float64, op CmpOp) {
+func vecCmpFloats(out *Bitset, xs []float64, v float64, op CmpOp, off int) {
 	switch op {
 	case OpEq:
 		for i, x := range xs {
 			if x == v || x != x {
-				out.set(i)
+				out.set(off + i)
 			}
 		}
 	case OpNe:
 		for i, x := range xs {
 			if x != v && x == x {
-				out.set(i)
+				out.set(off + i)
 			}
 		}
 	case OpLt:
 		for i, x := range xs {
 			if x < v {
-				out.set(i)
+				out.set(off + i)
 			}
 		}
 	case OpLe:
 		for i, x := range xs {
 			if x <= v || x != x {
-				out.set(i)
+				out.set(off + i)
 			}
 		}
 	case OpGt:
 		for i, x := range xs {
 			if x > v {
-				out.set(i)
+				out.set(off + i)
 			}
 		}
 	case OpGe:
 		for i, x := range xs {
 			if x >= v || x != x {
-				out.set(i)
+				out.set(off + i)
 			}
 		}
 	}

@@ -356,10 +356,16 @@ func (t *Table) viewFromSel(sel []int32) *Table {
 // selection bitset (bit i set means record i matches). Comparison
 // predicates over typed columns are evaluated vectorized — one pass over
 // the typed slice with no per-record interface dispatch; combinators
-// become bitset algebra. Unlike per-record evaluation, And/Or do not
+// become bitset algebra. On tables above one chunk (64K rows) the
+// vectorized passes are sharded across the scan worker pool (see
+// ParallelRows); results are bit-identical to serial evaluation for
+// every worker count. Unlike per-record evaluation, And/Or do not
 // short-circuit, so predicates must be pure functions of the record.
 // Opaque predicates (FuncPredicate) are invoked only on the table's own
-// records — never on rows a view excludes.
+// records — never on rows a view excludes — and always serially, never
+// from pool workers.
+//
+// Select is safe for concurrent use with other reads of the table.
 func (t *Table) Select(pred Predicate) *Bitset {
 	if t.sel == nil || t.selIsIdentity() {
 		return evalPhysical(t.Base(), pred)
@@ -487,9 +493,14 @@ func joinCacheKeys(tag string, ps []Predicate) (string, bool) {
 // SplitBits partitions the table by policy P into (sensitive,
 // nonSensitive) selection bitsets. The partition is computed once per
 // (table, policy) and cached — concurrent sessions over one dataset share
-// a single split pass. Policies whose predicates come from outside this
-// package (other than FuncPredicate) are computed fresh every call, as
-// they have no sound cache identity.
+// a single split pass; the pass itself shards its predicate evaluation
+// across the scan worker pool on large tables (see Select). Policies
+// whose predicates come from outside this package (other than
+// FuncPredicate) are computed fresh every call, as they have no sound
+// cache identity.
+//
+// SplitBits is safe for concurrent use; racing callers for the same
+// uncached policy serialize on the table's split mutex.
 func (t *Table) SplitBits(p Policy) (sensitive, nonSensitive *Bitset) {
 	e := t.splitEntryFor(p)
 	return e.sens, e.ns

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"osdp/internal/dataset"
+	"osdp/internal/histogram"
+)
+
+// This file is the parallel data-plane benchmark behind cmd/osdp-bench
+// -parallel and the root BenchmarkParallelScan: the canonical filtered
+// group-by scan from dataplane.go, run serially (one worker) and
+// sharded across the scan worker pool, on the same table. Because the
+// parallel engine is bit-identical to the serial one by construction,
+// the two runs must agree exactly — the measurement doubles as a
+// differential check at full scale.
+
+// ParallelResult is the machine-readable outcome written to
+// BENCH_parallel.json.
+type ParallelResult struct {
+	Rows   int `json:"rows"`
+	Groups int `json:"groups"`
+	// WorkersRequested is the worker count benchmarked; WorkersEffective
+	// is after clamping to the pool cap, and CPUs records the machine,
+	// since a speedup below ~min(workers, CPUs) on a busy or small host
+	// is scheduling, not regression.
+	WorkersRequested int `json:"workers_requested"`
+	WorkersEffective int `json:"workers_effective"`
+	CPUs             int `json:"cpus"`
+	// Scan is the serving hot path: WHERE selection + histogram
+	// accumulation (histogram.Query.Eval). Select is predicate
+	// evaluation alone (dataset.Table.Select).
+	ScanSerialNsPerOp     float64 `json:"scan_serial_ns_per_op"`
+	ScanParallelNsPerOp   float64 `json:"scan_parallel_ns_per_op"`
+	ScanSpeedup           float64 `json:"scan_speedup"`
+	SelectSerialNsPerOp   float64 `json:"select_serial_ns_per_op"`
+	SelectParallelNsPerOp float64 `json:"select_parallel_ns_per_op"`
+	SelectSpeedup         float64 `json:"select_speedup"`
+}
+
+// MeasureParallel times the filtered group-by scan and the bare
+// predicate selection on a fresh rows-long table, serially and with the
+// requested worker count, and checks the two engines agree bin for bin
+// before reporting. The previous scan-worker setting is restored on
+// return.
+func MeasureParallel(rows, groups, workers int, minDuration time.Duration) (ParallelResult, error) {
+	tb := DataplaneTable(rows, groups, 1)
+	where := DataplaneWhere()
+	q := histogram.NewQuery(where, histogram.DomainFromTable(tb, "Group"))
+
+	prev := dataset.ScanWorkers()
+	defer dataset.SetScanWorkers(prev)
+
+	dataset.SetScanWorkers(1)
+	serialHist := q.Eval(tb) // also warms the cached bin vector
+	serialCount := tb.Select(where).Count()
+
+	effective := dataset.SetScanWorkers(workers)
+	parallelHist := q.Eval(tb)
+	if parallelHist.Bins() != serialHist.Bins() {
+		return ParallelResult{}, fmt.Errorf("parallel benchmark: bin arity changed: %d vs %d", parallelHist.Bins(), serialHist.Bins())
+	}
+	for i := 0; i < serialHist.Bins(); i++ {
+		if serialHist.Count(i) != parallelHist.Count(i) {
+			return ParallelResult{}, fmt.Errorf("parallel benchmark: engines disagree on bin %d: %v vs %v",
+				i, serialHist.Count(i), parallelHist.Count(i))
+		}
+	}
+	if got := tb.Select(where).Count(); got != serialCount {
+		return ParallelResult{}, fmt.Errorf("parallel benchmark: Select count changed: %d vs %d", got, serialCount)
+	}
+
+	dataset.SetScanWorkers(1)
+	scanSerial := timePerOp(minDuration, func() { q.Eval(tb) })
+	selSerial := timePerOp(minDuration, func() { tb.Select(where) })
+	dataset.SetScanWorkers(workers)
+	scanParallel := timePerOp(minDuration, func() { q.Eval(tb) })
+	selParallel := timePerOp(minDuration, func() { tb.Select(where) })
+
+	return ParallelResult{
+		Rows:                  rows,
+		Groups:                groups,
+		WorkersRequested:      workers,
+		WorkersEffective:      effective,
+		CPUs:                  runtime.NumCPU(),
+		ScanSerialNsPerOp:     scanSerial,
+		ScanParallelNsPerOp:   scanParallel,
+		ScanSpeedup:           scanSerial / scanParallel,
+		SelectSerialNsPerOp:   selSerial,
+		SelectParallelNsPerOp: selParallel,
+		SelectSpeedup:         selSerial / selParallel,
+	}, nil
+}
+
+// String renders the result as a report-style table row.
+func (r ParallelResult) String() string {
+	return fmt.Sprintf(
+		"parallel: %d rows, %d groups, %d worker(s) on %d CPU(s) | scan %.3f -> %.3f ms/op (%.2fx), select %.3f -> %.3f ms/op (%.2fx)",
+		r.Rows, r.Groups, r.WorkersEffective, r.CPUs,
+		r.ScanSerialNsPerOp/1e6, r.ScanParallelNsPerOp/1e6, r.ScanSpeedup,
+		r.SelectSerialNsPerOp/1e6, r.SelectParallelNsPerOp/1e6, r.SelectSpeedup)
+}

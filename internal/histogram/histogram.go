@@ -19,7 +19,10 @@ import (
 
 // Histogram is a dense vector of non-negative counts, one per domain bin.
 // Counts are float64 because private estimates are real-valued; true
-// histograms hold integers.
+// histograms hold integers. A Histogram is a plain mutable value: safe
+// for concurrent reads, but mutation (SetCount, Add, Clamp…) must not
+// race with any other access — mechanisms that perturb counts work on
+// Clone()s for exactly this reason.
 type Histogram struct {
 	counts []float64
 	labels []string // optional, len 0 or len(counts)
@@ -198,6 +201,10 @@ func mustSameBins(a, b *Histogram) {
 // Domain maps attribute values to dense bin indices. It is how a GROUP BY
 // over a categorical or bucketised attribute becomes a vector of counts
 // that includes empty groups — the paper's histogram query semantics.
+// A Domain is immutable after construction and safe for concurrent use:
+// the lazily-built per-table bin vectors are guarded by an internal
+// mutex, so one Domain can serve racing queries (the server registry
+// relies on this).
 type Domain struct {
 	attr   string
 	keys   []string
@@ -285,7 +292,11 @@ func (d *Domain) bucketOf(x float64) int {
 
 // Precompute builds and caches the per-row bin vector for t's base table,
 // so the first query against t does not pay the binning pass. The server
-// registry calls this at dataset-load time.
+// registry calls this at dataset-load time. On tables above one chunk
+// (64K rows) the binning pass is sharded across the dataset scan worker
+// pool; workers write disjoint segments of the vector, so the result is
+// identical to a serial build. Safe for concurrent use (the bin cache
+// carries its own mutex).
 func (d *Domain) Precompute(t *dataset.Table) { d.binVector(t.Base()) }
 
 // binVector returns the cached bin id of every physical row of base,
@@ -307,7 +318,11 @@ func (d *Domain) binVector(base *dataset.Table) []int32 {
 // buildBinVector computes the bin vector in one pass over the typed
 // column, falling back to per-record BinOf for mixed-kind columns. Every
 // branch reproduces BinOf's semantics exactly (bin by AsString for
-// categorical domains, by AsFloat for numeric ones).
+// categorical domains, by AsFloat for numeric ones). Each fill variant
+// does its setup (dictionary/bin tables, key maps) once on the calling
+// goroutine and then chunks the row loop over the scan worker pool;
+// workers write disjoint bins[lo:hi] segments and only read shared
+// state, so the parallel build is positionally identical to serial.
 func (d *Domain) buildBinVector(base *dataset.Table) []int32 {
 	n := base.Len()
 	bins := make([]int32, n)
@@ -338,9 +353,11 @@ func (d *Domain) buildBinVector(base *dataset.Table) []int32 {
 }
 
 func (d *Domain) fillGeneric(base *dataset.Table, bins []int32) {
-	for i := range bins {
-		bins[i] = int32(d.BinOf(base.Record(i)))
-	}
+	dataset.ParallelRows(len(bins), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			bins[i] = int32(d.BinOf(base.Record(i)))
+		}
+	})
 }
 
 // fillCategoricalStrings resolves each DISTINCT dictionary entry to a bin
@@ -358,9 +375,11 @@ func (d *Domain) fillCategoricalStrings(base *dataset.Table, ci int, bins []int3
 		}
 		code2bin[code] = int32(b)
 	}
-	for i := range bins {
-		bins[i] = code2bin[codes[i]]
-	}
+	dataset.ParallelRows(len(bins), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			bins[i] = code2bin[codes[i]]
+		}
+	})
 	return true
 }
 
@@ -378,13 +397,15 @@ func (d *Domain) fillCategoricalInts(base *dataset.Table, ci int, bins []int32) 
 			m[v] = int32(b)
 		}
 	}
-	for i, x := range ints[:len(bins)] {
-		if b, ok := m[x]; ok {
-			bins[i] = b
-		} else {
-			bins[i] = -1
+	dataset.ParallelRows(len(bins), func(_, lo, hi int) {
+		for i, x := range ints[lo:hi] {
+			if b, ok := m[x]; ok {
+				bins[lo+i] = b
+			} else {
+				bins[lo+i] = -1
+			}
 		}
-	}
+	})
 	return true
 }
 
@@ -413,22 +434,24 @@ func (d *Domain) fillCategoricalFloats(base *dataset.Table, ci int, bins []int32
 			m[v] = int32(b)
 		}
 	}
-	for i, x := range floats[:len(bins)] {
-		switch {
-		case math.IsNaN(x):
-			bins[i] = nanBin
-		case x == 0 && math.Signbit(x):
-			bins[i] = negZeroBin
-		case x == 0:
-			bins[i] = posZeroBin
-		default:
-			if b, ok := m[x]; ok {
-				bins[i] = b
-			} else {
-				bins[i] = -1
+	dataset.ParallelRows(len(bins), func(_, lo, hi int) {
+		for i, x := range floats[lo:hi] {
+			switch {
+			case math.IsNaN(x):
+				bins[lo+i] = nanBin
+			case x == 0 && math.Signbit(x):
+				bins[lo+i] = negZeroBin
+			case x == 0:
+				bins[lo+i] = posZeroBin
+			default:
+				if b, ok := m[x]; ok {
+					bins[lo+i] = b
+				} else {
+					bins[lo+i] = -1
+				}
 			}
 		}
-	}
+	})
 	return true
 }
 
@@ -444,14 +467,21 @@ func (d *Domain) fillCategoricalBools(base *dataset.Table, ci int, bins []int32)
 		return -1
 	}
 	trueBin, falseBin := binFor("true"), binFor("false")
-	for i, x := range bools[:len(bins)] {
-		if x {
-			bins[i] = trueBin
-		} else {
-			bins[i] = falseBin
-		}
-	}
+	fillBools(bins, bools, trueBin, falseBin)
 	return true
+}
+
+// fillBools maps a bool column onto its two bins, chunked.
+func fillBools(bins []int32, bools []bool, trueBin, falseBin int32) {
+	dataset.ParallelRows(len(bins), func(_, lo, hi int) {
+		for i, x := range bools[lo:hi] {
+			if x {
+				bins[lo+i] = trueBin
+			} else {
+				bins[lo+i] = falseBin
+			}
+		}
+	})
 }
 
 func (d *Domain) fillNumericInts(base *dataset.Table, ci int, bins []int32) bool {
@@ -459,9 +489,11 @@ func (d *Domain) fillNumericInts(base *dataset.Table, ci int, bins []int32) bool
 	if !ok {
 		return false
 	}
-	for i, x := range ints[:len(bins)] {
-		bins[i] = int32(d.bucketOf(float64(x)))
-	}
+	dataset.ParallelRows(len(bins), func(_, lo, hi int) {
+		for i, x := range ints[lo:hi] {
+			bins[lo+i] = int32(d.bucketOf(float64(x)))
+		}
+	})
 	return true
 }
 
@@ -470,9 +502,11 @@ func (d *Domain) fillNumericFloats(base *dataset.Table, ci int, bins []int32) bo
 	if !ok {
 		return false
 	}
-	for i, x := range floats[:len(bins)] {
-		bins[i] = int32(d.bucketOf(x))
-	}
+	dataset.ParallelRows(len(bins), func(_, lo, hi int) {
+		for i, x := range floats[lo:hi] {
+			bins[lo+i] = int32(d.bucketOf(x))
+		}
+	})
 	return true
 }
 
@@ -488,9 +522,11 @@ func (d *Domain) fillNumericStrings(base *dataset.Table, ci int, bins []int32) b
 		f, _ := strconv.ParseFloat(s, 64)
 		code2bin[code] = int32(d.bucketOf(f))
 	}
-	for i := range bins {
-		bins[i] = code2bin[codes[i]]
-	}
+	dataset.ParallelRows(len(bins), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			bins[i] = code2bin[codes[i]]
+		}
+	})
 	return true
 }
 
@@ -500,13 +536,7 @@ func (d *Domain) fillNumericBools(base *dataset.Table, ci int, bins []int32) boo
 		return false
 	}
 	trueBin, falseBin := int32(d.bucketOf(1)), int32(d.bucketOf(0))
-	for i, x := range bools[:len(bins)] {
-		if x {
-			bins[i] = trueBin
-		} else {
-			bins[i] = falseBin
-		}
-	}
+	fillBools(bins, bools, trueBin, falseBin)
 	return true
 }
 
@@ -546,6 +576,14 @@ func (q Query) Bins() int {
 	return n
 }
 
+// maxParallelAccumulateBins caps the output arity above which Eval
+// accumulates serially even on large tables: the parallel path gives
+// each worker a private partial histogram, and pinning workers x bins
+// float64s of scratch for a huge, necessarily sparse output would cost
+// more in allocation than the scan saves. Below the cap the scratch is
+// at most a few MB across the whole pool.
+const maxParallelAccumulateBins = 1 << 16
+
 // Eval runs the query over the table, returning a dense histogram in
 // row-major order (first dimension outermost). Records outside the domain
 // or failing the condition are ignored.
@@ -556,6 +594,14 @@ func (q Query) Bins() int {
 // per-record rendering, map entries, or interface dispatch. Reusing the
 // same Domain values across queries (as the server registry does) makes
 // the binning pass a one-time cost per (table, domain).
+//
+// On tables above one chunk (64K rows) the accumulation pass is sharded
+// across the dataset scan worker pool: each worker counts its chunks
+// into a private partial histogram and the partials are summed at the
+// end. Counts are exact integers far below 2^53, so the float64 merge
+// is order-independent and the result is bit-identical to a serial
+// evaluation, whatever the worker count — pinned by the differential
+// tests. Eval is safe for concurrent use.
 func (q Query) Eval(t *dataset.Table) *Histogram {
 	if len(q.Dims) == 0 {
 		panic("histogram: query has no dimensions")
@@ -582,26 +628,55 @@ func (q Query) Eval(t *dataset.Table) *Histogram {
 	}
 	sel := t.Selection()
 	n := t.Len()
-	for i := 0; i < n; i++ {
-		if where != nil && !where.Get(i) {
-			continue
-		}
-		p := i
-		if sel != nil {
-			p = int(sel[i])
-		}
-		b := bins0[p]
-		if b < 0 {
-			continue
-		}
-		if bins1 != nil {
-			b2 := bins1[p]
-			if b2 < 0 {
+	// accumulate counts rows [lo, hi) of the (table-relative) row range
+	// into counts. Everything it reads — bin vectors, the WHERE bitset,
+	// the selection — is immutable during the pass.
+	accumulate := func(counts []float64, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if where != nil && !where.Get(i) {
 				continue
 			}
-			b = b*int32(size1) + b2
+			p := i
+			if sel != nil {
+				p = int(sel[i])
+			}
+			b := bins0[p]
+			if b < 0 {
+				continue
+			}
+			if bins1 != nil {
+				b2 := bins1[p]
+				if b2 < 0 {
+					continue
+				}
+				b = b*int32(size1) + b2
+			}
+			counts[b]++
 		}
-		h.counts[b]++
+	}
+	if dataset.ScanParallelism(n) > 1 && len(h.counts) <= maxParallelAccumulateBins {
+		// Slots are bounded by MaxScanWorkers even if the configured
+		// worker count changes while the pass is being set up; unused
+		// slots stay nil and merge as zero.
+		partials := make([][]float64, dataset.MaxScanWorkers)
+		dataset.ParallelRows(n, func(w, lo, hi int) {
+			p := partials[w]
+			if p == nil {
+				p = make([]float64, len(h.counts))
+				partials[w] = p
+			}
+			accumulate(p, lo, hi)
+		})
+		for _, p := range partials {
+			if p == nil {
+				continue
+			}
+			for i, c := range p {
+				h.counts[i] += c
+			}
+		}
+	} else {
+		accumulate(h.counts, 0, n)
 	}
 	if len(q.Dims) == 1 {
 		h.labels = q.Dims[0].Labels()
@@ -610,7 +685,9 @@ func (q Query) Eval(t *dataset.Table) *Histogram {
 }
 
 // evalND is the general row-major accumulation for queries with more
-// than two dimensions.
+// than two dimensions. It stays serial: only hand-built queries reach
+// it, and its bin vectors still come from the (parallel) binVector
+// build above.
 func (q Query) evalND(t *dataset.Table, h *Histogram) *Histogram {
 	base := t.Base()
 	binVecs := make([][]int32, len(q.Dims))
@@ -652,7 +729,9 @@ func (q Query) evalND(t *dataset.Table, h *Histogram) *Histogram {
 // EvalSplit evaluates the query separately on the sensitive and
 // non-sensitive portions of the table under policy p, returning (x, xns):
 // the full histogram and the non-sensitive histogram. These are the two
-// inputs to the DAWAz recipe.
+// inputs to the DAWAz recipe. Both the policy split (dataset.Table.Split)
+// and the two evaluations shard over the scan worker pool on large
+// tables; like Eval, the results are bit-identical to serial execution.
 func (q Query) EvalSplit(t *dataset.Table, p dataset.Policy) (x, xns *Histogram) {
 	x = q.Eval(t)
 	_, ns := t.Split(p)

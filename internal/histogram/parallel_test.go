@@ -1,0 +1,178 @@
+package histogram
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"osdp/internal/dataset"
+)
+
+// parallelRows spans several 64K-row chunks so the sharded paths
+// actually engage (smaller tables run serially by design).
+const parallelRows = 3*65536 + 777
+
+func withWorkers(t *testing.T, n int, f func()) {
+	t.Helper()
+	prev := dataset.ScanWorkers()
+	dataset.SetScanWorkers(n)
+	defer dataset.SetScanWorkers(prev)
+	f()
+}
+
+// parallelTestTable builds a multi-chunk table with one column per kind,
+// including values that fall outside the domains declared below.
+func parallelTestTable(rng *rand.Rand, rows int) *dataset.Table {
+	s := dataset.NewSchema(
+		dataset.Field{Name: "Group", Kind: dataset.KindString},
+		dataset.Field{Name: "Age", Kind: dataset.KindInt},
+		dataset.Field{Name: "Score", Kind: dataset.KindFloat},
+		dataset.Field{Name: "Opt", Kind: dataset.KindBool},
+	)
+	tb := dataset.NewTable(s)
+	for i := 0; i < rows; i++ {
+		tb.AppendValues(
+			dataset.Str(fmt.Sprintf("g%02d", rng.Intn(40))),
+			dataset.Int(int64(rng.Intn(140)-20)), // some below 0 / above 99: outside the numeric domain
+			dataset.Float(rng.Float64()*120-10),
+			dataset.Bool(rng.Intn(2) == 0),
+		)
+	}
+	return tb
+}
+
+func sameCounts(a, b *Histogram) bool {
+	if a.Bins() != b.Bins() {
+		return false
+	}
+	for i := 0; i < a.Bins(); i++ {
+		if a.Count(i) != b.Count(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// evalQueries builds the query shapes the serving layer exercises:
+// derived-categorical, numeric-bucketed, 2-D, with and without a WHERE.
+func evalQueries(tb *dataset.Table) []Query {
+	where := dataset.And(
+		dataset.Cmp("Age", dataset.OpGe, dataset.Int(18)),
+		dataset.Cmp("Age", dataset.OpLt, dataset.Int(60)),
+	)
+	return []Query{
+		NewQuery(nil, DomainFromTable(tb, "Group")),
+		NewQuery(where, DomainFromTable(tb, "Group")),
+		NewQuery(where, NewNumericDomain("Age", 0, 10, 10)), // rows outside [0, 100) bin as -1
+		NewQuery(nil, NewNumericDomain("Score", 0, 25, 4), NewCategoricalDomain("Opt", []string{"true", "false"})),
+		NewQuery(where, NewNumericDomain("Age", 0, 5, 20), NewNumericDomain("Score", 0, 50, 2)),
+	}
+}
+
+// TestParallelEvalDifferential pins Query.Eval and Query.EvalSplit
+// bit-identical between serial and parallel execution on a multi-chunk
+// table. Fresh Domain values per worker count defeat the per-domain bin
+// caches, so the binning pass itself is re-run and compared too.
+func TestParallelEvalDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-chunk differential tables are slow to build")
+	}
+	rng := rand.New(rand.NewSource(1))
+	tb := parallelTestTable(rng, parallelRows)
+	var serial []*Histogram
+	withWorkers(t, 1, func() {
+		for _, q := range evalQueries(tb) {
+			serial = append(serial, q.Eval(tb))
+		}
+	})
+	for _, workers := range []int{2, 8} {
+		withWorkers(t, workers, func() {
+			for i, q := range evalQueries(tb) {
+				if got := q.Eval(tb); !sameCounts(got, serial[i]) {
+					t.Fatalf("query %d: Eval differs between 1 and %d workers", i, workers)
+				}
+			}
+		})
+	}
+
+	// EvalSplit: the policy split and both evaluations shard; distinct
+	// policy names defeat the table's split cache between runs.
+	pred := dataset.Or(
+		dataset.Cmp("Age", dataset.OpLe, dataset.Int(17)),
+		dataset.Cmp("Opt", dataset.OpEq, dataset.Bool(false)),
+	)
+	var sx, sxns *Histogram
+	withWorkers(t, 1, func() {
+		q := NewQuery(nil, NewNumericDomain("Age", 0, 10, 10))
+		sx, sxns = q.EvalSplit(tb, dataset.NewPolicy("serial", pred))
+	})
+	withWorkers(t, 8, func() {
+		q := NewQuery(nil, NewNumericDomain("Age", 0, 10, 10))
+		px, pxns := q.EvalSplit(tb, dataset.NewPolicy("parallel", pred))
+		if !sameCounts(sx, px) || !sameCounts(sxns, pxns) {
+			t.Fatal("EvalSplit differs between 1 and 8 workers")
+		}
+	})
+}
+
+// TestParallelEvalOnView runs the sharded accumulate over a proper
+// selection view (non-identity), where rows map through the selection
+// vector.
+func TestParallelEvalOnView(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-chunk differential tables are slow to build")
+	}
+	rng := rand.New(rand.NewSource(2))
+	tb := parallelTestTable(rng, parallelRows)
+	view := tb.Filter(dataset.Cmp("Opt", dataset.OpEq, dataset.Bool(true)))
+	if view.Len() <= 65536 {
+		t.Fatalf("view too small to span chunks: %d rows", view.Len())
+	}
+	q := NewQuery(dataset.Cmp("Score", dataset.OpGe, dataset.Float(5)), DomainFromTable(tb, "Group"))
+	var serial *Histogram
+	withWorkers(t, 1, func() { serial = q.Eval(view) })
+	withWorkers(t, 8, func() {
+		if got := q.Eval(view); !sameCounts(got, serial) {
+			t.Fatal("view Eval differs between 1 and 8 workers")
+		}
+	})
+}
+
+// TestParallelPrecompute pins the sharded bin-vector build: two Domain
+// values with identical specs, one built serially and one in parallel,
+// must produce element-identical vectors (observed through Eval).
+func TestParallelPrecompute(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-chunk differential tables are slow to build")
+	}
+	rng := rand.New(rand.NewSource(3))
+	tb := parallelTestTable(rng, parallelRows)
+	specs := []func() *Domain{
+		func() *Domain { return DomainFromTable(tb, "Group") },
+		func() *Domain { return NewNumericDomain("Age", 0, 10, 10) },
+		func() *Domain { return NewNumericDomain("Score", -10, 13, 10) },
+		func() *Domain { return NewCategoricalDomain("Opt", []string{"true", "false"}) },
+		func() *Domain { return NewCategoricalDomain("Age", []string{"1", "7", "33", "nope"}) },
+	}
+	for i, mk := range specs {
+		var serial, parallel []int32
+		withWorkers(t, 1, func() {
+			d := mk()
+			d.Precompute(tb)
+			serial = d.binVector(tb.Base())
+		})
+		withWorkers(t, 8, func() {
+			d := mk()
+			d.Precompute(tb)
+			parallel = d.binVector(tb.Base())
+		})
+		if len(serial) != len(parallel) {
+			t.Fatalf("spec %d: bin vector lengths differ", i)
+		}
+		for r := range serial {
+			if serial[r] != parallel[r] {
+				t.Fatalf("spec %d: bin vector differs at row %d: %d vs %d", i, r, serial[r], parallel[r])
+			}
+		}
+	}
+}

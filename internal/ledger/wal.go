@@ -46,7 +46,7 @@ type record struct {
 	KeyHash string `json:"key_sha256,omitempty"`
 	// omitzero, not omitempty: omitempty never drops a struct, and this
 	// field rides every hot-path charge record.
-	Created time.Time `json:"created,omitzero"`
+	Created    time.Time `json:"created,omitzero"`
 	Disabled   bool      `json:"disabled,omitempty"`
 	SessionCap int       `json:"session_cap,omitempty"`
 
@@ -63,9 +63,9 @@ type record struct {
 // snapshot's size is bounded by (analysts × datasets × policies), not by
 // query count.
 type snapshot struct {
-	Seq      uint64         `json:"seq"`
-	Analysts []snapAnalyst  `json:"analysts"`
-	Accounts []snapAccount  `json:"accounts"`
+	Seq      uint64        `json:"seq"`
+	Analysts []snapAnalyst `json:"analysts"`
+	Accounts []snapAccount `json:"accounts"`
 }
 
 type snapAnalyst struct {

@@ -76,6 +76,7 @@ type APIError struct {
 	Message string
 }
 
+// Error renders the status code and the server's error message.
 func (e *APIError) Error() string {
 	return fmt.Sprintf("server: HTTP %d: %s", e.Status, e.Message)
 }

@@ -198,7 +198,11 @@ func (s *Server) RegisterTable(name string, t *dataset.Table, p dataset.Policy) 
 	// Precompute the serving artifacts outside the lock: the policy
 	// partition (bitsets cached on the table, shared by every session),
 	// and per-attribute derived domains with their bin-id vectors. See
-	// the artifacts type for the full caching contract.
+	// the artifacts type for the full caching contract. On large tables
+	// both passes shard across the dataset scan worker pool
+	// (dataset.SetScanWorkers; cmd/osdp-server exposes -scan-workers),
+	// so registration-time precompute uses every core the operator
+	// granted.
 	_, ns := t.Split(p)
 	art := newArtifacts(t, ns)
 	s.mu.Lock()
