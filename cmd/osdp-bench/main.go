@@ -9,6 +9,7 @@
 //	osdp-bench -ledger BENCH_ledger.json [-quick]
 //	osdp-bench -workload BENCH_workload.json [-quick]
 //	osdp-bench -parallel BENCH_parallel.json [-workers N] [-quick]
+//	osdp-bench -metrics BENCH_metrics.json [-quick]
 //
 // -quick shrinks the workloads for a fast smoke run; the default
 // configuration matches the scales recorded in EXPERIMENTS.md.
@@ -39,6 +40,12 @@
 // the multi-core speedup cannot silently regress. The recorded speedup
 // is bounded by min(workers, CPUs) — on a single-core machine it is
 // ~1.0 by construction.
+//
+// -metrics runs only the telemetry-overhead benchmark (the full server
+// query path with a nil telemetry registry vs. a fully instrumented
+// one, 200k rows, 50k with -quick) and writes the result to the given
+// JSON file, the artifact CI tracks so instrumentation on the query hot
+// path stays effectively free (the PR 6 acceptance bar is <2%).
 package main
 
 import (
@@ -63,6 +70,7 @@ func main() {
 	workloadOut := flag.String("workload", "", "run the range-workload estimator benchmark and write its JSON result to this file")
 	parallelOut := flag.String("parallel", "", "run the parallel data-plane benchmark and write its JSON result to this file")
 	workers := flag.Int("workers", runtime.NumCPU(), "worker count for the -parallel benchmark")
+	metricsOut := flag.String("metrics", "", "run the telemetry-overhead benchmark and write its JSON result to this file")
 	flag.Parse()
 
 	if *dataplane != "" {
@@ -88,6 +96,13 @@ func main() {
 	}
 	if *parallelOut != "" {
 		if err := runParallelBench(*parallelOut, *workers, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *metricsOut != "" {
+		if err := runMetricsBench(*metricsOut, *quick); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -271,6 +286,29 @@ func runParallelBench(path string, workers int, quick bool) error {
 	res, err := experiments.MeasureParallel(rows, 64, workers, minDur)
 	if err != nil {
 		return fmt.Errorf("parallel benchmark: %w", err)
+	}
+	fmt.Println(res.String())
+	body, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return fmt.Errorf("encoding %s: %w", path, err)
+	}
+	if err := os.WriteFile(path, append(body, '\n'), 0o644); err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// runMetricsBench measures the telemetry plane's query-path overhead
+// and writes the result as JSON.
+func runMetricsBench(path string, quick bool) error {
+	rows, minDur := 200_000, 1*time.Second
+	if quick {
+		rows, minDur = 50_000, 200*time.Millisecond
+	}
+	res, err := experiments.MeasureTelemetryOverhead(rows, 64, minDur)
+	if err != nil {
+		return fmt.Errorf("telemetry benchmark: %w", err)
 	}
 	fmt.Println(res.String())
 	body, err := json.MarshalIndent(res, "", "  ")

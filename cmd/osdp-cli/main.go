@@ -21,6 +21,11 @@
 // as "lo,hi,answer" CSV with the post-charge budget in a trailing
 // comment.
 //
+// Two operator subcommands ride the same client, so a shell needs no
+// curl: `osdp-cli health -server URL` probes /healthz and `osdp-cli
+// stats -server URL` pretty-prints /stats (both endpoints are
+// credential-free).
+//
 // Usage:
 //
 //	osdp-cli -mech osdplaplace|osdplaplacel1|osdpgeometric|osdprr|dawaz|dawa|hier|hierz|laplace
@@ -28,6 +33,8 @@
 //	osdp-cli -server URL -dataset NAME -attr ATTR -bins N [-lo X] [-width W]
 //	         [-estimator flat|hier|dawa|ahp|agrid] [-ranges N] [-eps E]
 //	         [-budget E] [-token KEY] [-seed N]
+//	osdp-cli health -server URL
+//	osdp-cli stats  -server URL
 package main
 
 import (
@@ -53,6 +60,17 @@ import (
 )
 
 func main() {
+	// Subcommands are dispatched before flag.Parse so their own flag
+	// sets own the remaining arguments.
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "stats", "health":
+			if err := runServerCommand(os.Args[1], os.Args[2:], os.Stdout); err != nil {
+				fatal(err)
+			}
+			return
+		}
+	}
 	mech := flag.String("mech", "osdplaplacel1", "mechanism to run (offline mode)")
 	eps := flag.Float64("eps", 1.0, "privacy parameter ε")
 	rho := flag.Float64("rho", 0.1, "DAWAz/Hierz zero-detection budget share")
@@ -245,6 +263,54 @@ func runWorkload(cfg workloadRun) error {
 	}
 	fmt.Fprintf(w, "# estimator=%s queries=%d eps=%g session_spent=%g guarantee=%s\n",
 		resp.Estimator, len(ranges), cfg.eps, resp.Budget.Spent, resp.Budget.Guarantee)
+	return nil
+}
+
+// runServerCommand implements the operator subcommands (health, stats),
+// factored out of main with an injectable writer so tests can drive
+// them against a real HTTP server.
+func runServerCommand(name string, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("osdp-cli "+name, flag.ContinueOnError)
+	serverURL := fs.String("server", "", "osdp-server base URL (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *serverURL == "" {
+		return fmt.Errorf("%s needs -server URL", name)
+	}
+	c := server.NewClient(*serverURL, nil).WithTimeout(30 * time.Second)
+	ctx := context.Background()
+	switch name {
+	case "health":
+		if err := c.Healthz(ctx); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "ok")
+	case "stats":
+		st, err := c.Stats(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "datasets:  %d\n", st.Datasets)
+		fmt.Fprintf(out, "sessions:  %d\n", st.Sessions)
+		switch {
+		case !st.LedgerEnabled:
+			fmt.Fprintln(out, "ledger:    disabled")
+		case st.LedgerDurable:
+			fmt.Fprintln(out, "ledger:    enabled (durable)")
+		default:
+			fmt.Fprintln(out, "ledger:    enabled (in-memory)")
+		}
+		if st.LedgerEnabled {
+			fmt.Fprintf(out, "analysts:  %d\n", st.Analysts)
+			fmt.Fprintf(out, "accounts:  %d\n", st.Accounts)
+			if st.SpentEps != nil {
+				fmt.Fprintf(out, "spent_eps: %g\n", *st.SpentEps)
+			}
+		}
+	default:
+		return fmt.Errorf("unknown subcommand %q", name)
+	}
 	return nil
 }
 

@@ -78,3 +78,40 @@ func TestServerModeAuthenticates(t *testing.T) {
 		t.Fatalf("tokenless CLI run: got %v, want ErrUnauthorized", err)
 	}
 }
+
+// TestStatsAndHealthSubcommands drives the operator subcommands against
+// a live ledger server: health prints "ok", stats reports the registry
+// and ledger aggregates including the explicit 0.0 spend.
+func TestStatsAndHealthSubcommands(t *testing.T) {
+	url, _ := newLedgerServer(t)
+
+	var out strings.Builder
+	if err := runServerCommand("health", []string{"-server", url}, &out); err != nil {
+		t.Fatalf("health: %v", err)
+	}
+	if got := out.String(); got != "ok\n" {
+		t.Fatalf("health output %q, want \"ok\\n\"", got)
+	}
+
+	out.Reset()
+	if err := runServerCommand("stats", []string{"-server", url}, &out); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"datasets:  1",
+		"sessions:  0",
+		"ledger:    enabled (in-memory)",
+		"analysts:  1",
+		"spent_eps: 0",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("stats output missing %q:\n%s", want, got)
+		}
+	}
+
+	// A missing -server is a usage error, not a panic or a hang.
+	if err := runServerCommand("stats", nil, &strings.Builder{}); err == nil {
+		t.Fatal("stats without -server should fail")
+	}
+}

@@ -11,7 +11,7 @@
 //	osdp-server [-addr :8080] [-ttl 30m] [-max-sessions N]
 //	            [-max-session-eps E] [-allow-seeds] [-scan-workers N]
 //	            [-ledger DIR] [-admin-token TOK] [-default-analyst-eps E]
-//	            [-max-analyst-sessions N]
+//	            [-max-analyst-sessions N] [-access-log=false]
 //	            [-data NAME=FILE.csv]... [-policy NAME=FILE.json]...
 //
 // -scan-workers caps the data-plane scan parallelism: vectorized
@@ -39,6 +39,14 @@
 // choice: under P_all, OSDP degenerates to standard DP and nothing is
 // released in the clear by accident.
 //
+// Observability is always on: GET /metrics serves the process's
+// counters, gauges, and latency histograms in the Prometheus text
+// format (credential-free, like /stats — it carries only pre-aggregated
+// operational series), runtime profiles hang off /admin/pprof/ behind
+// the admin token, and every response carries an X-Request-Id that the
+// structured access log (one slog line per request on stderr;
+// -access-log=false silences it) repeats for correlation.
+//
 // The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // queries before exiting.
 package main
@@ -50,6 +58,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -61,6 +70,7 @@ import (
 	"osdp/internal/dataset"
 	"osdp/internal/ledger"
 	"osdp/internal/server"
+	"osdp/internal/telemetry"
 )
 
 func main() {
@@ -75,6 +85,7 @@ func main() {
 	adminToken := flag.String("admin-token", "", "bearer token for the /admin API (default $OSDP_ADMIN_TOKEN); empty disables /admin")
 	defaultEps := flag.Float64("default-analyst-eps", 1.0, "default per-(analyst, dataset) ε budget when no explicit grant exists (0 = unlimited)")
 	maxAnalystSessions := flag.Int("max-analyst-sessions", 0, "cap on one analyst's concurrently open sessions (0 = unlimited)")
+	accessLog := flag.Bool("access-log", true, "emit one structured (slog) line per HTTP request on stderr")
 	data := map[string]string{}
 	policies := map[string]string{}
 	flag.Func("data", "NAME=FILE.csv dataset to register at startup (repeatable)", kvInto(data))
@@ -86,6 +97,11 @@ func main() {
 	if eff := dataset.SetScanWorkers(*scanWorkers); eff != *scanWorkers {
 		log.Printf("scan workers clamped to %d (requested %d)", eff, *scanWorkers)
 	}
+
+	// One process-wide metrics registry feeds GET /metrics. Installed
+	// before any dataset loads so registration-time scans already count.
+	reg := telemetry.NewRegistry()
+	dataset.SetScanMetrics(dataset.NewScanMetrics(reg))
 
 	var led *ledger.Ledger
 	if *ledgerDir != "" {
@@ -99,6 +115,7 @@ func main() {
 		led, err = ledger.Open(ledger.Config{
 			Dir:           *ledgerDir,
 			DefaultBudget: *defaultEps,
+			Telemetry:     reg,
 		})
 		if err != nil {
 			fatal(err)
@@ -112,7 +129,7 @@ func main() {
 		fatal(errors.New("-admin-token requires -ledger (the admin API administers the ledger)"))
 	}
 
-	srv := server.New(server.Config{
+	cfg := server.Config{
 		SessionTTL:            *ttl,
 		MaxSessions:           *maxSessions,
 		MaxSessionBudget:      *maxEps,
@@ -120,7 +137,12 @@ func main() {
 		Ledger:                led,
 		AdminToken:            *adminToken,
 		MaxSessionsPerAnalyst: *maxAnalystSessions,
-	})
+		Telemetry:             reg,
+	}
+	if *accessLog {
+		cfg.AccessLog = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	srv := server.New(cfg)
 	for name, path := range data {
 		if err := loadDataset(srv, name, path, policies[name]); err != nil {
 			fatal(err)

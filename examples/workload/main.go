@@ -11,14 +11,18 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"net/http/httptest"
+	"strings"
 
 	"osdp/internal/dataset"
 	"osdp/internal/ledger"
 	"osdp/internal/server"
+	"osdp/internal/telemetry"
 )
 
 func main() {
@@ -39,12 +43,15 @@ func main() {
 	}
 	policy := dataset.NewPolicy("minors", dataset.Cmp("Age", dataset.OpLe, dataset.Int(17)))
 
-	// --- 2. An authenticated server: in-memory ledger + admin token.
-	led, err := ledger.Open(ledger.Config{DefaultBudget: 2.0}) // no Dir: in-memory
+	// --- 2. An authenticated server: in-memory ledger + admin token,
+	// with a telemetry registry shared by both so GET /metrics covers
+	// the query plane and the ε-ledger alike.
+	reg := telemetry.NewRegistry()
+	led, err := ledger.Open(ledger.Config{DefaultBudget: 2.0, Telemetry: reg}) // no Dir: in-memory
 	must(err)
 	defer led.Close()
 	const adminToken = "demo-admin-token"
-	srv := server.New(server.Config{Ledger: led, AdminToken: adminToken})
+	srv := server.New(server.Config{Ledger: led, AdminToken: adminToken, Telemetry: reg})
 	must(srv.RegisterTable("people", db, policy))
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -87,6 +94,19 @@ func main() {
 	must(err)
 	fmt.Printf("\nadmin spend report: %d account(s), total ε spent %.2f\n",
 		report.TouchedAccounts, report.TotalSpent)
+
+	// --- 6. Observability: the credential-free /metrics endpoint saw it
+	// all — the workload query, its ε charge, the ledger's bookkeeping.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	must(err)
+	defer mresp.Body.Close()
+	for sc := bufio.NewScanner(mresp.Body); sc.Scan(); {
+		line := sc.Text()
+		if strings.HasPrefix(line, `osdp_queries_total{kind="workload"}`) ||
+			strings.HasPrefix(line, "osdp_ledger_charges_total") {
+			fmt.Println("metrics:", line)
+		}
+	}
 }
 
 func must(err error) {

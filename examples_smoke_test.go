@@ -43,6 +43,11 @@ func TestExamplesRunEndToEnd(t *testing.T) {
 			"minted analyst alice",
 			"one composed charge",
 			"admin spend report: 1 account(s), total ε spent 0.50",
+			// The /metrics scrape at the end of the example proves the
+			// per-kind query counter and the ledger charge counter both
+			// saw the batch's single composed charge.
+			`metrics: osdp_queries_total{kind="workload"} 1`,
+			"metrics: osdp_ledger_charges_total 1",
 		}},
 	} {
 		t.Run(tc.example, func(t *testing.T) {

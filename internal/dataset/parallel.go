@@ -120,6 +120,11 @@ type panicBox struct {
 }
 
 func (t scanTask) run() {
+	m := scanMetrics.Load()
+	if m != nil {
+		m.ActiveWorkers.Inc()
+		defer m.ActiveWorkers.Dec()
+	}
 	defer t.wg.Done()
 	defer func() {
 		if r := recover(); r != nil {
@@ -144,6 +149,9 @@ func (t scanTask) run() {
 			hi = t.rows
 		}
 		t.fn(t.worker, lo, hi)
+		if m != nil {
+			m.ChunksProcessed.Inc()
+		}
 	}
 }
 
@@ -194,7 +202,14 @@ func ParallelRows(rows int, fn func(worker, lo, hi int)) {
 	nw := ScanParallelism(rows)
 	if nw <= 1 {
 		if rows > 0 {
-			fn(0, 0, rows)
+			if m := scanMetrics.Load(); m != nil {
+				m.ActiveWorkers.Inc()
+				defer m.ActiveWorkers.Dec()
+				fn(0, 0, rows)
+				m.ChunksProcessed.Inc()
+			} else {
+				fn(0, 0, rows)
+			}
 		}
 		return
 	}
@@ -215,6 +230,9 @@ func ParallelRows(rows int, fn func(worker, lo, hi int)) {
 			// rather than queueing behind them — the caller's own loop
 			// below guarantees completion regardless.
 			wg.Done()
+			if m := scanMetrics.Load(); m != nil {
+				m.Degraded.Inc()
+			}
 		}
 	}
 	t.worker = 0

@@ -1,0 +1,53 @@
+package dataset
+
+import (
+	"sync/atomic"
+
+	"osdp/internal/telemetry"
+)
+
+// ScanMetrics is the set of instruments the chunked scan pool reports
+// into. The pool is package-wide (one per process), so the hookup is a
+// process-global too: a serving binary installs it once at startup via
+// SetScanMetrics. Any field may be nil, and the zero ScanMetrics (or a
+// nil *ScanMetrics) disables collection entirely — the hot path then
+// pays one atomic pointer load per chunk and nothing else.
+type ScanMetrics struct {
+	// ChunksProcessed counts chunk windows executed by any worker,
+	// including the single inline window of a serial pass.
+	ChunksProcessed *telemetry.Counter
+	// Degraded counts helper slots that were dropped because no pool
+	// worker was parked on the task channel — the pass ran with fewer
+	// goroutines than ScanParallelism allowed (caller-only in the
+	// worst case). A persistently climbing rate means the pool is
+	// saturated by concurrent scans.
+	Degraded *telemetry.Counter
+	// ActiveWorkers gauges goroutines currently inside a chunked pass,
+	// counting the submitting caller as well as pool workers.
+	ActiveWorkers *telemetry.Gauge
+}
+
+// NewScanMetrics registers the scan pool's canonical series on r and
+// returns the hookup ready for SetScanMetrics. A nil registry returns
+// nil, which SetScanMetrics treats as "disabled".
+func NewScanMetrics(r *telemetry.Registry) *ScanMetrics {
+	if r == nil {
+		return nil
+	}
+	return &ScanMetrics{
+		ChunksProcessed: r.NewCounter("osdp_scan_chunks_processed_total",
+			"Chunk windows executed by the data-plane scan pool."),
+		Degraded: r.NewCounter("osdp_scan_degraded_total",
+			"Helper worker slots dropped because every pool worker was busy; the pass ran with fewer goroutines."),
+		ActiveWorkers: r.NewGauge("osdp_scan_active_workers",
+			"Goroutines currently executing a chunked pass."),
+	}
+}
+
+// scanMetrics holds the installed ScanMetrics; nil means disabled.
+var scanMetrics atomic.Pointer[ScanMetrics]
+
+// SetScanMetrics installs (or, with nil, removes) the process-wide scan
+// pool instruments. Safe to call concurrently with running scans;
+// in-flight chunks report to whichever set they observe.
+func SetScanMetrics(m *ScanMetrics) { scanMetrics.Store(m) }

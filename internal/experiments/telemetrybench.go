@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"osdp/internal/dataset"
+	"osdp/internal/server"
+	"osdp/internal/telemetry"
+)
+
+// This file is the telemetry-overhead benchmark behind `osdp-bench
+// -metrics BENCH_metrics.json`: proof that instrumenting the query hot
+// path costs (almost) nothing. Two in-process servers answer the same
+// histogram query over the same table — one with a nil *telemetry.Registry
+// (every metric update compiles down to a nil check), one fully
+// instrumented with the scan-pool hookup installed — and the gap between
+// their ns/op is the price of observability. CI tracks the artifact so
+// a future "just one more metric" cannot silently tax every query.
+
+// TelemetryBenchResult is the machine-readable outcome written to
+// BENCH_metrics.json.
+type TelemetryBenchResult struct {
+	Rows         int     `json:"rows"`
+	Groups       int     `json:"groups"`
+	BaseNsPerOp  float64 `json:"base_ns_per_op"`
+	InstrNsPerOp float64 `json:"instrumented_ns_per_op"`
+	OverheadPct  float64 `json:"overhead_pct"`
+	Series       int     `json:"series_rendered"`
+	P50Seconds   float64 `json:"query_p50_seconds"`
+	P95Seconds   float64 `json:"query_p95_seconds"`
+	P99Seconds   float64 `json:"query_p99_seconds"`
+}
+
+// MeasureTelemetryOverhead times the full server query path (session
+// lookup, ε charge, policy-partitioned scan, noise) with telemetry off
+// and on. Each engine runs `rounds` alternating windows of at least
+// minDuration and reports its best window, which cancels GC and
+// frequency-scaling drift; the instrumented number also folds in the
+// process-global scan-pool instruments, so the measured gap is the whole
+// telemetry plane, not just the per-query counters.
+func MeasureTelemetryOverhead(rows, groups int, minDuration time.Duration) (TelemetryBenchResult, error) {
+	tb := DataplaneTable(rows, groups, 1)
+	// A policy with real sensitive mass so the bench pays the same
+	// split/partition costs a production table does.
+	pol := dataset.NewPolicy("bench-minors", dataset.Cmp("Age", dataset.OpLt, dataset.Int(18)))
+
+	reg := telemetry.NewRegistry()
+	scan := dataset.NewScanMetrics(reg)
+
+	type engine struct {
+		srv *server.Server
+		sid string
+	}
+	mk := func(cfg server.Config) (engine, error) {
+		srv := server.New(cfg)
+		if err := srv.RegisterTable("bench", tb, pol); err != nil {
+			return engine{}, err
+		}
+		s := int64(1)
+		info, err := srv.OpenSession("", server.OpenSessionRequest{Dataset: "bench", Seed: &s})
+		if err != nil {
+			return engine{}, err
+		}
+		return engine{srv: srv, sid: info.ID}, nil
+	}
+	base, err := mk(server.Config{AllowSeededSessions: true})
+	if err != nil {
+		return TelemetryBenchResult{}, fmt.Errorf("telemetry bench (base): %w", err)
+	}
+	instr, err := mk(server.Config{AllowSeededSessions: true, Telemetry: reg})
+	if err != nil {
+		return TelemetryBenchResult{}, fmt.Errorf("telemetry bench (instrumented): %w", err)
+	}
+
+	req := server.QueryRequest{
+		Kind: server.KindHistogram,
+		Eps:  0.1,
+		Dims: []server.DomainSpec{{Attr: "Group"}},
+	}
+	// Sanity: both engines answer, with the full group arity.
+	for _, e := range []engine{base, instr} {
+		resp, err := e.srv.Query("", e.sid, req)
+		if err != nil {
+			return TelemetryBenchResult{}, fmt.Errorf("telemetry bench probe: %w", err)
+		}
+		if len(resp.Counts) != groups {
+			return TelemetryBenchResult{}, fmt.Errorf("telemetry bench probe: %d bins, want %d", len(resp.Counts), groups)
+		}
+	}
+
+	var qerr error
+	query := func(e engine) func() {
+		return func() {
+			if _, err := e.srv.Query("", e.sid, req); err != nil && qerr == nil {
+				qerr = err
+			}
+		}
+	}
+
+	const rounds = 3
+	baseNs, instrNs := math.Inf(1), math.Inf(1)
+	for r := 0; r < rounds; r++ {
+		dataset.SetScanMetrics(nil)
+		baseNs = math.Min(baseNs, timePerOp(minDuration, query(base)))
+		dataset.SetScanMetrics(scan)
+		instrNs = math.Min(instrNs, timePerOp(minDuration, query(instr)))
+	}
+	dataset.SetScanMetrics(nil)
+	if qerr != nil {
+		return TelemetryBenchResult{}, fmt.Errorf("telemetry bench: %w", qerr)
+	}
+
+	// The instrumented server registered this exact series; registration
+	// is idempotent, so asking again hands back the live histogram.
+	hist := reg.NewHistogram("osdp_query_duration_seconds",
+		"Wall time of Server.Query by query kind.", nil, telemetry.L("kind", server.KindHistogram))
+	p50, p95, p99 := hist.Summary()
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		return TelemetryBenchResult{}, fmt.Errorf("telemetry bench: render: %w", err)
+	}
+	return TelemetryBenchResult{
+		Rows:         rows,
+		Groups:       groups,
+		BaseNsPerOp:  baseNs,
+		InstrNsPerOp: instrNs,
+		OverheadPct:  (instrNs - baseNs) / baseNs * 100,
+		Series:       countSeries(b.String()),
+		P50Seconds:   p50,
+		P95Seconds:   p95,
+		P99Seconds:   p99,
+	}, nil
+}
+
+// countSeries counts distinct series names in a rendered exposition,
+// collapsing a histogram's _bucket/_sum/_count lines into one family —
+// the same notion of "series" the acceptance bar on /metrics uses.
+func countSeries(exposition string) int {
+	names := make(map[string]bool)
+	for _, line := range strings.Split(exposition, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			name = strings.TrimSuffix(name, suffix)
+		}
+		names[name] = true
+	}
+	return len(names)
+}
+
+// String renders the result as a report-style line.
+func (r TelemetryBenchResult) String() string {
+	return fmt.Sprintf(
+		"telemetry overhead: base %.1f µs/op, instrumented %.1f µs/op, overhead %+.2f%% | %d series, query p50/p95/p99 %.2f/%.2f/%.2f ms",
+		r.BaseNsPerOp/1e3, r.InstrNsPerOp/1e3, r.OverheadPct, r.Series,
+		r.P50Seconds*1e3, r.P95Seconds*1e3, r.P99Seconds*1e3)
+}

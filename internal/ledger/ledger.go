@@ -45,6 +45,7 @@ import (
 
 	"osdp/internal/core"
 	"osdp/internal/dataset"
+	"osdp/internal/telemetry"
 )
 
 // Typed errors; the serving layer maps them onto HTTP statuses.
@@ -81,6 +82,11 @@ type Config struct {
 	// use it; with it set, a crash can lose charges the OS had not yet
 	// flushed (it still never resurrects refunded ones).
 	NoSync bool
+	// Telemetry, when non-nil, registers the ledger's metric series
+	// (charge/refund/replay/compaction counters, WAL append and fsync
+	// latency histograms) on the given registry. Nil disables
+	// collection at zero cost.
+	Telemetry *telemetry.Registry
 }
 
 // AnalystInfo is the public description of a principal. The API key is
@@ -136,6 +142,8 @@ type Ledger struct {
 	seq      uint64
 	appends  int // since the last snapshot
 	closed   bool
+
+	met ledgerMetrics
 }
 
 // Open opens (or creates) a ledger. With cfg.Dir set it replays the
@@ -150,6 +158,8 @@ func Open(cfg Config) (*Ledger, error) {
 		analysts: make(map[string]*analystState),
 		byKey:    make(map[string]string),
 		accounts: make(map[acctKey]*account),
+		// Built before replay so replayed-record counts are observed.
+		met: newLedgerMetrics(cfg.Telemetry),
 	}
 	if cfg.Dir == "" {
 		return l, nil
@@ -214,6 +224,7 @@ func Open(cfg Config) (*Ledger, error) {
 	if l.w, err = openWAL(cfg.Dir, !cfg.NoSync); err != nil {
 		return nil, err
 	}
+	l.w.met = l.met
 	return l, nil
 }
 
@@ -233,6 +244,7 @@ func replayedGuarantee(policyName string, eps float64) core.Guarantee {
 // acknowledged in a previous life and must be honoured even if the
 // budget was lowered afterwards.
 func (l *Ledger) applyReplayed(rec record) error {
+	l.met.replayed.Inc()
 	if rec.Seq > l.seq {
 		l.seq = rec.Seq
 	}
@@ -308,6 +320,7 @@ func (l *Ledger) appendLocked(rec record) error {
 		// append retries.
 		if err := l.snapshotLocked(); err == nil {
 			l.appends = 0
+			l.met.compactions.Inc()
 		}
 	}
 	return nil
@@ -587,6 +600,7 @@ func (l *Ledger) Charge(analyst, ds string, g core.Guarantee) error {
 		_ = acc.acct.Refund(g)
 		return err
 	}
+	l.met.charges.Inc()
 	return nil
 }
 
@@ -609,6 +623,7 @@ func (l *Ledger) Refund(analyst, ds string, g core.Guarantee) error {
 	if err := acc.acct.Refund(g); err != nil {
 		return err
 	}
+	l.met.refunds.Inc()
 	return l.appendLocked(record{
 		Kind: "refund", Analyst: analyst, Dataset: ds,
 		Eps: g.Epsilon, Policy: g.Policy.Name(),

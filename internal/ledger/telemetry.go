@@ -1,0 +1,36 @@
+package ledger
+
+import "osdp/internal/telemetry"
+
+// ledgerMetrics bundles the ledger's instruments. The zero value (every
+// field nil) is the disabled state — telemetry metrics are nil-safe, so
+// call sites update unconditionally.
+type ledgerMetrics struct {
+	charges     *telemetry.Counter
+	refunds     *telemetry.Counter
+	replayed    *telemetry.Counter
+	compactions *telemetry.Counter
+	walAppend   *telemetry.Histogram
+	walFsync    *telemetry.Histogram
+}
+
+// newLedgerMetrics registers the ledger series on r (nil r disables).
+func newLedgerMetrics(r *telemetry.Registry) ledgerMetrics {
+	if r == nil {
+		return ledgerMetrics{}
+	}
+	return ledgerMetrics{
+		charges: r.NewCounter("osdp_ledger_charges_total",
+			"Budget charges acknowledged (durable before acknowledgement when the ledger has a directory)."),
+		refunds: r.NewCounter("osdp_ledger_refunds_total",
+			"Charges refunded after a mechanism failed before drawing noise."),
+		replayed: r.NewCounter("osdp_ledger_replayed_records_total",
+			"WAL records replayed during Open, after snapshot restore."),
+		compactions: r.NewCounter("osdp_ledger_compactions_total",
+			"Snapshot compactions of the WAL."),
+		walAppend: r.NewHistogram("osdp_ledger_wal_append_seconds",
+			"Latency of one WAL record append, including fsync.", nil),
+		walFsync: r.NewHistogram("osdp_ledger_wal_fsync_seconds",
+			"Latency of the fsync portion of a WAL append.", nil),
+	}
+}

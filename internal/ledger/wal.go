@@ -97,6 +97,7 @@ type wal struct {
 	f    *os.File
 	buf  []byte
 	sync bool
+	met  ledgerMetrics // set by Open after the WAL handle exists
 }
 
 func openWAL(dir string, sync bool) (*wal, error) {
@@ -122,6 +123,7 @@ func openWAL(dir string, sync bool) (*wal, error) {
 // stable storage before returning. A charge is only acknowledged to the
 // caller after this returns, so acknowledged spend survives a crash.
 func (w *wal) append(rec record) error {
+	start := time.Now()
 	body, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("ledger: encoding WAL record: %w", err)
@@ -132,10 +134,13 @@ func (w *wal) append(rec record) error {
 		return fmt.Errorf("ledger: appending WAL record: %w", err)
 	}
 	if w.sync {
+		syncStart := time.Now()
 		if err := w.f.Sync(); err != nil {
 			return fmt.Errorf("ledger: syncing WAL: %w", err)
 		}
+		w.met.walFsync.ObserveDuration(time.Since(syncStart))
 	}
+	w.met.walAppend.ObserveDuration(time.Since(start))
 	return nil
 }
 

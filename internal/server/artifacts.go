@@ -62,14 +62,17 @@ type artifacts struct {
 
 // newArtifacts precompiles the registration-time artifacts for a dataset.
 // table is the full table (owner of the column store); ns the
-// non-sensitive view domains are derived from.
-func newArtifacts(table, ns *dataset.Table) *artifacts {
+// non-sensitive view domains are derived from. met wires the LRUs'
+// hit/miss counters (nil disables them).
+func newArtifacts(table, ns *dataset.Table, met *serverMetrics) *artifacts {
 	a := &artifacts{
 		derived:   make(map[string]*histogram.Domain),
 		oversized: make(map[string]int),
 		domains:   newLRU[*histogram.Domain](domainCacheSize),
 		preds:     newLRU[dataset.Predicate](predCacheSize),
 	}
+	a.domains.hits, a.domains.misses = met.cacheCounters("domain")
+	a.preds.hits, a.preds.misses = met.cacheCounters("predicate")
 	for _, attr := range table.Schema().Names() {
 		d := histogram.DomainFromTable(ns, attr)
 		switch {

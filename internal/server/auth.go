@@ -85,7 +85,9 @@ func (s *Server) withAdmin(h http.HandlerFunc) http.HandlerFunc {
 //	GET  /admin/budgets               -> []ledger.AccountInfo (touched accounts)
 //	POST /admin/budgets               BudgetGrantRequest -> ledger.AccountInfo
 //	GET  /admin/spend                 -> SpendReport (accounts + totals)
+//	*    /admin/pprof/...             net/http/pprof (profiles reveal internals; operator only)
 func (s *Server) adminRoutes(mux *http.ServeMux) {
+	mux.HandleFunc("/admin/pprof/", s.withAdmin(s.pprofHandler))
 	mux.HandleFunc("POST /admin/analysts", s.withAdmin(func(w http.ResponseWriter, r *http.Request) {
 		var req CreateAnalystRequest
 		if !readJSON(w, r, &req) {

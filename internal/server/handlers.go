@@ -15,6 +15,7 @@ const maxBodyBytes = 64 << 20
 //
 //	GET    /healthz                 liveness (also GET /v1/healthz)
 //	GET    /stats                   -> StatsResponse (coarse aggregates)
+//	GET    /metrics                 Prometheus text exposition (empty without Config.Telemetry)
 //	POST   /v1/datasets             RegisterDatasetRequest  -> DatasetInfo
 //	GET    /v1/datasets             -> []DatasetInfo
 //	GET    /v1/datasets/{name}      -> DatasetInfo
@@ -23,9 +24,11 @@ const maxBodyBytes = 64 << 20
 //	DELETE /v1/sessions/{id}        -> SessionInfo (final state)
 //	POST   /v1/sessions/{id}/query  QueryRequest            -> QueryResponse
 //
-// plus the /admin control plane (see adminRoutes). With Config.Ledger
-// set, every /v1 route requires an analyst bearer key; /healthz and
-// /stats stay open.
+// plus the /admin control plane (see adminRoutes), which also mounts
+// net/http/pprof under /admin/pprof/. With Config.Ledger set, every /v1
+// route requires an analyst bearer key; /healthz, /stats, and /metrics
+// stay open. The whole mux is wrapped by the observability middleware
+// (see instrument) when telemetry or access logging is configured.
 //
 // Errors are JSON ErrorResponse bodies with a meaningful status: 400 for
 // malformed requests, 401/403 for missing/forbidden credentials, 402
@@ -42,6 +45,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
+	mux.HandleFunc("GET /metrics", s.metricsHandler)
 	mux.HandleFunc("POST /v1/datasets", s.withAnalyst(func(w http.ResponseWriter, r *http.Request, _ string) {
 		var req RegisterDatasetRequest
 		if !readJSON(w, r, &req) {
@@ -76,7 +80,7 @@ func (s *Server) Handler() http.Handler {
 		respond(w, http.StatusOK)(s.Query(analyst, r.PathValue("id"), req))
 	}))
 	s.adminRoutes(mux)
-	return mux
+	return s.instrument(mux)
 }
 
 // respond curries the success status so handlers can pass a (value,

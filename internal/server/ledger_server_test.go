@@ -118,7 +118,7 @@ func TestLedgerCrossSessionComposition(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !st.LedgerEnabled || !st.LedgerDurable || math.Abs(st.SpentEps-1.0) > 1e-9 {
+	if !st.LedgerEnabled || !st.LedgerDurable || st.SpentEps == nil || math.Abs(*st.SpentEps-1.0) > 1e-9 {
 		t.Fatalf("stats %+v, want durable ledger with 1.0 spent", st)
 	}
 

@@ -3,6 +3,8 @@ package server
 import (
 	"container/list"
 	"sync"
+
+	"osdp/internal/telemetry"
 )
 
 // lru is a small mutex-guarded LRU cache keyed by string, used for
@@ -14,6 +16,10 @@ type lru[V any] struct {
 	cap   int
 	order *list.List // front = most recently used
 	items map[string]*list.Element
+
+	// hits/misses are optional telemetry counters (nil-safe, so a cache
+	// without instruments pays only the nil method call).
+	hits, misses *telemetry.Counter
 }
 
 type lruEntry[V any] struct {
@@ -34,8 +40,10 @@ func (c *lru[V]) get(key string) (V, bool) {
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		c.order.MoveToFront(el)
+		c.hits.Inc()
 		return el.Value.(*lruEntry[V]).val, true
 	}
+	c.misses.Inc()
 	var zero V
 	return zero, false
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"osdp/internal/agrid"
 	"osdp/internal/ahp"
@@ -36,13 +37,29 @@ import (
 // session accountant each record exactly one charge regardless of
 // batch size.
 func (s *Server) Query(analyst, id string, req QueryRequest) (QueryResponse, error) {
+	if s.met == nil {
+		resp, _, err := s.queryCounted(analyst, id, req)
+		return resp, err
+	}
+	start := time.Now()
+	resp, charged, err := s.queryCounted(analyst, id, req)
+	s.met.observeQuery(req.Kind, time.Since(start), req.Eps, charged, err)
+	return resp, err
+}
+
+// queryCounted is Query's body; charged reports whether the request's ε
+// ended up retained by the accountants (true on success and on
+// post-noise failures, false when validation rejected the request, the
+// ledger refused the charge, or the session accountant's rejection got
+// the ledger reservation refunded).
+func (s *Server) queryCounted(analyst, id string, req QueryRequest) (_ QueryResponse, charged bool, _ error) {
 	se, d, err := s.lookup(analyst, id)
 	if err != nil {
-		return QueryResponse{}, err
+		return QueryResponse{}, false, err
 	}
 	resp := QueryResponse{Kind: req.Kind}
 	if !(req.Eps >= MinQueryEps) { // also rejects NaN
-		return resp, badf("eps must be at least %g, got %g", MinQueryEps, req.Eps)
+		return resp, false, badf("eps must be at least %g, got %g", MinQueryEps, req.Eps)
 	}
 
 	// Compile and validate first; run executes the mechanism (charging
@@ -53,7 +70,7 @@ func (s *Server) Query(analyst, id string, req QueryRequest) (QueryResponse, err
 	case KindHistogram, KindIntHistogram:
 		q, err := s.compileHistogramQuery(req, d)
 		if err != nil {
-			return resp, err
+			return resp, false, err
 		}
 		run = func() error {
 			var h *histogram.Histogram
@@ -82,7 +99,7 @@ func (s *Server) Query(analyst, id string, req QueryRequest) (QueryResponse, err
 		if req.Where != nil {
 			pred, err = d.art.predicate(*req.Where, d.table.Schema())
 			if err != nil {
-				return resp, fmt.Errorf("%w: %v", ErrBadRequest, err)
+				return resp, false, fmt.Errorf("%w: %v", ErrBadRequest, err)
 			}
 		}
 		run = func() error {
@@ -97,13 +114,13 @@ func (s *Server) Query(analyst, id string, req QueryRequest) (QueryResponse, err
 	case KindQuantile:
 		kind, ok := d.table.Schema().KindOf(req.Attr)
 		if !ok {
-			return resp, badf("unknown attribute %q", req.Attr)
+			return resp, false, badf("unknown attribute %q", req.Attr)
 		}
 		if kind != dataset.KindInt && kind != dataset.KindFloat {
-			return resp, badf("quantile needs a numeric attribute; %q is %s", req.Attr, kind)
+			return resp, false, badf("quantile needs a numeric attribute; %q is %s", req.Attr, kind)
 		}
 		if req.Q < 0 || req.Q > 1 {
-			return resp, badf("q=%g outside [0, 1]", req.Q)
+			return resp, false, badf("q=%g outside [0, 1]", req.Q)
 		}
 		run = func() error {
 			v, err := se.sess.Quantile(req.Attr, req.Q, req.Eps)
@@ -131,7 +148,7 @@ func (s *Server) Query(analyst, id string, req QueryRequest) (QueryResponse, err
 	case KindWorkload:
 		est, q, ranges, err := s.compileWorkloadQuery(req, d)
 		if err != nil {
-			return resp, err
+			return resp, false, err
 		}
 		// Echo the canonical wire name, not the estimator's report name
 		// ("hier", not "Hier"), so clients can compare against what they
@@ -151,13 +168,13 @@ func (s *Server) Query(analyst, id string, req QueryRequest) (QueryResponse, err
 		}
 
 	default:
-		return resp, badf("unknown query kind %q", req.Kind)
+		return resp, false, badf("unknown query kind %q", req.Kind)
 	}
 
 	charge := core.Guarantee{Policy: d.policy, Epsilon: req.Eps}
 	if s.cfg.Ledger != nil {
 		if err := s.cfg.Ledger.Charge(se.analyst, se.dataset, charge); err != nil {
-			return resp, err
+			return resp, false, err
 		}
 	}
 	if err := run(); err != nil {
@@ -168,11 +185,14 @@ func (s *Server) Query(analyst, id string, req QueryRequest) (QueryResponse, err
 			// charge — the ledger only ever errs toward more spend.
 			_ = s.cfg.Ledger.Refund(se.analyst, se.dataset, charge)
 		}
-		return resp, err
+		// A budget-exceeded rejection happened before any noise, so no
+		// ε stands (the ledger reservation was just refunded); any
+		// other run failure is post-charge and the spend is real.
+		return resp, !errors.Is(err, core.ErrBudgetExceeded), err
 	}
 
 	resp.Budget = infoFor(se)
-	return resp, nil
+	return resp, true, nil
 }
 
 // workloadEstimator resolves a wire estimator name. Every entry is an

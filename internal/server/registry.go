@@ -4,6 +4,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"fmt"
+	"log/slog"
 	"math"
 	"sort"
 	"strings"
@@ -14,6 +15,7 @@ import (
 	"osdp/internal/dataset"
 	"osdp/internal/ledger"
 	"osdp/internal/noise"
+	"osdp/internal/telemetry"
 )
 
 // Config tunes a Server. The zero value is usable: sessions never expire
@@ -54,6 +56,17 @@ type Config struct {
 	// sessions (0 = unlimited). An analyst's own SessionCap, when set,
 	// takes precedence. Only meaningful with Ledger.
 	MaxSessionsPerAnalyst int
+	// Telemetry, when non-nil, registers the serving layer's metric
+	// series on the given registry and enables the HTTP observability
+	// middleware. The same registry should be handed to the ledger
+	// (ledger.Config.Telemetry) and the scan pool
+	// (dataset.NewScanMetrics) so one GET /metrics scrape covers every
+	// layer. Nil disables collection at zero query-path cost.
+	Telemetry *telemetry.Registry
+	// AccessLog, when non-nil, receives one structured log line per
+	// served HTTP request (request id, method, route, status, bytes,
+	// duration) from the middleware.
+	AccessLog *slog.Logger
 	// now is stubbed by tests; defaults to time.Now.
 	now func() time.Time
 }
@@ -89,6 +102,7 @@ type session struct {
 // the mutex only protects the maps.
 type Server struct {
 	cfg Config
+	met *serverMetrics // nil when Config.Telemetry is nil
 
 	mu         sync.Mutex
 	datasets   map[string]*ds
@@ -107,12 +121,41 @@ func New(cfg Config) *Server {
 	if cfg.now == nil {
 		cfg.now = time.Now
 	}
-	return &Server{
+	s := &Server{
 		cfg:        cfg,
+		met:        newServerMetrics(cfg.Telemetry),
 		datasets:   make(map[string]*ds),
 		sessions:   make(map[string]*session),
 		perAnalyst: make(map[string]int),
 	}
+	if reg := cfg.Telemetry; reg != nil {
+		// Registry sizes are collected at scrape time rather than
+		// counted on mutation — they are exact either way, and a
+		// GaugeFunc cannot drift from the maps it reads.
+		reg.NewGaugeFunc("osdp_sessions_active",
+			"Sessions currently open.", func() float64 { return float64(s.SessionCount()) })
+		reg.NewGaugeFunc("osdp_datasets_registered",
+			"Datasets currently registered.", func() float64 {
+				s.mu.Lock()
+				defer s.mu.Unlock()
+				return float64(len(s.datasets))
+			})
+		if l := cfg.Ledger; l != nil {
+			reg.NewGaugeFunc("osdp_ledger_spent_eps",
+				"Total ε spent across all ledger accounts.", l.TotalSpent)
+			reg.NewGaugeFunc("osdp_ledger_analysts",
+				"Analyst principals in the ledger.", func() float64 {
+					analysts, _ := l.Counts()
+					return float64(analysts)
+				})
+			reg.NewGaugeFunc("osdp_ledger_accounts",
+				"Touched (analyst, dataset) budget accounts.", func() float64 {
+					_, accounts := l.Counts()
+					return float64(accounts)
+				})
+		}
+	}
+	return s
 }
 
 // StartJanitor begins periodic eviction of expired sessions, sweeping at
@@ -179,6 +222,7 @@ func (s *Server) sweepLocked() int {
 // analyst cap can never leak slots.
 func (s *Server) dropSessionLocked(id string, se *session) {
 	delete(s.sessions, id)
+	s.met.sessionDropped()
 	if se.analyst != "" {
 		if n := s.perAnalyst[se.analyst] - 1; n > 0 {
 			s.perAnalyst[se.analyst] = n
@@ -204,7 +248,7 @@ func (s *Server) RegisterTable(name string, t *dataset.Table, p dataset.Policy) 
 	// so registration-time precompute uses every core the operator
 	// granted.
 	_, ns := t.Split(p)
-	art := newArtifacts(t, ns)
+	art := newArtifacts(t, ns, s.met)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.datasets[name]; dup {
@@ -341,6 +385,7 @@ func (s *Server) OpenSession(analyst string, req OpenSessionRequest) (SessionInf
 	if analyst != "" {
 		s.perAnalyst[analyst]++
 	}
+	s.met.sessionOpened()
 	return infoFor(se), nil
 }
 
@@ -484,7 +529,11 @@ func (s *Server) Stats() StatsResponse {
 		resp.LedgerEnabled = true
 		resp.LedgerDurable = l.Durable()
 		resp.Analysts, resp.Accounts = l.Counts()
-		resp.SpentEps = l.TotalSpent()
+		// Always a non-nil pointer on ledger servers: a fresh ledger
+		// reports "spent_eps":0 on the wire, distinguishable from a
+		// ledger-less server, which omits the field entirely.
+		spent := l.TotalSpent()
+		resp.SpentEps = &spent
 	}
 	return resp
 }

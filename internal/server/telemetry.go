@@ -1,0 +1,297 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"time"
+
+	"osdp/internal/telemetry"
+)
+
+// Observability layer: every instrument the serving plane reports into,
+// plus the HTTP middleware that feeds the per-route series, stamps
+// request IDs, and emits structured access logs.
+//
+// Metric naming: all series are osdp_<layer>_<what>_<unit|total>, and
+// every label is drawn from a CLOSED set — query kinds, registered mux
+// route patterns, produced status codes, cache names. Client-chosen
+// strings (dataset names, session ids, analyst ids) never become
+// labels, so the series count is bounded by the code, not the
+// workload.
+
+// queryKinds is the closed label set for per-kind query series; requests
+// with any other kind string are folded into kindOther before labelling.
+var queryKinds = []string{KindHistogram, KindIntHistogram, KindCount, KindQuantile, KindSample, KindWorkload, kindOther}
+
+// kindOther labels queries whose kind is not a known wire constant, so
+// unknown client strings cannot mint new series.
+const kindOther = "other"
+
+// serverMetrics bundles the serving layer's instruments. A nil
+// *serverMetrics is the disabled state; every method is nil-receiver
+// safe, and the telemetry metrics themselves tolerate nil too.
+type serverMetrics struct {
+	reg *telemetry.Registry
+
+	httpInFlight *telemetry.Gauge
+	httpDur      *telemetry.Histogram
+
+	queryDur    map[string]*telemetry.Histogram
+	queryOK     map[string]*telemetry.Counter
+	queryErr    map[string]*telemetry.Counter
+	queryEps    map[string]*telemetry.Counter
+	sessOpened  *telemetry.Counter
+	sessDropped *telemetry.Counter
+	cacheHits   *telemetry.CounterVec
+	cacheMisses *telemetry.CounterVec
+}
+
+// newServerMetrics registers the serving-layer series on reg (nil reg
+// disables). Per-kind series are registered eagerly so the exposition
+// shows a complete, stable set from the first scrape.
+func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &serverMetrics{
+		reg: reg,
+		httpInFlight: reg.NewGauge("osdp_http_in_flight_requests",
+			"HTTP requests currently being served."),
+		httpDur: reg.NewHistogram("osdp_http_request_duration_seconds",
+			"End-to-end HTTP request latency.", nil),
+		queryDur: make(map[string]*telemetry.Histogram, len(queryKinds)),
+		queryOK:  make(map[string]*telemetry.Counter, len(queryKinds)),
+		queryErr: make(map[string]*telemetry.Counter, len(queryKinds)),
+		queryEps: make(map[string]*telemetry.Counter, len(queryKinds)),
+		sessOpened: reg.NewCounter("osdp_sessions_opened_total",
+			"Sessions opened."),
+		sessDropped: reg.NewCounter("osdp_sessions_closed_total",
+			"Sessions removed, whether closed by the client or TTL-evicted."),
+		cacheHits: reg.NewCounterVec("osdp_cache_hits_total",
+			"Artifact cache hits.", "cache"),
+		cacheMisses: reg.NewCounterVec("osdp_cache_misses_total",
+			"Artifact cache misses.", "cache"),
+	}
+	for _, k := range queryKinds {
+		m.queryDur[k] = reg.NewHistogram("osdp_query_duration_seconds",
+			"Query latency through Server.Query, by query kind.", nil, telemetry.L("kind", k))
+		m.queryOK[k] = reg.NewCounter("osdp_queries_total",
+			"Queries answered successfully, by query kind.", telemetry.L("kind", k))
+		m.queryErr[k] = reg.NewCounter("osdp_query_errors_total",
+			"Queries that returned an error, by query kind.", telemetry.L("kind", k))
+		m.queryEps[k] = reg.NewCounter("osdp_query_eps_charged_total",
+			"Total ε retained by the accountants, by query kind. Refunded charges are not counted.", telemetry.L("kind", k))
+	}
+	return m
+}
+
+// canonicalKind folds unknown kind strings into kindOther so labels stay
+// a closed set.
+func canonicalKind(kind string) string {
+	switch kind {
+	case KindHistogram, KindIntHistogram, KindCount, KindQuantile, KindSample, KindWorkload:
+		return kind
+	}
+	return kindOther
+}
+
+// observeQuery records one Server.Query call: latency always, a success
+// or error count, and the ε that actually stayed charged.
+func (m *serverMetrics) observeQuery(kind string, d time.Duration, eps float64, charged bool, err error) {
+	if m == nil {
+		return
+	}
+	k := canonicalKind(kind)
+	m.queryDur[k].ObserveDuration(d)
+	if err != nil {
+		m.queryErr[k].Inc()
+	} else {
+		m.queryOK[k].Inc()
+	}
+	if charged {
+		m.queryEps[k].Add(eps)
+	}
+}
+
+// sessionOpened counts a successful OpenSession.
+func (m *serverMetrics) sessionOpened() {
+	if m != nil {
+		m.sessOpened.Inc()
+	}
+}
+
+// sessionDropped counts a session removal (client close or eviction).
+func (m *serverMetrics) sessionDropped() {
+	if m != nil {
+		m.sessDropped.Inc()
+	}
+}
+
+// cacheCounters returns the hit/miss counters for a named artifact
+// cache; (nil, nil) when telemetry is off.
+func (m *serverMetrics) cacheCounters(cache string) (hits, misses *telemetry.Counter) {
+	if m == nil {
+		return nil, nil
+	}
+	return m.cacheHits.With(cache), m.cacheMisses.With(cache)
+}
+
+// httpRequest records one served request under its matched route pattern
+// and produced status. Both label values come from closed sets: patterns
+// are fixed in Handler, and statuses are the codes statusOf can map to.
+func (m *serverMetrics) httpRequest(route string, status int, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.httpDur.ObserveDuration(d)
+	m.reg.NewCounter("osdp_http_requests_total",
+		"HTTP requests served, by route pattern and status code.",
+		telemetry.L("route", route), telemetry.L("status", strconv.Itoa(status))).Inc()
+}
+
+// requestIDKey is the context key RequestID reads; only the middleware
+// writes it.
+type requestIDKey struct{}
+
+// RequestID returns the request's trace id stamped by the server's HTTP
+// middleware ("" outside an instrumented request). The same id is echoed
+// to the client in the X-Request-Id response header and attached to the
+// structured access log line, so a client-reported failure can be joined
+// to its server-side log entry.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// newRequestID mints a 16-hex-char random id. Failure of the system
+// randomness is unrecoverable elsewhere (session ids also need it), so
+// here it degrades to an empty id rather than failing the request.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return ""
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// statusRecorder captures the status code and body size a handler
+// produced, delegating everything else to the wrapped ResponseWriter.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusRecorder) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards to the wrapped writer so streaming handlers keep
+// working through the middleware.
+func (w *statusRecorder) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps the route mux with the observability middleware:
+// request-ID stamping (context + X-Request-Id header), the in-flight
+// gauge, per-route/per-status counters, the request latency histogram,
+// and the structured access log. With telemetry and access logging both
+// disabled the mux is returned unwrapped, so the legacy configuration
+// serves with zero added overhead.
+func (s *Server) instrument(mux *http.ServeMux) http.Handler {
+	if s.met == nil && s.cfg.AccessLog == nil {
+		return mux
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := newRequestID()
+		if id != "" {
+			w.Header().Set("X-Request-Id", id)
+			r = r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id))
+		}
+		if s.met != nil {
+			s.met.httpInFlight.Inc()
+			defer s.met.httpInFlight.Dec()
+		}
+		rec := &statusRecorder{ResponseWriter: w}
+		mux.ServeHTTP(rec, r)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		// The matched pattern, not the raw path: path segments carry
+		// client-chosen ids and would blow the label cardinality budget.
+		_, route := mux.Handler(r)
+		if route == "" {
+			route = "unmatched"
+		}
+		elapsed := time.Since(start)
+		s.met.httpRequest(route, rec.status, elapsed)
+		if lg := s.cfg.AccessLog; lg != nil {
+			lg.LogAttrs(r.Context(), slog.LevelInfo, "request",
+				slog.String("id", id),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.String("route", route),
+				slog.Int("status", rec.status),
+				slog.Int64("bytes", rec.bytes),
+				slog.Duration("duration", elapsed),
+			)
+		}
+	})
+}
+
+// metricsHandler serves GET /metrics in Prometheus text exposition
+// format. Like /stats it is credential-free: every series is a coarse
+// pre-noised aggregate with labels from closed sets, so the endpoint
+// reveals operational shape, never data or per-analyst detail. With
+// telemetry disabled it serves an empty (valid) exposition.
+func (s *Server) metricsHandler(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.cfg.Telemetry.WritePrometheus(w)
+}
+
+// pprofHandler serves net/http/pprof under /admin/pprof/, so profiles
+// require the operator bearer token — goroutine dumps and heap profiles
+// reveal internals no analyst should see. The standard handlers route
+// by path under /debug/pprof/, so named profiles are re-pathed before
+// delegating to pprof.Index.
+func (s *Server) pprofHandler(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/admin/pprof/")
+	switch name {
+	case "cmdline":
+		pprof.Cmdline(w, r)
+	case "profile":
+		pprof.Profile(w, r)
+	case "symbol":
+		pprof.Symbol(w, r)
+	case "trace":
+		pprof.Trace(w, r)
+	default:
+		r2 := new(http.Request)
+		*r2 = *r
+		u := *r.URL
+		u.Path = "/debug/pprof/" + name
+		r2.URL = &u
+		pprof.Index(w, r2)
+	}
+}

@@ -217,14 +217,17 @@ type ErrorResponse struct {
 
 // StatsResponse is GET /stats: coarse service aggregates safe to expose
 // without credentials. Ledger fields are zero on ledger-less servers.
+// SpentEps is a pointer so a ledger server with nothing spent still
+// emits "spent_eps":0 — a plain float64 with omitempty made 0.0 spend
+// indistinguishable on the wire from "no ledger at all".
 type StatsResponse struct {
-	Datasets      int     `json:"datasets"`
-	Sessions      int     `json:"sessions"`
-	LedgerEnabled bool    `json:"ledger"`
-	LedgerDurable bool    `json:"ledger_durable,omitempty"`
-	Analysts      int     `json:"analysts,omitempty"`
-	Accounts      int     `json:"accounts,omitempty"`
-	SpentEps      float64 `json:"spent_eps,omitempty"`
+	Datasets      int      `json:"datasets"`
+	Sessions      int      `json:"sessions"`
+	LedgerEnabled bool     `json:"ledger"`
+	LedgerDurable bool     `json:"ledger_durable,omitempty"`
+	Analysts      int      `json:"analysts,omitempty"`
+	Accounts      int      `json:"accounts,omitempty"`
+	SpentEps      *float64 `json:"spent_eps,omitempty"`
 }
 
 // CreateAnalystRequest mints an analyst principal (admin only).

@@ -1,0 +1,531 @@
+// Package telemetry is the zero-dependency observability substrate of
+// the serving plane: atomic counters, gauges, and fixed-bucket latency
+// histograms, collected in a Registry and rendered in the Prometheus
+// text exposition format (served by the query service as GET /metrics).
+//
+// The package exists so the hot paths the ROADMAP's scaling items are
+// judged against — the query path, the ledger's WAL fsync, the scan
+// pool — can be instrumented without importing anything outside the
+// standard library, and without measurable overhead: every metric
+// update is one or two atomic operations, and every metric method
+// (including the Registry's constructors and renderer) is safe on a nil
+// receiver, so "telemetry disabled" is literally a nil *Registry with
+// every update compiling down to a nil check.
+//
+// Naming scheme: every series the repo exports is prefixed `osdp_`,
+// units are encoded in the name per Prometheus convention
+// (`_seconds`, `_total`), and label cardinality is bounded by
+// construction — labels only ever carry closed enumerations (query
+// kind, route pattern, status code, cache name), never client-supplied
+// strings. See DESIGN.md "Observability" for the cardinality budget.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one name="value" pair attached to a series. Label values
+// must come from closed, low-cardinality sets (query kinds, route
+// patterns, status codes) — never from client-controlled input.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// atomicFloat is a float64 updated with compare-and-swap on its bit
+// pattern. Prometheus values are floats (ε charges, durations), so the
+// counters and gauges carry one rather than an integer.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) add(delta float64) {
+	for {
+		old := f.bits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + delta)
+		if f.bits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) set(v float64)  { f.bits.Store(math.Float64bits(v)) }
+func (f *atomicFloat) value() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Counter is a monotonically increasing float64. All methods are safe
+// for concurrent use and no-ops on a nil receiver.
+type Counter struct {
+	v      atomicFloat
+	series string // rendered "name{labels}"
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds delta, which must be non-negative (negative deltas are
+// dropped — a counter never goes down).
+func (c *Counter) Add(delta float64) {
+	if c == nil || delta < 0 || math.IsNaN(delta) {
+		return
+	}
+	c.v.add(delta)
+}
+
+// Value returns the current total (0 on a nil receiver).
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.value()
+}
+
+// Gauge is a float64 that can go up and down. All methods are safe for
+// concurrent use and no-ops on a nil receiver.
+type Gauge struct {
+	v      atomicFloat
+	series string
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v.set(v)
+}
+
+// Add adds delta (which may be negative).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	g.v.add(delta)
+}
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value (0 on a nil receiver).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.value()
+}
+
+// DefBuckets is the default latency bucket layout, in seconds: roughly
+// logarithmic from 1µs to 10s, sized to resolve both an in-memory
+// charge (~hundreds of ns rounds to the first bucket) and a WAL fsync
+// (~100–200µs) and a multi-ms columnar scan on one shared layout.
+var DefBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6,
+	1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2,
+	0.1, 0.25, 0.5,
+	1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket distribution (typically of latencies, in
+// seconds). Buckets are cumulative in the exposition only; internally
+// each bucket counts its own interval so Observe is a single atomic
+// add. All methods are safe for concurrent use and no-ops on a nil
+// receiver.
+//
+// A scrape racing Observe may see a bucket increment whose _sum update
+// has not landed yet (the two are separate atomics); the skew is one
+// observation and self-heals on the next scrape — the price of a
+// lock-free hot path.
+type Histogram struct {
+	series  string
+	bounds  []float64 // upper bounds, sorted ascending; +Inf implicit
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sum     atomicFloat
+}
+
+// Observe records one value (in the histogram's unit, conventionally
+// seconds).
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.add(v)
+}
+
+// ObserveDuration records a time.Duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns how many values have been observed.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.value()
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) from the bucket
+// counts by linear interpolation inside the target bucket, the same
+// estimate Prometheus' histogram_quantile computes. Returns 0 when
+// nothing has been observed; values landing beyond the last finite
+// bound report that bound (the estimate cannot exceed the layout).
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || len(h.bounds) == 0 {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 || math.IsNaN(q) {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, bound := range h.bounds {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			cum += n
+			continue
+		}
+		if float64(cum+n) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			return lo + (bound-lo)*frac
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Summary reports the estimated p50, p95, and p99 of the distribution.
+func (h *Histogram) Summary() (p50, p95, p99 float64) {
+	return h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99)
+}
+
+// metric is one registered series, renderable to the exposition format.
+type metric struct {
+	labels string // canonical rendered label set, "" or `a="b",c="d"`
+	c      *Counter
+	g      *Gauge
+	fn     func() float64
+	h      *Histogram
+}
+
+// family groups the series sharing one metric name (one HELP/TYPE
+// header in the exposition).
+type family struct {
+	name   string
+	help   string
+	typ    string // "counter" | "gauge" | "histogram"
+	series []*metric
+	byKey  map[string]*metric // labels -> series
+}
+
+// Registry collects metrics and renders them. The zero value is NOT
+// usable — call NewRegistry — but a nil *Registry is: every
+// constructor on it returns a nil metric (whose methods no-op) and
+// WritePrometheus writes nothing, so a nil registry IS the disabled
+// mode.
+//
+// Registration is idempotent: asking for a (name, labels) pair that
+// already exists returns the existing metric, so independent layers can
+// share a registry without coordinating. Registering the same name
+// with a different TYPE panics — that is a programming error that
+// would corrupt the exposition.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string // family names in first-registration order
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// renderLabels canonicalizes a label set (sorted by name, escaped).
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes backslash, newline, and double quote per the
+// exposition format.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\n\"") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	return r.Replace(v)
+}
+
+// register fetches or creates the (name, labels) series inside the
+// named family, creating the family on first use. make builds the new
+// metric when absent.
+func (r *Registry) register(name, help, typ string, labels []Label, make func(series string) *metric) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, byKey: map[string]*metric{}}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("telemetry: metric %q registered as both %s and %s", name, f.typ, typ))
+	}
+	key := renderLabels(labels)
+	if m, ok := f.byKey[key]; ok {
+		return m
+	}
+	series := name
+	if key != "" {
+		series = name + "{" + key + "}"
+	}
+	m := make(series)
+	m.labels = key
+	f.byKey[key] = m
+	f.series = append(f.series, m)
+	return m
+}
+
+// NewCounter registers (or fetches) a counter series.
+func (r *Registry) NewCounter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	m := r.register(name, help, "counter", labels, func(series string) *metric {
+		return &metric{c: &Counter{series: series}}
+	})
+	return m.c
+}
+
+// NewGauge registers (or fetches) a gauge series.
+func (r *Registry) NewGauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	m := r.register(name, help, "gauge", labels, func(series string) *metric {
+		return &metric{g: &Gauge{series: series}}
+	})
+	return m.g
+}
+
+// NewGaugeFunc registers a gauge whose value is collected by calling fn
+// at scrape time — for values that already live elsewhere (live session
+// counts, ledger totals) and would be silly to mirror into an atomic.
+// fn must be safe to call concurrently with anything; it runs under no
+// registry lock ordering guarantees beyond "during a scrape".
+// Re-registering the same (name, labels) replaces fn.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	m := r.register(name, help, "gauge", labels, func(series string) *metric {
+		return &metric{}
+	})
+	r.mu.Lock()
+	m.fn = fn
+	r.mu.Unlock()
+}
+
+// NewHistogram registers (or fetches) a histogram series. bounds are
+// the bucket upper limits in ascending order (nil = DefBuckets); the
+// +Inf bucket is implicit.
+func (r *Registry) NewHistogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	m := r.register(name, help, "histogram", labels, func(series string) *metric {
+		h := &Histogram{
+			series:  series,
+			bounds:  append([]float64(nil), bounds...),
+			buckets: make([]atomic.Uint64, len(bounds)+1), // +1 for +Inf
+		}
+		return &metric{h: h}
+	})
+	return m.h
+}
+
+// CounterVec is a family of counters distinguished by the values of a
+// fixed label name — per-route request counts, per-status totals.
+// Series are created on first use and cached; With is safe for
+// concurrent use and, on a nil receiver, returns a nil *Counter.
+type CounterVec struct {
+	reg       *Registry
+	name      string
+	help      string
+	labelName string
+	fixed     []Label
+
+	mu     sync.Mutex
+	series map[string]*Counter
+}
+
+// NewCounterVec registers a counter family keyed by one variable label
+// (plus optional fixed labels shared by every series). The variable
+// label's values must come from a closed set — ServeMux patterns,
+// HTTP status codes, query kinds — never client-controlled strings,
+// or the cardinality budget is gone.
+func (r *Registry) NewCounterVec(name, help, labelName string, fixed ...Label) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{
+		reg: r, name: name, help: help, labelName: labelName,
+		fixed: fixed, series: map[string]*Counter{},
+	}
+}
+
+// With returns the counter for one value of the variable label,
+// creating it on first use.
+func (v *CounterVec) With(value string) *Counter {
+	if v == nil {
+		return nil
+	}
+	v.mu.Lock()
+	c, ok := v.series[value]
+	v.mu.Unlock()
+	if ok {
+		return c
+	}
+	labels := append(append([]Label(nil), v.fixed...), Label{Name: v.labelName, Value: value})
+	c = v.reg.NewCounter(v.name, v.help, labels...)
+	v.mu.Lock()
+	v.series[value] = c
+	v.mu.Unlock()
+	return c
+}
+
+// formatValue renders a sample value the Prometheus way.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered family in the text
+// exposition format (version 0.0.4), families in registration order,
+// series within a family in registration order. A nil registry writes
+// nothing. Values are read with the same atomics updates use, so a
+// scrape concurrent with traffic sees a near-consistent snapshot
+// (individual series are exact; cross-series invariants may trail by
+// in-flight updates).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		b.Reset()
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		// Series slices only grow; snapshot under the lock.
+		r.mu.Lock()
+		series := append([]*metric(nil), f.series...)
+		r.mu.Unlock()
+		for _, m := range series {
+			switch {
+			case m.c != nil:
+				fmt.Fprintf(&b, "%s %s\n", m.c.series, formatValue(m.c.Value()))
+			case m.g != nil:
+				fmt.Fprintf(&b, "%s %s\n", m.g.series, formatValue(m.g.Value()))
+			case m.fn != nil:
+				line := f.name
+				if m.labels != "" {
+					line = f.name + "{" + m.labels + "}"
+				}
+				fmt.Fprintf(&b, "%s %s\n", line, formatValue(m.fn()))
+			case m.h != nil:
+				writeHistogram(&b, f.name, m)
+			}
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogram renders one histogram series: cumulative _bucket
+// lines, then _sum and _count.
+func writeHistogram(b *strings.Builder, name string, m *metric) {
+	h := m.h
+	open, end := "{", "}"
+	if m.labels != "" {
+		open = "{" + m.labels + ","
+	}
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(b, "%s_bucket%sle=\"%s\"%s %d\n", name, open, formatValue(bound), end, cum)
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	fmt.Fprintf(b, "%s_bucket%sle=\"+Inf\"%s %d\n", name, open, end, cum)
+	suffix := ""
+	if m.labels != "" {
+		suffix = "{" + m.labels + "}"
+	}
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, suffix, formatValue(h.Sum()))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, suffix, h.count.Load())
+}

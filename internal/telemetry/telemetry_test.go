@@ -1,0 +1,207 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "help")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-1)         // dropped: counters never go down
+	c.Add(math.NaN()) // dropped
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %g, want 3.5", got)
+	}
+	g := r.NewGauge("g", "help")
+	g.Set(10)
+	g.Dec()
+	g.Add(-2)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %g, want 7", got)
+	}
+}
+
+func TestNilReceiversAreNoOps(t *testing.T) {
+	var reg *Registry
+	c := reg.NewCounter("x_total", "h")
+	g := reg.NewGauge("x", "h")
+	h := reg.NewHistogram("x_seconds", "h", nil)
+	v := reg.NewCounterVec("v_total", "h", "kind")
+	reg.NewGaugeFunc("f", "h", func() float64 { return 1 })
+	c.Inc()
+	c.Add(2)
+	g.Set(3)
+	g.Inc()
+	h.Observe(0.5)
+	h.ObserveDuration(time.Second)
+	v.With("a").Inc()
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil metrics must read zero")
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil || sb.Len() != 0 {
+		t.Fatalf("nil registry rendered %q, err %v", sb.String(), err)
+	}
+}
+
+func TestRegistrationIsIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.NewCounter("dup_total", "h", L("k", "v"))
+	b := r.NewCounter("dup_total", "h", L("k", "v"))
+	if a != b {
+		t.Fatal("same (name, labels) must return the same counter")
+	}
+	other := r.NewCounter("dup_total", "h", L("k", "w"))
+	if other == a {
+		t.Fatal("different label value must be a different series")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("conflicting TYPE for one name must panic")
+		}
+	}()
+	r.NewGauge("dup_total", "h")
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("lat_seconds", "h", []float64{0.1, 0.2, 0.4, 0.8})
+	// 100 observations uniform in (0, 0.1]: everything lands in bucket 0.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 1000.0)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d, want 100", h.Count())
+	}
+	if p50 := h.Quantile(0.5); p50 <= 0 || p50 > 0.1 {
+		t.Fatalf("p50 = %g, want within bucket (0, 0.1]", p50)
+	}
+	// Push 100 more into the 0.2..0.4 bucket; the p99 moves there.
+	for i := 0; i < 100; i++ {
+		h.Observe(0.3)
+	}
+	if p99 := h.Quantile(0.99); p99 <= 0.2 || p99 > 0.4 {
+		t.Fatalf("p99 = %g, want within (0.2, 0.4]", p99)
+	}
+	p50, p95, p99 := h.Summary()
+	if !(p50 <= p95 && p95 <= p99) {
+		t.Fatalf("summary not monotone: p50=%g p95=%g p99=%g", p50, p95, p99)
+	}
+	// Values beyond every bound report the last finite bound.
+	h2 := r.NewHistogram("lat2_seconds", "h", []float64{0.1})
+	h2.Observe(5)
+	if got := h2.Quantile(0.5); got != 0.1 {
+		t.Fatalf("overflow quantile = %g, want 0.1 (last bound)", got)
+	}
+	// Empty histogram.
+	h3 := r.NewHistogram("lat3_seconds", "h", nil)
+	if h3.Quantile(0.99) != 0 {
+		t.Fatal("empty histogram quantile must be 0")
+	}
+}
+
+// TestPrometheusExpositionGolden pins the exact rendered text for a
+// small fixed registry: HELP/TYPE headers, label escaping and ordering,
+// cumulative histogram buckets, _sum/_count, and gauge-func collection.
+// The format is consumed by real Prometheus scrapers, so it must not
+// drift.
+func TestPrometheusExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("osdp_queries_total", "Queries answered.", L("kind", "histogram"))
+	c.Add(3)
+	r.NewCounter("osdp_queries_total", "Queries answered.", L("kind", "count")).Inc()
+	g := r.NewGauge("osdp_http_in_flight_requests", "In-flight HTTP requests.")
+	g.Set(2)
+	r.NewGaugeFunc("osdp_sessions_active", "Live sessions.", func() float64 { return 7 })
+	h := r.NewHistogram("osdp_query_duration_seconds", "Query latency.", []float64{0.1, 0.5}, L("kind", "histogram"))
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(0.3)
+	h.Observe(2)
+	esc := r.NewCounter("osdp_escapes_total", "Label escaping.", L("v", "a\"b\\c\nd"))
+	esc.Inc()
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP osdp_queries_total Queries answered.
+# TYPE osdp_queries_total counter
+osdp_queries_total{kind="histogram"} 3
+osdp_queries_total{kind="count"} 1
+# HELP osdp_http_in_flight_requests In-flight HTTP requests.
+# TYPE osdp_http_in_flight_requests gauge
+osdp_http_in_flight_requests 2
+# HELP osdp_sessions_active Live sessions.
+# TYPE osdp_sessions_active gauge
+osdp_sessions_active 7
+# HELP osdp_query_duration_seconds Query latency.
+# TYPE osdp_query_duration_seconds histogram
+osdp_query_duration_seconds_bucket{kind="histogram",le="0.1"} 2
+osdp_query_duration_seconds_bucket{kind="histogram",le="0.5"} 3
+osdp_query_duration_seconds_bucket{kind="histogram",le="+Inf"} 4
+osdp_query_duration_seconds_sum{kind="histogram"} 2.4
+osdp_query_duration_seconds_count{kind="histogram"} 4
+# HELP osdp_escapes_total Label escaping.
+# TYPE osdp_escapes_total counter
+osdp_escapes_total{v="a\"b\\c\nd"} 1
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("exposition drifted.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestConcurrentUpdatesAndScrapes hammers every metric type from many
+// goroutines while scraping, under -race; totals must come out exact.
+func TestConcurrentUpdatesAndScrapes(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "h")
+	g := r.NewGauge("g", "h")
+	h := r.NewHistogram("h_seconds", "h", nil)
+	vec := r.NewCounterVec("v_total", "h", "kind")
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.001)
+				vec.With([]string{"a", "b"}[w%2]).Inc()
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			if err := r.WritePrometheus(&sb); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if c.Value() != workers*perWorker {
+		t.Fatalf("counter = %g, want %d", c.Value(), workers*perWorker)
+	}
+	if g.Value() != workers*perWorker {
+		t.Fatalf("gauge = %g, want %d", g.Value(), workers*perWorker)
+	}
+	if h.Count() != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*perWorker)
+	}
+	if got := vec.With("a").Value() + vec.With("b").Value(); got != workers*perWorker {
+		t.Fatalf("vec total = %g, want %d", got, workers*perWorker)
+	}
+}
