@@ -6,7 +6,7 @@
 //	osdp-bench [-exp all|table1|table2|fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|crossover|exclusion|ablations]
 //	           [-quick] [-seed N] [-trials N]
 //	osdp-bench -dataplane BENCH_dataplane.json [-quick]
-//	osdp-bench -ledger BENCH_ledger.json [-quick]
+//	osdp-bench -ledger BENCH_ledger.json [-analysts N] [-quick]
 //	osdp-bench -workload BENCH_workload.json [-quick]
 //	osdp-bench -parallel BENCH_parallel.json [-workers N] [-quick]
 //	osdp-bench -metrics BENCH_metrics.json [-quick]
@@ -22,8 +22,12 @@
 //
 // -ledger runs only the privacy-budget control-plane benchmark (the
 // per-query charge path: in-memory, WAL, and WAL+fsync variants, with
-// allocations per charge) and writes the result to the given JSON file,
-// the artifact CI tracks so ledger overhead cannot silently regress.
+// allocations per charge, plus the group-commit sweep — the fsync'd
+// path at 1/8/64 concurrent analysts charging distinct accounts) and
+// writes the result to the given JSON file, the artifact CI tracks so
+// ledger overhead and the group-commit speedup cannot silently
+// regress. -analysts adds one more concurrency point to the sweep
+// (0, the default, keeps just 1/8/64).
 //
 // -workload runs only the range-workload estimator benchmark (the
 // serving-side workload engine: per-estimator synopsis fit latency,
@@ -67,6 +71,7 @@ func main() {
 	trials := flag.Int("trials", 0, "override the trial count (0 keeps the default)")
 	dataplane := flag.String("dataplane", "", "run the data-plane benchmark and write its JSON result to this file")
 	ledgerOut := flag.String("ledger", "", "run the budget-ledger benchmark and write its JSON result to this file")
+	analysts := flag.Int("analysts", 0, "extra concurrency point for the -ledger group-commit sweep (0 = just the default 1/8/64)")
 	workloadOut := flag.String("workload", "", "run the range-workload estimator benchmark and write its JSON result to this file")
 	parallelOut := flag.String("parallel", "", "run the parallel data-plane benchmark and write its JSON result to this file")
 	workers := flag.Int("workers", runtime.NumCPU(), "worker count for the -parallel benchmark")
@@ -81,7 +86,7 @@ func main() {
 		return
 	}
 	if *ledgerOut != "" {
-		if err := runLedger(*ledgerOut, *quick); err != nil {
+		if err := runLedger(*ledgerOut, *analysts, *quick); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -322,9 +327,10 @@ func runMetricsBench(path string, quick bool) error {
 	return nil
 }
 
-// runLedger measures the control-plane charge path and writes the
-// result as JSON.
-func runLedger(path string, quick bool) error {
+// runLedger measures the control-plane charge path (serial variants
+// plus the concurrent group-commit sweep) and writes the result as
+// JSON. extraAnalysts > 0 adds one more concurrency point.
+func runLedger(path string, extraAnalysts int, quick bool) error {
 	charges := 50_000
 	if quick {
 		charges = 5_000
@@ -334,7 +340,7 @@ func runLedger(path string, quick bool) error {
 		return fmt.Errorf("ledger benchmark: %w", err)
 	}
 	defer os.RemoveAll(dir)
-	res, err := experiments.MeasureLedger(dir, charges)
+	res, err := experiments.MeasureLedger(dir, charges, extraAnalysts)
 	if err != nil {
 		return fmt.Errorf("ledger benchmark: %w", err)
 	}

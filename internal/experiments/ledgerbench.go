@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"time"
 
 	"osdp/internal/core"
@@ -16,6 +17,10 @@ import (
 // on one (analyst, dataset) account — pure in-memory, WAL append
 // without fsync, and WAL append with fsync (the production default) —
 // plus allocations per charge, which CI tracks to keep the path O(1).
+// The fsync variant is additionally swept across concurrent analysts
+// (1/8/64 goroutines charging distinct accounts) to measure group
+// commit: N concurrent charges share one fsync, so per-op cost should
+// fall roughly as 1/N until the disk or the committer saturates.
 
 // LedgerBenchResult is the machine-readable outcome written to
 // BENCH_ledger.json.
@@ -26,12 +31,24 @@ type LedgerBenchResult struct {
 	WalSyncNsPerOp float64 `json:"wal_fsync_ns_per_op"`
 	MemAllocsPerOp float64 `json:"mem_allocs_per_op"`
 	WalAllocsPerOp float64 `json:"wal_nosync_allocs_per_op"`
+	// Group-commit sweep: per-op fsync'd charge cost at 8 and 64
+	// concurrent analysts, and the headline speedup of the 64-way run
+	// over the serial fsync path above.
+	FsyncC8NsPerOp     float64 `json:"fsync_concurrent8_ns_per_op"`
+	FsyncC64NsPerOp    float64 `json:"fsync_concurrent64_ns_per_op"`
+	GroupCommitSpeedup float64 `json:"group_commit_speedup"`
+	// ExtraAnalysts/ExtraNsPerOp report one additional operator-chosen
+	// concurrency point (osdp-bench -analysts); zero when not requested.
+	ExtraAnalysts int     `json:"extra_analysts,omitempty"`
+	ExtraNsPerOp  float64 `json:"extra_concurrent_ns_per_op,omitempty"`
 }
 
 // MeasureLedger times the charge path. dir hosts the durable variants'
 // state (a fresh subdirectory per variant); charges is the per-variant
-// op count (the fsync variant runs fewer — see below).
-func MeasureLedger(dir string, charges int) (LedgerBenchResult, error) {
+// op count (the fsync variants run fewer — see below). extraAnalysts,
+// when > 0, adds one more concurrency point to the standard 1/8/64
+// fsync sweep.
+func MeasureLedger(dir string, charges, extraAnalysts int) (LedgerBenchResult, error) {
 	if charges < 100 {
 		charges = 100
 	}
@@ -111,12 +128,100 @@ func MeasureLedger(dir string, charges int) (LedgerBenchResult, error) {
 	if err != nil {
 		return res, fmt.Errorf("ledger bench (fsync): %w", err)
 	}
+
+	// Group-commit sweep: the same fsync'd charge path under concurrent
+	// analysts. Per-goroutine op counts are modest — total work is
+	// analysts × opsEach and every op still awaits a durable batch.
+	opsEach := charges / 100
+	if opsEach < 20 {
+		opsEach = 20
+	}
+	sweep := []int{8, 64}
+	if extraAnalysts > 0 {
+		sweep = append(sweep, extraAnalysts)
+	}
+	for _, analysts := range sweep {
+		nsPerOp, err := MeasureLedgerConcurrent(
+			fmt.Sprintf("%s/fsync-c%d", dir, analysts), analysts, opsEach)
+		if err != nil {
+			return res, fmt.Errorf("ledger bench (fsync ×%d): %w", analysts, err)
+		}
+		switch analysts {
+		case 8:
+			res.FsyncC8NsPerOp = nsPerOp
+		case 64:
+			res.FsyncC64NsPerOp = nsPerOp
+		}
+		if extraAnalysts > 0 && analysts == extraAnalysts {
+			res.ExtraAnalysts, res.ExtraNsPerOp = analysts, nsPerOp
+		}
+	}
+	if res.FsyncC64NsPerOp > 0 {
+		res.GroupCommitSpeedup = res.WalSyncNsPerOp / res.FsyncC64NsPerOp
+	}
 	return res, nil
+}
+
+// MeasureLedgerConcurrent times the fsync'd charge path with analysts
+// goroutines charging DISTINCT accounts concurrently, returning
+// wall-clock ns per charge (wall / (analysts × opsEach)). Distinct
+// datasets keep the accounts independent, so the only shared resource
+// is the group-commit queue — exactly what the measurement targets.
+func MeasureLedgerConcurrent(dir string, analysts, opsEach int) (float64, error) {
+	if analysts < 1 || opsEach < 1 {
+		return 0, fmt.Errorf("ledger bench: analysts %d and opsEach %d must be positive", analysts, opsEach)
+	}
+	g := core.Guarantee{Policy: dataset.NewPolicy("bench", dataset.True()), Epsilon: 1e-9}
+	l, err := ledger.Open(ledger.Config{Dir: dir})
+	if err != nil {
+		return 0, err
+	}
+	defer l.Close()
+	info, _, err := l.CreateAnalyst("bench", 0)
+	if err != nil {
+		return 0, err
+	}
+	// Warm every account (and the WAL) outside the timed region.
+	for w := 0; w < analysts; w++ {
+		if err := l.Charge(info.ID, fmt.Sprintf("d%03d", w), g); err != nil {
+			return 0, err
+		}
+	}
+
+	errs := make(chan error, analysts)
+	var start sync.WaitGroup // released together so the burst overlaps
+	start.Add(1)
+	var wg sync.WaitGroup
+	for w := 0; w < analysts; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ds := fmt.Sprintf("d%03d", w)
+			start.Wait()
+			for i := 0; i < opsEach; i++ {
+				if err := l.Charge(info.ID, ds, g); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	begin := time.Now()
+	start.Done()
+	wg.Wait()
+	elapsed := time.Since(begin)
+	select {
+	case err := <-errs:
+		return 0, err
+	default:
+	}
+	return float64(elapsed.Nanoseconds()) / float64(analysts*opsEach), nil
 }
 
 // String renders the result as a report-style line.
 func (r LedgerBenchResult) String() string {
 	return fmt.Sprintf(
-		"ledger charge path: mem %.0f ns/op (%.1f allocs), wal %.0f ns/op (%.1f allocs), wal+fsync %.1f µs/op",
-		r.MemNsPerOp, r.MemAllocsPerOp, r.WalNsPerOp, r.WalAllocsPerOp, r.WalSyncNsPerOp/1e3)
+		"ledger charge path: mem %.0f ns/op (%.1f allocs), wal %.0f ns/op (%.1f allocs), wal+fsync %.1f µs/op serial, %.1f µs/op ×64 (group commit %.1fx)",
+		r.MemNsPerOp, r.MemAllocsPerOp, r.WalNsPerOp, r.WalAllocsPerOp,
+		r.WalSyncNsPerOp/1e3, r.FsyncC64NsPerOp/1e3, r.GroupCommitSpeedup)
 }

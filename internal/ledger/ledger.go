@@ -16,14 +16,24 @@
 // Durability contract: a charge is acknowledged only after its record is
 // appended to the write-ahead log (and fsync'd unless Config.NoSync),
 // so acknowledged spend survives crash and restart; the in-memory state
-// is a cache over the log, never the other way around. The failure
-// modes all err toward counting MORE spend, never less: a crash between
-// WAL append and the noisy answer leaves the charge spent with no
-// answer released; a refund whose WAL append fails keeps the in-memory
-// refund but replays as spent; a refund that can no longer be matched
-// to its charge (e.g. across a snapshot compaction) is dropped and the
-// charge stands. Replay tolerates a torn final WAL line (the record was
-// never acknowledged) and refuses to open on corruption anywhere else.
+// is a cache over the log, never the other way around. Durable writes
+// are GROUP-COMMITTED: a writer admits its record against the in-memory
+// state under the mutex, parks it on a commit queue, releases the lock,
+// and blocks until a single committer goroutine has written every
+// queued record in one buffered write and fsync'd once — N concurrent
+// charges amortize one fsync instead of paying N, and no caller
+// observes a nil return (or releases noise) before its own record is
+// stable. The failure modes all err toward counting MORE spend, never
+// less: a crash between WAL append and the noisy answer leaves the
+// charge spent with no answer released; a failed batch undoes the
+// in-memory spend of every charge it carried (records of an
+// unacknowledged batch that did reach the disk replay as spent — an
+// over-count, never an under-count); a refund whose batch fails keeps
+// the in-memory refund but replays as spent; a refund that can no
+// longer be matched to its charge (e.g. across a snapshot compaction)
+// is dropped and the charge stands. Replay tolerates a torn final WAL
+// line (the record was never acknowledged) and refuses to open on
+// corruption anywhere else.
 //
 // With Config.Dir empty the ledger runs in-memory: same semantics,
 // nothing survives Close. Tests and demos use this mode.
@@ -38,6 +48,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -78,10 +89,16 @@ type Config struct {
 	// appends (default 4096). Smaller values bound replay time and WAL
 	// size tighter at the cost of more rewrite work.
 	SnapshotEvery int
-	// NoSync skips the per-append fsync. Throughput benchmarks and tests
+	// NoSync skips the per-batch fsync. Throughput benchmarks and tests
 	// use it; with it set, a crash can lose charges the OS had not yet
 	// flushed (it still never resurrects refunded ones).
 	NoSync bool
+	// FsyncBatchWindow stretches group commit: once at least one record
+	// is queued, the committer waits this long for more to arrive before
+	// writing and fsyncing the batch — trading single-caller latency for
+	// fewer, larger fsyncs. 0 (the default) commits as soon as the
+	// committer is free; concurrency alone then sets the batch size.
+	FsyncBatchWindow time.Duration
 	// Telemetry, when non-nil, registers the ledger's metric series
 	// (charge/refund/replay/compaction counters, WAL append and fsync
 	// latency histograms) on the given registry. Nil disables
@@ -124,13 +141,24 @@ type analystState struct {
 	keyHash string
 }
 
-// Ledger is the control plane. One mutex guards everything including
-// the WAL append, so the durable log order always matches the order
-// charges were admitted — the property replay correctness rests on.
-// The flip side is that reads (Authenticate on every request) queue
-// behind a charge's fsync (~100µs); if that ceiling ever matters,
-// split the analyst maps under their own RWMutex before touching the
-// append ordering.
+// commitWaiter is one WAL record parked on the group-commit queue plus
+// the channel its caller blocks on until the batch carrying it is
+// durable. The channel is buffered so the committer never blocks waking
+// a waiter.
+type commitWaiter struct {
+	rec      record
+	enqueued time.Time
+	done     chan error
+}
+
+// Ledger is the control plane. One mutex guards the in-memory state AND
+// the sequence-number assignment of queued WAL records, so the durable
+// log order always matches the order charges were admitted — the
+// property replay correctness rests on. The WAL write itself happens
+// OUTSIDE the mutex, on the single committer goroutine: writers enqueue
+// under the lock and block on their batch afterwards, so reads
+// (Authenticate on every request) no longer queue behind a charge's
+// fsync, and concurrent charges share one.
 type Ledger struct {
 	cfg Config
 
@@ -140,8 +168,17 @@ type Ledger struct {
 	accounts map[acctKey]*account
 	w        *wal // nil in memory mode
 	seq      uint64
-	appends  int // since the last snapshot
+	appends  int // committed since the last snapshot
 	closed   bool
+	pending  []*commitWaiter // group-commit queue, drained by the committer
+
+	// Committer lifecycle (nil / unused in memory mode). commitNotify is
+	// buffered: an enqueue nudges the committer without blocking, and a
+	// pending nudge coalesces with later ones.
+	commitNotify  chan struct{}
+	stop          chan struct{}
+	committerDone chan struct{}
+	closeErr      error // WAL close result, read after committerDone
 
 	met ledgerMetrics
 }
@@ -225,6 +262,10 @@ func Open(cfg Config) (*Ledger, error) {
 		return nil, err
 	}
 	l.w.met = l.met
+	l.commitNotify = make(chan struct{}, 1)
+	l.stop = make(chan struct{})
+	l.committerDone = make(chan struct{})
+	go l.runCommitter()
 	return l, nil
 }
 
@@ -282,48 +323,147 @@ func (l *Ledger) applyReplayed(rec record) error {
 	return nil
 }
 
-// Close flushes and closes the WAL. Further operations fail with
-// ErrClosed.
+// Close drains the commit queue (admitted writers still get a real
+// durability verdict), stops the committer, and closes the WAL. Further
+// operations fail with ErrClosed.
 func (l *Ledger) Close() error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
+		l.mu.Unlock()
 		return nil
 	}
-	l.closed = true
-	if l.w != nil {
-		return l.w.close()
+	l.closed = true // no new records can enqueue past this point
+	l.mu.Unlock()
+	if l.w == nil {
+		return nil
 	}
-	return nil
+	close(l.stop)
+	<-l.committerDone
+	return l.closeErr
 }
 
 // Durable reports whether the ledger persists to disk.
 func (l *Ledger) Durable() bool { return l.cfg.Dir != "" }
 
-// appendLocked assigns the next sequence number, writes the record, and
-// triggers snapshot compaction on schedule. Callers hold l.mu. In-memory
-// ledgers skip the log but still consume sequence numbers.
-func (l *Ledger) appendLocked(rec record) error {
+// enqueueLocked assigns the next sequence number and, on a durable
+// ledger, parks the record on the group-commit queue, returning the
+// waiter the caller must await AFTER releasing l.mu. In-memory ledgers
+// return nil (sequence numbers are still consumed). Callers hold l.mu
+// and must have applied the record's in-memory effect already: the
+// committer may fold any enqueued record into a snapshot, and a
+// snapshot at sequence S must contain the effect of every record at or
+// below S.
+func (l *Ledger) enqueueLocked(rec record) *commitWaiter {
 	l.seq++
 	rec.Seq = l.seq
 	if l.w == nil {
 		return nil
 	}
-	if err := l.w.append(rec); err != nil {
-		l.seq-- // the record never happened
-		return err
+	wtr := &commitWaiter{rec: rec, enqueued: time.Now(), done: make(chan error, 1)}
+	l.pending = append(l.pending, wtr)
+	select {
+	case l.commitNotify <- struct{}{}:
+	default: // committer already nudged
 	}
-	l.appends++
+	return wtr
+}
+
+// await blocks until wtr's batch is durable and returns the batch
+// verdict (nil waiter = in-memory ledger, immediately fine). Callers
+// must NOT hold l.mu — the committer needs it to drain the queue.
+func (l *Ledger) await(wtr *commitWaiter) error {
+	if wtr == nil {
+		return nil
+	}
+	err := <-wtr.done
+	l.met.commitWait.ObserveDuration(time.Since(wtr.enqueued))
+	return err
+}
+
+// runCommitter is the single WAL writer: nudged by enqueueLocked, it
+// drains the queue, writes each drained batch in one buffered write,
+// fsyncs once, and wakes every waiter — so N concurrent charges
+// amortize one fsync. On Close it drains what was admitted before the
+// closed flag flipped, then closes the WAL.
+func (l *Ledger) runCommitter() {
+	defer close(l.committerDone)
+	for {
+		select {
+		case <-l.commitNotify:
+			l.commitPending()
+		case <-l.stop:
+			l.commitPending()
+			l.closeErr = l.w.close()
+			return
+		}
+	}
+}
+
+// commitPending drains and commits batches until the queue is empty.
+func (l *Ledger) commitPending() {
+	for {
+		l.mu.Lock()
+		n := len(l.pending)
+		l.mu.Unlock()
+		if n == 0 {
+			return
+		}
+		if l.cfg.FsyncBatchWindow > 0 {
+			// Something is queued; linger so stragglers join this batch
+			// instead of paying their own fsync.
+			time.Sleep(l.cfg.FsyncBatchWindow)
+		} else {
+			// One scheduler yield before sealing the batch: writers the
+			// last commit just woke get to finish their next enqueue, so
+			// a saturated core produces full batches instead of
+			// alternating 1-record and (N-1)-record ones. When nothing
+			// else is runnable this costs well under a microsecond.
+			runtime.Gosched()
+		}
+		l.mu.Lock()
+		batch := l.pending
+		l.pending = nil
+		l.mu.Unlock()
+		l.commitBatch(batch)
+	}
+}
+
+// commitBatch writes one batch, wakes its waiters with the shared
+// verdict, and runs snapshot compaction on schedule. Rollback of a
+// failed batch is the WAITERS' job (each undoes its own in-memory
+// effect with the lock held), because only they know what they applied.
+func (l *Ledger) commitBatch(batch []*commitWaiter) {
+	recs := make([]record, len(batch))
+	for i, wtr := range batch {
+		recs[i] = wtr.rec
+	}
+	err := l.w.appendBatch(recs)
+	if err == nil {
+		l.met.batchRecords.Observe(float64(len(batch)))
+	}
+	for _, wtr := range batch {
+		wtr.done <- err
+	}
+	if err != nil {
+		return
+	}
+	l.mu.Lock()
+	l.appends += len(batch)
 	if l.appends >= l.cfg.SnapshotEvery {
-		// Compaction failure is not fatal to the charge that triggered
-		// it: the WAL already holds the record. Keep serving; the next
-		// append retries.
+		// Compaction failure is not fatal to the batch that triggered
+		// it: the WAL already holds its records. Keep serving; the next
+		// batch retries. Records still queued at snapshot time are
+		// covered too — their seq is at or below the snapshot's and
+		// their in-memory effect was applied before they enqueued, so
+		// replay skipping them is exact (if their batch later fails,
+		// the snapshot over-counts an unacknowledged record — the safe
+		// direction, never an under-count).
 		if err := l.snapshotLocked(); err == nil {
 			l.appends = 0
 			l.met.compactions.Inc()
 		}
 	}
-	return nil
+	l.mu.Unlock()
 }
 
 // snapshotLocked writes the compacted state and rebuilds each in-memory
@@ -405,26 +545,31 @@ func (l *Ledger) CreateAnalyst(name string, sessionCap int) (AnalystInfo, string
 	id := "a-" + hex.EncodeToString(raw[20:])
 
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
+		l.mu.Unlock()
 		return AnalystInfo{}, "", ErrClosed
 	}
 	if _, dup := l.analysts[id]; dup {
+		l.mu.Unlock()
 		return AnalystInfo{}, "", fmt.Errorf("ledger: analyst id collision, retry")
 	}
 	info := AnalystInfo{ID: id, Name: name, Created: time.Now().UTC(), SessionCap: sessionCap}
-	// Mutate in-memory state BEFORE appending: appendLocked may trigger a
-	// snapshot, and the snapshot — whose seq covers this record — must
-	// already contain it, or the subsequent WAL truncation would drop the
-	// analyst. Same ordering rule as Charge; every WAL writer follows it.
+	// Mutate in-memory state BEFORE enqueueing: a snapshot covering this
+	// record's seq must already contain it, or the subsequent WAL
+	// truncation would drop the analyst. Same ordering rule as Charge;
+	// every WAL writer follows it.
 	l.analysts[id] = &analystState{info: info, keyHash: hash}
 	l.byKey[hash] = id
-	if err := l.appendLocked(record{
+	wtr := l.enqueueLocked(record{
 		Kind: "analyst", ID: id, Name: name, KeyHash: hash,
 		Created: info.Created, SessionCap: sessionCap,
-	}); err != nil {
+	})
+	l.mu.Unlock()
+	if err := l.await(wtr); err != nil {
+		l.mu.Lock()
 		delete(l.analysts, id)
 		delete(l.byKey, hash)
+		l.mu.Unlock()
 		return AnalystInfo{}, "", err
 	}
 	return info, key, nil
@@ -477,22 +622,28 @@ func (l *Ledger) Analysts() []AnalystInfo {
 // key's access immediately; spent budget is retained forever.
 func (l *Ledger) SetDisabled(id string, disabled bool) error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
+		l.mu.Unlock()
 		return ErrClosed
 	}
 	st, ok := l.analysts[id]
 	if !ok {
+		l.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrUnknownAnalyst, id)
 	}
 	if st.info.Disabled == disabled {
+		l.mu.Unlock()
 		return nil
 	}
-	// In-memory first: a snapshot triggered by this append must carry
-	// the flag (losing a revocation record would re-arm a revoked key).
+	// In-memory first: a snapshot covering this record must carry the
+	// flag (losing a revocation record would re-arm a revoked key).
 	st.info.Disabled = disabled
-	if err := l.appendLocked(record{Kind: "disable", ID: id, Disabled: disabled}); err != nil {
+	wtr := l.enqueueLocked(record{Kind: "disable", ID: id, Disabled: disabled})
+	l.mu.Unlock()
+	if err := l.await(wtr); err != nil {
+		l.mu.Lock()
 		st.info.Disabled = !disabled
+		l.mu.Unlock()
 		return err
 	}
 	return nil
@@ -507,28 +658,42 @@ func (l *Ledger) SetBudget(analyst, ds string, budget float64) error {
 		return fmt.Errorf("ledger: budget %g must be finite and non-negative", budget)
 	}
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
+		l.mu.Unlock()
 		return ErrClosed
 	}
 	if _, ok := l.analysts[analyst]; !ok {
+		l.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrUnknownAnalyst, analyst)
 	}
-	// In-memory first (see CreateAnalyst); roll the account back if the
-	// grant fails to persist.
+	// In-memory first (see CreateAnalyst); roll the budget back if the
+	// grant fails to persist. The rollback rebuilds around the PREVIOUS
+	// budget rather than restoring a struct copy: charges admitted while
+	// this call awaited durability must survive the rollback, or live
+	// memory would under-count them.
 	key := acctKey{analyst, ds}
+	var prevBudget float64
+	var prevExplicit bool
 	prev, had := l.accounts[key]
-	var prevCopy account
 	if had {
-		prevCopy = *prev // setBudgetLocked mutates the struct in place
+		prevBudget, prevExplicit = prev.budget, prev.explicit
 	}
 	l.setBudgetLocked(analyst, ds, budget)
-	if err := l.appendLocked(record{Kind: "budget", Analyst: analyst, Dataset: ds, Budget: budget}); err != nil {
+	wtr := l.enqueueLocked(record{Kind: "budget", Analyst: analyst, Dataset: ds, Budget: budget})
+	l.mu.Unlock()
+	if err := l.await(wtr); err != nil {
+		l.mu.Lock()
 		if had {
-			*prev = prevCopy
+			l.setBudgetLocked(analyst, ds, prevBudget)
+			l.accounts[key].explicit = prevExplicit
 		} else {
-			delete(l.accounts, key)
+			// The grant created the account; demote it back to the config
+			// default (it may have taken charges meanwhile, so it cannot
+			// simply be deleted).
+			l.setBudgetLocked(analyst, ds, l.cfg.DefaultBudget)
+			l.accounts[key].explicit = false
 		}
+		l.mu.Unlock()
 		return err
 	}
 	return nil
@@ -573,31 +738,40 @@ func (l *Ledger) accountLocked(analyst, ds string) *account {
 // return. Budget rejections wrap core.ErrBudgetExceeded.
 func (l *Ledger) Charge(analyst, ds string, g core.Guarantee) error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
+		l.mu.Unlock()
 		return ErrClosed
 	}
 	st, ok := l.analysts[analyst]
 	if !ok {
+		l.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrUnknownAnalyst, analyst)
 	}
 	if st.info.Disabled {
+		l.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrDisabled, analyst)
 	}
 	acc := l.accountLocked(analyst, ds)
 	if err := acc.acct.Spend(g); err != nil {
+		l.mu.Unlock()
 		return fmt.Errorf("ledger: account %s/%s: %w", analyst, ds, err)
 	}
-	// Count before appending: appendLocked may snapshot, and the
-	// snapshot must include the charge whose record triggered it.
+	// Count before enqueueing: a snapshot covering this record must
+	// include the charge it describes.
 	acc.charges++
-	if err := l.appendLocked(record{
+	wtr := l.enqueueLocked(record{
 		Kind: "charge", Analyst: analyst, Dataset: ds,
 		Eps: g.Epsilon, Policy: g.Policy.Name(),
-	}); err != nil {
-		// Not durable => not admitted: undo the in-memory spend.
+	})
+	l.mu.Unlock()
+	if err := l.await(wtr); err != nil {
+		// Not durable => not admitted: undo the in-memory spend. (If the
+		// record did reach the disk before the batch failed, replay will
+		// over-count it — never under.)
+		l.mu.Lock()
 		acc.charges--
 		_ = acc.acct.Refund(g)
+		l.mu.Unlock()
 		return err
 	}
 	l.met.charges.Inc()
@@ -612,22 +786,32 @@ func (l *Ledger) Charge(analyst, ds string, g core.Guarantee) error {
 // recorded spend, never less.
 func (l *Ledger) Refund(analyst, ds string, g core.Guarantee) error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
+		l.mu.Unlock()
 		return ErrClosed
 	}
 	acc, ok := l.accounts[acctKey{analyst, ds}]
 	if !ok {
+		l.mu.Unlock()
 		return fmt.Errorf("ledger: no account %s/%s to refund", analyst, ds)
 	}
 	if err := acc.acct.Refund(g); err != nil {
+		l.mu.Unlock()
 		return err
 	}
-	l.met.refunds.Inc()
-	return l.appendLocked(record{
+	wtr := l.enqueueLocked(record{
 		Kind: "refund", Analyst: analyst, Dataset: ds,
 		Eps: g.Epsilon, Policy: g.Policy.Name(),
 	})
+	l.mu.Unlock()
+	err := l.await(wtr)
+	if err == nil {
+		// Counted only after durability: a refund whose batch failed must
+		// not inflate the metric (the in-memory refund stands regardless —
+		// replay then over-counts, never under).
+		l.met.refunds.Inc()
+	}
+	return err
 }
 
 // Account reports one (analyst, dataset) account; an untouched pair

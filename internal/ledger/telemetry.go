@@ -6,12 +6,14 @@ import "osdp/internal/telemetry"
 // field nil) is the disabled state — telemetry metrics are nil-safe, so
 // call sites update unconditionally.
 type ledgerMetrics struct {
-	charges     *telemetry.Counter
-	refunds     *telemetry.Counter
-	replayed    *telemetry.Counter
-	compactions *telemetry.Counter
-	walAppend   *telemetry.Histogram
-	walFsync    *telemetry.Histogram
+	charges      *telemetry.Counter
+	refunds      *telemetry.Counter
+	replayed     *telemetry.Counter
+	compactions  *telemetry.Counter
+	walAppend    *telemetry.Histogram
+	walFsync     *telemetry.Histogram
+	batchRecords *telemetry.Histogram
+	commitWait   *telemetry.Histogram
 }
 
 // newLedgerMetrics registers the ledger series on r (nil r disables).
@@ -32,5 +34,10 @@ func newLedgerMetrics(r *telemetry.Registry) ledgerMetrics {
 			"Latency of one WAL record append, including fsync.", nil),
 		walFsync: r.NewHistogram("osdp_ledger_wal_fsync_seconds",
 			"Latency of the fsync portion of a WAL append.", nil),
+		batchRecords: r.NewHistogram("osdp_ledger_fsync_batch_records",
+			"Records per committed group-commit WAL batch (one fsync each).",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256}),
+		commitWait: r.NewHistogram("osdp_ledger_group_commit_wait_seconds",
+			"Time a durable write waits from enqueue to batch durability.", nil),
 	}
 }

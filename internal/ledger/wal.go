@@ -90,14 +90,25 @@ type snapAccount struct {
 	Spent    map[string]float64 `json:"spent"` // policy name -> Σε
 }
 
-// wal is the open write handle plus the append buffer it reuses; all
-// access is serialised by the owning Ledger's mutex.
+// ErrWALBroken marks a WAL that refused all further appends after an
+// I/O failure it could not cleanly recover from (a short write it
+// could not truncate away, or any fsync failure — after a failed fsync
+// the kernel may have dropped dirty pages without saying which, so no
+// later append can vouch for anything before it). The in-memory state
+// is still served read-only-ish; restart to replay and recover.
+var ErrWALBroken = errors.New("ledger: WAL disabled after an unrecoverable write error; restart to recover")
+
+// wal is the open write handle plus the append buffer it reuses. All
+// writes go through the owning Ledger's single committer goroutine, so
+// no field here needs its own lock.
 type wal struct {
-	dir  string
-	f    *os.File
-	buf  []byte
-	sync bool
-	met  ledgerMetrics // set by Open after the WAL handle exists
+	dir    string
+	f      *os.File
+	buf    []byte
+	sync   bool
+	size   int64 // current byte length; batch failures truncate back to it
+	broken bool
+	met    ledgerMetrics // set by Open after the WAL handle exists
 }
 
 func openWAL(dir string, sync bool) (*wal, error) {
@@ -108,6 +119,11 @@ func openWAL(dir string, sync bool) (*wal, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ledger: opening WAL: %w", err)
 	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("ledger: sizing WAL: %w", err)
+	}
 	// Persist the file's directory entry NOW: per-append fsync flushes
 	// the data blocks, but a freshly created wal.jsonl whose dir entry
 	// was never synced can vanish wholesale on power loss — erasing
@@ -116,26 +132,48 @@ func openWAL(dir string, sync bool) (*wal, error) {
 		f.Close()
 		return nil, err
 	}
-	return &wal{dir: dir, f: f, sync: sync}, nil
+	return &wal{dir: dir, f: f, sync: sync, size: st.Size()}, nil
 }
 
-// append writes one record and, unless fsync is disabled, forces it to
-// stable storage before returning. A charge is only acknowledged to the
-// caller after this returns, so acknowledged spend survives a crash.
-func (w *wal) append(rec record) error {
+// appendBatch writes one group-commit batch — every record on its own
+// line, one buffered write, one fsync — and returns only after the
+// whole batch is stable (unless fsync is disabled). No record in the
+// batch is acknowledged to its caller before this returns, so
+// acknowledged spend survives a crash; N concurrent charges in one
+// batch amortize a single fsync.
+//
+// Failure handling: a marshal error happens before any byte reaches
+// the file, leaving the WAL clean. A short write leaves a torn line
+// MID-file — which replay would refuse as corruption — so the file is
+// truncated back to the last good batch; if even that fails, or if the
+// fsync itself fails, the WAL flips to broken and every later append
+// returns ErrWALBroken rather than pretending durability it cannot
+// deliver.
+func (w *wal) appendBatch(recs []record) error {
+	if w.broken {
+		return ErrWALBroken
+	}
 	start := time.Now()
-	body, err := json.Marshal(rec)
-	if err != nil {
-		return fmt.Errorf("ledger: encoding WAL record: %w", err)
+	w.buf = w.buf[:0]
+	for i := range recs {
+		body, err := json.Marshal(&recs[i])
+		if err != nil {
+			return fmt.Errorf("ledger: encoding WAL record: %w", err)
+		}
+		w.buf = append(w.buf, body...)
+		w.buf = append(w.buf, '\n')
 	}
-	w.buf = append(w.buf[:0], body...)
-	w.buf = append(w.buf, '\n')
 	if _, err := w.f.Write(w.buf); err != nil {
-		return fmt.Errorf("ledger: appending WAL record: %w", err)
+		if terr := w.f.Truncate(w.size); terr != nil {
+			w.broken = true
+		}
+		return fmt.Errorf("ledger: appending WAL batch: %w", err)
 	}
+	w.size += int64(len(w.buf))
 	if w.sync {
 		syncStart := time.Now()
 		if err := w.f.Sync(); err != nil {
+			w.broken = true
 			return fmt.Errorf("ledger: syncing WAL: %w", err)
 		}
 		w.met.walFsync.ObserveDuration(time.Since(syncStart))
@@ -189,6 +227,7 @@ func (w *wal) writeSnapshot(snap snapshot) error {
 		return fmt.Errorf("ledger: reopening WAL: %w", err)
 	}
 	w.f = f2
+	w.size = 0
 	return nil
 }
 

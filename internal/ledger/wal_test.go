@@ -9,6 +9,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -419,13 +420,36 @@ func TestLedgerCrashRecovery(t *testing.T) {
 		if err := cmd.Start(); err != nil {
 			t.Fatal(err)
 		}
-		// Wait for the helper to signal it is charging, let it run a few
-		// milliseconds, then kill it mid-stream.
+		// The helper charges from 8 concurrent goroutines (so the SIGKILL
+		// lands mid-batch with writers in flight) and streams "acked N"
+		// progress lines; the last one read before the kill is a floor on
+		// what replay must recover — no acknowledged charge may be lost.
 		ready := make(chan error, 1)
+		ackCh := make(chan int, 4096)
+		scanDone := make(chan struct{})
 		go func() {
-			buf := make([]byte, 6)
-			_, err := stdout.Read(buf)
-			ready <- err
+			defer close(scanDone)
+			sc := bufio.NewScanner(stdout)
+			first := true
+			for sc.Scan() {
+				line := sc.Text()
+				if first {
+					first = false
+					if line != "ready" {
+						ready <- fmt.Errorf("unexpected first line %q", line)
+						return
+					}
+					ready <- nil
+					continue
+				}
+				var n int
+				if _, err := fmt.Sscanf(line, "acked %d", &n); err == nil {
+					select {
+					case ackCh <- n:
+					default: // parent lagging; newer acks follow
+					}
+				}
+			}
 		}()
 		select {
 		case err := <-ready:
@@ -440,7 +464,21 @@ func TestLedgerCrashRecovery(t *testing.T) {
 		if err := cmd.Process.Kill(); err != nil {
 			t.Fatal(err)
 		}
+		// Drain the scanner to EOF BEFORE Wait (Wait closes the pipe),
+		// keeping the freshest ack floor the helper managed to report.
+		<-scanDone
 		_ = cmd.Wait() // exit status is the kill signal; ignore
+		lastAcked := 0
+		for loop := true; loop; {
+			select {
+			case n := <-ackCh:
+				if n > lastAcked {
+					lastAcked = n
+				}
+			default:
+				loop = false
+			}
+		}
 
 		l, err := Open(Config{Dir: dir, DefaultBudget: 0})
 		if err != nil {
@@ -453,7 +491,16 @@ func TestLedgerCrashRecovery(t *testing.T) {
 		if spent < prev-1e-12 {
 			t.Fatalf("round %d: spent ε went backwards: %g -> %g", round, prev, spent)
 		}
-		t.Logf("round %d: replayed spent ε = %g (previous %g)", round, spent, prev)
+		// The floor: prior rounds' replayed spend plus every charge this
+		// round's helper acknowledged before the kill. Unacknowledged
+		// records may legitimately land ABOVE the floor (over-count, never
+		// under).
+		floor := prev + 0.001*float64(lastAcked) - 1e-9
+		if spent < floor {
+			t.Fatalf("round %d: replay lost acknowledged charges: spent %g < floor %g (prev %g + %d acked × 0.001)",
+				round, spent, floor, prev, lastAcked)
+		}
+		t.Logf("round %d: replayed spent ε = %g (previous %g, acked floor %d charges)", round, spent, prev, lastAcked)
 		prev = spent
 	}
 	if prev == 0 {
@@ -462,8 +509,12 @@ func TestLedgerCrashRecovery(t *testing.T) {
 }
 
 // crashHelper runs in the child process: open (replaying prior rounds),
-// ensure a principal exists, then charge as fast as possible until
-// killed. It prints "ready\n" once charging has begun.
+// ensure a principal exists, then charge from 8 concurrent goroutines —
+// so the parent's SIGKILL lands mid-group-commit-batch with writers in
+// flight — until killed. It prints "ready\n" once charging has begun,
+// then "acked N" progress lines counting charges that have RETURNED
+// (durable, acknowledged); the parent uses the last one as the replay
+// floor.
 func crashHelper(dir string) {
 	l, err := Open(Config{Dir: dir, SnapshotEvery: 64})
 	if err != nil {
@@ -483,16 +534,28 @@ func crashHelper(dir string) {
 		id = info.ID
 	}
 	charge := g(0.001)
+	var acked atomic.Uint64
 	// First charge before "ready" so even an instant kill leaves state.
-	if err := l.Charge(id, "d", charge); err != nil {
+	if err := l.Charge(id, "d0", charge); err != nil {
 		fmt.Fprintln(os.Stderr, "crash helper charge:", err)
 		os.Exit(1)
 	}
+	acked.Add(1)
 	fmt.Println("ready")
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			ds := fmt.Sprintf("d%d", w)
+			for {
+				if err := l.Charge(id, ds, charge); err != nil {
+					fmt.Fprintln(os.Stderr, "crash helper charge:", err)
+					os.Exit(1)
+				}
+				acked.Add(1)
+			}
+		}(w)
+	}
 	for {
-		if err := l.Charge(id, "d", charge); err != nil {
-			fmt.Fprintln(os.Stderr, "crash helper charge:", err)
-			os.Exit(1)
-		}
+		fmt.Println("acked", acked.Load())
+		time.Sleep(time.Millisecond)
 	}
 }

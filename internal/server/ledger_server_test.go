@@ -381,6 +381,61 @@ func TestLedgerRefundOnSessionBudgetExhaustion(t *testing.T) {
 	}
 }
 
+// TestLedgerConcurrentChargeAndRefund re-verifies the serving layer's
+// charge→run→refund-on-rejection ordering on top of the group-committed
+// durable ledger: 16 analysts concurrently exhaust 0.5-ε sessions with
+// 0.2-ε counts (two admitted, the third refused by the session
+// accountant and refunded from the ledger), and the final ledger spend
+// must be EXACTLY 16 × 0.4 — refunds of rejected charges can neither be
+// lost nor double-applied while batches coalesce. Run under -race in CI.
+func TestLedgerConcurrentChargeAndRefund(t *testing.T) {
+	c, srv := newLedgerServer(t, t.TempDir(),
+		ledger.Config{DefaultBudget: 10, NoSync: true}, Config{})
+	registerPeople(t, srv, 50)
+	admin := c.WithToken(adminToken)
+
+	const analysts = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, analysts)
+	for i := 0; i < analysts; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ac, _ := mintAnalyst(t, c, "racer", 0)
+			sc, err := ac.OpenSession(ctx, "people", 0.5, seed(int64(100+i)))
+			if err != nil {
+				errs <- err
+				return
+			}
+			for q := 0; q < 2; q++ {
+				if _, err := sc.Count(ctx, 0.2, nil); err != nil {
+					errs <- err
+					return
+				}
+			}
+			// Session budget exhausted: the ledger charge is admitted
+			// first, then refunded when the session accountant refuses.
+			if _, err := sc.Count(ctx, 0.2, nil); !errors.Is(err, core.ErrBudgetExceeded) {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	report, err := admin.Spend(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := float64(analysts) * 0.4; math.Abs(report.TotalSpent-want) > 1e-9 {
+		t.Fatalf("ledger shows %g spent, want exactly %g (2 admitted × 0.2 × %d analysts)",
+			report.TotalSpent, want, analysts)
+	}
+}
+
 // TestTTLEvictionRacingInflightQuery is the satellite race test: TTL
 // eviction sweeps concurrently with in-flight queries. The invariant —
 // checked under -race — is that the ledger's spend equals exactly
