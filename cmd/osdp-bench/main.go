@@ -311,7 +311,12 @@ func runMetricsBench(path string, quick bool) error {
 	if quick {
 		rows, minDur = 50_000, 200*time.Millisecond
 	}
-	res, err := experiments.MeasureTelemetryOverhead(rows, 64, minDur)
+	auditDir, err := os.MkdirTemp("", "osdp-bench-audit")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(auditDir)
+	res, err := experiments.MeasureTelemetryOverhead(rows, 64, minDur, auditDir)
 	if err != nil {
 		return fmt.Errorf("telemetry benchmark: %w", err)
 	}

@@ -21,10 +21,17 @@
 // as "lo,hi,answer" CSV with the post-charge budget in a trailing
 // comment.
 //
-// Two operator subcommands ride the same client, so a shell needs no
-// curl: `osdp-cli health -server URL` probes /healthz and `osdp-cli
-// stats -server URL` pretty-prints /stats (both endpoints are
-// credential-free).
+// Operator subcommands ride the same client, so a shell needs no curl:
+// `osdp-cli health -server URL` probes /healthz and `osdp-cli stats
+// -server URL` pretty-prints /stats (both endpoints are
+// credential-free). `osdp-cli traces` and `osdp-cli audit` read the
+// admin-realm observability endpoints — pass the operator token with
+// -admin-token or the OSDP_ADMIN_TOKEN environment variable (prefer
+// the env var, which keeps the secret out of process listings).
+// `traces` lists retained request traces (filter with -kind, -analyst,
+// -min-duration, -limit) or, with -id, prints one trace span by span;
+// `audit` tails the privacy-audit trail (filter with -analyst, -since,
+// -until RFC3339, -limit).
 //
 // Usage:
 //
@@ -35,6 +42,10 @@
 //	         [-budget E] [-token KEY] [-seed N]
 //	osdp-cli health -server URL
 //	osdp-cli stats  -server URL
+//	osdp-cli traces -server URL [-admin-token TOK] [-id ID] [-kind K]
+//	         [-analyst A] [-min-duration D] [-limit N]
+//	osdp-cli audit  -server URL [-admin-token TOK] [-analyst A]
+//	         [-since T] [-until T] [-limit N]
 package main
 
 import (
@@ -64,7 +75,7 @@ func main() {
 	// sets own the remaining arguments.
 	if len(os.Args) > 1 {
 		switch os.Args[1] {
-		case "stats", "health":
+		case "stats", "health", "traces", "audit":
 			if err := runServerCommand(os.Args[1], os.Args[2:], os.Stdout); err != nil {
 				fatal(err)
 			}
@@ -266,12 +277,29 @@ func runWorkload(cfg workloadRun) error {
 	return nil
 }
 
-// runServerCommand implements the operator subcommands (health, stats),
-// factored out of main with an injectable writer so tests can drive
-// them against a real HTTP server.
+// runServerCommand implements the operator subcommands (health, stats,
+// traces, audit), factored out of main with an injectable writer so
+// tests can drive them against a real HTTP server.
 func runServerCommand(name string, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("osdp-cli "+name, flag.ContinueOnError)
 	serverURL := fs.String("server", "", "osdp-server base URL (required)")
+	var adminToken, traceID, kind, analyst, since, until *string
+	var minDur *time.Duration
+	var limit *int
+	if name == "traces" || name == "audit" {
+		adminToken = fs.String("admin-token", "", "operator bearer token (default $OSDP_ADMIN_TOKEN)")
+		analyst = fs.String("analyst", "", "only events/traces for this analyst ID")
+		limit = fs.Int("limit", 0, "cap on returned entries (0 = server default)")
+	}
+	if name == "traces" {
+		traceID = fs.String("id", "", "fetch one trace by request id instead of listing")
+		kind = fs.String("kind", "", "only traces of this query kind")
+		minDur = fs.Duration("min-duration", 0, "only traces at least this slow")
+	}
+	if name == "audit" {
+		since = fs.String("since", "", "only events at or after this RFC3339 time")
+		until = fs.String("until", "", "only events at or before this RFC3339 time")
+	}
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -279,6 +307,12 @@ func runServerCommand(name string, args []string, out io.Writer) error {
 		return fmt.Errorf("%s needs -server URL", name)
 	}
 	c := server.NewClient(*serverURL, nil).WithTimeout(30 * time.Second)
+	if adminToken != nil {
+		if *adminToken == "" {
+			*adminToken = os.Getenv("OSDP_ADMIN_TOKEN")
+		}
+		c = c.WithToken(*adminToken)
+	}
 	ctx := context.Background()
 	switch name {
 	case "health":
@@ -308,10 +342,97 @@ func runServerCommand(name string, args []string, out io.Writer) error {
 				fmt.Fprintf(out, "spent_eps: %g\n", *st.SpentEps)
 			}
 		}
+	case "traces":
+		if *traceID != "" {
+			tr, err := c.Trace(ctx, *traceID)
+			if err != nil {
+				return err
+			}
+			printTrace(out, tr)
+			return nil
+		}
+		traces, err := c.Traces(ctx, server.TraceQuery{
+			Kind: *kind, Analyst: *analyst, MinDuration: *minDur, Limit: *limit,
+		})
+		if err != nil {
+			return err
+		}
+		for _, tr := range traces {
+			slow := ""
+			if tr.Slow {
+				slow = " SLOW"
+			}
+			fmt.Fprintf(out, "%s  %s  %s %d  %s  kind=%s analyst=%s spans=%d%s\n",
+				tr.ID, tr.Start.Format(time.RFC3339), tr.Route, tr.Status,
+				time.Duration(tr.DurationMicros)*time.Microsecond,
+				orDash(tr.Kind), orDash(tr.Analyst), len(tr.Spans), slow)
+		}
+		fmt.Fprintf(out, "# %d trace(s)\n", len(traces))
+	case "audit":
+		q := server.AuditQuery{Analyst: *analyst, Limit: *limit}
+		var err error
+		if q.Since, err = parseRFC3339(*since, "since"); err != nil {
+			return err
+		}
+		if q.Until, err = parseRFC3339(*until, "until"); err != nil {
+			return err
+		}
+		rep, err := c.AuditEvents(ctx, q)
+		if err != nil {
+			return err
+		}
+		for _, e := range rep.Events {
+			fmt.Fprintf(out, "%d  %s  %s  analyst=%s dataset=%s session=%s kind=%s eps=%g %s\n",
+				e.Seq, e.Time.Format(time.RFC3339), orDash(e.RequestID),
+				orDash(e.Analyst), e.Dataset, orDash(e.Session), e.Kind, e.Eps, e.Outcome)
+		}
+		fmt.Fprintf(out, "# %d event(s) shown, %d total, durable=%t\n",
+			len(rep.Events), rep.Total, rep.Durable)
 	default:
 		return fmt.Errorf("unknown subcommand %q", name)
 	}
 	return nil
+}
+
+// printTrace renders one trace span by span, offsets and durations in
+// microseconds as the wire carries them.
+func printTrace(out io.Writer, tr server.TraceInfo) {
+	slow := ""
+	if tr.Slow {
+		slow = " SLOW"
+	}
+	fmt.Fprintf(out, "trace %s  %s  %s %d  %s  kind=%s analyst=%s%s\n",
+		tr.ID, tr.Start.Format(time.RFC3339), tr.Route, tr.Status,
+		time.Duration(tr.DurationMicros)*time.Microsecond,
+		orDash(tr.Kind), orDash(tr.Analyst), slow)
+	for _, sp := range tr.Spans {
+		fmt.Fprintf(out, "  +%-8s %-18s %s", time.Duration(sp.OffsetMicros)*time.Microsecond,
+			sp.Name, time.Duration(sp.DurationMicros)*time.Microsecond)
+		for k, v := range sp.Attrs {
+			fmt.Fprintf(out, " %s=%s", k, v)
+		}
+		fmt.Fprintln(out)
+	}
+}
+
+// parseRFC3339 parses an optional timestamp flag value.
+func parseRFC3339(v, name string) (time.Time, error) {
+	if v == "" {
+		return time.Time{}, nil
+	}
+	t, err := time.Parse(time.RFC3339, v)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("-%s: %v", name, err)
+	}
+	return t, nil
+}
+
+// orDash substitutes "-" for an absent field so columns stay parseable.
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
 }
 
 func fatal(err error) {

@@ -12,7 +12,8 @@
 //	            [-max-session-eps E] [-allow-seeds] [-scan-workers N]
 //	            [-ledger DIR] [-fsync-batch-window D] [-admin-token TOK]
 //	            [-default-analyst-eps E] [-max-analyst-sessions N]
-//	            [-access-log=false]
+//	            [-access-log=false] [-trace-ring N] [-trace-slow D]
+//	            [-audit DIR]
 //	            [-data NAME=FILE.csv]... [-policy NAME=FILE.json]...
 //
 // -scan-workers caps the data-plane scan parallelism: vectorized
@@ -55,7 +56,22 @@
 // operational series), runtime profiles hang off /admin/pprof/ behind
 // the admin token, and every response carries an X-Request-Id that the
 // structured access log (one slog line per request on stderr;
-// -access-log=false silences it) repeats for correlation.
+// -access-log=false silences it) repeats for correlation. A valid
+// 16-hex inbound X-Request-Id is honored, so clients can pick the id
+// they will later look up.
+//
+// Every request is also traced: timed spans (auth, compile, ledger
+// charge, scan, noise, encode) land in a fixed-size ring served by
+// GET /admin/traces and /admin/traces/{id}. -trace-ring sizes the ring
+// (0 disables tracing); requests slower than -trace-slow are promoted
+// to the access log and pinned in a separate slow ring so one burst of
+// fast traffic cannot evict the evidence of an outlier.
+//
+// -audit DIR keeps a durable append-only JSONL privacy-audit trail: one
+// event per ε-bearing decision (charged, refunded, retained, denied),
+// group-fsynced with the same torn-tail discipline as the ledger WAL,
+// served by GET /admin/audit. Without the flag the trail is in-memory
+// only (recent events still queryable, nothing survives a restart).
 //
 // The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // queries before exiting.
@@ -77,6 +93,7 @@ import (
 	"syscall"
 	"time"
 
+	"osdp/internal/audit"
 	"osdp/internal/dataset"
 	"osdp/internal/ledger"
 	"osdp/internal/server"
@@ -97,6 +114,9 @@ func main() {
 	defaultEps := flag.Float64("default-analyst-eps", 1.0, "default per-(analyst, dataset) ε budget when no explicit grant exists (0 = unlimited)")
 	maxAnalystSessions := flag.Int("max-analyst-sessions", 0, "cap on one analyst's concurrently open sessions (0 = unlimited)")
 	accessLog := flag.Bool("access-log", true, "emit one structured (slog) line per HTTP request on stderr")
+	traceRing := flag.Int("trace-ring", telemetry.DefaultTraceRing, "finished request traces retained for /admin/traces (0 disables tracing)")
+	traceSlow := flag.Duration("trace-slow", telemetry.DefaultSlowThreshold, "requests at least this slow are logged and pinned in the slow-trace ring (-1ns disables promotion)")
+	auditDir := flag.String("audit", "", "durable privacy-audit trail directory (empty = in-memory only)")
 	data := map[string]string{}
 	policies := map[string]string{}
 	flag.Func("data", "NAME=FILE.csv dataset to register at startup (repeatable)", kvInto(data))
@@ -154,6 +174,21 @@ func main() {
 	if *accessLog {
 		cfg.AccessLog = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
+	if *traceRing > 0 {
+		cfg.Tracer = telemetry.NewTracer(telemetry.TracerConfig{
+			RingSize:      *traceRing,
+			SlowThreshold: *traceSlow,
+		})
+	}
+	aud, err := audit.Open(audit.Config{Dir: *auditDir, Telemetry: reg})
+	if err != nil {
+		fatal(err)
+	}
+	defer aud.Close()
+	if *auditDir != "" {
+		log.Printf("audit trail open at %s: %d event(s) replayed", *auditDir, aud.Seq())
+	}
+	cfg.Audit = aud
 	srv := server.New(cfg)
 	for name, path := range data {
 		if err := loadDataset(srv, name, path, policies[name]); err != nil {

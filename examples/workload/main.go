@@ -2,7 +2,9 @@
 // osdp server — mint an analyst through the admin plane, open a session
 // with the analyst's bearer key, and answer a battery of range-count
 // queries (the `workload` query kind) from ONE private synopsis under
-// ONE composed ε charge, then audit the spend over /admin.
+// ONE composed ε charge, then audit the spend over /admin — including
+// fetching the request's own trace by its request id and checking the
+// privacy-audit trail recorded the composed charge.
 //
 // Everything runs inside this process (an httptest listener and an
 // in-memory ε-ledger), but every byte crosses the real HTTP/JSON wire —
@@ -19,6 +21,7 @@ import (
 	"net/http/httptest"
 	"strings"
 
+	"osdp/internal/audit"
 	"osdp/internal/dataset"
 	"osdp/internal/ledger"
 	"osdp/internal/server"
@@ -50,8 +53,17 @@ func main() {
 	led, err := ledger.Open(ledger.Config{DefaultBudget: 2.0, Telemetry: reg}) // no Dir: in-memory
 	must(err)
 	defer led.Close()
+	trail, err := audit.Open(audit.Config{Telemetry: reg}) // no Dir: in-memory; set Dir for a durable JSONL trail
+	must(err)
+	defer trail.Close()
 	const adminToken = "demo-admin-token"
-	srv := server.New(server.Config{Ledger: led, AdminToken: adminToken, Telemetry: reg})
+	srv := server.New(server.Config{
+		Ledger:     led,
+		AdminToken: adminToken,
+		Telemetry:  reg,
+		Tracer:     telemetry.NewTracer(telemetry.TracerConfig{}),
+		Audit:      trail,
+	})
 	must(srv.RegisterTable("people", db, policy))
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -76,7 +88,10 @@ func main() {
 	for lo := 0; lo < 100; lo += 10 {
 		ranges = append(ranges, server.RangeSpec{Lo: lo, Hi: lo + 9})
 	}
-	resp, err := sess.Workload(ctx, 0.5, server.EstimatorHier, nil, dims, ranges)
+	// A caller-chosen request id (16 hex chars) rides the X-Request-Id
+	// header end to end, so we can fetch our own trace afterwards.
+	const reqID = "0123456789abcdef"
+	resp, err := sess.Workload(server.ContextWithRequestID(ctx, reqID), 0.5, server.EstimatorHier, nil, dims, ranges)
 	must(err)
 	fmt.Printf("\n%d range queries via estimator %q, one composed charge (ε=0.5):\n", len(ranges), resp.Estimator)
 	for i, r := range ranges {
@@ -95,7 +110,32 @@ func main() {
 	fmt.Printf("\nadmin spend report: %d account(s), total ε spent %.2f\n",
 		report.TouchedAccounts, report.TotalSpent)
 
-	// --- 6. Observability: the credential-free /metrics endpoint saw it
+	// --- 6. Tracing: fetch the workload request's own trace by the id we
+	// chose, and see its timed phases — auth, compile, the ledger charge,
+	// the chunked scan, noise, encode.
+	tr, err := admin.Trace(ctx, reqID)
+	must(err)
+	fmt.Printf("\ntrace %s: %s %d, %d spans\n", tr.ID, tr.Route, tr.Status, len(tr.Spans))
+	for _, sp := range tr.Spans {
+		fmt.Printf("  span %-14s %6d µs\n", sp.Name, sp.DurationMicros)
+	}
+
+	// --- 7. The privacy-audit trail: one event per ε-bearing decision.
+	// The batch shows up exactly once, with its composed charge — spend
+	// is reconstructible from the trail independently of the ledger.
+	events, err := admin.AuditEvents(ctx, server.AuditQuery{})
+	must(err)
+	for _, e := range events.Events {
+		if e.RequestID == reqID {
+			if e.Eps != 0.5 || e.Outcome != audit.OutcomeReleased {
+				panic(fmt.Sprintf("audit event disagrees with the charge: %+v", e))
+			}
+			fmt.Printf("audit: request %s charged ε=%g (%s) for analyst %s on %s\n",
+				e.RequestID, e.Eps, e.Outcome, e.Analyst, e.Dataset)
+		}
+	}
+
+	// --- 8. Observability: the credential-free /metrics endpoint saw it
 	// all — the workload query, its ε charge, the ledger's bookkeeping.
 	mresp, err := http.Get(ts.URL + "/metrics")
 	must(err)

@@ -43,6 +43,13 @@ func TestExamplesRunEndToEnd(t *testing.T) {
 			"minted analyst alice",
 			"one composed charge",
 			"admin spend report: 1 account(s), total ε spent 0.50",
+			// The example fetches its own trace by the request id it
+			// chose and finds the batch's single composed charge on the
+			// privacy-audit trail.
+			"trace 0123456789abcdef: POST /v1/sessions/{id}/query 200",
+			"span ledger.charge",
+			"span scan",
+			"audit: request 0123456789abcdef charged ε=0.5 (released)",
 			// The /metrics scrape at the end of the example proves the
 			// per-kind query counter and the ledger charge counter both
 			// saw the batch's single composed charge.

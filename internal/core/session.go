@@ -5,11 +5,41 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 
 	"osdp/internal/dataset"
 	"osdp/internal/histogram"
 	"osdp/internal/noise"
 )
+
+// TraceHook lets a serving layer observe the timed phases of one query
+// without core importing a tracing package. Calling the hook with a
+// phase name ("scan", "noise") opens the phase; calling the returned
+// function closes it, with optional key/value attribute pairs. Session
+// query methods accept the hook as a trailing variadic parameter so
+// untraced callers are untouched and a traced call passes exactly one.
+type TraceHook func(name string) func(kv ...string)
+
+// beginPhase opens a named phase on the first hook, if any. It returns
+// nil when tracing is disabled, so a call site pays one branch and
+// never builds attribute strings for a trace nobody records.
+func beginPhase(trace []TraceHook, name string) func(kv ...string) {
+	if len(trace) == 0 || trace[0] == nil {
+		return nil
+	}
+	return trace[0](name)
+}
+
+// endScan closes a scan phase, attaching the pool shape that executed
+// it (row count, worker slots, dispatched chunks).
+func endScan(end func(kv ...string), rows int) {
+	if end == nil {
+		return
+	}
+	end("rows", strconv.Itoa(rows),
+		"workers", strconv.Itoa(dataset.ScanParallelism(rows)),
+		"chunks", strconv.Itoa(dataset.ScanChunks(rows)))
+}
 
 // ErrEmptySample is wrapped by Quantile when the Bernoulli sample keeps
 // zero records. The charge is still consumed (see Quantile); errors.Is
@@ -97,40 +127,70 @@ func (s *Session) charge(eps float64) error {
 // Histogram answers a histogram query with OsdpLaplaceL1 at privacy level
 // eps, charging the budget. The query is evaluated on the non-sensitive
 // records only, as the mechanism requires.
-func (s *Session) Histogram(q histogram.Query, eps float64) (*histogram.Histogram, error) {
+func (s *Session) Histogram(q histogram.Query, eps float64, trace ...TraceHook) (*histogram.Histogram, error) {
 	if err := s.charge(eps); err != nil {
 		return nil, fmt.Errorf("core: histogram query rejected: %w", err)
 	}
-	return OsdpLaplaceL1(q.Eval(s.ns), eps, s.src), nil
+	end := beginPhase(trace, "scan")
+	x := q.Eval(s.ns)
+	endScan(end, s.ns.Len())
+	end = beginPhase(trace, "noise")
+	h := OsdpLaplaceL1(x, eps, s.src)
+	if end != nil {
+		end()
+	}
+	return h, nil
 }
 
 // IntHistogram answers a histogram query with OsdpGeometric (integer
 // outputs) at privacy level eps, charging the budget.
-func (s *Session) IntHistogram(q histogram.Query, eps float64) (*histogram.Histogram, error) {
+func (s *Session) IntHistogram(q histogram.Query, eps float64, trace ...TraceHook) (*histogram.Histogram, error) {
 	if err := s.charge(eps); err != nil {
 		return nil, fmt.Errorf("core: histogram query rejected: %w", err)
 	}
-	return OsdpGeometric(q.Eval(s.ns), eps, s.src), nil
+	end := beginPhase(trace, "scan")
+	x := q.Eval(s.ns)
+	endScan(end, s.ns.Len())
+	end = beginPhase(trace, "noise")
+	h := OsdpGeometric(x, eps, s.src)
+	if end != nil {
+		end()
+	}
+	return h, nil
 }
 
 // Sample releases a true sample of the non-sensitive records via OsdpRR at
 // privacy level eps, charging the budget.
-func (s *Session) Sample(eps float64) (*dataset.Table, error) {
+func (s *Session) Sample(eps float64, trace ...TraceHook) (*dataset.Table, error) {
 	if err := s.charge(eps); err != nil {
 		return nil, fmt.Errorf("core: sample rejected: %w", err)
 	}
-	return NewRR(s.policy, eps).Release(s.db, s.src), nil
+	// OsdpRR interleaves the scan and the randomized keep decisions, so
+	// the whole release is one "noise" phase.
+	end := beginPhase(trace, "noise")
+	rel := NewRR(s.policy, eps).Release(s.db, s.src)
+	if end != nil {
+		end("rows", strconv.Itoa(s.db.Len()))
+	}
+	return rel, nil
 }
 
 // Count answers a counting query (records matching pred) with one-sided
 // Laplace noise at privacy level eps, charging the budget. Counts are
 // computed over non-sensitive records; like all §5.1 primitives the answer
 // never exceeds the true non-sensitive count.
-func (s *Session) Count(pred dataset.Predicate, eps float64) (float64, error) {
+func (s *Session) Count(pred dataset.Predicate, eps float64, trace ...TraceHook) (float64, error) {
 	if err := s.charge(eps); err != nil {
 		return 0, fmt.Errorf("core: count rejected: %w", err)
 	}
-	c := float64(s.ns.Count(pred)) + noise.OneSidedLaplace(s.src, 1/eps)
+	end := beginPhase(trace, "scan")
+	n := s.ns.Count(pred)
+	endScan(end, s.ns.Len())
+	end = beginPhase(trace, "noise")
+	c := float64(n) + noise.OneSidedLaplace(s.src, 1/eps)
+	if end != nil {
+		end()
+	}
 	if c < 0 {
 		c = 0
 	}
@@ -150,19 +210,26 @@ func (s *Session) Count(pred dataset.Predicate, eps float64) (float64, error) {
 // call until a non-empty sample appeared while paying for only one run,
 // and the transcript of discarded runs would leak beyond the accounted
 // budget — breaking the Theorem 3.3 composition the accountant certifies.
-func (s *Session) Quantile(attr string, q, eps float64) (float64, error) {
+func (s *Session) Quantile(attr string, q, eps float64, trace ...TraceHook) (float64, error) {
 	if q < 0 || q > 1 {
 		return 0, fmt.Errorf("core: quantile q=%v outside [0, 1]", q)
 	}
 	if err := s.charge(eps); err != nil {
 		return 0, fmt.Errorf("core: quantile rejected: %w", err)
 	}
+	// The Bernoulli keep loop IS the mechanism execution — scan and
+	// randomness are inseparable here, so it traces as one "noise"
+	// phase.
+	end := beginPhase(trace, "noise")
 	keep := noise.KeepProbability(eps)
 	var values []float64
 	for i, n := 0, s.ns.Len(); i < n; i++ {
 		if noise.Bernoulli(s.src, keep) {
 			values = append(values, s.ns.Record(i).Get(attr).AsFloat())
 		}
+	}
+	if end != nil {
+		end("rows", strconv.Itoa(s.ns.Len()), "kept", strconv.Itoa(len(values)))
 	}
 	if len(values) == 0 {
 		return 0, fmt.Errorf("core: quantile %w (kept 0 of %d records)", ErrEmptySample, s.ns.Len())

@@ -159,7 +159,7 @@ func workloadShape(q histogram.Query) (rows, cols int, err error) {
 // per-range failure mode — answering is deterministic arithmetic on
 // the release). The transcript charge recorded is the single synopsis
 // guarantee (see WorkloadComposite).
-func (s *Session) Workload(q histogram.Query, est WorkloadEstimator, ranges []BinRange, eps float64) ([]float64, error) {
+func (s *Session) Workload(q histogram.Query, est WorkloadEstimator, ranges []BinRange, eps float64, trace ...TraceHook) ([]float64, error) {
 	if est == nil {
 		return nil, fmt.Errorf("core: workload needs an estimator")
 	}
@@ -179,7 +179,14 @@ func (s *Session) Workload(q histogram.Query, est WorkloadEstimator, ranges []Bi
 	if err := s.charge(eps); err != nil {
 		return nil, fmt.Errorf("core: workload rejected: %w", err)
 	}
-	fitted, err := est.Fit(q.Eval(s.ns), rows, cols, eps, s.src)
+	end := beginPhase(trace, "scan")
+	x := q.Eval(s.ns)
+	endScan(end, s.ns.Len())
+	end = beginPhase(trace, "noise")
+	fitted, err := est.Fit(x, rows, cols, eps, s.src)
+	if end != nil {
+		end("estimator", est.Name())
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: workload estimator %s: %w", est.Name(), err)
 	}

@@ -87,6 +87,17 @@ func ScanParallelism(rows int) int {
 	return w
 }
 
+// ScanChunks returns the number of fixed-size chunks a pass over rows
+// rows dispatches (at least 1). Trace spans record it alongside
+// ScanParallelism so a slow scan shows its actual fan-out.
+func ScanChunks(rows int) int {
+	n := (rows + chunkRows - 1) / chunkRows
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
 // pool is the lazily-started, package-wide worker pool. Workers are
 // permanent goroutines (started once, reused by every scan in the
 // process); the submitting goroutine always participates as worker 0,

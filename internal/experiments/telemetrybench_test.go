@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestTracingOverheadBar enforces the observability acceptance bar:
+// request tracing plus the durable audit trail, on top of the full
+// metrics plane, must cost under 2% of query latency against a server
+// with telemetry disabled. Best-of-N windows cancel most scheduler
+// noise, but a loaded 1-CPU container still jitters more than the bar
+// itself, so — like the other perf bars — it is only enforced on the
+// multi-core CI runner. The committed BENCH_metrics.json artifact is
+// regenerated at full scale (200K rows, 1s windows) by the bench job.
+func TestTracingOverheadBar(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tracing overhead bar skipped in -short")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("tracing overhead bar needs >=4 CPUs, have %d", runtime.NumCPU())
+	}
+	res, err := MeasureTelemetryOverhead(200_000, 64, 250*time.Millisecond, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s", res.String())
+	if res.TracedOverheadPct >= 2.0 {
+		t.Fatalf("tracing+audit overhead %.2f%% (base %.1f µs/op, traced %.1f µs/op), bar is <2%%",
+			res.TracedOverheadPct, res.BaseNsPerOp/1e3, res.TracedNsPerOp/1e3)
+	}
+}
+
+// TestTelemetryOverheadSmoke runs the bench at tiny scale so the
+// three-engine plumbing (probe, traced middleware replica, audit
+// append) is exercised by `go test` everywhere, without enforcing any
+// timing bar.
+func TestTelemetryOverheadSmoke(t *testing.T) {
+	res, err := MeasureTelemetryOverhead(2_000, 8, 5*time.Millisecond, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TracedNsPerOp <= 0 || res.BaseNsPerOp <= 0 {
+		t.Fatalf("non-positive ns/op: %+v", res)
+	}
+	if res.Series == 0 {
+		t.Fatalf("instrumented engine rendered no series")
+	}
+}

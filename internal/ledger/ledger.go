@@ -736,7 +736,11 @@ func (l *Ledger) accountLocked(analyst, ds string) *account {
 // is admitted against the budget FIRST and becomes durable before
 // Charge returns; callers must not release any noise before a nil
 // return. Budget rejections wrap core.ErrBudgetExceeded.
-func (l *Ledger) Charge(analyst, ds string, g core.Guarantee) error {
+//
+// An optional request trace may be passed as the trailing argument; on
+// durable ledgers the time spent parked in the group-commit queue is
+// then recorded as a "ledger.commit_wait" span.
+func (l *Ledger) Charge(analyst, ds string, g core.Guarantee, trace ...*telemetry.Trace) error {
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
@@ -764,7 +768,13 @@ func (l *Ledger) Charge(analyst, ds string, g core.Guarantee) error {
 		Eps: g.Epsilon, Policy: g.Policy.Name(),
 	})
 	l.mu.Unlock()
-	if err := l.await(wtr); err != nil {
+	var sp telemetry.SpanEnd
+	if wtr != nil && len(trace) > 0 {
+		sp = trace[0].StartSpan("ledger.commit_wait")
+	}
+	err := l.await(wtr)
+	sp.End()
+	if err != nil {
 		// Not durable => not admitted: undo the in-memory spend. (If the
 		// record did reach the disk before the batch failed, replay will
 		// over-count it — never under.)

@@ -5,6 +5,10 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"time"
+
+	"osdp/internal/audit"
+	"osdp/internal/telemetry"
 )
 
 // Authentication model: two disjoint bearer-token realms.
@@ -34,23 +38,44 @@ func bearerToken(r *http.Request) (string, error) {
 	return tok, nil
 }
 
+// authResolutionKey carries the authResolution holder the middleware
+// plants so withAnalyst can report the resolved identity back to the
+// access log after the handler returns.
+type authResolutionKey struct{}
+
+// authResolution records the authenticated analyst ID — never the key —
+// for the request's access-log line. Written at most once, by
+// withAnalyst, on the serving goroutine.
+type authResolution struct {
+	analyst string
+}
+
 // withAnalyst authenticates the query plane. The resolved analyst id is
-// handed to the wrapped handler ("" when the server has no ledger).
+// handed to the wrapped handler ("" when the server has no ledger) and
+// recorded on the request trace and access-log resolution.
 func (s *Server) withAnalyst(h func(w http.ResponseWriter, r *http.Request, analyst string)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		analyst := ""
 		if s.cfg.Ledger != nil {
+			tr := telemetry.TraceFrom(r.Context())
+			sp := tr.StartSpan("auth")
 			tok, err := bearerToken(r)
 			if err != nil {
+				sp.End()
 				writeErr(w, err)
 				return
 			}
 			info, err := s.cfg.Ledger.Authenticate(tok)
+			sp.End()
 			if err != nil {
 				writeErr(w, err) // ErrBadKey -> 401, ErrDisabled -> 403
 				return
 			}
 			analyst = info.ID
+			tr.SetAnalyst(analyst)
+			if res, ok := r.Context().Value(authResolutionKey{}).(*authResolution); ok {
+				res.analyst = analyst
+			}
 		}
 		h(w, r, analyst)
 	}
@@ -85,7 +110,15 @@ func (s *Server) withAdmin(h http.HandlerFunc) http.HandlerFunc {
 //	GET  /admin/budgets               -> []ledger.AccountInfo (touched accounts)
 //	POST /admin/budgets               BudgetGrantRequest -> ledger.AccountInfo
 //	GET  /admin/spend                 -> SpendReport (accounts + totals)
+//	GET  /admin/traces                -> []TraceInfo (?kind= &analyst= &min_duration= &limit=)
+//	GET  /admin/traces/{id}           -> TraceInfo
+//	GET  /admin/audit                 -> AuditReport (?analyst= &since= &until= &limit=)
 //	*    /admin/pprof/...             net/http/pprof (profiles reveal internals; operator only)
+//
+// Traces and the audit trail are admin-realm (unlike /metrics): they
+// carry per-request analyst IDs, dataset names, and ε amounts — exactly
+// the per-tenant detail the credential-free aggregate endpoints are
+// scrubbed of.
 func (s *Server) adminRoutes(mux *http.ServeMux) {
 	mux.HandleFunc("/admin/pprof/", s.withAdmin(s.pprofHandler))
 	mux.HandleFunc("POST /admin/analysts", s.withAdmin(func(w http.ResponseWriter, r *http.Request) {
@@ -137,6 +170,76 @@ func (s *Server) adminRoutes(mux *http.ServeMux) {
 		}
 		report.Analysts, report.TouchedAccounts = s.cfg.Ledger.Counts()
 		writeJSON(w, http.StatusOK, report)
+	}))
+	mux.HandleFunc("GET /admin/traces", s.withAdmin(func(w http.ResponseWriter, r *http.Request) {
+		if s.cfg.Tracer == nil {
+			writeErr(w, fmt.Errorf("%w: tracing is disabled", ErrNotFound))
+			return
+		}
+		q := r.URL.Query()
+		f := telemetry.TraceFilter{Kind: q.Get("kind"), Analyst: q.Get("analyst")}
+		if v := q.Get("min_duration"); v != "" {
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				writeErr(w, fmt.Errorf("%w: bad min_duration %q: %v", ErrBadRequest, v, err))
+				return
+			}
+			f.MinDuration = d
+		}
+		var err error
+		if f.Limit, err = queryInt(q.Get("limit")); err != nil {
+			writeErr(w, err)
+			return
+		}
+		views := s.cfg.Tracer.Traces(f)
+		out := make([]TraceInfo, len(views))
+		for i, v := range views {
+			out[i] = traceInfo(v)
+		}
+		writeJSON(w, http.StatusOK, out)
+	}))
+	mux.HandleFunc("GET /admin/traces/{id}", s.withAdmin(func(w http.ResponseWriter, r *http.Request) {
+		if s.cfg.Tracer == nil {
+			writeErr(w, fmt.Errorf("%w: tracing is disabled", ErrNotFound))
+			return
+		}
+		id := r.PathValue("id")
+		v, ok := s.cfg.Tracer.Get(id)
+		if !ok {
+			writeErr(w, fmt.Errorf("%w: no retained trace %q", ErrNotFound, id))
+			return
+		}
+		writeJSON(w, http.StatusOK, traceInfo(v))
+	}))
+	mux.HandleFunc("GET /admin/audit", s.withAdmin(func(w http.ResponseWriter, r *http.Request) {
+		if s.cfg.Audit == nil {
+			writeErr(w, fmt.Errorf("%w: audit trail is disabled", ErrNotFound))
+			return
+		}
+		q := r.URL.Query()
+		f := audit.Filter{Analyst: q.Get("analyst")}
+		var err error
+		if f.Since, err = queryTime(q, "since"); err != nil {
+			writeErr(w, err)
+			return
+		}
+		if f.Until, err = queryTime(q, "until"); err != nil {
+			writeErr(w, err)
+			return
+		}
+		if f.Limit, err = queryInt(q.Get("limit")); err != nil {
+			writeErr(w, err)
+			return
+		}
+		events := s.cfg.Audit.Recent(f)
+		if events == nil {
+			events = []audit.Event{}
+		}
+		writeJSON(w, http.StatusOK, AuditReport{
+			Durable: s.cfg.Audit.Durable(),
+			Total:   s.cfg.Audit.Seq(),
+			Events:  events,
+		})
 	}))
 }
 

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
@@ -36,6 +37,7 @@ type Client struct {
 	hc      *http.Client
 	token   string        // bearer credential; empty sends no Authorization header
 	timeout time.Duration // per-request deadline; 0 relies on ctx alone
+	ridHook func(method, path, requestID string)
 }
 
 // NewClient returns a client for a server at base (e.g.
@@ -66,6 +68,18 @@ func (c *Client) WithTimeout(d time.Duration) *Client {
 	return &cp
 }
 
+// WithRequestIDHook returns a copy of the client that calls fn with the
+// server's X-Request-Id after every response that carries one —
+// including successes, which return no error to hang the id on. Callers
+// use it to record the ids of ε-spending calls so they can later be
+// joined against /admin/traces and /admin/audit. fn must be safe for
+// concurrent use; nil removes the hook.
+func (c *Client) WithRequestIDHook(fn func(method, path, requestID string)) *Client {
+	cp := *c
+	cp.ridHook = fn
+	return &cp
+}
+
 // APIError is a non-2xx answer from the server. It maps back onto the
 // package sentinels so callers can errors.Is against ErrBadRequest,
 // ErrUnauthorized, ErrForbidden, ErrNotFound, ErrConflict,
@@ -74,10 +88,19 @@ func (c *Client) WithTimeout(d time.Duration) *Client {
 type APIError struct {
 	Status  int
 	Message string
+	// RequestID is the server's X-Request-Id for the failed request
+	// ("" against servers without the observability middleware). Quote
+	// it when reporting a failure: the operator can pull the matching
+	// trace, audit events, and access-log lines by this id.
+	RequestID string
 }
 
-// Error renders the status code and the server's error message.
+// Error renders the status code, the server's error message, and the
+// request id when the server assigned one.
 func (e *APIError) Error() string {
+	if e.RequestID != "" {
+		return fmt.Sprintf("server: HTTP %d: %s (request %s)", e.Status, e.Message, e.RequestID)
+	}
 	return fmt.Sprintf("server: HTTP %d: %s", e.Status, e.Message)
 }
 
@@ -268,6 +291,81 @@ func (c *Client) Spend(ctx context.Context) (SpendReport, error) {
 	return do[SpendReport](ctx, c, http.MethodGet, "/admin/spend", nil)
 }
 
+// TraceQuery filters Traces.
+type TraceQuery struct {
+	// Kind keeps only traces of this query kind.
+	Kind string
+	// Analyst keeps only traces for this analyst ID.
+	Analyst string
+	// MinDuration keeps only traces at least this slow.
+	MinDuration time.Duration
+	// Limit caps the number of traces returned (0 = server default).
+	Limit int
+}
+
+// Traces lists recent request traces from the server's ring buffers,
+// newest first.
+func (c *Client) Traces(ctx context.Context, q TraceQuery) ([]TraceInfo, error) {
+	v := url.Values{}
+	if q.Kind != "" {
+		v.Set("kind", q.Kind)
+	}
+	if q.Analyst != "" {
+		v.Set("analyst", q.Analyst)
+	}
+	if q.MinDuration > 0 {
+		v.Set("min_duration", q.MinDuration.String())
+	}
+	if q.Limit > 0 {
+		v.Set("limit", strconv.Itoa(q.Limit))
+	}
+	path := "/admin/traces"
+	if enc := v.Encode(); enc != "" {
+		path += "?" + enc
+	}
+	return do[[]TraceInfo](ctx, c, http.MethodGet, path, nil)
+}
+
+// Trace fetches one retained trace by its request id.
+func (c *Client) Trace(ctx context.Context, id string) (TraceInfo, error) {
+	return do[TraceInfo](ctx, c, http.MethodGet, "/admin/traces/"+url.PathEscape(id), nil)
+}
+
+// AuditQuery filters AuditEvents.
+type AuditQuery struct {
+	// Analyst keeps only events for this analyst ID.
+	Analyst string
+	// Since keeps only events at or after this time.
+	Since time.Time
+	// Until keeps only events at or before this time.
+	Until time.Time
+	// Limit caps the number of events returned (0 = server default).
+	Limit int
+}
+
+// AuditEvents fetches recent privacy-audit events (newest first) plus
+// trail-level facts.
+func (c *Client) AuditEvents(ctx context.Context, q AuditQuery) (AuditReport, error) {
+	v := url.Values{}
+	if q.Analyst != "" {
+		v.Set("analyst", q.Analyst)
+	}
+	if !q.Since.IsZero() {
+		v.Set("since", q.Since.Format(time.RFC3339))
+	}
+	if !q.Until.IsZero() {
+		v.Set("until", q.Until.Format(time.RFC3339))
+	}
+	if q.Limit > 0 {
+		v.Set("limit", strconv.Itoa(q.Limit))
+	}
+	path := "/admin/audit"
+	if enc := v.Encode(); enc != "" {
+		path += "?" + enc
+	}
+	return do[AuditReport](ctx, c, http.MethodGet, path, nil)
+}
+
 // do sends one JSON round trip and decodes the answer or the error body.
 func do[T any](ctx context.Context, c *Client, method, path string, body any) (T, error) {
 	var zero T
@@ -294,11 +392,20 @@ func do[T any](ctx context.Context, c *Client, method, path string, body any) (T
 	if c.token != "" {
 		req.Header.Set("Authorization", "Bearer "+c.token)
 	}
+	if id := RequestID(ctx); id != "" {
+		// Propagate a caller-chosen id (ContextWithRequestID) so the
+		// server's trace, audit events, and logs carry it end to end.
+		req.Header.Set("X-Request-Id", id)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return zero, err
 	}
 	defer resp.Body.Close()
+	requestID := resp.Header.Get("X-Request-Id")
+	if c.ridHook != nil && requestID != "" {
+		c.ridHook(method, path, requestID)
+	}
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes+1))
 	if err != nil {
 		return zero, err
@@ -309,9 +416,9 @@ func do[T any](ctx context.Context, c *Client, method, path string, body any) (T
 	if resp.StatusCode >= 300 {
 		var e ErrorResponse
 		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
-			return zero, &APIError{Status: resp.StatusCode, Message: e.Error}
+			return zero, &APIError{Status: resp.StatusCode, Message: e.Error, RequestID: requestID}
 		}
-		return zero, &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(raw))}
+		return zero, &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(raw)), RequestID: requestID}
 	}
 	if err := json.Unmarshal(raw, &zero); err != nil {
 		return zero, fmt.Errorf("server: decoding %s %s response: %w", method, path, err)

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+
+	"osdp/internal/telemetry"
 )
 
 // maxBodyBytes bounds request bodies (datasets travel inline as CSV, so
@@ -77,7 +79,16 @@ func (s *Server) Handler() http.Handler {
 		if !readJSON(w, r, &req) {
 			return
 		}
-		respond(w, http.StatusOK)(s.Query(analyst, r.PathValue("id"), req))
+		resp, err := s.QueryContext(r.Context(), analyst, r.PathValue("id"), req)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		// Response encode is the last traced phase: large histogram or
+		// sample payloads can dominate a fast query's wall time.
+		sp := telemetry.TraceFrom(r.Context()).StartSpan("encode")
+		writeJSON(w, http.StatusOK, resp)
+		sp.End()
 	}))
 	s.adminRoutes(mux)
 	return s.instrument(mux)

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -8,11 +9,13 @@ import (
 
 	"osdp/internal/agrid"
 	"osdp/internal/ahp"
+	"osdp/internal/audit"
 	"osdp/internal/core"
 	"osdp/internal/dataset"
 	"osdp/internal/dawa"
 	"osdp/internal/hier"
 	"osdp/internal/histogram"
+	"osdp/internal/telemetry"
 )
 
 // Query answers one query against an open session on behalf of analyst.
@@ -37,12 +40,21 @@ import (
 // session accountant each record exactly one charge regardless of
 // batch size.
 func (s *Server) Query(analyst, id string, req QueryRequest) (QueryResponse, error) {
+	return s.QueryContext(context.Background(), analyst, id, req)
+}
+
+// QueryContext is Query with a request context: when ctx carries a
+// trace (planted by the HTTP middleware) the query's phases are
+// recorded as spans, and the request id in ctx is stamped on the audit
+// event the ε decision produces. Cancellation is not consulted — a
+// charge-then-answer sequence must run to completion once started.
+func (s *Server) QueryContext(ctx context.Context, analyst, id string, req QueryRequest) (QueryResponse, error) {
 	if s.met == nil {
-		resp, _, err := s.queryCounted(analyst, id, req)
+		resp, _, err := s.queryCounted(ctx, analyst, id, req)
 		return resp, err
 	}
 	start := time.Now()
-	resp, charged, err := s.queryCounted(analyst, id, req)
+	resp, charged, err := s.queryCounted(ctx, analyst, id, req)
 	s.met.observeQuery(req.Kind, time.Since(start), req.Eps, charged, err)
 	return resp, err
 }
@@ -52,7 +64,9 @@ func (s *Server) Query(analyst, id string, req QueryRequest) (QueryResponse, err
 // post-noise failures, false when validation rejected the request, the
 // ledger refused the charge, or the session accountant's rejection got
 // the ledger reservation refunded).
-func (s *Server) queryCounted(analyst, id string, req QueryRequest) (_ QueryResponse, charged bool, _ error) {
+func (s *Server) queryCounted(ctx context.Context, analyst, id string, req QueryRequest) (_ QueryResponse, charged bool, _ error) {
+	tr := telemetry.TraceFrom(ctx)
+	tr.SetKind(canonicalKind(req.Kind))
 	se, d, err := s.lookup(analyst, id)
 	if err != nil {
 		return QueryResponse{}, false, err
@@ -65,20 +79,108 @@ func (s *Server) queryCounted(analyst, id string, req QueryRequest) (_ QueryResp
 	// Compile and validate first; run executes the mechanism (charging
 	// the session accountant and drawing noise) only after the ledger
 	// has admitted the charge.
+	sp := tr.StartSpan("compile")
+	run, err := s.compileRun(req, se, d, &resp, tr)
+	sp.End()
+	if err != nil {
+		return resp, false, err
+	}
+
+	charge := core.Guarantee{Policy: d.policy, Epsilon: req.Eps}
+	if s.cfg.Ledger != nil {
+		sp := tr.StartSpan("ledger.charge")
+		err := s.cfg.Ledger.Charge(se.analyst, se.dataset, charge, tr)
+		sp.End()
+		if err != nil {
+			// The ledger refused: nothing was spent, but the refusal is
+			// itself an ε-bearing decision worth auditing.
+			s.auditEvent(ctx, se, req.Kind, req.Eps, audit.OutcomeDenied)
+			return resp, false, err
+		}
+	}
+	if err := run(); err != nil {
+		if errors.Is(err, core.ErrBudgetExceeded) {
+			// The session accountant rejected the charge before the
+			// mechanism ran: no noise was drawn, so the ledger
+			// reservation may be returned. A failed refund keeps the
+			// charge — the ledger only ever errs toward more spend.
+			if s.cfg.Ledger != nil {
+				_ = s.cfg.Ledger.Refund(se.analyst, se.dataset, charge)
+			}
+			s.auditEvent(ctx, se, req.Kind, req.Eps, audit.OutcomeRefunded)
+			return resp, false, err
+		}
+		// Any other run failure is post-noise: the randomness was
+		// observed, so the spend is real and stays on the books.
+		s.auditEvent(ctx, se, req.Kind, req.Eps, audit.OutcomeRetained)
+		return resp, true, err
+	}
+
+	s.auditEvent(ctx, se, req.Kind, req.Eps, audit.OutcomeReleased)
+	resp.Budget = infoFor(se)
+	return resp, true, nil
+}
+
+// auditEvent records one ε-bearing decision on the configured audit
+// trail; one branch when auditing is disabled.
+func (s *Server) auditEvent(ctx context.Context, se *session, kind string, eps float64, outcome string) {
+	if s.cfg.Audit == nil {
+		return
+	}
+	s.cfg.Audit.Append(audit.Event{
+		RequestID: RequestID(ctx),
+		Analyst:   se.analyst,
+		Dataset:   se.dataset,
+		Session:   se.id,
+		Kind:      kind,
+		Eps:       eps,
+		Outcome:   outcome,
+	})
+}
+
+// coreHooks adapts the request trace to core's TraceHook seam so scan
+// and noise phases inside the mechanism record as spans. Nil (zero
+// further cost) when the request is untraced.
+func coreHooks(tr *telemetry.Trace) []core.TraceHook {
+	if tr == nil {
+		return nil
+	}
+	return []core.TraceHook{func(name string) func(kv ...string) {
+		sp := tr.StartSpan(name)
+		return func(kv ...string) {
+			if len(kv) < 2 {
+				sp.End()
+				return
+			}
+			attrs := make([]telemetry.Label, 0, len(kv)/2)
+			for i := 0; i+1 < len(kv); i += 2 {
+				attrs = append(attrs, telemetry.L(kv[i], kv[i+1]))
+			}
+			sp.End(attrs...)
+		}
+	}}
+}
+
+// compileRun validates req and compiles it into a run closure that
+// executes the mechanism against se and fills resp. Everything here
+// runs BEFORE any budget is touched.
+func (s *Server) compileRun(req QueryRequest, se *session, d *ds, resp *QueryResponse, tr *telemetry.Trace) (func() error, error) {
+	hooks := coreHooks(tr)
 	var run func() error
+	var err error
 	switch req.Kind {
 	case KindHistogram, KindIntHistogram:
-		q, err := s.compileHistogramQuery(req, d)
+		q, err := s.compileHistogramQuery(req, d, tr)
 		if err != nil {
-			return resp, false, err
+			return nil, err
 		}
 		run = func() error {
 			var h *histogram.Histogram
 			var err error
 			if req.Kind == KindHistogram {
-				h, err = se.sess.Histogram(q, req.Eps)
+				h, err = se.sess.Histogram(q, req.Eps, hooks...)
 			} else {
-				h, err = se.sess.IntHistogram(q, req.Eps)
+				h, err = se.sess.IntHistogram(q, req.Eps, hooks...)
 			}
 			if err != nil {
 				return err
@@ -97,13 +199,15 @@ func (s *Server) queryCounted(analyst, id string, req QueryRequest) (_ QueryResp
 	case KindCount:
 		pred := dataset.Predicate(dataset.True())
 		if req.Where != nil {
+			sp := tr.StartSpan("artifact.predicate")
 			pred, err = d.art.predicate(*req.Where, d.table.Schema())
+			sp.End()
 			if err != nil {
-				return resp, false, fmt.Errorf("%w: %v", ErrBadRequest, err)
+				return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 			}
 		}
 		run = func() error {
-			c, err := se.sess.Count(pred, req.Eps)
+			c, err := se.sess.Count(pred, req.Eps, hooks...)
 			if err != nil {
 				return err
 			}
@@ -114,16 +218,16 @@ func (s *Server) queryCounted(analyst, id string, req QueryRequest) (_ QueryResp
 	case KindQuantile:
 		kind, ok := d.table.Schema().KindOf(req.Attr)
 		if !ok {
-			return resp, false, badf("unknown attribute %q", req.Attr)
+			return nil, badf("unknown attribute %q", req.Attr)
 		}
 		if kind != dataset.KindInt && kind != dataset.KindFloat {
-			return resp, false, badf("quantile needs a numeric attribute; %q is %s", req.Attr, kind)
+			return nil, badf("quantile needs a numeric attribute; %q is %s", req.Attr, kind)
 		}
 		if req.Q < 0 || req.Q > 1 {
-			return resp, false, badf("q=%g outside [0, 1]", req.Q)
+			return nil, badf("q=%g outside [0, 1]", req.Q)
 		}
 		run = func() error {
-			v, err := se.sess.Quantile(req.Attr, req.Q, req.Eps)
+			v, err := se.sess.Quantile(req.Attr, req.Q, req.Eps, hooks...)
 			if err != nil {
 				return err
 			}
@@ -133,7 +237,7 @@ func (s *Server) queryCounted(analyst, id string, req QueryRequest) (_ QueryResp
 
 	case KindSample:
 		run = func() error {
-			t, err := se.sess.Sample(req.Eps)
+			t, err := se.sess.Sample(req.Eps, hooks...)
 			if err != nil {
 				return err
 			}
@@ -146,9 +250,9 @@ func (s *Server) queryCounted(analyst, id string, req QueryRequest) (_ QueryResp
 		}
 
 	case KindWorkload:
-		est, q, ranges, err := s.compileWorkloadQuery(req, d)
+		est, q, ranges, err := s.compileWorkloadQuery(req, d, tr)
 		if err != nil {
-			return resp, false, err
+			return nil, err
 		}
 		// Echo the canonical wire name, not the estimator's report name
 		// ("hier", not "Hier"), so clients can compare against what they
@@ -158,7 +262,7 @@ func (s *Server) queryCounted(analyst, id string, req QueryRequest) (_ QueryResp
 			name = EstimatorFlat
 		}
 		run = func() error {
-			answers, err := se.sess.Workload(q, est, ranges, req.Eps)
+			answers, err := se.sess.Workload(q, est, ranges, req.Eps, hooks...)
 			if err != nil {
 				return err
 			}
@@ -168,31 +272,9 @@ func (s *Server) queryCounted(analyst, id string, req QueryRequest) (_ QueryResp
 		}
 
 	default:
-		return resp, false, badf("unknown query kind %q", req.Kind)
+		return nil, badf("unknown query kind %q", req.Kind)
 	}
-
-	charge := core.Guarantee{Policy: d.policy, Epsilon: req.Eps}
-	if s.cfg.Ledger != nil {
-		if err := s.cfg.Ledger.Charge(se.analyst, se.dataset, charge); err != nil {
-			return resp, false, err
-		}
-	}
-	if err := run(); err != nil {
-		if s.cfg.Ledger != nil && errors.Is(err, core.ErrBudgetExceeded) {
-			// The session accountant rejected the charge before the
-			// mechanism ran: no noise was drawn, so the ledger
-			// reservation may be returned. A failed refund keeps the
-			// charge — the ledger only ever errs toward more spend.
-			_ = s.cfg.Ledger.Refund(se.analyst, se.dataset, charge)
-		}
-		// A budget-exceeded rejection happened before any noise, so no
-		// ε stands (the ledger reservation was just refunded); any
-		// other run failure is post-charge and the spend is real.
-		return resp, !errors.Is(err, core.ErrBudgetExceeded), err
-	}
-
-	resp.Budget = infoFor(se)
-	return resp, true, nil
+	return run, nil
 }
 
 // workloadEstimator resolves a wire estimator name. Every entry is an
@@ -225,7 +307,7 @@ func workloadEstimator(name string) (core.WorkloadEstimator, error) {
 // explicit shape rides the same per-dataset domain LRU as histogram
 // queries, so a repeated workload shape reuses its compiled domain and
 // bin vector.
-func (s *Server) compileWorkloadQuery(req QueryRequest, d *ds) (core.WorkloadEstimator, histogram.Query, []core.BinRange, error) {
+func (s *Server) compileWorkloadQuery(req QueryRequest, d *ds, tr *telemetry.Trace) (core.WorkloadEstimator, histogram.Query, []core.BinRange, error) {
 	var zero histogram.Query
 	est, err := workloadEstimator(req.Estimator)
 	if err != nil {
@@ -236,7 +318,7 @@ func (s *Server) compileWorkloadQuery(req QueryRequest, d *ds) (core.WorkloadEst
 			return nil, zero, nil, badf("workload dims must be numeric lo/width/bins shapes; %q is not", spec.Attr)
 		}
 	}
-	q, err := s.compileHistogramQuery(req, d)
+	q, err := s.compileHistogramQuery(req, d, tr)
 	if err != nil {
 		return nil, zero, nil, err
 	}
@@ -274,7 +356,7 @@ func (s *Server) compileWorkloadQuery(req QueryRequest, d *ds) (core.WorkloadEst
 	return est, q, ranges, nil
 }
 
-func (s *Server) compileHistogramQuery(req QueryRequest, d *ds) (histogram.Query, error) {
+func (s *Server) compileHistogramQuery(req QueryRequest, d *ds, tr *telemetry.Trace) (histogram.Query, error) {
 	if len(req.Dims) == 0 || len(req.Dims) > 2 {
 		return histogram.Query{}, badf("histogram queries take 1 or 2 dims, got %d", len(req.Dims))
 	}
@@ -284,7 +366,9 @@ func (s *Server) compileHistogramQuery(req QueryRequest, d *ds) (histogram.Query
 		// labels cannot reveal sensitive-only values; resolution goes
 		// through the per-dataset artifact cache so repeated shapes
 		// reuse compiled domains and their bin vectors.
+		sp := tr.StartSpan("artifact.domain")
 		dom, err := d.art.domain(spec, d.ns)
+		sp.End()
 		if err != nil {
 			return histogram.Query{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
 		}
@@ -297,7 +381,9 @@ func (s *Server) compileHistogramQuery(req QueryRequest, d *ds) (histogram.Query
 	}
 	var where dataset.Predicate
 	if req.Where != nil {
+		sp := tr.StartSpan("artifact.predicate")
 		p, err := d.art.predicate(*req.Where, d.table.Schema())
+		sp.End()
 		if err != nil {
 			return histogram.Query{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
 		}

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"osdp/internal/audit"
 	"osdp/internal/core"
 	"osdp/internal/dataset"
 	"osdp/internal/ledger"
@@ -65,8 +66,19 @@ type Config struct {
 	Telemetry *telemetry.Registry
 	// AccessLog, when non-nil, receives one structured log line per
 	// served HTTP request (request id, method, route, status, bytes,
-	// duration) from the middleware.
+	// duration, and the authenticated analyst once auth resolves)
+	// from the middleware, plus a warn line for requests past the
+	// tracer's slow threshold.
 	AccessLog *slog.Logger
+	// Tracer, when non-nil, records a per-request span trace (auth,
+	// compile, artifact lookups, ledger charge, scan, noise, encode)
+	// into its ring buffers, served by GET /admin/traces. Nil disables
+	// tracing at one branch per span site.
+	Tracer *telemetry.Tracer
+	// Audit, when non-nil, receives one event per ε-bearing decision
+	// the query path makes (released/retained/refunded/denied), served
+	// by GET /admin/audit. The server does not close it.
+	Audit *audit.Log
 	// now is stubbed by tests; defaults to time.Now.
 	now func() time.Time
 }

@@ -4,11 +4,14 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
+	"fmt"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"osdp/internal/telemetry"
@@ -50,6 +53,20 @@ type serverMetrics struct {
 	sessDropped *telemetry.Counter
 	cacheHits   *telemetry.CounterVec
 	cacheMisses *telemetry.CounterVec
+
+	// httpReqs caches the per-(route, status) request counters behind
+	// an atomic copy-on-write map, so the steady-state hot path is one
+	// lock-free map read instead of a registry lookup under its mutex.
+	// Both key components come from closed sets, so the map converges
+	// to a few dozen entries and then never changes again.
+	httpReqs atomic.Pointer[map[httpReqKey]*telemetry.Counter]
+	httpMu   sync.Mutex // serializes copy-on-write inserts into httpReqs
+}
+
+// httpReqKey identifies one osdp_http_requests_total series.
+type httpReqKey struct {
+	route  string
+	status int
 }
 
 // newServerMetrics registers the serving-layer series on reg (nil reg
@@ -78,6 +95,8 @@ func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
 		cacheMisses: reg.NewCounterVec("osdp_cache_misses_total",
 			"Artifact cache misses.", "cache"),
 	}
+	empty := make(map[httpReqKey]*telemetry.Counter)
+	m.httpReqs.Store(&empty)
 	for _, k := range queryKinds {
 		m.queryDur[k] = reg.NewHistogram("osdp_query_duration_seconds",
 			"Query latency through Server.Query, by query kind.", nil, telemetry.L("kind", k))
@@ -145,14 +164,43 @@ func (m *serverMetrics) cacheCounters(cache string) (hits, misses *telemetry.Cou
 // httpRequest records one served request under its matched route pattern
 // and produced status. Both label values come from closed sets: patterns
 // are fixed in Handler, and statuses are the codes statusOf can map to.
+// The steady state is allocation-free (pinned by a test): a lock-free
+// read of the copy-on-write counter cache, falling back to a registry
+// lookup only the first time a (route, status) pair is seen.
 func (m *serverMetrics) httpRequest(route string, status int, d time.Duration) {
 	if m == nil {
 		return
 	}
 	m.httpDur.ObserveDuration(d)
-	m.reg.NewCounter("osdp_http_requests_total",
+	key := httpReqKey{route, status}
+	if c, ok := (*m.httpReqs.Load())[key]; ok {
+		c.Inc()
+		return
+	}
+	m.httpReqCounter(key).Inc()
+}
+
+// httpReqCounter registers (or re-fetches) the counter for key and
+// publishes an extended copy of the cache. The registry call is
+// idempotent, so racing inserts of the same key converge on the same
+// *Counter.
+func (m *serverMetrics) httpReqCounter(key httpReqKey) *telemetry.Counter {
+	m.httpMu.Lock()
+	defer m.httpMu.Unlock()
+	cur := *m.httpReqs.Load()
+	if c, ok := cur[key]; ok {
+		return c
+	}
+	c := m.reg.NewCounter("osdp_http_requests_total",
 		"HTTP requests served, by route pattern and status code.",
-		telemetry.L("route", route), telemetry.L("status", strconv.Itoa(status))).Inc()
+		telemetry.L("route", key.route), telemetry.L("status", strconv.Itoa(key.status)))
+	next := make(map[httpReqKey]*telemetry.Counter, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	next[key] = c
+	m.httpReqs.Store(&next)
+	return c
 }
 
 // requestIDKey is the context key RequestID reads; only the middleware
@@ -169,6 +217,15 @@ func RequestID(ctx context.Context) string {
 	return id
 }
 
+// ContextWithRequestID returns ctx carrying a request id the Client
+// sends as the outbound X-Request-Id header. The server honors a valid
+// 16-hex id end to end — trace, audit trail, access log, and response
+// header all carry it — so retries and cross-service hops correlate.
+// Invalid ids are ignored server-side (a fresh one is minted).
+func ContextWithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
 // newRequestID mints a 16-hex-char random id. Failure of the system
 // randomness is unrecoverable elsewhere (session ids also need it), so
 // here it degrades to an empty id rather than failing the request.
@@ -178,6 +235,23 @@ func newRequestID() string {
 		return ""
 	}
 	return hex.EncodeToString(b[:])
+}
+
+// validRequestID reports whether an inbound X-Request-Id is exactly 16
+// lowercase hex characters — the shape newRequestID mints. Anything
+// else is replaced rather than propagated, so arbitrary client strings
+// never reach logs, traces, or the audit trail as ids.
+func validRequestID(id string) bool {
+	if len(id) != 16 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
 }
 
 // statusRecorder captures the status code and body size a handler
@@ -213,22 +287,40 @@ func (w *statusRecorder) Flush() {
 }
 
 // instrument wraps the route mux with the observability middleware:
-// request-ID stamping (context + X-Request-Id header), the in-flight
-// gauge, per-route/per-status counters, the request latency histogram,
-// and the structured access log. With telemetry and access logging both
-// disabled the mux is returned unwrapped, so the legacy configuration
-// serves with zero added overhead.
+// request-ID stamping (context + X-Request-Id header, honoring a valid
+// inbound id), the request trace, the in-flight gauge, per-route/
+// per-status counters, the request latency histogram, and the
+// structured access log (with the authenticated analyst once auth has
+// resolved, and a promoted warn line for slow traces). With telemetry,
+// tracing, and access logging all disabled the mux is returned
+// unwrapped, so the legacy configuration serves with zero added
+// overhead.
 func (s *Server) instrument(mux *http.ServeMux) http.Handler {
-	if s.met == nil && s.cfg.AccessLog == nil {
+	if s.met == nil && s.cfg.AccessLog == nil && s.cfg.Tracer == nil {
 		return mux
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		id := newRequestID()
+		id := r.Header.Get("X-Request-Id")
+		if !validRequestID(id) {
+			id = newRequestID()
+		}
+		ctx := r.Context()
 		if id != "" {
 			w.Header().Set("X-Request-Id", id)
-			r = r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id))
+			ctx = context.WithValue(ctx, requestIDKey{}, id)
 		}
+		var tr *telemetry.Trace
+		if s.cfg.Tracer != nil {
+			tr = s.cfg.Tracer.Start(id)
+			ctx = telemetry.ContextWithTrace(ctx, tr)
+		}
+		var auth *authResolution
+		if s.cfg.AccessLog != nil {
+			auth = &authResolution{}
+			ctx = context.WithValue(ctx, authResolutionKey{}, auth)
+		}
+		r = r.WithContext(ctx)
 		if s.met != nil {
 			s.met.httpInFlight.Inc()
 			defer s.met.httpInFlight.Dec()
@@ -246,8 +338,10 @@ func (s *Server) instrument(mux *http.ServeMux) http.Handler {
 		}
 		elapsed := time.Since(start)
 		s.met.httpRequest(route, rec.status, elapsed)
+		tr.Finish(route, rec.status)
 		if lg := s.cfg.AccessLog; lg != nil {
-			lg.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			attrs := make([]slog.Attr, 0, 8)
+			attrs = append(attrs,
 				slog.String("id", id),
 				slog.String("method", r.Method),
 				slog.String("path", r.URL.Path),
@@ -256,8 +350,38 @@ func (s *Server) instrument(mux *http.ServeMux) http.Handler {
 				slog.Int64("bytes", rec.bytes),
 				slog.Duration("duration", elapsed),
 			)
+			// The analyst ID (never the key) once auth resolved;
+			// unauthenticated requests log without the attribute.
+			if auth.analyst != "" {
+				attrs = append(attrs, slog.String("analyst", auth.analyst))
+			}
+			lg.LogAttrs(ctx, slog.LevelInfo, "request", attrs...)
+			// Slow-query promotion: outliers past the tracer threshold
+			// get a warn line carrying the span breakdown (they are
+			// also pinned in the tracer's slow ring for /admin/traces).
+			if tr.Slow() {
+				lg.LogAttrs(ctx, slog.LevelWarn, "slow_request",
+					slog.String("id", id),
+					slog.String("route", route),
+					slog.Duration("duration", tr.Duration()),
+					slog.String("spans", spanSummary(tr.View())),
+				)
+			}
 		}
 	})
+}
+
+// spanSummary renders a finished trace's spans as "name=dur ..." for
+// the slow-request log line.
+func spanSummary(v telemetry.TraceView) string {
+	var b strings.Builder
+	for i, sp := range v.Spans {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%s", sp.Name, sp.Dur.Round(time.Microsecond))
+	}
+	return b.String()
 }
 
 // metricsHandler serves GET /metrics in Prometheus text exposition

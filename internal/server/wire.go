@@ -32,10 +32,15 @@ package server
 import (
 	"fmt"
 	"math"
+	"net/url"
+	"strconv"
+	"time"
 
+	"osdp/internal/audit"
 	"osdp/internal/dataset"
 	"osdp/internal/histogram"
 	"osdp/internal/ledger"
+	"osdp/internal/telemetry"
 )
 
 // PredicateSpec is the JSON form of a dataset.Predicate: an expression
@@ -427,4 +432,108 @@ func compileDomain(spec DomainSpec, t *dataset.Table) (*histogram.Domain, error)
 		}
 		return d, nil
 	}
+}
+
+// SpanInfo is the wire form of one timed phase inside a trace.
+type SpanInfo struct {
+	// Name is the phase name ("auth", "compile", "ledger.charge", ...).
+	Name string `json:"name"`
+	// OffsetMicros is the span start relative to the request start.
+	OffsetMicros int64 `json:"offset_us"`
+	// DurationMicros is the phase duration.
+	DurationMicros int64 `json:"duration_us"`
+	// Attrs carries optional key/value detail (scan worker count, ...).
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// TraceInfo is the wire form of one finished request trace, served by
+// GET /admin/traces and /admin/traces/{id}.
+type TraceInfo struct {
+	// ID is the request id (X-Request-Id).
+	ID string `json:"id"`
+	// Start is when the request began.
+	Start time.Time `json:"start"`
+	// DurationMicros is the end-to-end request duration.
+	DurationMicros int64 `json:"duration_us"`
+	// Kind is the query kind, when the request was a query.
+	Kind string `json:"kind,omitempty"`
+	// Analyst is the authenticated analyst ID, when auth resolved.
+	Analyst string `json:"analyst,omitempty"`
+	// Route is the matched route pattern.
+	Route string `json:"route,omitempty"`
+	// Status is the HTTP status produced.
+	Status int `json:"status"`
+	// Slow marks traces past the tracer's slow threshold (pinned in
+	// the slow ring and promoted to the access log).
+	Slow bool `json:"slow,omitempty"`
+	// Spans is the timed phase breakdown, in completion order.
+	Spans []SpanInfo `json:"spans"`
+}
+
+// AuditReport is the wire form of GET /admin/audit: the most recent
+// audit events (newest first) plus trail-level facts.
+type AuditReport struct {
+	// Durable reports whether events are fsync'd to an audit
+	// directory (false: in-memory ring only, lost on restart).
+	Durable bool `json:"durable"`
+	// Total is the total number of events ever appended (the ring may
+	// hold fewer).
+	Total uint64 `json:"total"`
+	// Events are the matching recent events, newest first.
+	Events []audit.Event `json:"events"`
+}
+
+// traceInfo converts a telemetry snapshot to its wire form.
+func traceInfo(v telemetry.TraceView) TraceInfo {
+	info := TraceInfo{
+		ID:             v.ID,
+		Start:          v.Start,
+		DurationMicros: v.Duration.Microseconds(),
+		Kind:           v.Kind,
+		Analyst:        v.Analyst,
+		Route:          v.Route,
+		Status:         v.Status,
+		Slow:           v.Slow,
+		Spans:          make([]SpanInfo, len(v.Spans)),
+	}
+	for i, sp := range v.Spans {
+		si := SpanInfo{
+			Name:           sp.Name,
+			OffsetMicros:   sp.Offset.Microseconds(),
+			DurationMicros: sp.Dur.Microseconds(),
+		}
+		if len(sp.Attrs) > 0 {
+			si.Attrs = make(map[string]string, len(sp.Attrs))
+			for _, a := range sp.Attrs {
+				si.Attrs[a.Name] = a.Value
+			}
+		}
+		info.Spans[i] = si
+	}
+	return info
+}
+
+// queryInt parses an optional non-negative integer query parameter.
+func queryInt(v string) (int, error) {
+	if v == "" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("%w: bad limit %q", ErrBadRequest, v)
+	}
+	return n, nil
+}
+
+// queryTime parses an optional RFC 3339 time query parameter.
+func queryTime(q url.Values, key string) (time.Time, error) {
+	v := q.Get(key)
+	if v == "" {
+		return time.Time{}, nil
+	}
+	t, err := time.Parse(time.RFC3339, v)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("%w: bad %s %q (want RFC 3339): %v", ErrBadRequest, key, v, err)
+	}
+	return t, nil
 }

@@ -1,0 +1,359 @@
+package telemetry
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Defaults for TracerConfig fields left at zero.
+const (
+	// DefaultTraceRing is the number of finished traces the main ring
+	// retains before the oldest is overwritten.
+	DefaultTraceRing = 256
+	// DefaultSlowRing is the number of slow traces pinned in the
+	// dedicated slow ring.
+	DefaultSlowRing = 64
+	// DefaultSlowThreshold promotes requests slower than this to the
+	// slow ring (and, in the server, to the access log).
+	DefaultSlowThreshold = 500 * time.Millisecond
+)
+
+// TracerConfig sizes a Tracer's rings and sets its slow-query
+// threshold. Zero fields take the Default* constants.
+type TracerConfig struct {
+	// RingSize is the capacity of the main finished-trace ring.
+	RingSize int
+	// SlowRingSize is the capacity of the pinned slow-trace ring.
+	// Slow traces are only evicted by newer slow traces, so a burst
+	// of fast requests cannot flush the outliers an operator is
+	// debugging.
+	SlowRingSize int
+	// SlowThreshold marks a finished trace as slow when its total
+	// duration meets or exceeds it. Negative disables slow
+	// promotion entirely.
+	SlowThreshold time.Duration
+}
+
+// Tracer records finished request traces into fixed-size rings. A nil
+// *Tracer is the disabled tracer: Start returns a nil *Trace and every
+// downstream span call is a cheap nil-check no-op, preserving the
+// one-branch-per-site rule from the metrics plane.
+//
+// Ring inserts are lock-free: a single atomic counter claims a slot
+// and an atomic pointer store publishes the trace. Traces are
+// immutable after Finish, so readers snapshot slots with atomic loads
+// and never contend with request goroutines.
+type Tracer struct {
+	slowThreshold time.Duration
+	ring          []atomic.Pointer[Trace]
+	slow          []atomic.Pointer[Trace]
+	next          atomic.Uint64
+	slowNext      atomic.Uint64
+}
+
+// NewTracer builds a Tracer from cfg, applying defaults for zero
+// fields.
+func NewTracer(cfg TracerConfig) *Tracer {
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = DefaultTraceRing
+	}
+	if cfg.SlowRingSize <= 0 {
+		cfg.SlowRingSize = DefaultSlowRing
+	}
+	if cfg.SlowThreshold == 0 {
+		cfg.SlowThreshold = DefaultSlowThreshold
+	}
+	return &Tracer{
+		slowThreshold: cfg.SlowThreshold,
+		ring:          make([]atomic.Pointer[Trace], cfg.RingSize),
+		slow:          make([]atomic.Pointer[Trace], cfg.SlowRingSize),
+	}
+}
+
+// Start begins a trace for one request. id is the request ID the
+// trace is retrievable under. Returns nil when the tracer is nil.
+func (tr *Tracer) Start(id string) *Trace {
+	if tr == nil {
+		return nil
+	}
+	return &Trace{
+		tracer: tr,
+		id:     id,
+		start:  time.Now(),
+		spans:  make([]Span, 0, 8),
+	}
+}
+
+// Span is one timed phase inside a finished trace.
+type Span struct {
+	// Name identifies the phase: "auth", "compile", "artifact.domain",
+	// "ledger.charge", "ledger.commit_wait", "scan", "noise", "encode".
+	Name string
+	// Offset is the span's start relative to the trace's start.
+	Offset time.Duration
+	// Dur is how long the phase ran.
+	Dur time.Duration
+	// Attrs carries optional key/value detail (e.g. scan worker count).
+	Attrs []Label
+}
+
+// Trace accumulates spans for one request and, once finished, becomes
+// an immutable record in the tracer's ring. All methods are safe on a
+// nil receiver so disabled tracing costs one branch per call site.
+type Trace struct {
+	tracer *Tracer
+	id     string
+	start  time.Time
+
+	mu       sync.Mutex
+	spans    []Span
+	kind     string
+	analyst  string
+	route    string
+	status   int
+	dur      time.Duration
+	slow     bool
+	finished bool
+}
+
+// ID reports the request ID the trace was started with.
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// SetKind records the query kind for filtering. No-op on nil.
+func (t *Trace) SetKind(kind string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.kind = kind
+	t.mu.Unlock()
+}
+
+// SetAnalyst records the authenticated analyst ID for filtering.
+// No-op on nil.
+func (t *Trace) SetAnalyst(analyst string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.analyst = analyst
+	t.mu.Unlock()
+}
+
+// SpanEnd closes the span opened by StartSpan. It is a value type —
+// starting and ending a span on an enabled trace allocates nothing
+// beyond the span record itself — and the zero SpanEnd (from a nil
+// trace) is a no-op.
+type SpanEnd struct {
+	t     *Trace
+	name  string
+	start time.Time
+}
+
+// StartSpan opens a named span. Call End on the returned SpanEnd when
+// the phase completes. On a nil trace it returns the zero SpanEnd.
+func (t *Trace) StartSpan(name string) SpanEnd {
+	if t == nil {
+		return SpanEnd{}
+	}
+	return SpanEnd{t: t, name: name, start: time.Now()}
+}
+
+// End records the span, attaching any attrs. Safe on the zero value.
+func (e SpanEnd) End(attrs ...Label) {
+	if e.t == nil {
+		return
+	}
+	d := time.Since(e.start)
+	e.t.mu.Lock()
+	if !e.t.finished {
+		e.t.spans = append(e.t.spans, Span{
+			Name:   e.name,
+			Offset: e.start.Sub(e.t.start),
+			Dur:    d,
+			Attrs:  attrs,
+		})
+	}
+	e.t.mu.Unlock()
+}
+
+// Finish seals the trace with the request's route and status, marks
+// it slow if it crossed the tracer's threshold, and publishes it into
+// the ring(s). Further span/attribute calls are ignored. No-op on nil.
+func (t *Trace) Finish(route string, status int) {
+	if t == nil {
+		return
+	}
+	tr := t.tracer
+	t.mu.Lock()
+	if t.finished {
+		t.mu.Unlock()
+		return
+	}
+	t.finished = true
+	t.route = route
+	t.status = status
+	t.dur = time.Since(t.start)
+	t.slow = tr.slowThreshold > 0 && t.dur >= tr.slowThreshold
+	slow := t.slow
+	t.mu.Unlock()
+
+	if slow {
+		i := tr.slowNext.Add(1) - 1
+		tr.slow[int(i%uint64(len(tr.slow)))].Store(t)
+	}
+	i := tr.next.Add(1) - 1
+	tr.ring[int(i%uint64(len(tr.ring)))].Store(t)
+}
+
+// Slow reports whether the finished trace crossed the slow threshold.
+func (t *Trace) Slow() bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.slow
+}
+
+// Duration reports the finished trace's total duration (zero before
+// Finish or on nil).
+func (t *Trace) Duration() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dur
+}
+
+// TraceView is an immutable snapshot of a finished trace, safe to
+// hold and serialize after the underlying slot has been overwritten.
+type TraceView struct {
+	ID       string
+	Start    time.Time
+	Duration time.Duration
+	Kind     string
+	Analyst  string
+	Route    string
+	Status   int
+	Slow     bool
+	Spans    []Span
+}
+
+// View snapshots the trace. The returned view's Spans slice is a
+// copy. Zero view on nil.
+func (t *Trace) View() TraceView {
+	if t == nil {
+		return TraceView{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v := TraceView{
+		ID:       t.id,
+		Start:    t.start,
+		Duration: t.dur,
+		Kind:     t.kind,
+		Analyst:  t.analyst,
+		Route:    t.route,
+		Status:   t.status,
+		Slow:     t.slow,
+		Spans:    make([]Span, len(t.spans)),
+	}
+	copy(v.Spans, t.spans)
+	return v
+}
+
+// TraceFilter selects traces from a Tracer's rings. Zero fields match
+// everything.
+type TraceFilter struct {
+	// Kind keeps only traces whose query kind equals it.
+	Kind string
+	// Analyst keeps only traces recorded for this analyst ID.
+	Analyst string
+	// MinDuration keeps only traces at least this slow.
+	MinDuration time.Duration
+	// Limit caps the number of traces returned (0 = no cap).
+	Limit int
+}
+
+// Traces snapshots the rings — newest first, slow-pinned traces
+// included and deduplicated — applying the filter. Nil tracer returns
+// nil.
+func (tr *Tracer) Traces(f TraceFilter) []TraceView {
+	if tr == nil {
+		return nil
+	}
+	seen := make(map[*Trace]struct{}, len(tr.ring)+len(tr.slow))
+	var out []TraceView
+	collect := func(ring []atomic.Pointer[Trace]) {
+		for i := range ring {
+			t := ring[i].Load()
+			if t == nil {
+				continue
+			}
+			if _, dup := seen[t]; dup {
+				continue
+			}
+			seen[t] = struct{}{}
+			v := t.View()
+			if f.Kind != "" && v.Kind != f.Kind {
+				continue
+			}
+			if f.Analyst != "" && v.Analyst != f.Analyst {
+				continue
+			}
+			if v.Duration < f.MinDuration {
+				continue
+			}
+			out = append(out, v)
+		}
+	}
+	collect(tr.ring)
+	collect(tr.slow)
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.After(out[j].Start) })
+	if f.Limit > 0 && len(out) > f.Limit {
+		out = out[:f.Limit]
+	}
+	return out
+}
+
+// Get returns the trace with the given request ID, searching the slow
+// ring too (slow traces outlive the main ring). The second result is
+// false when no such trace is retained.
+func (tr *Tracer) Get(id string) (TraceView, bool) {
+	if tr == nil || id == "" {
+		return TraceView{}, false
+	}
+	for _, ring := range [][]atomic.Pointer[Trace]{tr.ring, tr.slow} {
+		for i := range ring {
+			if t := ring[i].Load(); t != nil && t.id == id {
+				return t.View(), true
+			}
+		}
+	}
+	return TraceView{}, false
+}
+
+// traceKey keys the request trace in a context.
+type traceKey struct{}
+
+// ContextWithTrace returns ctx carrying t; TraceFrom retrieves it.
+// A nil t is carried as-is (TraceFrom then returns nil).
+func ContextWithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFrom returns the trace carried by ctx, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}

@@ -1,0 +1,168 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerAndTraceAreNoOps(t *testing.T) {
+	var tr *Tracer
+	tc := tr.Start("deadbeefdeadbeef")
+	if tc != nil {
+		t.Fatal("nil tracer Start should return nil trace")
+	}
+	// Every method must be callable on the nil trace.
+	tc.SetKind("histogram")
+	tc.SetAnalyst("a-1")
+	end := tc.StartSpan("scan")
+	end.End(L("rows", "10"))
+	tc.Finish("/v1/x", 200)
+	if tc.Slow() || tc.Duration() != 0 || tc.ID() != "" {
+		t.Fatal("nil trace accessors should be zero")
+	}
+	if got := tr.Traces(TraceFilter{}); got != nil {
+		t.Fatalf("nil tracer Traces = %v, want nil", got)
+	}
+	if _, ok := tr.Get("deadbeefdeadbeef"); ok {
+		t.Fatal("nil tracer Get should miss")
+	}
+}
+
+func TestTraceRecordsSpansAndFilters(t *testing.T) {
+	tr := NewTracer(TracerConfig{RingSize: 8, SlowRingSize: 2, SlowThreshold: time.Hour})
+	tc := tr.Start("0123456789abcdef")
+	tc.SetKind("workload")
+	tc.SetAnalyst("alice")
+	sp := tc.StartSpan("scan")
+	time.Sleep(time.Millisecond)
+	sp.End(L("rows", "100"), L("workers", "2"))
+	tc.StartSpan("noise").End()
+	tc.Finish("/v1/sessions/{id}/query", 200)
+
+	v, ok := tr.Get("0123456789abcdef")
+	if !ok {
+		t.Fatal("finished trace not retrievable by id")
+	}
+	if v.Kind != "workload" || v.Analyst != "alice" || v.Route != "/v1/sessions/{id}/query" || v.Status != 200 {
+		t.Fatalf("view metadata = %+v", v)
+	}
+	if len(v.Spans) != 2 || v.Spans[0].Name != "scan" || v.Spans[1].Name != "noise" {
+		t.Fatalf("spans = %+v", v.Spans)
+	}
+	if v.Spans[0].Dur < time.Millisecond {
+		t.Fatalf("scan span duration %v, want >= 1ms", v.Spans[0].Dur)
+	}
+	if len(v.Spans[0].Attrs) != 2 || v.Spans[0].Attrs[0].Value != "100" {
+		t.Fatalf("scan attrs = %+v", v.Spans[0].Attrs)
+	}
+	if v.Duration <= 0 || v.Slow {
+		t.Fatalf("duration %v slow %v, want positive and not slow", v.Duration, v.Slow)
+	}
+
+	// Filters: kind, analyst, min-duration, limit.
+	if got := tr.Traces(TraceFilter{Kind: "histogram"}); len(got) != 0 {
+		t.Fatalf("kind filter leaked %d traces", len(got))
+	}
+	if got := tr.Traces(TraceFilter{Analyst: "alice"}); len(got) != 1 {
+		t.Fatalf("analyst filter found %d traces, want 1", len(got))
+	}
+	if got := tr.Traces(TraceFilter{MinDuration: time.Hour}); len(got) != 0 {
+		t.Fatalf("min-duration filter leaked %d traces", len(got))
+	}
+}
+
+func TestSpansAfterFinishAreDropped(t *testing.T) {
+	tr := NewTracer(TracerConfig{RingSize: 2})
+	tc := tr.Start("00000000000000aa")
+	sp := tc.StartSpan("late")
+	tc.Finish("/v1/x", 200)
+	sp.End() // must not mutate the published trace
+	if v, _ := tr.Get("00000000000000aa"); len(v.Spans) != 0 {
+		t.Fatalf("late span recorded: %+v", v.Spans)
+	}
+	tc.Finish("/v1/y", 500) // double finish is ignored
+	if v, _ := tr.Get("00000000000000aa"); v.Route != "/v1/x" {
+		t.Fatalf("double Finish overwrote route: %q", v.Route)
+	}
+}
+
+func TestRingOverwritesOldestButPinsSlow(t *testing.T) {
+	tr := NewTracer(TracerConfig{RingSize: 4, SlowRingSize: 2, SlowThreshold: time.Nanosecond})
+	// One guaranteed-slow trace (threshold 1ns), then a flood of fast
+	// ones on a tracer whose threshold can't be re-crossed.
+	slow := tr.Start("5107000000000000")
+	time.Sleep(time.Millisecond)
+	slow.Finish("/v1/slow", 200)
+	if !slow.Slow() {
+		t.Fatal("trace over threshold not marked slow")
+	}
+	tr.slowThreshold = time.Hour // subsequent traces are fast
+	for i := 0; i < 32; i++ {
+		tc := tr.Start(fmt.Sprintf("%016x", i))
+		tc.Finish("/v1/fast", 200)
+	}
+	// The main ring only holds the 4 newest, but the slow trace is
+	// still pinned and retrievable.
+	if _, ok := tr.Get("5107000000000000"); !ok {
+		t.Fatal("slow trace evicted by fast flood; slow ring must pin it")
+	}
+	got := tr.Traces(TraceFilter{})
+	if len(got) != 5 { // 4 ring slots + 1 pinned slow
+		t.Fatalf("retained %d traces, want 5", len(got))
+	}
+	if got[0].Start.Before(got[len(got)-1].Start) {
+		t.Fatal("Traces not newest-first")
+	}
+	if got := tr.Traces(TraceFilter{Limit: 3}); len(got) != 3 {
+		t.Fatalf("limit ignored: %d", len(got))
+	}
+}
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	tr := NewTracer(TracerConfig{})
+	tc := tr.Start("00000000000000bb")
+	ctx := ContextWithTrace(context.Background(), tc)
+	if TraceFrom(ctx) != tc {
+		t.Fatal("TraceFrom lost the trace")
+	}
+	if TraceFrom(context.Background()) != nil {
+		t.Fatal("TraceFrom on bare context should be nil")
+	}
+}
+
+func TestTracerConcurrentPublishAndScrape(t *testing.T) {
+	tr := NewTracer(TracerConfig{RingSize: 8, SlowRingSize: 4, SlowThreshold: time.Nanosecond})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tc := tr.Start(fmt.Sprintf("%08x%08x", w, i))
+				tc.SetKind("count")
+				tc.StartSpan("scan").End(L("rows", "1"))
+				tc.Finish("/v1/x", 200)
+			}
+		}(w)
+	}
+	deadline := time.Now().Add(100 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		for _, v := range tr.Traces(TraceFilter{Kind: "count"}) {
+			if v.Status != 200 || len(v.Spans) != 1 {
+				t.Errorf("scraped inconsistent trace: %+v", v)
+			}
+		}
+		tr.Get("0000000000000001")
+	}
+	close(stop)
+	wg.Wait()
+}
