@@ -1,0 +1,82 @@
+// Command osdp-lint is the repository's invariant multichecker: it
+// runs every analyzer in internal/lint over the module and exits
+// non-zero on any finding, including malformed //lint:ignore
+// directives. CI runs it on every push; run it locally with
+//
+//	go run ./cmd/osdp-lint ./...
+//
+// Flags:
+//
+//	-list         print the analyzer catalogue and exit
+//	-only a,b,c   run only the named analyzers
+//
+// The only accepted argument is ./... (or no argument, which means the
+// same): the suite's scoping lives inside the analyzers, not in the
+// invocation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"osdp/internal/lint"
+	"osdp/internal/lint/analysis"
+)
+
+func main() {
+	listFlag := flag.Bool("list", false, "print the analyzer catalogue and exit")
+	onlyFlag := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *listFlag {
+		for _, a := range analyzers {
+			fmt.Printf("%-20s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *onlyFlag != "" {
+		subset, ok := lint.ByName(*onlyFlag)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "osdp-lint: unknown analyzer in -only=%s (use -list)\n", *onlyFlag)
+			os.Exit(2)
+		}
+		analyzers = subset
+	}
+	for _, arg := range flag.Args() {
+		if arg != "./..." {
+			fmt.Fprintf(os.Stderr, "osdp-lint: only ./... is supported, got %q\n", arg)
+			os.Exit(2)
+		}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "osdp-lint:", err)
+		os.Exit(2)
+	}
+	root, err := analysis.FindModuleRoot(wd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "osdp-lint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "osdp-lint:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "osdp-lint:", err)
+		os.Exit(2)
+	}
+	diags = append(diags, analysis.MalformedIgnores(pkgs)...)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "osdp-lint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

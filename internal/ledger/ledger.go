@@ -449,7 +449,9 @@ func (l *Ledger) commitBatch(batch []*commitWaiter) {
 	}
 	l.mu.Lock()
 	l.appends += len(batch)
-	if l.appends >= l.cfg.SnapshotEvery {
+	due := l.appends >= l.cfg.SnapshotEvery
+	var snap snapshot
+	if due {
 		// Compaction failure is not fatal to the batch that triggered
 		// it: the WAL already holds its records. Keep serving; the next
 		// batch retries. Records still queued at snapshot time are
@@ -458,18 +460,32 @@ func (l *Ledger) commitBatch(batch []*commitWaiter) {
 		// replay skipping them is exact (if their batch later fails,
 		// the snapshot over-counts an unacknowledged record — the safe
 		// direction, never an under-count).
-		if err := l.snapshotLocked(); err == nil {
-			l.appends = 0
-			l.met.compactions.Inc()
-		}
+		snap = l.buildSnapshotLocked()
+	}
+	l.mu.Unlock()
+	if !due {
+		return
+	}
+	// The snapshot write happens OUTSIDE l.mu: holding the mutex across
+	// file I/O would re-serialise every concurrent charge behind the
+	// disk, undoing group commit (this is the invariant fsyncunderlock
+	// enforces). Only this committer goroutine touches the WAL handle,
+	// so releasing the lock is safe; charges admitted while the file is
+	// being written carry seq above snap.Seq and replay on recovery.
+	if err := l.w.writeSnapshot(snap); err != nil {
+		return // WAL still holds everything; the next batch retries.
+	}
+	l.mu.Lock()
+	if err := l.compactLocked(); err == nil {
+		l.appends = 0
+		l.met.compactions.Inc()
 	}
 	l.mu.Unlock()
 }
 
-// snapshotLocked writes the compacted state and rebuilds each in-memory
-// accountant from its aggregate, so neither the WAL nor the in-memory
-// charge lists grow without bound.
-func (l *Ledger) snapshotLocked() error {
+// buildSnapshotLocked assembles the compacted durable state under l.mu;
+// the caller writes it to disk after releasing the lock.
+func (l *Ledger) buildSnapshotLocked() snapshot {
 	snap := snapshot{Seq: l.seq}
 	for id, st := range l.analysts {
 		snap.Analysts = append(snap.Analysts, snapAnalyst{
@@ -497,23 +513,31 @@ func (l *Ledger) snapshotLocked() error {
 		}
 		return a.Dataset < b.Dataset
 	})
-	if err := l.w.writeSnapshot(snap); err != nil {
-		return err
-	}
-	// Compact in memory too: rebuild accountants from the aggregates
-	// just persisted. A concurrent refund for a pre-compaction charge
-	// will no longer match and is dropped — documented safe direction.
-	for _, s := range snap.Accounts {
-		acc := l.accounts[acctKey{s.Analyst, s.Dataset}]
+	return snap
+}
+
+// compactLocked rebuilds each in-memory accountant from its per-policy
+// aggregates so charge lists do not grow without bound. It aggregates
+// CURRENT charges, not the snapshot just written: charges admitted
+// while the snapshot write was in flight must survive compaction
+// (their WAL records replay on recovery, so in-memory and durable
+// state stay aligned). A refund for a pre-compaction charge will no
+// longer match and is dropped — documented safe direction.
+func (l *Ledger) compactLocked() error {
+	for key, acc := range l.accounts {
+		spent := make(map[string]float64)
+		for _, g := range acc.acct.Charges() {
+			spent[g.Policy.Name()] += g.Epsilon
+		}
 		fresh := core.NewAccountant(acc.budget)
-		names := make([]string, 0, len(s.Spent))
-		for name := range s.Spent {
+		names := make([]string, 0, len(spent))
+		for name := range spent {
 			names = append(names, name)
 		}
 		sort.Strings(names)
 		for _, name := range names {
-			if err := fresh.RestoreSpend(replayedGuarantee(name, s.Spent[name])); err != nil {
-				return fmt.Errorf("ledger: compacting account %s/%s: %w", s.Analyst, s.Dataset, err)
+			if err := fresh.RestoreSpend(replayedGuarantee(name, spent[name])); err != nil {
+				return fmt.Errorf("ledger: compacting account %s/%s: %w", key.analyst, key.dataset, err)
 			}
 		}
 		acc.acct = fresh

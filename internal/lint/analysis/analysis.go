@@ -1,0 +1,136 @@
+// Package analysis is a small, dependency-free analogue of
+// golang.org/x/tools/go/analysis: just enough driver plumbing to run
+// this repository's invariant analyzers (internal/lint) from a
+// multichecker binary (cmd/osdp-lint) and from tests, without pulling
+// x/tools into the module. Analyzers are purely syntactic — they work
+// on parsed files plus the package's import path — which keeps the
+// loader trivial (no type checking, no export data) and is sufficient
+// for the domain invariants the suite encodes.
+//
+// The API mirrors x/tools deliberately (Analyzer, Pass, Diagnostic,
+// Reportf) so analyzers can be ported to the real framework if the
+// dependency ever becomes available.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Analyzer describes one invariant check. Name is the identifier used
+// in diagnostics and //lint:ignore suppressions; Doc is the one-line
+// contract shown by `osdp-lint -list`.
+type Analyzer struct {
+	// Name is the analyzer's identifier (lowercase, no spaces).
+	Name string
+	// Doc states the invariant the analyzer enforces.
+	Doc string
+	// Run inspects one package and reports findings via the Pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's parsed syntax to an analyzer run.
+// Test files (_test.go) are never loaded: the invariants govern
+// production code, and test-only randomness/logging is exempt by
+// construction.
+type Pass struct {
+	// Analyzer is the analyzer being run.
+	Analyzer *Analyzer
+	// Fset maps token positions for every file in the pass.
+	Fset *token.FileSet
+	// Path is the package's import path (e.g. "osdp/internal/core").
+	Path string
+	// Files holds the package's parsed non-test files, with comments.
+	Files []*ast.File
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding: a position, the analyzer that produced
+// it, and the message.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Position
+	// Analyzer names the analyzer that produced the finding.
+	Analyzer string
+	// Message describes the invariant violation.
+	Message string
+}
+
+// String renders the diagnostic in the conventional
+// file:line:col: message [analyzer] form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Run executes the analyzers over the packages and returns every
+// diagnostic not cancelled by a //lint:ignore suppression, sorted by
+// position.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Path:     pkg.Path,
+				Files:    pkg.Files,
+				diags:    &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: analyzer %s: %w", pkg.Path, a.Name, err)
+			}
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !suppressed(pkgs, d) {
+			kept = append(kept, d)
+		}
+	}
+	sortDiagnostics(kept)
+	return kept, nil
+}
+
+// PathIn reports whether the pass's package path is one of (or below)
+// the given import-path prefixes — the standard way analyzers scope
+// themselves to the packages their invariant governs.
+func (p *Pass) PathIn(prefixes ...string) bool {
+	for _, pre := range prefixes {
+		if p.Path == pre || strings.HasPrefix(p.Path, pre+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	less := func(a, b Diagnostic) bool {
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	}
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && less(ds[j], ds[j-1]); j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// Suppression: a comment of the form
+//
+//	//lint:ignore analyzer1,analyzer2 reason for the exception
+//
+// on the flagged line, or on the line directly above it, cancels
+// diagnostics from the named analyzers (or from all of them, with the
+// word "all"). The reason is mandatory — a suppression without one is
+// itself reported by the driver — so every accepted exception is
+// documented at the site it covers. This is the only sanctioned way to
+// silence the suite; see DESIGN.md "Static analysis".
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	file      string
+	line      int
+	analyzers []string // nil means malformed (missing reason)
+}
+
+// parseIgnores extracts every //lint:ignore directive in the package.
+// Directives missing a reason are returned with nil analyzers so the
+// driver can flag them.
+func parseIgnores(pkg *Package) []ignoreDirective {
+	var out []ignoreDirective
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				d := ignoreDirective{file: pos.Filename, line: pos.Line}
+				fields := strings.Fields(rest)
+				// Need the analyzer list AND a reason.
+				if len(fields) >= 2 {
+					d.analyzers = strings.Split(fields[0], ",")
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// suppressed reports whether d is cancelled by an ignore directive on
+// its own line or the line above. Malformed directives (no reason)
+// never suppress.
+func suppressed(pkgs []*Package, d Diagnostic) bool {
+	for _, pkg := range pkgs {
+		for _, ig := range parseIgnores(pkg) {
+			if ig.file != d.Pos.Filename || ig.analyzers == nil {
+				continue
+			}
+			if ig.line != d.Pos.Line && ig.line != d.Pos.Line-1 {
+				continue
+			}
+			for _, name := range ig.analyzers {
+				if name == "all" || name == d.Analyzer {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// MalformedIgnores returns a diagnostic for every //lint:ignore
+// directive that lacks a reason, so undocumented suppressions fail the
+// build instead of silently widening the exception surface.
+func MalformedIgnores(pkgs []*Package) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+					if !ok {
+						continue
+					}
+					if len(strings.Fields(rest)) < 2 {
+						out = append(out, Diagnostic{
+							Pos:      pkg.Fset.Position(c.Pos()),
+							Analyzer: "lintdirective",
+							Message:  "malformed //lint:ignore: need analyzer list and a reason",
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}

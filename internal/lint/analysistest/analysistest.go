@@ -1,0 +1,135 @@
+// Package analysistest runs one analyzer over fixture packages under
+// testdata and matches its diagnostics against // want comments, in
+// the style of golang.org/x/tools/go/analysis/analysistest.
+//
+// Layout: testdata/src/<importpath>/... — each fixture package's
+// directory path below src IS its import path, so analyzers' PathIn
+// scoping works unchanged. A fixture line expecting a diagnostic
+// carries a trailing comment
+//
+//	// want "regexp"
+//
+// and the runner fails the test for any unmatched want or unexpected
+// diagnostic.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"osdp/internal/lint/analysis"
+)
+
+// wantRe extracts the quoted pattern from a // want comment; both
+// backtick and double-quote delimiters are accepted (backticks avoid
+// escaping when the message itself contains quotes). The optional
+// "+N" suffix anchors the expectation N lines below the comment, for
+// cases where a trailing comment would change the fixture's meaning
+// (e.g. it would count as a var's doc comment).
+var wantRe = regexp.MustCompile("//\\s*want(\\+\\d+)?\\s+(?:`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\")")
+
+// Run loads the fixture packages rooted at dir (a testdata/src
+// directory) whose import paths are given, runs the analyzer over all
+// of them (suppressions applied), and checks diagnostics against the
+// fixtures' want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, importPaths ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	var pkgs []*analysis.Package
+	for _, ip := range importPaths {
+		pkgDir := filepath.Join(dir, filepath.FromSlash(ip))
+		pkg, err := analysis.LoadDir(fset, pkgDir, ip)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", ip, err)
+		}
+		if pkg == nil {
+			t.Fatalf("fixture %s: no Go files in %s", ip, pkgDir)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	type want struct {
+		pattern *regexp.Regexp
+		raw     string
+		matched bool
+	}
+	wants := map[string][]*want{} // "file:line" -> expectations
+	for _, pkg := range pkgs {
+		for _, name := range fixtureFiles(t, pkg.Dir) {
+			path := filepath.Join(pkg.Dir, name)
+			body, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("reading fixture %s: %v", path, err)
+			}
+			for i, line := range strings.Split(string(body), "\n") {
+				m := wantRe.FindStringSubmatch(line)
+				if m == nil {
+					continue
+				}
+				raw := m[2]
+				if raw == "" {
+					raw = m[3]
+				}
+				re, err := regexp.Compile(strings.ReplaceAll(raw, `\"`, `"`))
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", path, i+1, raw, err)
+				}
+				offset := 0
+				if m[1] != "" {
+					if offset, err = strconv.Atoi(m[1][1:]); err != nil {
+						t.Fatalf("%s:%d: bad want offset %q: %v", path, i+1, m[1], err)
+					}
+				}
+				key := fmt.Sprintf("%s:%d", path, i+1+offset)
+				wants[key] = append(wants[key], &want{pattern: re, raw: raw})
+			}
+		}
+	}
+
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.pattern.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic:\n  %s", d)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic matched want %q", key, w.raw)
+			}
+		}
+	}
+}
+
+func fixtureFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir %s: %v", dir, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			names = append(names, e.Name())
+		}
+	}
+	return names
+}

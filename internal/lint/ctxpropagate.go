@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+
+	"osdp/internal/lint/analysis"
+)
+
+// CtxPropagate keeps cancellation and request tracing intact: a
+// function that RECEIVES a context.Context must thread it to callees,
+// not mint a fresh context.Background() or context.TODO(). A detached
+// context severs deadline propagation (a cancelled query keeps
+// running) and breaks the request-trace chain the observability plane
+// hangs off the context.
+//
+// Functions without a context parameter are exempt — they are roots
+// (main, tests, background committers) where Background() is correct.
+// Function literals are checked against their own signature: a literal
+// that takes ctx must not discard it, while a literal inside a
+// ctx-taking function but with no ctx parameter of its own is a new
+// root (e.g. a goroutine deliberately detached from the request).
+var CtxPropagate = &analysis.Analyzer{
+	Name: "ctxpropagate",
+	Doc:  "functions that receive a context.Context must not call context.Background()/TODO(); thread the parameter",
+	Run:  runCtxPropagate,
+}
+
+func runCtxPropagate(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			d, ok := decl.(*ast.FuncDecl)
+			if !ok || d.Body == nil {
+				continue
+			}
+			checkCtxScope(pass, d.Type, d.Body)
+		}
+	}
+	return nil
+}
+
+// hasContextParam reports whether the signature includes a
+// context.Context parameter.
+func hasContextParam(ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		chain := selectorChain(field.Type)
+		if len(chain) == 2 && chain[0] == "context" && chain[1] == "Context" {
+			return true
+		}
+	}
+	return false
+}
+
+// checkCtxScope walks one function scope. Nested literals are handed
+// their own scope check and excluded from the enclosing walk.
+func checkCtxScope(pass *analysis.Pass, ft *ast.FuncType, body *ast.BlockStmt) {
+	takesCtx := hasContextParam(ft)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			checkCtxScope(pass, lit.Type, lit.Body)
+			return false
+		}
+		if !takesCtx {
+			return true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if qual, name := calleeName(call); qual == "context" && (name == "Background" || name == "TODO") {
+			pass.Reportf(call.Pos(), "context.%s() inside a function that already receives a context.Context: thread the parameter to preserve cancellation and tracing", name)
+		}
+		return true
+	})
+}

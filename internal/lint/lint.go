@@ -1,0 +1,134 @@
+// Package lint is osdp's domain-invariant static-analysis suite: one
+// analyzer per contract the design docs state but the compiler cannot
+// check. The analyzers are purely syntactic (see internal/lint/analysis)
+// and scope themselves by import path, so running the suite over ./...
+// is cheap enough for every CI run.
+//
+// The catalogue, the DESIGN.md contract each analyzer enforces, and the
+// suppression policy live in DESIGN.md "Static analysis". Run the suite
+// with:
+//
+//	go run ./cmd/osdp-lint ./...
+package lint
+
+import (
+	"go/ast"
+	"strings"
+
+	"osdp/internal/lint/analysis"
+)
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		LockedRand,
+		ChargeBeforeNoise,
+		NilSafeTelemetry,
+		FsyncUnderLock,
+		SecretFlow,
+		CtxPropagate,
+		DocComment,
+	}
+}
+
+// ByName resolves a comma-separated analyzer list; unknown names return
+// false.
+func ByName(names string) ([]*analysis.Analyzer, bool) {
+	all := Analyzers()
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		found := false
+		for _, a := range all {
+			if a.Name == name {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, false
+		}
+	}
+	return out, true
+}
+
+// calleeName splits a call's function expression into a qualifier (the
+// terminal receiver/package identifier, "" for bare calls) and the
+// called name. x.y.Fn(...) yields ("y", "Fn"); Fn(...) yields
+// ("", "Fn").
+func calleeName(call *ast.CallExpr) (qual, name string) {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return "", fn.Name
+	case *ast.SelectorExpr:
+		switch x := fn.X.(type) {
+		case *ast.Ident:
+			return x.Name, fn.Sel.Name
+		case *ast.SelectorExpr:
+			return x.Sel.Name, fn.Sel.Name
+		case *ast.CallExpr:
+			return "", fn.Sel.Name
+		}
+		return "", fn.Sel.Name
+	}
+	return "", ""
+}
+
+// selectorChain flattens a selector expression x.y.z into its component
+// names ["x", "y", "z"]; non-ident roots contribute nothing.
+func selectorChain(e ast.Expr) []string {
+	var out []string
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			out = append([]string{x.Sel.Name}, out...)
+			e = x.X
+		case *ast.Ident:
+			return append([]string{x.Name}, out...)
+		default:
+			return out
+		}
+	}
+}
+
+// receiverName returns the name of a method's receiver and the bare
+// (star-stripped, generics-stripped) receiver type name. ok is false
+// for plain functions.
+func receiverName(d *ast.FuncDecl) (recv, typ string, ptr, ok bool) {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return "", "", false, false
+	}
+	field := d.Recv.List[0]
+	if len(field.Names) > 0 {
+		recv = field.Names[0].Name
+	}
+	t := field.Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			ptr = true
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.Ident:
+			return recv, x.Name, ptr, true
+		default:
+			return recv, "", ptr, true
+		}
+	}
+}
+
+// importsPath reports whether the file imports the given path, and the
+// import spec's position when it does.
+func importsPath(f *ast.File, path string) (*ast.ImportSpec, bool) {
+	for _, imp := range f.Imports {
+		if strings.Trim(imp.Path.Value, `"`) == path {
+			return imp, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+
+	"osdp/internal/lint/analysis"
+)
+
+// NilSafeTelemetry enforces the "nil registry IS the disabled mode"
+// contract from DESIGN.md "Observability": every exported method on a
+// pointer receiver in internal/telemetry must be a no-op on a nil
+// receiver, so call sites pay one branch — never a nil-check — and
+// disabling telemetry is configuration, not plumbing.
+//
+// Accepted shapes:
+//
+//   - the first statement is a nil-receiver guard: `if recv == nil
+//     { return ... }`, including compound conditions whose leftmost
+//     operand is the nil test (`if h == nil || math.IsNaN(v)`);
+//   - pure delegation: every statement is a call to a method on the
+//     same receiver (which carries the guard), e.g. Counter.Inc's
+//     `c.Add(1)` or Histogram.Summary's `return h.Quantile(...), ...`.
+var NilSafeTelemetry = &analysis.Analyzer{
+	Name: "nilsafetelemetry",
+	Doc:  "exported telemetry methods on pointer receivers must no-op on a nil receiver (nil registry IS the disabled mode)",
+	Run:  runNilSafeTelemetry,
+}
+
+func runNilSafeTelemetry(pass *analysis.Pass) error {
+	if !pass.PathIn("osdp/internal/telemetry") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			d, ok := decl.(*ast.FuncDecl)
+			if !ok || !d.Name.IsExported() || d.Body == nil {
+				continue
+			}
+			recv, _, ptr, isMethod := receiverName(d)
+			if !isMethod || !ptr {
+				continue
+			}
+			if recv == "" {
+				pass.Reportf(d.Name.Pos(), "exported method %s has an unnamed pointer receiver and so cannot guard against nil; name it and add the guard", d.Name.Name)
+				continue
+			}
+			if startsWithNilGuard(d.Body, recv) || delegatesToReceiver(d.Body, recv) {
+				continue
+			}
+			pass.Reportf(d.Name.Pos(), "exported method %s on pointer receiver %q must start with a nil-receiver guard (nil registry IS the disabled mode; DESIGN.md \"Observability\")", d.Name.Name, recv)
+		}
+	}
+	return nil
+}
+
+// startsWithNilGuard reports whether the body's first statement is
+// `if recv == nil ... { ...; return }`.
+func startsWithNilGuard(body *ast.BlockStmt, recv string) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	ifs, ok := body.List[0].(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		return false
+	}
+	if !condHasNilTest(ifs.Cond, recv) {
+		return false
+	}
+	// The guard must leave the method: its body ends in a return.
+	if len(ifs.Body.List) == 0 {
+		return false
+	}
+	_, isReturn := ifs.Body.List[len(ifs.Body.List)-1].(*ast.ReturnStmt)
+	return isReturn
+}
+
+// condHasNilTest reports whether the condition is `recv == nil`, or a
+// || chain whose leftmost operand is.
+func condHasNilTest(cond ast.Expr, recv string) bool {
+	for {
+		bin, ok := cond.(*ast.BinaryExpr)
+		if !ok {
+			return false
+		}
+		if bin.Op == token.LOR {
+			cond = bin.X
+			continue
+		}
+		if bin.Op != token.EQL {
+			return false
+		}
+		x, xok := bin.X.(*ast.Ident)
+		y, yok := bin.Y.(*ast.Ident)
+		return xok && yok && ((x.Name == recv && y.Name == "nil") || (x.Name == "nil" && y.Name == recv))
+	}
+}
+
+// delegatesToReceiver reports whether every statement is a call (or a
+// return of calls) dispatched on the receiver itself.
+func delegatesToReceiver(body *ast.BlockStmt, recv string) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	isRecvCall := func(e ast.Expr) bool {
+		call, ok := e.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		id, ok := sel.X.(*ast.Ident)
+		return ok && id.Name == recv
+	}
+	for _, stmt := range body.List {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if !isRecvCall(s.X) {
+				return false
+			}
+		case *ast.ReturnStmt:
+			if len(s.Results) == 0 {
+				return false
+			}
+			for _, r := range s.Results {
+				if !isRecvCall(r) {
+					return false
+				}
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

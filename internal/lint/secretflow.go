@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+
+	"osdp/internal/lint/analysis"
+)
+
+// SecretFlow guards the credential plane: API keys, tokens, and other
+// secrets must never reach a formatting or logging sink, where they
+// would land in process logs, error chains returned to clients, or the
+// audit trail. The analyzer flags any fmt/log/slog call (including
+// slog attribute constructors and method-style logger calls) whose
+// argument list contains an identifier or field selector whose name
+// matches a secret pattern: secret, password, credential, apikey,
+// token, key. Names containing "hash" are exempt — logging a key HASH
+// is the sanctioned way to correlate without disclosure (the audit
+// trail stores analyst key hashes for exactly this reason).
+var SecretFlow = &analysis.Analyzer{
+	Name: "secretflow",
+	Doc:  "no identifier matching key/token/secret/password may flow into a fmt, log, or slog sink; log hashes instead",
+	Run:  runSecretFlow,
+}
+
+// secretScope lists the packages that handle credentials; elsewhere
+// the patterns would be noise (e.g. histogram "keys").
+var secretScope = []string{
+	"osdp/internal/server",
+	"osdp/internal/ledger",
+	"osdp/internal/audit",
+	"osdp/internal/telemetry",
+	"osdp/cmd/osdp-server",
+}
+
+// sinkFuncs are package-level formatting/logging calls by qualifier.
+var sinkFuncs = map[string]map[string]bool{
+	"fmt": {
+		"Errorf": true, "Sprintf": true, "Printf": true, "Fprintf": true,
+		"Print": true, "Println": true, "Sprint": true, "Sprintln": true,
+		"Fprint": true, "Fprintln": true,
+	},
+	"log": {
+		"Print": true, "Printf": true, "Println": true,
+		"Fatal": true, "Fatalf": true, "Fatalln": true,
+		"Panic": true, "Panicf": true, "Panicln": true,
+	},
+	"slog": {
+		"Info": true, "Warn": true, "Error": true, "Debug": true,
+		"Log": true, "LogAttrs": true,
+		"String": true, "Any": true, "Group": true,
+	},
+}
+
+// sinkMethods are method names that act as logging sinks regardless of
+// receiver (logger values, telemetry trace spans).
+var sinkMethods = map[string]bool{
+	"Info": true, "Warn": true, "Error": true, "Debug": true,
+	"Log": true, "LogAttrs": true, "Printf": true, "Println": true, "Print": true,
+}
+
+func runSecretFlow(pass *analysis.Pass) error {
+	if !pass.PathIn(secretScope...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			qual, name := calleeName(call)
+			isSink := false
+			if fns, ok := sinkFuncs[qual]; ok && fns[name] {
+				isSink = true
+			} else if qual != "" && sinkMethods[name] {
+				isSink = true
+			}
+			if !isSink || len(call.Args) == 0 {
+				return true
+			}
+			for _, arg := range call.Args {
+				if secret, found := secretArg(arg); found {
+					pass.Reportf(arg.Pos(), "%q flows into %s.%s: secrets must not reach logs or error chains; log a hash instead (DESIGN.md \"Static analysis\")", secret, qual, name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// secretArg reports whether the expression is (or contains, for unary
+// and simple composite shapes) an identifier whose terminal name
+// matches a secret pattern.
+func secretArg(arg ast.Expr) (string, bool) {
+	found := ""
+	ast.Inspect(arg, func(n ast.Node) bool {
+		// Do not descend into calls: hashKey(key) sanitises its
+		// argument, and flagging the callee's args would punish the fix.
+		if _, isCall := n.(*ast.CallExpr); isCall {
+			return false
+		}
+		var name string
+		switch x := n.(type) {
+		case *ast.Ident:
+			name = x.Name
+		case *ast.SelectorExpr:
+			// The terminal field names the value that flows; the base
+			// is just a path (key.analyst carries an analyst ID, not a
+			// key). Judge the selector and skip its children.
+			if isSecretName(x.Sel.Name) && found == "" {
+				found = x.Sel.Name
+			}
+			return false
+		default:
+			return true
+		}
+		if isSecretName(name) && found == "" {
+			found = name
+		}
+		return found == ""
+	})
+	return found, found != ""
+}
+
+// isSecretName applies the credential naming patterns. Exact-match
+// short names catch `key`, `tok`; suffix matches catch `apiKey`,
+// `authToken`, `clientSecret`. "hash" anywhere in the name exempts it.
+func isSecretName(name string) bool {
+	lower := strings.ToLower(name)
+	if strings.Contains(lower, "hash") {
+		return false
+	}
+	switch lower {
+	case "key", "apikey", "tok", "token", "secret", "password", "passwd", "credential", "credentials":
+		return true
+	}
+	for _, suffix := range []string{"key", "token", "secret", "password", "credential"} {
+		if strings.HasSuffix(lower, suffix) && len(lower) > len(suffix) {
+			return true
+		}
+	}
+	return false
+}

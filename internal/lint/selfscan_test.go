@@ -1,0 +1,35 @@
+package lint_test
+
+import (
+	"testing"
+
+	"osdp/internal/lint"
+	"osdp/internal/lint/analysis"
+)
+
+// TestRepoIsClean runs the full analyzer suite over the repository
+// itself — the same scan CI's osdp-lint step performs — and requires
+// zero findings. Every invariant the suite encodes holds on HEAD; a
+// failure here means a change broke a documented contract (or needs a
+// reasoned //lint:ignore).
+func TestRepoIsClean(t *testing.T) {
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("locating module root: %v", err)
+	}
+	pkgs, err := analysis.LoadModule(root)
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded zero packages")
+	}
+	diags, err := analysis.Run(pkgs, lint.Analyzers())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	diags = append(diags, analysis.MalformedIgnores(pkgs)...)
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,47 @@
+// Package server fixture for chargebeforenoise: session query methods
+// and compiled-mechanism closures must run after a ledger charge.
+package server
+
+// Server mirrors the serving layer's shape.
+type Server struct {
+	ledger Ledger
+}
+
+// Ledger stands in for the real ledger.
+type Ledger struct{}
+
+// Charge admits spend.
+func (Ledger) Charge(analyst, dataset string, eps float64) error { return nil }
+
+func (s *Server) badQuery(sess Sess) {
+	_, _ = sess.Histogram("age", 0.1) // want `session query Histogram executes before any ledger/accountant charge`
+}
+
+func (s *Server) goodQuery(sess Sess) {
+	_ = s.ledger.Charge("a", "d", 0.1)
+	_, _ = sess.Histogram("age", 0.1)
+}
+
+func (s *Server) badRun(run func() error) {
+	_ = run() // want `compiled mechanism run\(\) executes before any ledger/accountant charge`
+}
+
+func (s *Server) goodRun(run func() error) {
+	_ = s.ledger.Charge("a", "d", 0.1)
+	_ = run()
+}
+
+// goodDeferred BUILDS a closure over the session but never invokes it:
+// the charge obligation belongs to the eventual caller.
+func (s *Server) goodDeferred(sess Sess) func() {
+	return func() { _, _ = sess.Histogram("age", 0.1) }
+}
+
+func (s *Server) badInline(sess Sess) {
+	func() { _, _ = sess.Histogram("age", 0.1) }() // want `inline mechanism closure executes before any ledger/accountant charge`
+}
+
+// Sess stands in for *core.Session.
+type Sess interface {
+	Histogram(col string, eps float64) ([]float64, error)
+}

@@ -1,0 +1,42 @@
+// Package server fixture: functions that receive a context must
+// thread it, not mint a fresh one.
+package server
+
+import "context"
+
+func bad(ctx context.Context) error {
+	return query(context.Background()) // want `context.Background\(\) inside a function that already receives`
+}
+
+func badTODO(ctx context.Context) error {
+	return query(context.TODO()) // want `context.TODO\(\) inside a function that already receives`
+}
+
+func good(ctx context.Context) error {
+	return query(ctx)
+}
+
+// root has no context parameter: it IS a context root, and
+// Background() is correct here.
+func root() error {
+	return query(context.Background())
+}
+
+// detached spawns a goroutine whose literal takes no context: a new
+// root, deliberately severed from the request (e.g. a background
+// committer), which is allowed.
+func detached(ctx context.Context) {
+	go func() {
+		_ = query(context.Background())
+	}()
+}
+
+// literal: a function literal that takes ctx must thread it too.
+func literal(ctx context.Context) {
+	f := func(ctx context.Context) error {
+		return query(context.Background()) // want `context.Background\(\) inside a function that already receives`
+	}
+	_ = f(ctx)
+}
+
+func query(ctx context.Context) error { return ctx.Err() }

@@ -1,0 +1,34 @@
+// Package dataset fixture: exported identifiers need godoc-convention
+// doc comments.
+package dataset
+
+// Good is documented and starts with its own name.
+func Good() {}
+
+func Bad() {} // want `exported Bad has no doc comment`
+
+// Returns a thing, which breaks the convention.
+func Misnamed() {} // want `doc comment for Misnamed does not start with`
+
+// A Table follows the standard article opener.
+type Table struct{}
+
+type Row struct{} // want `exported Row has no doc comment`
+
+// Limits are grouped constants: the group doc covers the members.
+const (
+	MaxRows = 1 << 20
+	MaxCols = 1 << 10
+)
+
+// want+2 `exported var MaxName has no doc comment`
+
+var MaxName = 64
+
+// methods on unexported types are not part of the godoc surface.
+type internalThing struct{}
+
+func (internalThing) Visible() {}
+
+// unexported declarations are exempt.
+func helper() {}

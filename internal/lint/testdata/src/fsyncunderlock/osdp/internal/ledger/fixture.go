@@ -1,0 +1,64 @@
+// Package ledger fixture: no file I/O while a mutex is held.
+package ledger
+
+import (
+	"os"
+	"sync"
+)
+
+type store struct {
+	mu     sync.Mutex
+	f      *os.File
+	buf    []byte
+	closed bool
+}
+
+func (s *store) bad() {
+	s.mu.Lock()
+	_ = s.f.Sync() // want `file Sync while a mutex is held`
+	s.mu.Unlock()
+}
+
+func (s *store) badDeferred() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flush() // want `call to flush \(which performs file I/O\) while a mutex is held`
+}
+
+// flush reaches Sync, so callers holding the mutex are flagged through
+// the transitive closure.
+func (s *store) flush() {
+	_, _ = s.f.Write(s.buf)
+	_ = s.f.Sync()
+}
+
+// good snapshots state under the lock and does I/O after releasing it.
+func (s *store) good() {
+	s.mu.Lock()
+	data := append([]byte(nil), s.buf...)
+	s.mu.Unlock()
+	_, _ = s.f.Write(data)
+	_ = s.f.Sync()
+}
+
+// goodBailout shows the unlock-and-return idiom: the early-exit branch
+// does not unlock the fall-through path.
+func (s *store) goodBailout() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	_ = s.f.Sync()
+}
+
+// goodGoroutine spawns I/O onto a fresh goroutine, which starts with
+// its own (unlocked) state.
+func (s *store) goodGoroutine() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		_ = s.f.Sync()
+	}()
+}

@@ -1,0 +1,14 @@
+// Package server fixture: //lint:ignore directives must name analyzers
+// AND give a reason.
+package server
+
+//lint:ignore secretflow
+func malformed() {} // the directive above lacks a reason
+
+//lint:ignore secretflow the reason documents the exception
+func wellFormed() {}
+
+var (
+	_ = malformed
+	_ = wellFormed
+)

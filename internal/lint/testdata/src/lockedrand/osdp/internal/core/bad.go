@@ -1,0 +1,10 @@
+// Package core fixture: direct rand imports in a privacy-bearing
+// package are forbidden.
+package core
+
+import (
+	"crypto/rand" // want `import of crypto/rand in privacy-bearing package`
+	"math/rand"   // want `import of math/rand in privacy-bearing package`
+)
+
+var _ = rand.Int

@@ -1,0 +1,8 @@
+package core
+
+import (
+	//lint:ignore lockedrand fixture demonstrating a documented exception
+	"math/rand/v2"
+)
+
+var _ = rand.IntN

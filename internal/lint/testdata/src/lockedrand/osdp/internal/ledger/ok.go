@@ -1,0 +1,13 @@
+// Package ledger fixture: credential minting may use crypto/rand, but
+// math/rand stays forbidden.
+package ledger
+
+import (
+	"crypto/rand"
+	mrand "math/rand" // want `import of math/rand in privacy-bearing package`
+)
+
+var (
+	_ = rand.Read
+	_ = mrand.Int
+)

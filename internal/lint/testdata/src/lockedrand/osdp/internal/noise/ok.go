@@ -1,0 +1,13 @@
+// Package noise fixture: the noise package itself owns the generators
+// and may import anything.
+package noise
+
+import (
+	"crypto/rand"
+	mrand "math/rand"
+)
+
+var (
+	_ = rand.Read
+	_ = mrand.Int
+)

@@ -1,0 +1,56 @@
+// Package telemetry fixture: exported pointer-receiver methods must
+// no-op on a nil receiver.
+package telemetry
+
+import "sync/atomic"
+
+// Counter is a monotone counter.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Bad mutates through the receiver with no guard.
+func (c *Counter) Bad() { // want `must start with a nil-receiver guard`
+	c.n.Add(1)
+}
+
+// Add is the guarded primitive.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.n.Add(d)
+}
+
+// Inc delegates to the guarded primitive, which is also accepted.
+func (c *Counter) Inc() {
+	c.Add(1)
+}
+
+// Value shows a compound guard: the nil test leads a || chain.
+func (c *Counter) Value(scale float64) int64 {
+	if c == nil || scale == 0 {
+		return 0
+	}
+	return c.n.Load()
+}
+
+// Snapshot returns receiver-method calls only: pure delegation.
+func (c *Counter) Snapshot() (int64, int64) {
+	return c.Load(), c.Load()
+}
+
+// Load is guarded.
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.n.Load()
+}
+
+// ByValue is a value-receiver method: nil cannot reach it, so it is
+// exempt.
+func (c Counter) ByValue() {}
+
+// unexported methods are internal plumbing and exempt.
+func (c *Counter) reset() { c.n.Store(0) }

@@ -1,0 +1,32 @@
+// Package server fixture: credentials must not reach fmt/log/slog
+// sinks.
+package server
+
+import (
+	"fmt"
+	"log/slog"
+)
+
+func badError(apiKey string) error {
+	return fmt.Errorf("auth failed for %s", apiKey) // want `apiKey.*flows into fmt.Errorf`
+}
+
+func badLog(logger *slog.Logger, token string) {
+	logger.Info("session issued", "token", token) // want `token.*flows into logger.Info`
+}
+
+func badField(c struct{ Secret string }) string {
+	return fmt.Sprintf("config: %v", c.Secret) // want `Secret.*flows into fmt.Sprintf`
+}
+
+// goodHash logs the sanctioned correlate: a hash of the credential.
+func goodHash(logger *slog.Logger, apiKey string) {
+	logger.Info("auth ok", "key_hash", hashKey(apiKey))
+}
+
+// goodName logs a non-secret identifier.
+func goodName(logger *slog.Logger, analyst string) {
+	logger.Info("auth ok", "analyst", analyst)
+}
+
+func hashKey(k string) string { return k }

@@ -525,15 +525,17 @@ func queryInt(v string) (int, error) {
 	return n, nil
 }
 
-// queryTime parses an optional RFC 3339 time query parameter.
-func queryTime(q url.Values, key string) (time.Time, error) {
-	v := q.Get(key)
+// queryTime parses an optional RFC 3339 time query parameter. The
+// parameter is named "param" rather than "key" so the secretflow lint
+// can tell URL parameter names apart from credentials.
+func queryTime(q url.Values, param string) (time.Time, error) {
+	v := q.Get(param)
 	if v == "" {
 		return time.Time{}, nil
 	}
 	t, err := time.Parse(time.RFC3339, v)
 	if err != nil {
-		return time.Time{}, fmt.Errorf("%w: bad %s %q (want RFC 3339): %v", ErrBadRequest, key, v, err)
+		return time.Time{}, fmt.Errorf("%w: bad %s %q (want RFC 3339): %v", ErrBadRequest, param, v, err)
 	}
 	return t, nil
 }
