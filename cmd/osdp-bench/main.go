@@ -10,6 +10,7 @@
 //	osdp-bench -workload BENCH_workload.json [-quick]
 //	osdp-bench -parallel BENCH_parallel.json [-workers N] [-quick]
 //	osdp-bench -metrics BENCH_metrics.json [-quick]
+//	osdp-bench -traffic BENCH_traffic.json [-quick]
 //
 // -quick shrinks the workloads for a fast smoke run; the default
 // configuration matches the scales recorded in EXPERIMENTS.md.
@@ -50,6 +51,16 @@
 // one, 200k rows, 50k with -quick) and writes the result to the given
 // JSON file, the artifact CI tracks so instrumentation on the query hot
 // path stays effectively free (the PR 6 acceptance bar is <2%).
+//
+// -traffic runs only the closed-loop multi-tenant traffic harness (N
+// concurrent analysts driving the §7-style histogram/count/quantile/
+// workload mix through the admission layer's weighted-fair queue at
+// 1/8/64 analysts, plus one open-loop arrival point) and writes the
+// result to the given JSON file, the artifact CI tracks so per-analyst
+// tail latency and the Jain fairness index cannot silently regress.
+// Fairness at high analyst counts needs real parallelism to be
+// meaningful; on single-core machines the numbers are recorded but the
+// CI bar self-skips (same caveat as -parallel).
 package main
 
 import (
@@ -76,6 +87,7 @@ func main() {
 	parallelOut := flag.String("parallel", "", "run the parallel data-plane benchmark and write its JSON result to this file")
 	workers := flag.Int("workers", runtime.NumCPU(), "worker count for the -parallel benchmark")
 	metricsOut := flag.String("metrics", "", "run the telemetry-overhead benchmark and write its JSON result to this file")
+	trafficOut := flag.String("traffic", "", "run the multi-tenant traffic/fairness benchmark and write its JSON result to this file")
 	flag.Parse()
 
 	if *dataplane != "" {
@@ -108,6 +120,13 @@ func main() {
 	}
 	if *metricsOut != "" {
 		if err := runMetricsBench(*metricsOut, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *trafficOut != "" {
+		if err := runTrafficBench(*trafficOut, *quick); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -319,6 +338,35 @@ func runMetricsBench(path string, quick bool) error {
 	res, err := experiments.MeasureTelemetryOverhead(rows, 64, minDur, auditDir)
 	if err != nil {
 		return fmt.Errorf("telemetry benchmark: %w", err)
+	}
+	fmt.Println(res.String())
+	body, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return fmt.Errorf("encoding %s: %w", path, err)
+	}
+	if err := os.WriteFile(path, append(body, '\n'), 0o644); err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// runTrafficBench measures multi-tenant latency and fairness through
+// the admission layer and writes the result as JSON.
+func runTrafficBench(path string, quick bool) error {
+	opt := experiments.TrafficOptions{OpenLoopAnalysts: 8}
+	if quick {
+		opt = experiments.TrafficOptions{
+			Rows:             10_000,
+			AnalystCounts:    []int{1, 8},
+			PerPoint:         400 * time.Millisecond,
+			OpenLoopAnalysts: 2,
+			OpenLoopRate:     50,
+		}
+	}
+	res, err := experiments.MeasureTraffic(opt)
+	if err != nil {
+		return fmt.Errorf("traffic benchmark: %w", err)
 	}
 	fmt.Println(res.String())
 	body, err := json.MarshalIndent(res, "", "  ")

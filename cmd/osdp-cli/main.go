@@ -31,7 +31,13 @@
 // `traces` lists retained request traces (filter with -kind, -analyst,
 // -min-duration, -limit) or, with -id, prints one trace span by span;
 // `audit` tails the privacy-audit trail (filter with -analyst, -since,
-// -until RFC3339, -limit).
+// -until RFC3339, -limit). `osdp-cli limits` reads the admission-control
+// plane: without -analyst it lists the resolved defaults and every
+// per-analyst override; with -analyst it installs (or, with all numeric
+// flags zero, clears) that analyst's override — zero-valued fields
+// inherit the server default. A query rejected by admission control
+// comes back as a 429 whose message renders the server's Retry-After
+// pause.
 //
 // Usage:
 //
@@ -46,6 +52,8 @@
 //	         [-analyst A] [-min-duration D] [-limit N]
 //	osdp-cli audit  -server URL [-admin-token TOK] [-analyst A]
 //	         [-since T] [-until T] [-limit N]
+//	osdp-cli limits -server URL [-admin-token TOK] [-analyst A
+//	         [-weight W] [-rate R] [-burst B] [-concurrency N] [-queue N]]
 package main
 
 import (
@@ -75,7 +83,7 @@ func main() {
 	// sets own the remaining arguments.
 	if len(os.Args) > 1 {
 		switch os.Args[1] {
-		case "stats", "health", "traces", "audit":
+		case "stats", "health", "traces", "audit", "limits":
 			if err := runServerCommand(os.Args[1], os.Args[2:], os.Stdout); err != nil {
 				fatal(err)
 			}
@@ -286,10 +294,22 @@ func runServerCommand(name string, args []string, out io.Writer) error {
 	var adminToken, traceID, kind, analyst, since, until *string
 	var minDur *time.Duration
 	var limit *int
-	if name == "traces" || name == "audit" {
+	var weight, rate, burst *float64
+	var concurrency, queue *int
+	if name == "traces" || name == "audit" || name == "limits" {
 		adminToken = fs.String("admin-token", "", "operator bearer token (default $OSDP_ADMIN_TOKEN)")
+	}
+	if name == "traces" || name == "audit" {
 		analyst = fs.String("analyst", "", "only events/traces for this analyst ID")
 		limit = fs.Int("limit", 0, "cap on returned entries (0 = server default)")
+	}
+	if name == "limits" {
+		analyst = fs.String("analyst", "", "set this analyst's admission override instead of listing (all numeric flags zero clears it)")
+		weight = fs.Float64("weight", 0, "fair-share weight (0 = server default)")
+		rate = fs.Float64("rate", 0, "sustained queries/second (0 = server default)")
+		burst = fs.Float64("burst", 0, "token-bucket burst (0 = server default)")
+		concurrency = fs.Int("concurrency", 0, "in-flight query cap (0 = server default)")
+		queue = fs.Int("queue", 0, "queued-request cap (0 = server default)")
 	}
 	if name == "traces" {
 		traceID = fs.String("id", "", "fetch one trace by request id instead of listing")
@@ -388,6 +408,39 @@ func runServerCommand(name string, args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "# %d event(s) shown, %d total, durable=%t\n",
 			len(rep.Events), rep.Total, rep.Durable)
+	case "limits":
+		if *analyst != "" {
+			set, err := c.SetAnalystLimits(ctx, server.AnalystLimits{
+				Analyst: *analyst, Weight: *weight, RatePerSec: *rate,
+				Burst: *burst, MaxConcurrent: *concurrency, MaxQueued: *queue,
+			})
+			if err != nil {
+				return err
+			}
+			if (set == server.AnalystLimits{Analyst: set.Analyst}) {
+				fmt.Fprintf(out, "override cleared for %s\n", set.Analyst)
+			} else {
+				fmt.Fprintf(out, "override %s\n", limitsLine(set))
+			}
+			return nil
+		}
+		resp, err := c.Limits(ctx)
+		if err != nil {
+			return err
+		}
+		if !resp.Enabled {
+			fmt.Fprintln(out, "admission: disabled")
+			return nil
+		}
+		d := resp.Defaults
+		fmt.Fprintln(out, "admission: enabled")
+		fmt.Fprintf(out, "slots:     %d\n", d.MaxConcurrent)
+		fmt.Fprintf(out, "defaults:  weight=%g rate=%g burst=%g concurrency=%d queue=%d\n",
+			d.Weight, d.RatePerSec, d.Burst, d.AnalystConcurrency, d.MaxQueued)
+		for _, o := range resp.Overrides {
+			fmt.Fprintf(out, "override:  %s\n", limitsLine(o))
+		}
+		fmt.Fprintf(out, "# %d override(s); 0 = server default\n", len(resp.Overrides))
 	default:
 		return fmt.Errorf("unknown subcommand %q", name)
 	}
@@ -413,6 +466,13 @@ func printTrace(out io.Writer, tr server.TraceInfo) {
 		}
 		fmt.Fprintln(out)
 	}
+}
+
+// limitsLine renders one analyst override; zero fields inherit the
+// server default.
+func limitsLine(l server.AnalystLimits) string {
+	return fmt.Sprintf("%s weight=%g rate=%g burst=%g concurrency=%d queue=%d",
+		l.Analyst, l.Weight, l.RatePerSec, l.Burst, l.MaxConcurrent, l.MaxQueued)
 }
 
 // parseRFC3339 parses an optional timestamp flag value.

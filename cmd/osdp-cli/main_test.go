@@ -43,6 +43,79 @@ func newLedgerServer(t *testing.T) (url, key string) {
 	return ts.URL, created.Key
 }
 
+// TestLimitsSubcommand drives `osdp-cli limits` against an
+// admission-enabled server: listing shows the resolved defaults,
+// -analyst sets an override that the next listing carries, all-zero
+// flags clear it, and an admission-less server reports "disabled"
+// instead of erroring.
+func TestLimitsSubcommand(t *testing.T) {
+	led, err := ledger.Open(ledger.Config{DefaultBudget: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.Config{
+		Ledger:     led,
+		AdminToken: "admin",
+		Admission:  &server.AdmissionConfig{MaxConcurrent: 4, RatePerSec: 10},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close(); led.Close() })
+	base := []string{"-server", ts.URL, "-admin-token", "admin"}
+
+	var out strings.Builder
+	if err := runServerCommand("limits", base, &out); err != nil {
+		t.Fatalf("limits list: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"admission: enabled",
+		"slots:     4",
+		"defaults:  weight=1 rate=10 burst=20",
+		"# 0 override(s)",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("limits output missing %q:\n%s", want, got)
+		}
+	}
+
+	out.Reset()
+	args := append(append([]string{}, base...), "-analyst", "a-1", "-weight", "2.5", "-rate", "100")
+	if err := runServerCommand("limits", args, &out); err != nil {
+		t.Fatalf("limits set: %v", err)
+	}
+	if got := out.String(); !strings.Contains(got, "override a-1 weight=2.5 rate=100") {
+		t.Errorf("set output %q missing the override echo", got)
+	}
+	out.Reset()
+	if err := runServerCommand("limits", base, &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); !strings.Contains(got, "override:  a-1 weight=2.5 rate=100") ||
+		!strings.Contains(got, "# 1 override(s)") {
+		t.Errorf("listing does not carry the new override:\n%s", got)
+	}
+
+	// All-zero clears.
+	out.Reset()
+	args = append(append([]string{}, base...), "-analyst", "a-1")
+	if err := runServerCommand("limits", args, &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); !strings.Contains(got, "override cleared for a-1") {
+		t.Errorf("clear output %q", got)
+	}
+
+	// An admission-less server answers the listing with "disabled".
+	url, _ := newLedgerServer(t)
+	out.Reset()
+	if err := runServerCommand("limits", []string{"-server", url, "-admin-token", "admin"}, &out); err != nil {
+		t.Fatalf("limits against admission-less server: %v", err)
+	}
+	if got := out.String(); got != "admission: disabled\n" {
+		t.Errorf("output %q, want \"admission: disabled\\n\"", got)
+	}
+}
+
 // TestServerModeAuthenticates is the regression test for the PR 3
 // fallout: the CLI must be able to talk to a -ledger server. With the
 // analyst key it answers a workload; without one it must surface the

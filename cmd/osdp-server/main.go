@@ -13,7 +13,9 @@
 //	            [-ledger DIR] [-fsync-batch-window D] [-admin-token TOK]
 //	            [-default-analyst-eps E] [-max-analyst-sessions N]
 //	            [-access-log=false] [-trace-ring N] [-trace-slow D]
-//	            [-audit DIR]
+//	            [-audit DIR] [-admit-concurrency N] [-admit-rate R]
+//	            [-admit-burst N] [-admit-queue N]
+//	            [-admit-analyst-concurrency N]
 //	            [-data NAME=FILE.csv]... [-policy NAME=FILE.json]...
 //
 // -scan-workers caps the data-plane scan parallelism: vectorized
@@ -73,6 +75,20 @@
 // served by GET /admin/audit. Without the flag the trail is in-memory
 // only (recent events still queryable, nothing survives a restart).
 //
+// -admit-concurrency turns on admission control: at most N queries
+// execute at once and the surplus waits in a weighted-fair queue, so
+// one flooding analyst cannot starve the rest (each analyst's share of
+// the pipe tracks their weight, default 1, settable per analyst at
+// runtime via POST /admin/limits). -admit-rate/-admit-burst add a
+// per-analyst token bucket; over-rate and over-queue requests are
+// rejected with 429 and a Retry-After header rather than queued
+// forever. -admit-queue caps one analyst's waiting requests (default
+// 64) and -admit-analyst-concurrency caps one analyst's in-flight
+// share of the pipe (0 = no per-analyst cap). All the caps are
+// defaults that /admin/limits can override per analyst without a
+// restart. Without -admit-concurrency none of this runs and queries
+// execute unqueued, exactly as before.
+//
 // The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // queries before exiting.
 package main
@@ -117,6 +133,11 @@ func main() {
 	traceRing := flag.Int("trace-ring", telemetry.DefaultTraceRing, "finished request traces retained for /admin/traces (0 disables tracing)")
 	traceSlow := flag.Duration("trace-slow", telemetry.DefaultSlowThreshold, "requests at least this slow are logged and pinned in the slow-trace ring (-1ns disables promotion)")
 	auditDir := flag.String("audit", "", "durable privacy-audit trail directory (empty = in-memory only)")
+	admitConcurrency := flag.Int("admit-concurrency", 0, "enable admission control with this many execution slots; surplus queries wait in a weighted-fair queue (0 = admission control off)")
+	admitRate := flag.Float64("admit-rate", 0, "per-analyst sustained query rate, tokens/second (0 = no rate limit; needs -admit-concurrency)")
+	admitBurst := flag.Float64("admit-burst", 0, "per-analyst token-bucket burst (0 = 2x rate; needs -admit-rate)")
+	admitQueue := flag.Int("admit-queue", 0, "per-analyst queued-request cap before 429 (0 = default 64; needs -admit-concurrency)")
+	admitAnalystConcurrency := flag.Int("admit-analyst-concurrency", 0, "per-analyst in-flight query cap (0 = no per-analyst cap; needs -admit-concurrency)")
 	data := map[string]string{}
 	policies := map[string]string{}
 	flag.Func("data", "NAME=FILE.csv dataset to register at startup (repeatable)", kvInto(data))
@@ -173,6 +194,23 @@ func main() {
 	}
 	if *accessLog {
 		cfg.AccessLog = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	if *admitConcurrency > 0 {
+		cfg.Admission = &server.AdmissionConfig{
+			MaxConcurrent:      *admitConcurrency,
+			AnalystConcurrency: *admitAnalystConcurrency,
+			RatePerSec:         *admitRate,
+			Burst:              *admitBurst,
+			MaxQueued:          *admitQueue,
+		}
+		queueCap := *admitQueue
+		if queueCap == 0 {
+			queueCap = server.DefaultMaxQueued
+		}
+		log.Printf("admission control on: %d slot(s), per-analyst rate %.4g/s, queue cap %d",
+			*admitConcurrency, *admitRate, queueCap)
+	} else if *admitRate > 0 || *admitBurst > 0 || *admitQueue > 0 || *admitAnalystConcurrency > 0 {
+		fatal(errors.New("-admit-rate/-admit-burst/-admit-queue/-admit-analyst-concurrency require -admit-concurrency"))
 	}
 	if *traceRing > 0 {
 		cfg.Tracer = telemetry.NewTracer(telemetry.TracerConfig{

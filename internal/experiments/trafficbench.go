@@ -1,0 +1,408 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"osdp/internal/dataset"
+	"osdp/internal/ledger"
+	"osdp/internal/server"
+)
+
+// This file is the closed-loop traffic harness behind `osdp-bench
+// -traffic BENCH_traffic.json`: the multi-tenant latency/fairness
+// regression surface ROADMAP item 5 calls for. N concurrent analysts
+// drive a mixed query stream (histogram / count / quantile / workload,
+// echoing the paper's §7 evaluation mix) against one in-process server
+// whose admission layer is configured with a deliberately small
+// execution-slot count, so the weighted-fair queue — not the scheduler
+// — decides who runs. Each point reports per-analyst and aggregate
+// p50/p99 latency, aggregate QPS, and the Jain fairness index over
+// per-analyst completions; every future scaling PR (multi-replica
+// ledger, mmap data plane) is judged against this artifact.
+
+// TrafficMix is the §7-style query mix, in per-mille so the weights
+// are exact integers: 40% histogram, 30% count, 15% quantile, 15%
+// workload (64-range batches).
+const (
+	trafficHistogramPct = 40
+	trafficCountPct     = 30
+	trafficQuantilePct  = 15
+	// remainder: workload
+)
+
+// trafficWorkloadRanges is the range-batch size of one workload query
+// in the mix — big enough that a workload request is visibly heavier
+// than a count, small enough that one cannot monopolize a slot.
+const trafficWorkloadRanges = 64
+
+// TrafficOptions parameterises MeasureTraffic.
+type TrafficOptions struct {
+	// Rows is the benchmark table size.
+	Rows int
+	// AnalystCounts are the closed-loop points to measure (e.g. 1, 8, 64).
+	AnalystCounts []int
+	// PerPoint is the measurement window per point.
+	PerPoint time.Duration
+	// MaxConcurrent is the admission layer's execution-slot count; <=0
+	// defaults to 2, small on purpose so queueing (the object under
+	// measurement) actually happens.
+	MaxConcurrent int
+	// OpenLoopAnalysts, when > 0, adds one open-loop point with that
+	// many analysts: requests arrive on a fixed schedule
+	// (OpenLoopRate per analyst per second) regardless of completions,
+	// and latency is measured from the INTENDED arrival time, so
+	// queueing delay is charged to the server, not hidden by
+	// back-pressure (the coordinated-omission correction).
+	OpenLoopAnalysts int
+	// OpenLoopRate is the per-analyst arrival rate of the open-loop
+	// point (default 20/s).
+	OpenLoopRate float64
+}
+
+// AnalystTraffic is one analyst's slice of a traffic point.
+type AnalystTraffic struct {
+	Analyst   string `json:"analyst"`
+	Requests  int    `json:"requests"`
+	Errors    int    `json:"errors,omitempty"`
+	Rejected  int    `json:"rejected,omitempty"`
+	P50Micros int64  `json:"p50_us"`
+	P99Micros int64  `json:"p99_us"`
+}
+
+// TrafficPoint is one measured configuration (analyst count x arrival
+// mode).
+type TrafficPoint struct {
+	Analysts        int     `json:"analysts"`
+	Mode            string  `json:"mode"` // "closed" or "open"
+	DurationSeconds float64 `json:"duration_seconds"`
+	Requests        int     `json:"requests"`
+	QPS             float64 `json:"qps"`
+	AggP50Micros    int64   `json:"p50_us"`
+	AggP99Micros    int64   `json:"p99_us"`
+	// Fairness is the Jain index over per-analyst completed-request
+	// counts: (Σx)² / (n·Σx²), 1.0 = perfectly even service, 1/n =
+	// one analyst got everything.
+	Fairness   float64          `json:"fairness"`
+	PerAnalyst []AnalystTraffic `json:"per_analyst"`
+}
+
+// TrafficResult is the machine-readable outcome written to
+// BENCH_traffic.json.
+type TrafficResult struct {
+	Rows          int            `json:"rows"`
+	MaxConcurrent int            `json:"max_concurrent"`
+	Mix           string         `json:"mix"`
+	Points        []TrafficPoint `json:"points"`
+}
+
+// JainIndex computes the Jain fairness index of xs (1.0 = perfectly
+// fair). Empty or all-zero input yields 0.
+func JainIndex(xs []float64) float64 {
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// trafficServer is one in-process server with its minted analysts and
+// open sessions.
+type trafficServer struct {
+	srv      *server.Server
+	led      *ledger.Ledger
+	analysts []string // analyst ids
+	sessions []string // one session per analyst
+}
+
+func (ts *trafficServer) close() {
+	ts.srv.Close()
+	ts.led.Close()
+}
+
+// newTrafficServer builds a ledger-backed admission-enabled server over
+// a fresh benchmark table and opens one session per analyst. Budgets
+// are unlimited: the harness measures scheduling, not accounting.
+func newTrafficServer(rows, analysts, maxConcurrent int) (*trafficServer, error) {
+	led, err := ledger.Open(ledger.Config{}) // in-memory
+	if err != nil {
+		return nil, fmt.Errorf("traffic bench: %w", err)
+	}
+	srv := server.New(server.Config{
+		Ledger:              led,
+		AllowSeededSessions: true,
+		Admission:           &server.AdmissionConfig{MaxConcurrent: maxConcurrent},
+	})
+	tb := DataplaneTable(rows, 64, 1)
+	pol := dataset.NewPolicy("bench-minors", dataset.Cmp("Age", dataset.OpLt, dataset.Int(18)))
+	if err := srv.RegisterTable("bench", tb, pol); err != nil {
+		led.Close()
+		return nil, fmt.Errorf("traffic bench: %w", err)
+	}
+	ts := &trafficServer{srv: srv, led: led}
+	for i := 0; i < analysts; i++ {
+		info, _, err := led.CreateAnalyst(fmt.Sprintf("analyst-%02d", i), 0)
+		if err != nil {
+			ts.close()
+			return nil, fmt.Errorf("traffic bench: %w", err)
+		}
+		s := int64(i + 1)
+		sess, err := srv.OpenSession(info.ID, server.OpenSessionRequest{Dataset: "bench", Seed: &s})
+		if err != nil {
+			ts.close()
+			return nil, fmt.Errorf("traffic bench: %w", err)
+		}
+		ts.analysts = append(ts.analysts, info.ID)
+		ts.sessions = append(ts.sessions, sess.ID)
+	}
+	return ts, nil
+}
+
+// trafficRequest draws the next request from the §7-style mix.
+func trafficRequest(rng *rand.Rand) server.QueryRequest {
+	switch p := rng.Intn(100); {
+	case p < trafficHistogramPct:
+		return server.QueryRequest{
+			Kind: server.KindHistogram, Eps: 0.1,
+			Dims: []server.DomainSpec{{Attr: "Group"}},
+		}
+	case p < trafficHistogramPct+trafficCountPct:
+		return server.QueryRequest{Kind: server.KindCount, Eps: 0.1}
+	case p < trafficHistogramPct+trafficCountPct+trafficQuantilePct:
+		return server.QueryRequest{
+			Kind: server.KindQuantile, Eps: 0.1,
+			Attr: "Age", Q: float64(1+rng.Intn(9)) / 10,
+		}
+	default:
+		ranges := make([]server.RangeSpec, trafficWorkloadRanges)
+		for i := range ranges {
+			lo := rng.Intn(32)
+			ranges[i] = server.RangeSpec{Lo: lo, Hi: lo + rng.Intn(32)}
+		}
+		return server.QueryRequest{
+			Kind: server.KindWorkload, Eps: 0.1,
+			Dims:   []server.DomainSpec{{Attr: "Age", Lo: 0, Width: 2, Bins: 64}},
+			Ranges: ranges,
+		}
+	}
+}
+
+// analystTally accumulates one analyst's outcomes.
+type analystTally struct {
+	latencies []time.Duration
+	errors    int
+	rejected  int
+}
+
+func (a *analystTally) record(d time.Duration, err error) {
+	switch {
+	case err == nil:
+		a.latencies = append(a.latencies, d)
+	case errors.Is(err, server.ErrRateLimited):
+		a.rejected++
+	default:
+		a.errors++
+	}
+}
+
+// summarize folds per-analyst tallies into a TrafficPoint.
+func summarize(mode string, elapsed time.Duration, names []string, tallies []analystTally) TrafficPoint {
+	pt := TrafficPoint{
+		Analysts:        len(tallies),
+		Mode:            mode,
+		DurationSeconds: elapsed.Seconds(),
+	}
+	var all []time.Duration
+	counts := make([]float64, len(tallies))
+	for i := range tallies {
+		ta := &tallies[i]
+		counts[i] = float64(len(ta.latencies))
+		pt.Requests += len(ta.latencies)
+		all = append(all, ta.latencies...)
+		pt.PerAnalyst = append(pt.PerAnalyst, AnalystTraffic{
+			Analyst:   names[i],
+			Requests:  len(ta.latencies),
+			Errors:    ta.errors,
+			Rejected:  ta.rejected,
+			P50Micros: percentileMicros(ta.latencies, 0.50),
+			P99Micros: percentileMicros(ta.latencies, 0.99),
+		})
+	}
+	pt.QPS = float64(pt.Requests) / elapsed.Seconds()
+	pt.AggP50Micros = percentileMicros(all, 0.50)
+	pt.AggP99Micros = percentileMicros(all, 0.99)
+	pt.Fairness = JainIndex(counts)
+	return pt
+}
+
+// percentileMicros returns the q-quantile of ds in microseconds (0 on
+// empty input). ds is sorted in place.
+func percentileMicros(ds []time.Duration, q float64) int64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	idx := int(q * float64(len(ds)-1))
+	return ds[idx].Microseconds()
+}
+
+// runClosedLoop drives one closed-loop point: each analyst issues its
+// next request the moment the previous one completes, for the whole
+// window. Completion rates under a saturated pipe are therefore the
+// admission layer's service allocation — exactly what the Jain index
+// scores.
+func runClosedLoop(ts *trafficServer, window time.Duration) TrafficPoint {
+	n := len(ts.analysts)
+	tallies := make([]analystTally, n)
+	start := time.Now()
+	deadline := start.Add(window)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(i) + 7))
+			for time.Now().Before(deadline) {
+				req := trafficRequest(rng)
+				t0 := time.Now()
+				_, err := ts.srv.QueryContext(context.Background(), ts.analysts[i], ts.sessions[i], req)
+				tallies[i].record(time.Since(t0), err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	return summarize("closed", time.Since(start), ts.analysts, tallies)
+}
+
+// runOpenLoop drives one open-loop point: requests arrive every
+// 1/rate seconds per analyst whether or not earlier ones finished
+// (bounded at 64 outstanding per analyst — beyond that, arrivals are
+// dropped and counted as errors rather than queued in the generator).
+// Latency is measured from the intended arrival instant.
+func runOpenLoop(ts *trafficServer, window time.Duration, rate float64) TrafficPoint {
+	n := len(ts.analysts)
+	tallies := make([]analystTally, n)
+	interval := time.Duration(float64(time.Second) / rate)
+	start := time.Now()
+	deadline := start.Add(window)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(i) + 7))
+			var mu sync.Mutex
+			outstanding := 0
+			var reqWG sync.WaitGroup
+			for k := 0; ; k++ {
+				intended := start.Add(time.Duration(k) * interval)
+				if intended.After(deadline) {
+					break
+				}
+				time.Sleep(time.Until(intended))
+				mu.Lock()
+				if outstanding >= 64 {
+					tallies[i].errors++
+					mu.Unlock()
+					continue
+				}
+				outstanding++
+				mu.Unlock()
+				req := trafficRequest(rng)
+				reqWG.Add(1)
+				go func(intended time.Time) {
+					defer reqWG.Done()
+					_, err := ts.srv.QueryContext(context.Background(), ts.analysts[i], ts.sessions[i], req)
+					lat := time.Since(intended)
+					mu.Lock()
+					outstanding--
+					tallies[i].record(lat, err)
+					mu.Unlock()
+				}(intended)
+			}
+			reqWG.Wait()
+		}(i)
+	}
+	wg.Wait()
+	return summarize("open", time.Since(start), ts.analysts, tallies)
+}
+
+// MeasureTraffic runs the closed-loop harness at every requested
+// analyst count (plus an optional open-loop point) and returns the
+// latency/QPS/fairness surface.
+func MeasureTraffic(opt TrafficOptions) (TrafficResult, error) {
+	if opt.Rows <= 0 {
+		opt.Rows = 100_000
+	}
+	if len(opt.AnalystCounts) == 0 {
+		opt.AnalystCounts = []int{1, 8, 64}
+	}
+	if opt.PerPoint <= 0 {
+		opt.PerPoint = 2 * time.Second
+	}
+	if opt.MaxConcurrent <= 0 {
+		opt.MaxConcurrent = 2
+	}
+	if opt.OpenLoopRate <= 0 {
+		opt.OpenLoopRate = 20
+	}
+	res := TrafficResult{
+		Rows:          opt.Rows,
+		MaxConcurrent: opt.MaxConcurrent,
+		Mix: fmt.Sprintf("histogram %d%% / count %d%% / quantile %d%% / workload(%d ranges) %d%%",
+			trafficHistogramPct, trafficCountPct, trafficQuantilePct,
+			trafficWorkloadRanges, 100-trafficHistogramPct-trafficCountPct-trafficQuantilePct),
+	}
+	for _, n := range opt.AnalystCounts {
+		ts, err := newTrafficServer(opt.Rows, n, opt.MaxConcurrent)
+		if err != nil {
+			return TrafficResult{}, err
+		}
+		// The Jain index scores per-analyst completion COUNTS, but the
+		// mix makes request cost heterogeneous — with only a few dozen
+		// draws per analyst the index measures mix luck, not
+		// scheduling. Stretch the window with the analyst count so
+		// every point gets comparable per-analyst sample sizes.
+		window := opt.PerPoint * time.Duration((n+7)/8)
+		if window < opt.PerPoint {
+			window = opt.PerPoint
+		}
+		pt := runClosedLoop(ts, window)
+		ts.close()
+		if pt.Requests == 0 {
+			return TrafficResult{}, fmt.Errorf("traffic bench: closed loop at %d analysts completed no requests", n)
+		}
+		res.Points = append(res.Points, pt)
+	}
+	if opt.OpenLoopAnalysts > 0 {
+		ts, err := newTrafficServer(opt.Rows, opt.OpenLoopAnalysts, opt.MaxConcurrent)
+		if err != nil {
+			return TrafficResult{}, err
+		}
+		pt := runOpenLoop(ts, opt.PerPoint, opt.OpenLoopRate)
+		ts.close()
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// String renders the result as report-style lines, one per point.
+func (r TrafficResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "traffic: %d rows, %d slots, mix %s", r.Rows, r.MaxConcurrent, r.Mix)
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "\n  %2d analysts (%s): %6.0f qps, p50 %6.2f ms, p99 %7.2f ms, fairness %.3f",
+			p.Analysts, p.Mode, p.QPS, float64(p.AggP50Micros)/1e3, float64(p.AggP99Micros)/1e3, p.Fairness)
+	}
+	return b.String()
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"math"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestJainIndex pins the fairness metric itself: perfectly even input
+// scores 1, one-analyst-takes-all scores 1/n, and the degenerate
+// inputs are 0 rather than NaN.
+func TestJainIndex(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"even", []float64{5, 5, 5, 5}, 1},
+		{"one-takes-all", []float64{10, 0, 0, 0}, 0.25},
+		{"skewed", []float64{4, 1}, math.Pow(5, 2) / (2 * 17)},
+		{"empty", nil, 0},
+		{"all-zero", []float64{0, 0}, 0},
+	}
+	for _, c := range cases {
+		if got := JainIndex(c.xs); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: JainIndex = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestTrafficSmoke runs the harness at tiny scale (both arrival modes)
+// and checks the result's structure: every point carries per-analyst
+// rows, completions add up, and fairness lands in (0, 1].
+func TestTrafficSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("traffic smoke skipped in -short")
+	}
+	res, err := MeasureTraffic(TrafficOptions{
+		Rows:             2_000,
+		AnalystCounts:    []int{1, 3},
+		PerPoint:         300 * time.Millisecond,
+		OpenLoopAnalysts: 2,
+		OpenLoopRate:     50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s", res.String())
+	if len(res.Points) != 3 {
+		t.Fatalf("%d points, want 3 (closed x2 + open)", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if len(p.PerAnalyst) != p.Analysts {
+			t.Errorf("%d-analyst %s point has %d per-analyst rows", p.Analysts, p.Mode, len(p.PerAnalyst))
+		}
+		total := 0
+		for _, a := range p.PerAnalyst {
+			total += a.Requests
+			if a.Errors > 0 {
+				t.Errorf("analyst %s: %d unexpected errors", a.Analyst, a.Errors)
+			}
+		}
+		if total != p.Requests {
+			t.Errorf("per-analyst requests sum to %d, point says %d", total, p.Requests)
+		}
+		if p.Requests > 0 && (p.Fairness <= 0 || p.Fairness > 1) {
+			t.Errorf("fairness %v outside (0, 1]", p.Fairness)
+		}
+		if p.Requests > 0 && (p.AggP50Micros <= 0 || p.AggP99Micros < p.AggP50Micros) {
+			t.Errorf("implausible percentiles p50=%dus p99=%dus", p.AggP50Micros, p.AggP99Micros)
+		}
+		if p.QPS <= 0 {
+			t.Errorf("qps %v", p.QPS)
+		}
+	}
+	if res.Points[0].Mode != "closed" || res.Points[2].Mode != "open" {
+		t.Errorf("point modes wrong: %q, %q", res.Points[0].Mode, res.Points[2].Mode)
+	}
+}
+
+// TestTrafficFairnessBar is the CI acceptance bar: at 8 backlogged
+// analysts of equal weight on 2 execution slots, the weighted-fair
+// queue must serve them evenly — Jain index >= 0.9. An unfair queue
+// (FIFO across a flood, or slot capture) scores far lower. The bar
+// needs real parallelism to backlog the pipe, so it self-skips on
+// small containers (same pattern as TestGroupCommitSpeedupBar).
+func TestTrafficFairnessBar(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fairness bar skipped in -short")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("fairness bar needs >=4 CPUs, have %d", runtime.NumCPU())
+	}
+	res, err := MeasureTraffic(TrafficOptions{
+		Rows:          20_000,
+		AnalystCounts: []int{8},
+		PerPoint:      3 * time.Second,
+		MaxConcurrent: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s", res.String())
+	pt := res.Points[0]
+	if pt.Fairness < 0.9 {
+		for _, a := range pt.PerAnalyst {
+			t.Logf("  %s: %d requests, p99 %.2f ms", a.Analyst, a.Requests, float64(a.P99Micros)/1e3)
+		}
+		t.Fatalf("Jain fairness %.3f at 8 analysts, bar is 0.9", pt.Fairness)
+	}
+}

@@ -30,6 +30,13 @@ import (
 //     Function-literal BODIES are skipped at definition sites — the
 //     charge is required where the closure is invoked, not built.
 //
+//   - internal/server, admission ordering: in a function that acquires
+//     an admission slot (.adm.acquire or .acquire), every .Charge(
+//     must come lexically AFTER the first acquire. Charging before
+//     admission would bill requests that are then rejected or
+//     cancelled while queued — the accounting the admission layer
+//     exists to prevent (DESIGN.md "Admission control").
+//
 // Lexical precedence (not true dominance) is deliberate: the real code
 // guards the ledger charge behind "if Ledger != nil" for ledger-less
 // servers, which strict dominance would flag.
@@ -157,10 +164,15 @@ func checkServerFunc(pass *analysis.Pass, d *ast.FuncDecl) {
 		return false
 	}
 
+	const (
+		evCharge = iota
+		evRelease
+		evAdmit
+	)
 	type event struct {
-		pos     token.Pos
-		release bool
-		what    string
+		pos  token.Pos
+		kind int
+		what string
 	}
 	var events []event
 	ast.Inspect(d.Body, func(n ast.Node) bool {
@@ -171,31 +183,45 @@ func checkServerFunc(pass *analysis.Pass, d *ast.FuncDecl) {
 		qual, name := calleeName(call)
 		switch {
 		case chargeNames[name]:
-			events = append(events, event{pos: call.Pos(), release: false})
+			events = append(events, event{pos: call.Pos(), kind: evCharge})
+		case name == "acquire":
+			// The admission controller's slot acquisition (s.adm.acquire
+			// by convention) starts the admitted region.
+			events = append(events, event{pos: call.Pos(), kind: evAdmit})
 		case qual == "sess" && sessionQueryMethods[name]:
-			events = append(events, event{pos: call.Pos(), release: true, what: "session query " + name})
+			events = append(events, event{pos: call.Pos(), kind: evRelease, what: "session query " + name})
 		case name == "run" && qual == "":
 			// The compiled-mechanism closure is by convention bound to
 			// `run`; invoking it executes charge-gated sampling.
 			if _, isIdent := call.Fun.(*ast.Ident); isIdent {
-				events = append(events, event{pos: call.Pos(), release: true, what: "compiled mechanism run()"})
+				events = append(events, event{pos: call.Pos(), kind: evRelease, what: "compiled mechanism run()"})
 			}
 		default:
 			if lit, isLit := call.Fun.(*ast.FuncLit); isLit && lits[lit] {
-				events = append(events, event{pos: call.Pos(), release: true, what: "inline mechanism closure"})
+				events = append(events, event{pos: call.Pos(), kind: evRelease, what: "inline mechanism closure"})
 			}
 		}
 		return true
 	})
 	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
-	charged := false
+	admits := false
 	for _, e := range events {
-		if !e.release {
+		admits = admits || e.kind == evAdmit
+	}
+	charged, admitted := false, false
+	for _, e := range events {
+		switch e.kind {
+		case evAdmit:
+			admitted = true
+		case evCharge:
+			if admits && !admitted {
+				pass.Reportf(e.pos, "ledger/accountant charge executes before admission acquire in %s; admit first so a rejected or cancelled-while-queued request never charges ε (DESIGN.md \"Admission control\")", d.Name.Name)
+			}
 			charged = true
-			continue
-		}
-		if !charged {
-			pass.Reportf(e.pos, "%s executes before any ledger/accountant charge in %s; charge ε first (DESIGN.md \"Budget control plane\")", e.what, d.Name.Name)
+		case evRelease:
+			if !charged {
+				pass.Reportf(e.pos, "%s executes before any ledger/accountant charge in %s; charge ε first (DESIGN.md \"Budget control plane\")", e.what, d.Name.Name)
+			}
 		}
 	}
 }

@@ -5,6 +5,7 @@ package server
 // Server mirrors the serving layer's shape.
 type Server struct {
 	ledger Ledger
+	adm    Admitter
 }
 
 // Ledger stands in for the real ledger.
@@ -12,6 +13,12 @@ type Ledger struct{}
 
 // Charge admits spend.
 func (Ledger) Charge(analyst, dataset string, eps float64) error { return nil }
+
+// Admitter stands in for the admission controller.
+type Admitter struct{}
+
+// acquire blocks for a fair-queue slot.
+func (Admitter) acquire(analyst string) (func(), error) { return func() {}, nil }
 
 func (s *Server) badQuery(sess Sess) {
 	_, _ = sess.Histogram("age", 0.1) // want `session query Histogram executes before any ledger/accountant charge`
@@ -39,6 +46,25 @@ func (s *Server) goodDeferred(sess Sess) func() {
 
 func (s *Server) badInline(sess Sess) {
 	func() { _, _ = sess.Histogram("age", 0.1) }() // want `inline mechanism closure executes before any ledger/accountant charge`
+}
+
+// goodAdmitted mirrors queryCounted: admission slot first, then the
+// charge, then the release.
+func (s *Server) goodAdmitted(sess Sess) {
+	release, _ := s.adm.acquire("a")
+	defer release()
+	_ = s.ledger.Charge("a", "d", 0.1)
+	_, _ = sess.Histogram("age", 0.1)
+}
+
+// badChargeBeforeAdmit bills the analyst before admission decides the
+// request's fate — a rejected or cancelled-while-queued request would
+// still have spent ε.
+func (s *Server) badChargeBeforeAdmit(sess Sess) {
+	_ = s.ledger.Charge("a", "d", 0.1) // want `ledger/accountant charge executes before admission acquire`
+	release, _ := s.adm.acquire("a")
+	defer release()
+	_, _ = sess.Histogram("age", 0.1)
 }
 
 // Sess stands in for *core.Session.

@@ -1,0 +1,575 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"osdp/internal/telemetry"
+)
+
+// Admission control: the layer in front of query execution that keeps
+// one analyst's burst from monopolizing the scan pool and the
+// group-committed ledger. Three bounds compose, all per-analyst:
+//
+//   - a token bucket (RatePerSec/Burst) bounds the ADMISSION RATE: a
+//     request arriving with an empty bucket is rejected immediately
+//     with ErrRateLimited (HTTP 429 + Retry-After) — it never queues,
+//     never charges ε, and never touches a session.
+//   - a concurrency cap (AnalystConcurrency, plus the global
+//     MaxConcurrent) bounds EXECUTION: requests past the cap wait in
+//     the analyst's FIFO queue instead of piling onto the scan pool.
+//   - a weighted-fair queue arbitrates the wait: when an execution
+//     slot frees, the request with the smallest virtual start tag
+//     runs next (start-time fair queueing, cost 1/weight per request),
+//     so over any backlogged interval each analyst receives service
+//     proportional to its weight regardless of how fast it submits.
+//
+// Queued requests respect context cancellation (a cancelled waiter is
+// unlinked, decrements the queue-depth gauge exactly once, and charges
+// nothing) and session TTL (the session is looked up AFTER admission,
+// so a session that expired while its request queued fails closed).
+// Admission strictly precedes the ledger charge on the query path —
+// enforced mechanically by the chargebeforenoise analyzer — so a
+// queued-then-rejected or queued-then-cancelled request provably
+// spends zero ε.
+//
+// The controller spawns no goroutines: waiting happens on the
+// request's own goroutine, and dispatch runs inside release and
+// limit-change calls, so an idle controller costs nothing and shutdown
+// needs no drain.
+
+// DefaultMaxQueued bounds one analyst's queued (not yet executing)
+// requests when AdmissionConfig.MaxQueued is 0. Beyond it, requests
+// are rejected with ErrRateLimited rather than queued: an unbounded
+// queue converts overload into unbounded latency, which is worse than
+// an honest 429.
+const DefaultMaxQueued = 64
+
+// AdmissionConfig tunes the admission layer (Config.Admission). The
+// zero value is usable: execution is capped at runtime.NumCPU, queues
+// at DefaultMaxQueued per analyst, and rate limiting is off.
+type AdmissionConfig struct {
+	// MaxConcurrent caps queries executing at once across all
+	// analysts. <=0 defaults to runtime.NumCPU(): one slot per core
+	// keeps the scan pool saturated without oversubscribing it.
+	MaxConcurrent int
+	// AnalystConcurrency caps one analyst's concurrently executing
+	// queries (0 = bounded only by MaxConcurrent). Admin overrides
+	// (SetLimits) take precedence per analyst.
+	AnalystConcurrency int
+	// RatePerSec refills each analyst's token bucket; a query consumes
+	// one token at admission. 0 disables rate limiting.
+	RatePerSec float64
+	// Burst is the bucket capacity — the largest back-to-back burst a
+	// quiet analyst may submit. 0 defaults to max(1, 2*RatePerSec).
+	Burst float64
+	// MaxQueued caps one analyst's queued requests (0 =
+	// DefaultMaxQueued). The cap is per analyst, not global, so one
+	// flooder filling its own queue cannot crowd out another
+	// analyst's right to wait.
+	MaxQueued int
+}
+
+// maxConcurrent resolves the global execution cap.
+func (c AdmissionConfig) maxConcurrent() int {
+	if c.MaxConcurrent > 0 {
+		return c.MaxConcurrent
+	}
+	return runtime.NumCPU()
+}
+
+// burst resolves the default bucket capacity.
+func (c AdmissionConfig) burst() float64 {
+	if c.Burst > 0 {
+		return c.Burst
+	}
+	return math.Max(1, 2*c.RatePerSec)
+}
+
+// maxQueued resolves the default per-analyst queue bound.
+func (c AdmissionConfig) maxQueued() int {
+	if c.MaxQueued > 0 {
+		return c.MaxQueued
+	}
+	return DefaultMaxQueued
+}
+
+// admWaiter is one queued request. ready is closed exactly once, under
+// the admitter mutex, when the waiter is granted; granted disambiguates
+// the grant/cancel race so the queue-depth gauge and the slot counters
+// each move exactly once per waiter.
+type admWaiter struct {
+	st      *admAnalyst
+	vstart  float64 // SFQ virtual start tag, fixed at enqueue
+	ready   chan struct{}
+	granted bool
+}
+
+// admAnalyst is one analyst's admission state: its token bucket, its
+// FIFO of waiting requests, its in-flight count, and its SFQ finish
+// tag. limits holds the admin override (zero-valued = none). All
+// fields are guarded by the admitter mutex.
+type admAnalyst struct {
+	id     string
+	limits AnalystLimits // override; zero fields inherit the config
+
+	tokens   float64
+	lastFill time.Time
+	filled   bool // lastFill is meaningful (first touch seeds a full bucket)
+
+	inflight   int
+	queue      []*admWaiter
+	lastFinish float64 // SFQ finish tag of the newest tagged request
+}
+
+// admitter is the admission controller. One mutex guards everything:
+// admission decisions are a handful of map lookups and float updates,
+// orders of magnitude cheaper than the queries they gate.
+type admitter struct {
+	cfg AdmissionConfig
+	now func() time.Time
+	met *admissionMetrics // nil when telemetry is off
+
+	mu       sync.Mutex
+	analysts map[string]*admAnalyst
+	inflight int     // executing now, across all analysts
+	queued   int     // waiting now, across all analysts
+	vtime    float64 // SFQ global virtual time
+}
+
+// newAdmitter builds a controller; now is the injectable clock
+// (Config.now) and reg may be nil.
+func newAdmitter(cfg AdmissionConfig, now func() time.Time, reg *telemetry.Registry) *admitter {
+	return &admitter{
+		cfg:      cfg,
+		now:      now,
+		met:      newAdmissionMetrics(reg),
+		analysts: make(map[string]*admAnalyst),
+	}
+}
+
+// stateLocked finds or creates an analyst's admission state.
+func (a *admitter) stateLocked(analyst string) *admAnalyst {
+	st := a.analysts[analyst]
+	if st == nil {
+		st = &admAnalyst{id: analyst}
+		a.analysts[analyst] = st
+	}
+	return st
+}
+
+// Per-analyst effective limits: the admin override when set, else the
+// config default. Callers hold a.mu.
+
+func (a *admitter) weightFor(st *admAnalyst) float64 {
+	if st.limits.Weight > 0 {
+		return st.limits.Weight
+	}
+	return 1
+}
+
+func (a *admitter) rateFor(st *admAnalyst) (rate, burst float64) {
+	rate, burst = a.cfg.RatePerSec, a.cfg.burst()
+	if st.limits.RatePerSec > 0 {
+		rate = st.limits.RatePerSec
+		burst = math.Max(1, 2*rate)
+	}
+	if st.limits.Burst > 0 {
+		burst = st.limits.Burst
+	}
+	return rate, burst
+}
+
+func (a *admitter) concurrencyFor(st *admAnalyst) int {
+	if st.limits.MaxConcurrent > 0 {
+		return st.limits.MaxConcurrent
+	}
+	return a.cfg.AnalystConcurrency
+}
+
+func (a *admitter) maxQueuedFor(st *admAnalyst) int {
+	if st.limits.MaxQueued > 0 {
+		return st.limits.MaxQueued
+	}
+	return a.cfg.maxQueued()
+}
+
+// underCapLocked reports whether st may start one more query.
+func (a *admitter) underCapLocked(st *admAnalyst) bool {
+	if a.inflight >= a.cfg.maxConcurrent() {
+		return false
+	}
+	cap := a.concurrencyFor(st)
+	return cap <= 0 || st.inflight < cap
+}
+
+// refillLocked advances st's token bucket to now. The first touch
+// seeds a full bucket, so a fresh analyst gets its burst allowance.
+func (a *admitter) refillLocked(st *admAnalyst, rate, burst float64, now time.Time) {
+	if !st.filled {
+		st.tokens, st.lastFill, st.filled = burst, now, true
+		return
+	}
+	if dt := now.Sub(st.lastFill).Seconds(); dt > 0 {
+		st.tokens = math.Min(burst, st.tokens+dt*rate)
+	}
+	st.lastFill = now
+}
+
+// tagLocked assigns the next SFQ start tag for st: the request starts
+// no earlier than the global virtual time and no earlier than the
+// analyst's previous finish, and occupies 1/weight of virtual time —
+// which is exactly what makes long-run service weight-proportional.
+func (a *admitter) tagLocked(st *admAnalyst) float64 {
+	s := math.Max(a.vtime, st.lastFinish)
+	st.lastFinish = s + 1/a.weightFor(st)
+	return s
+}
+
+// acquire admits one query for analyst, blocking while the analyst is
+// at its concurrency cap or the server at its global one. On success
+// it returns a release closure the caller MUST invoke (idempotent)
+// when the query finishes. On failure nothing is held: the request
+// was rejected (ErrRateLimited) or the context ended while queued.
+func (a *admitter) acquire(ctx context.Context, analyst string) (func(), error) {
+	a.mu.Lock()
+	st := a.stateLocked(analyst)
+	if rate, burst := a.rateFor(st); rate > 0 {
+		a.refillLocked(st, rate, burst, a.now())
+		if st.tokens < 1 {
+			wait := time.Duration((1 - st.tokens) / rate * float64(time.Second))
+			a.mu.Unlock()
+			a.met.reject("rate")
+			return nil, &rateLimitedError{
+				msg:        fmt.Sprintf("analyst exceeded %g requests/sec (burst %g)", rate, burst),
+				retryAfter: wait,
+			}
+		}
+		st.tokens--
+	}
+	// Run now when nothing of ours is already waiting (FIFO per
+	// analyst) and both concurrency caps have room. Queued waiters of
+	// OTHER analysts blocked on their own caps hold no claim to the
+	// slot — admitting around them is work conservation, not queue
+	// jumping.
+	if len(st.queue) == 0 && a.underCapLocked(st) {
+		s := a.tagLocked(st)
+		a.vtime = math.Max(a.vtime, s)
+		a.grantSlotLocked(st)
+		a.mu.Unlock()
+		return a.releaser(st), nil
+	}
+	if len(st.queue) >= a.maxQueuedFor(st) {
+		a.mu.Unlock()
+		a.met.reject("queue_full")
+		// No token math predicts queue drain; advertise a short,
+		// honest pause rather than nothing.
+		return nil, &rateLimitedError{
+			msg:        fmt.Sprintf("analyst admission queue full (%d waiting)", a.maxQueuedFor(st)),
+			retryAfter: time.Second,
+		}
+	}
+	w := &admWaiter{st: st, vstart: a.tagLocked(st), ready: make(chan struct{})}
+	st.queue = append(st.queue, w)
+	a.queued++
+	a.mu.Unlock()
+	a.met.enqueued()
+
+	start := time.Now()
+	select {
+	case <-w.ready:
+		a.met.waited(time.Since(start))
+		return a.releaser(st), nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		if w.granted {
+			// The grant raced the cancellation: we own a slot that the
+			// caller will never use. Return it so the next waiter runs.
+			a.releaseLocked(st)
+			a.mu.Unlock()
+			a.met.waited(time.Since(start))
+			return nil, fmt.Errorf("server: admission wait aborted: %w", ctx.Err())
+		}
+		for i, q := range st.queue {
+			if q == w {
+				st.queue = append(st.queue[:i], st.queue[i+1:]...)
+				break
+			}
+		}
+		a.queued--
+		a.pruneLocked(st)
+		a.resetIdleLocked()
+		a.mu.Unlock()
+		a.met.cancelled()
+		return nil, fmt.Errorf("server: admission wait aborted: %w", ctx.Err())
+	}
+}
+
+// grantSlotLocked moves st into execution (counters + gauges); the
+// caller has already decided the grant is legal.
+func (a *admitter) grantSlotLocked(st *admAnalyst) {
+	a.inflight++
+	st.inflight++
+	a.met.started()
+}
+
+// releaser returns the idempotent release closure for one admitted
+// query. Idempotence is belt-and-braces: the query path calls it
+// exactly once via defer, but a double call corrupting the slot
+// accounting would starve the queue forever.
+func (a *admitter) releaser(st *admAnalyst) func() {
+	released := false
+	return func() {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		if released {
+			return
+		}
+		released = true
+		a.releaseLocked(st)
+	}
+}
+
+// releaseLocked returns one execution slot and hands it to the most
+// deserving waiter.
+func (a *admitter) releaseLocked(st *admAnalyst) {
+	a.inflight--
+	st.inflight--
+	a.met.finished()
+	a.dispatchLocked()
+	a.pruneLocked(st)
+	a.resetIdleLocked()
+}
+
+// dispatchLocked grants freed capacity: repeatedly pick, among
+// analysts whose queue head is eligible to run, the waiter with the
+// smallest virtual start tag. Ties are broken arbitrarily — they only
+// arise between requests entitled to the same virtual instant.
+func (a *admitter) dispatchLocked() {
+	for a.inflight < a.cfg.maxConcurrent() {
+		var best *admAnalyst
+		for _, st := range a.analysts {
+			if len(st.queue) == 0 || !a.underCapLocked(st) {
+				continue
+			}
+			if best == nil || st.queue[0].vstart < best.queue[0].vstart {
+				best = st
+			}
+		}
+		if best == nil {
+			return
+		}
+		w := best.queue[0]
+		best.queue = best.queue[1:]
+		a.queued--
+		a.vtime = math.Max(a.vtime, w.vstart)
+		a.grantSlotLocked(best)
+		a.met.dequeued()
+		w.granted = true
+		close(w.ready)
+	}
+}
+
+// pruneLocked forgets an analyst state that holds no information: no
+// override, nothing running or waiting, and a full (or disabled)
+// token bucket. Keeps the map bounded by ACTIVE analysts rather than
+// ever-seen ones, without ever forgetting a depleted bucket (which
+// would hand a flooder a fresh burst).
+func (a *admitter) pruneLocked(st *admAnalyst) {
+	if st.limits != (AnalystLimits{Analyst: st.limits.Analyst}) || st.inflight > 0 || len(st.queue) > 0 {
+		return
+	}
+	// A finish tag ahead of virtual time still orders this analyst's
+	// NEXT request behind the backlog it already consumed. A
+	// continuously resubmitting analyst is momentarily empty between
+	// consecutive requests; shedding its tag here would collapse every
+	// arrival onto the (then stagnant) virtual time and degrade
+	// dispatch to tie-breaking roulette. Keep the state until virtual
+	// time catches up — i.e. until the history stops mattering.
+	if st.lastFinish > a.vtime {
+		return
+	}
+	if rate, burst := a.rateFor(st); rate > 0 {
+		a.refillLocked(st, rate, burst, a.now())
+		if st.tokens < burst {
+			return
+		}
+	}
+	delete(a.analysts, st.id)
+}
+
+// resetIdleLocked rewinds virtual time when the system is fully idle.
+// Without this, lastFinish tags of analysts retained for their
+// overrides would drift ever further from a fresh analyst's tags and
+// eventually starve them after long idle periods.
+func (a *admitter) resetIdleLocked() {
+	if a.inflight != 0 || a.queued != 0 {
+		return
+	}
+	a.vtime = 0
+	for _, st := range a.analysts {
+		st.lastFinish = 0
+		// With tags rewound, states retained only for their history
+		// hold no information any more; sweep them here so the map
+		// stays bounded by ACTIVE analysts.
+		a.pruneLocked(st)
+	}
+}
+
+// setLimits installs (or, with every numeric field zero, clears) one
+// analyst's admission override and returns the stored value. Raising
+// a concurrency cap can unblock queued waiters, so it dispatches.
+func (a *admitter) setLimits(req AnalystLimits) (AnalystLimits, error) {
+	if req.Analyst == "" {
+		return AnalystLimits{}, badf("limits need an analyst id")
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"weight", req.Weight},
+		{"rate_per_sec", req.RatePerSec},
+		{"burst", req.Burst},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) || f.v < 0 {
+			return AnalystLimits{}, badf("%s %g must be finite and non-negative (0 = server default)", f.name, f.v)
+		}
+	}
+	if req.MaxConcurrent < 0 || req.MaxQueued < 0 {
+		return AnalystLimits{}, badf("max_concurrent and max_queued must be non-negative (0 = server default)")
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := a.stateLocked(req.Analyst)
+	st.limits = req
+	// A changed rate re-anchors the bucket rather than replaying
+	// history against the new parameters.
+	st.filled = false
+	// Waiters keep the tags they were enqueued with — re-tagging a
+	// live queue could reorder grants already promised; the new
+	// weight applies from the next request on.
+	a.dispatchLocked()
+	a.pruneLocked(st)
+	return st.limits, nil
+}
+
+// limits snapshots the defaults and every stored override, sorted by
+// analyst id for stable wire output.
+func (a *admitter) limits() LimitsResponse {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	resp := LimitsResponse{
+		Enabled: true,
+		Defaults: &AdmissionDefaults{
+			MaxConcurrent:      a.cfg.maxConcurrent(),
+			AnalystConcurrency: a.cfg.AnalystConcurrency,
+			RatePerSec:         a.cfg.RatePerSec,
+			Burst:              a.cfg.burst(),
+			MaxQueued:          a.cfg.maxQueued(),
+			Weight:             1,
+		},
+		Overrides: []AnalystLimits{},
+	}
+	for _, st := range a.analysts {
+		if st.limits != (AnalystLimits{Analyst: st.limits.Analyst}) {
+			resp.Overrides = append(resp.Overrides, st.limits)
+		}
+	}
+	sort.Slice(resp.Overrides, func(i, j int) bool { return resp.Overrides[i].Analyst < resp.Overrides[j].Analyst })
+	return resp
+}
+
+// queueDepth reports the total queued waiters (tests and the
+// queue-depth gauge agree by construction; this is for assertions).
+func (a *admitter) queueDepth() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.queued
+}
+
+// admissionMetrics bundles the admission layer's instruments; nil is
+// the disabled state and every method is nil-receiver safe.
+type admissionMetrics struct {
+	depth    *telemetry.Gauge
+	inflight *telemetry.Gauge
+	wait     *telemetry.Histogram
+	admitted *telemetry.Counter
+	rejects  *telemetry.CounterVec
+	cancels  *telemetry.Counter
+}
+
+// newAdmissionMetrics registers the admission series (nil reg
+// disables). Rejection reasons are a closed set: "rate", "queue_full".
+func newAdmissionMetrics(reg *telemetry.Registry) *admissionMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &admissionMetrics{
+		depth: reg.NewGauge("osdp_admission_queue_depth",
+			"Requests waiting in the weighted-fair admission queue."),
+		inflight: reg.NewGauge("osdp_admission_in_flight",
+			"Admitted queries currently executing."),
+		wait: reg.NewHistogram("osdp_admission_wait_seconds",
+			"Time a queued request waited for admission.", nil),
+		admitted: reg.NewCounter("osdp_admission_admitted_total",
+			"Queries admitted to execution."),
+		rejects: reg.NewCounterVec("osdp_admission_rejected_total",
+			"Requests rejected at admission (HTTP 429), by reason.", "reason"),
+		cancels: reg.NewCounter("osdp_admission_cancelled_total",
+			"Requests cancelled while waiting in the admission queue."),
+	}
+	// Pre-register the closed reason set so the exposition is stable
+	// from the first scrape.
+	m.rejects.With("rate")
+	m.rejects.With("queue_full")
+	return m
+}
+
+func (m *admissionMetrics) enqueued() {
+	if m != nil {
+		m.depth.Inc()
+	}
+}
+
+func (m *admissionMetrics) dequeued() {
+	if m != nil {
+		m.depth.Dec()
+	}
+}
+
+func (m *admissionMetrics) cancelled() {
+	if m != nil {
+		m.depth.Dec()
+		m.cancels.Inc()
+	}
+}
+
+func (m *admissionMetrics) waited(d time.Duration) {
+	if m != nil {
+		m.wait.ObserveDuration(d)
+	}
+}
+
+func (m *admissionMetrics) started() {
+	if m != nil {
+		m.inflight.Inc()
+		m.admitted.Inc()
+	}
+}
+
+func (m *admissionMetrics) finished() {
+	if m != nil {
+		m.inflight.Dec()
+	}
+}
+
+func (m *admissionMetrics) reject(reason string) {
+	if m != nil {
+		m.rejects.With(reason).Inc()
+	}
+}

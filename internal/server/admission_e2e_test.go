@@ -1,0 +1,248 @@
+package server
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"osdp/internal/ledger"
+)
+
+// TestAdmissionStarvationRegression is the headline e2e check: one
+// flooding analyst saturating a 2-slot server with large workload
+// batches must not starve a light analyst on the same dataset. The
+// light analyst's requests all complete with bounded p99 latency, and
+// the per-analyst ledger accounts prove no request was lost or
+// double-executed (spend == successes x ε, exactly, on both sides).
+func TestAdmissionStarvationRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test")
+	}
+	c, srv := newLedgerServer(t, "", ledger.Config{}, Config{
+		Admission: &AdmissionConfig{MaxConcurrent: 2},
+	})
+	registerPeople(t, srv, 500)
+	flood, floodID := mintAnalyst(t, c, "flood", 0)
+	light, lightID := mintAnalyst(t, c, "light", 0)
+
+	const eps = 0.01
+
+	// The flood: 4 goroutines of 512-range workload batches, running
+	// until the light analyst is done.
+	ranges := make([]RangeSpec, 512)
+	for i := range ranges {
+		ranges[i] = RangeSpec{Lo: i % 32, Hi: 32 + i%32}
+	}
+	dims := []DomainSpec{{Attr: "Age", Lo: 0, Width: 2, Bins: 64}}
+	stop := make(chan struct{})
+	var floodOK atomic.Int64
+	var floodWG sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		floodWG.Add(1)
+		go func(n int64) {
+			defer floodWG.Done()
+			sc, err := flood.OpenSession(ctx, "people", 0, seed(n))
+			if err != nil {
+				t.Errorf("flood session: %v", err)
+				return
+			}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := sc.Workload(ctx, eps, EstimatorFlat, nil, dims, ranges); err != nil {
+					t.Errorf("flood workload: %v", err)
+					return
+				}
+				floodOK.Add(1)
+			}
+		}(int64(g + 1))
+	}
+
+	// The light analyst: 25 sequential counts, each timed end to end
+	// (admission wait included — that is the quantity under test).
+	sc, err := light.OpenSession(ctx, "people", 0, seed(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const lightN = 25
+	lat := make([]time.Duration, 0, lightN)
+	for i := 0; i < lightN; i++ {
+		start := time.Now()
+		if _, err := sc.Count(ctx, eps, nil); err != nil {
+			t.Fatalf("light count %d under flood: %v", i, err)
+		}
+		lat = append(lat, time.Since(start))
+	}
+	close(stop)
+	floodWG.Wait()
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p99 := lat[len(lat)-1]
+	// Generous on absolute terms, damning relative to starvation: an
+	// unfair queue parks the light analyst behind the entire flood
+	// backlog and busts this by orders of magnitude.
+	if p99 > 5*time.Second {
+		t.Errorf("light analyst p99 admission-inclusive latency %v, want < 5s", p99)
+	}
+
+	// Conservation: each completed request charged its ε exactly once.
+	led := srv.cfg.Ledger
+	lightAcc, err := led.Account(lightID, "people")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := lightN * eps; math.Abs(lightAcc.Spent-want) > 1e-9 {
+		t.Errorf("light analyst spent %.9f, want %.9f — a request was lost or double-executed", lightAcc.Spent, want)
+	}
+	floodAcc, err := led.Account(floodID, "people")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := float64(floodOK.Load()) * eps; math.Abs(floodAcc.Spent-want) > 1e-9 {
+		t.Errorf("flood analyst spent %.9f, want %.9f (%d successes)", floodAcc.Spent, want, floodOK.Load())
+	}
+}
+
+// TestRateLimit429OverTheWire checks the full 429 contract end to end:
+// the sentinel maps across the wire, the Retry-After header parses into
+// APIError.RetryAfter, the message renders it, and the rejected request
+// charged nothing.
+func TestRateLimit429OverTheWire(t *testing.T) {
+	c, srv := newLedgerServer(t, "", ledger.Config{}, Config{
+		Admission: &AdmissionConfig{MaxConcurrent: 4, RatePerSec: 0.5, Burst: 1},
+	})
+	registerPeople(t, srv, 20)
+	ac, analystID := mintAnalyst(t, c, "alice", 0)
+	sc, err := ac.OpenSession(ctx, "people", 0, seed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const eps = 0.05
+	if _, err := sc.Count(ctx, eps, nil); err != nil {
+		t.Fatalf("first query within burst: %v", err)
+	}
+	_, err = sc.Count(ctx, eps, nil)
+	if !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("second query: got %v, want ErrRateLimited", err)
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("429 did not surface as APIError: %v", err)
+	}
+	if apiErr.Status != 429 {
+		t.Errorf("status %d, want 429", apiErr.Status)
+	}
+	// rate 0.5/s with an empty bucket needs 2s for one token; the
+	// header rounds up to whole seconds.
+	if apiErr.RetryAfter < time.Second || apiErr.RetryAfter > 3*time.Second {
+		t.Errorf("RetryAfter %v, want ~2s", apiErr.RetryAfter)
+	}
+	if got := apiErr.Error(); !strings.Contains(got, "retry after") {
+		t.Errorf("APIError message %q does not render the retry pause", got)
+	}
+
+	// The rejection happened before admission, so before any charge.
+	acc, err := srv.cfg.Ledger.Account(analystID, "people")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(acc.Spent-eps) > 1e-12 {
+		t.Errorf("spent %.12f after one success and one 429, want exactly %g", acc.Spent, eps)
+	}
+}
+
+// TestAdminLimitsRoundTrip drives /admin/limits over the real wire:
+// defaults report resolved values, an override sets, lists, and clears,
+// validation rejects garbage, and the analyst realm cannot touch it.
+func TestAdminLimitsRoundTrip(t *testing.T) {
+	c, srv := newLedgerServer(t, "", ledger.Config{}, Config{
+		Admission: &AdmissionConfig{MaxConcurrent: 4, RatePerSec: 10},
+	})
+	registerPeople(t, srv, 20)
+	admin := c.WithToken(adminToken)
+	ac, analystID := mintAnalyst(t, c, "alice", 0)
+
+	resp, err := admin.Limits(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Enabled || resp.Defaults == nil {
+		t.Fatalf("limits on an admission server: %+v", resp)
+	}
+	if resp.Defaults.MaxConcurrent != 4 || resp.Defaults.RatePerSec != 10 ||
+		resp.Defaults.Burst != 20 || resp.Defaults.Weight != 1 || resp.Defaults.MaxQueued != DefaultMaxQueued {
+		t.Errorf("resolved defaults wrong: %+v", resp.Defaults)
+	}
+	if len(resp.Overrides) != 0 {
+		t.Errorf("fresh server has overrides: %+v", resp.Overrides)
+	}
+
+	set, err := admin.SetAnalystLimits(ctx, AnalystLimits{Analyst: analystID, Weight: 2.5, RatePerSec: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Weight != 2.5 || set.RatePerSec != 100 {
+		t.Errorf("override echo wrong: %+v", set)
+	}
+	resp, err = admin.Limits(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Overrides) != 1 || resp.Overrides[0].Analyst != analystID || resp.Overrides[0].Weight != 2.5 {
+		t.Errorf("override not listed: %+v", resp.Overrides)
+	}
+
+	// Garbage is rejected with 400.
+	if _, err := admin.SetAnalystLimits(ctx, AnalystLimits{Analyst: analystID, Weight: -1}); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("negative weight: got %v, want ErrBadRequest", err)
+	}
+	if _, err := admin.SetAnalystLimits(ctx, AnalystLimits{}); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("missing analyst: got %v, want ErrBadRequest", err)
+	}
+
+	// All-zero clears the override.
+	if _, err := admin.SetAnalystLimits(ctx, AnalystLimits{Analyst: analystID}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = admin.Limits(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Overrides) != 0 {
+		t.Errorf("override survived clear: %+v", resp.Overrides)
+	}
+
+	// Realm separation: an analyst key is 403 on the admin plane.
+	if _, err := ac.Limits(ctx); !errors.Is(err, ErrForbidden) {
+		t.Errorf("analyst key on /admin/limits: got %v, want ErrForbidden", err)
+	}
+}
+
+// TestAdminLimitsDisabled checks the admission-less server: GET reports
+// enabled=false as data, POST is a 404 (the knob does not exist).
+func TestAdminLimitsDisabled(t *testing.T) {
+	c, srv := newLedgerServer(t, "", ledger.Config{}, Config{})
+	registerPeople(t, srv, 5)
+	admin := c.WithToken(adminToken)
+
+	resp, err := admin.Limits(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Enabled || resp.Defaults != nil {
+		t.Errorf("admission-less server reports %+v, want enabled=false, no defaults", resp)
+	}
+	if _, err := admin.SetAnalystLimits(ctx, AnalystLimits{Analyst: "x", Weight: 2}); !errors.Is(err, ErrNotFound) {
+		t.Errorf("POST limits without admission: got %v, want ErrNotFound", err)
+	}
+	_ = srv
+}

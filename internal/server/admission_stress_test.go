@@ -1,0 +1,162 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"osdp/internal/ledger"
+	"osdp/internal/telemetry"
+)
+
+// TestAdmissionStressRace hammers the fair queue under the race
+// detector: 8 analysts flooding a 2-slot pipe with concurrent
+// enqueue/dequeue, random mid-wait cancellations, and session TTL
+// eviction sweeps interleaved throughout. The invariants checked are
+// the PR's acceptance bar:
+//
+//   - ledger spend equals successes x ε exactly — cancelled-while-
+//     queued and evicted-while-queued requests charge zero
+//   - the queue-depth and in-flight gauges return to zero (each waiter
+//     moved them exactly once)
+//   - no goroutine is left behind
+func TestAdmissionStressRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	now := time.Unix(1000, 0)
+	var clockMu sync.Mutex
+	clock := func() time.Time { clockMu.Lock(); defer clockMu.Unlock(); return now }
+	advance := func(d time.Duration) { clockMu.Lock(); now = now.Add(d); clockMu.Unlock() }
+
+	led, err := ledger.Open(ledger.Config{}) // in-memory, unlimited budgets
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer led.Close()
+	reg := telemetry.NewRegistry()
+	srv := New(Config{
+		Ledger:              led,
+		SessionTTL:          time.Minute,
+		AllowSeededSessions: true,
+		Telemetry:           reg,
+		Admission:           &AdmissionConfig{MaxConcurrent: 2},
+		now:                 clock,
+	})
+	defer srv.Close()
+	registerPeople(t, srv, 50)
+
+	const (
+		analysts   = 8
+		iterations = 150
+		eps        = 0.001
+	)
+	ids := make([]string, analysts)
+	for i := range ids {
+		info, _, err := led.CreateAnalyst("w"+string(rune('0'+i)), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = info.ID
+	}
+
+	// Baseline AFTER setup: the ledger and server own long-lived
+	// goroutines the admission layer must not be blamed for.
+	before := runtime.NumGoroutine()
+
+	var successes atomic.Int64
+	stop := make(chan struct{})
+
+	// Evictor: jump the stubbed clock past the TTL and sweep, so whole
+	// generations of sessions vanish while their queries sit in the
+	// admission queue.
+	var evictorDone sync.WaitGroup
+	evictorDone.Add(1)
+	go func() {
+		defer evictorDone.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(5 * time.Millisecond):
+				advance(2 * time.Minute)
+				srv.Sweep()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < analysts; w++ {
+		wg.Add(1)
+		go func(analyst string, rng *rand.Rand) {
+			defer wg.Done()
+			sessID := ""
+			for i := 0; i < iterations; i++ {
+				if sessID == "" {
+					info, err := srv.OpenSession(analyst, OpenSessionRequest{Dataset: "people", Budget: 0, Seed: seed(rng.Int63())})
+					if err != nil {
+						t.Errorf("open session: %v", err)
+						return
+					}
+					sessID = info.ID
+				}
+				qctx, cancel := context.Background(), context.CancelFunc(func() {})
+				if rng.Intn(2) == 0 {
+					// Half the requests carry a fuse that often burns
+					// while they wait in the queue.
+					qctx, cancel = context.WithTimeout(qctx, time.Duration(rng.Intn(300))*time.Microsecond)
+				}
+				_, err := srv.QueryContext(qctx, analyst, sessID, QueryRequest{Kind: KindCount, Eps: eps})
+				cancel()
+				switch {
+				case err == nil:
+					successes.Add(1)
+				case errors.Is(err, ErrNotFound):
+					sessID = "" // TTL-evicted; reopen
+				case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+					// Cancelled while queued: charged nothing, by the
+					// accounting check below.
+				default:
+					t.Errorf("analyst %s: unexpected error: %v", analyst, err)
+					return
+				}
+			}
+		}(ids[w], rand.New(rand.NewSource(int64(w))))
+	}
+	wg.Wait()
+	close(stop)
+	evictorDone.Wait()
+
+	// Exactness, not tolerance: N identical float64 charges of the same
+	// ε sum identically on both sides of the comparison.
+	wantSpend := float64(successes.Load()) * eps
+	if got := led.TotalSpent(); math.Abs(got-wantSpend) > 1e-9 {
+		t.Errorf("ledger spent %.9f, want %.9f (%d successes x %g) — a cancelled or evicted request charged ε",
+			got, wantSpend, successes.Load(), eps)
+	}
+	if got := srv.adm.met.depth.Value(); got != 0 {
+		t.Errorf("queue-depth gauge %g at quiescence, want 0", got)
+	}
+	if got := srv.adm.met.inflight.Value(); got != 0 {
+		t.Errorf("in-flight gauge %g at quiescence, want 0", got)
+	}
+	if d := srv.adm.queueDepth(); d != 0 {
+		t.Errorf("queue depth %d at quiescence, want 0", d)
+	}
+
+	// No goroutine left behind: waiters park on their own request
+	// goroutines, so quiescence must return the count to baseline.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before {
+		t.Errorf("%d goroutines after stress, baseline %d — admission leaked waiters", got, before)
+	}
+}

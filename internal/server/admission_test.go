@@ -1,0 +1,386 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"osdp/internal/telemetry"
+)
+
+// waitForDepth polls until the admitter's queue holds exactly want
+// waiters — acquire calls park asynchronously, so tests must wait for
+// the backlog to form before opening the pipe.
+func waitForDepth(t *testing.T, a *admitter, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for a.queueDepth() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue depth stuck at %d, want %d", a.queueDepth(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestWeightedFairServiceOrder is the deterministic SFQ check: with a
+// single execution slot, one weight-1 analyst and one weight-3 analyst
+// both backlogged with 30 requests each, the first 20 grants must be
+// exactly 5 vs 15 — the tag arithmetic admits no other split (ties
+// only occur inside the window).
+func TestWeightedFairServiceOrder(t *testing.T) {
+	a := newAdmitter(AdmissionConfig{MaxConcurrent: 1}, time.Now, nil)
+	if _, err := a.setLimits(AnalystLimits{Analyst: "heavy", Weight: 3}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Occupy the single slot so every subsequent acquire queues.
+	plug, err := a.acquire(context.Background(), "plug")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const perAnalyst = 30
+	var mu sync.Mutex
+	var order []string
+	var wg sync.WaitGroup
+	for _, analyst := range []string{"light", "heavy"} {
+		for i := 0; i < perAnalyst; i++ {
+			wg.Add(1)
+			go func(analyst string) {
+				defer wg.Done()
+				release, err := a.acquire(context.Background(), analyst)
+				if err != nil {
+					t.Errorf("acquire(%s): %v", analyst, err)
+					return
+				}
+				// The single slot serialises these sections, so the
+				// append order IS the service order.
+				mu.Lock()
+				order = append(order, analyst)
+				mu.Unlock()
+				release()
+			}(analyst)
+		}
+	}
+	waitForDepth(t, a, 2*perAnalyst)
+	plug()
+	wg.Wait()
+
+	if len(order) != 2*perAnalyst {
+		t.Fatalf("%d grants, want %d (lost or duplicated dequeues)", len(order), 2*perAnalyst)
+	}
+	heavy := 0
+	for _, analyst := range order[:20] {
+		if analyst == "heavy" {
+			heavy++
+		}
+	}
+	if heavy != 15 {
+		t.Errorf("first 20 grants served heavy %d times, want exactly 15 (weight 3 vs 1)", heavy)
+	}
+	if d := a.queueDepth(); d != 0 {
+		t.Errorf("queue depth %d after drain, want 0", d)
+	}
+}
+
+// TestAdmissionRateLimit exercises the token bucket with a stubbed
+// clock: burst spends down, an empty bucket rejects with ErrRateLimited
+// and an honest Retry-After, and refill restores admission.
+func TestAdmissionRateLimit(t *testing.T) {
+	now := time.Unix(1000, 0)
+	var mu sync.Mutex
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+
+	a := newAdmitter(AdmissionConfig{MaxConcurrent: 8, RatePerSec: 1, Burst: 2}, clock, nil)
+	for i := 0; i < 2; i++ {
+		release, err := a.acquire(context.Background(), "a")
+		if err != nil {
+			t.Fatalf("burst acquire %d: %v", i, err)
+		}
+		release()
+	}
+	_, err := a.acquire(context.Background(), "a")
+	if !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("empty bucket: got %v, want ErrRateLimited", err)
+	}
+	var ra retryAfterer
+	if !errors.As(err, &ra) {
+		t.Fatalf("rate rejection %v does not advertise Retry-After", err)
+	}
+	if got := ra.RetryAfter(); got <= 0 || got > time.Second {
+		t.Errorf("Retry-After %v, want in (0, 1s] at rate 1/s", got)
+	}
+	// A second analyst has its own bucket.
+	if release, err := a.acquire(context.Background(), "b"); err != nil {
+		t.Fatalf("other analyst's bucket should be full: %v", err)
+	} else {
+		release()
+	}
+	advance(1100 * time.Millisecond)
+	release, err := a.acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatalf("after refill: %v", err)
+	}
+	release()
+}
+
+// TestAdmissionQueueFull checks the per-analyst queue bound: waiters
+// past MaxQueued are rejected with ErrRateLimited instead of queued,
+// and the bound is per analyst, not global.
+func TestAdmissionQueueFull(t *testing.T) {
+	a := newAdmitter(AdmissionConfig{MaxConcurrent: 1, MaxQueued: 2}, time.Now, nil)
+	plug, err := a.acquire(context.Background(), "plug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release, err := a.acquire(context.Background(), "a")
+			if err != nil {
+				t.Errorf("queued acquire: %v", err)
+				return
+			}
+			release()
+		}()
+	}
+	waitForDepth(t, a, 2)
+	if _, err := a.acquire(context.Background(), "a"); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("full queue: got %v, want ErrRateLimited", err)
+	}
+	// Another analyst still has its own (empty) queue.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		release, err := a.acquire(context.Background(), "b")
+		if err != nil {
+			t.Errorf("other analyst blocked by a's full queue: %v", err)
+			return
+		}
+		release()
+	}()
+	waitForDepth(t, a, 3)
+	plug()
+	wg.Wait()
+}
+
+// TestAdmissionCancelWhileQueued checks the cancellation contract: a
+// cancelled waiter returns the context error wrapped, leaves the queue
+// depth at zero (gauge decremented exactly once), and never blocks the
+// pipe for later requests.
+func TestAdmissionCancelWhileQueued(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	a := newAdmitter(AdmissionConfig{MaxConcurrent: 1}, time.Now, reg)
+	plug, err := a.acquire(context.Background(), "plug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.acquire(cctx, "a")
+		done <- err
+	}()
+	waitForDepth(t, a, 1)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter: got %v, want context.Canceled", err)
+	}
+	if d := a.queueDepth(); d != 0 {
+		t.Fatalf("queue depth %d after cancel, want 0", d)
+	}
+	if got := a.met.depth.Value(); got != 0 {
+		t.Fatalf("queue-depth gauge %g after cancel, want 0 (must decrement exactly once)", got)
+	}
+	if got := a.met.cancels.Value(); got != 1 {
+		t.Fatalf("cancelled counter %g, want 1", got)
+	}
+	plug()
+	// The pipe still works.
+	release, err := a.acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	if got := a.met.inflight.Value(); got != 0 {
+		t.Fatalf("in-flight gauge %g at idle, want 0", got)
+	}
+}
+
+// TestAdmissionWeightChangeWhileQueued changes an analyst's weight with
+// waiters in its queue: already-queued waiters keep their tags (no
+// reorder of promised grants), the queue drains completely, and the
+// override sticks for inspection.
+func TestAdmissionWeightChangeWhileQueued(t *testing.T) {
+	a := newAdmitter(AdmissionConfig{MaxConcurrent: 1}, time.Now, nil)
+	plug, err := a.acquire(context.Background(), "plug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	var wg sync.WaitGroup
+	var served int
+	var mu sync.Mutex
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release, err := a.acquire(context.Background(), "a")
+			if err != nil {
+				t.Errorf("acquire: %v", err)
+				return
+			}
+			mu.Lock()
+			served++
+			mu.Unlock()
+			release()
+		}()
+	}
+	waitForDepth(t, a, n)
+	if _, err := a.setLimits(AnalystLimits{Analyst: "a", Weight: 5}); err != nil {
+		t.Fatal(err)
+	}
+	plug()
+	wg.Wait()
+	if served != n {
+		t.Fatalf("served %d, want %d after weight change", served, n)
+	}
+	resp := a.limits()
+	if len(resp.Overrides) != 1 || resp.Overrides[0].Analyst != "a" || resp.Overrides[0].Weight != 5 {
+		t.Fatalf("override not retained: %+v", resp.Overrides)
+	}
+	// Clearing the override prunes the idle analyst entirely.
+	if _, err := a.setLimits(AnalystLimits{Analyst: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if resp := a.limits(); len(resp.Overrides) != 0 {
+		t.Fatalf("override survived clearing: %+v", resp.Overrides)
+	}
+}
+
+// TestSetLimitsValidation rejects NaN/Inf/negative knobs — an Inf
+// weight would make 1/weight collapse every tag to the same instant.
+func TestSetLimitsValidation(t *testing.T) {
+	a := newAdmitter(AdmissionConfig{}, time.Now, nil)
+	bad := []AnalystLimits{
+		{},                             // missing analyst
+		{Analyst: "a", Weight: -1},     // negative
+		{Analyst: "a", RatePerSec: -2}, // negative
+		{Analyst: "a", MaxQueued: -1},  // negative
+	}
+	for _, req := range bad {
+		if _, err := a.setLimits(req); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("setLimits(%+v): got %v, want ErrBadRequest", req, err)
+		}
+	}
+}
+
+// FuzzAdmissionFairQueue drives a random schedule of enqueues,
+// releases, cancellations, and weight changes through the admitter and
+// checks the conservation invariants: every acquire resolves exactly
+// once (granted or cancelled), and after a full drain nothing is
+// queued or in flight.
+func FuzzAdmissionFairQueue(f *testing.F) {
+	f.Add([]byte{1, 0, 17, 33, 2, 250, 128, 64, 9})
+	f.Add([]byte{3, 5, 5, 5, 80, 80, 161, 161, 242, 7})
+	f.Add([]byte{0, 255, 254, 253, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 || len(data) > 256 {
+			t.Skip()
+		}
+		cfg := AdmissionConfig{
+			MaxConcurrent: 1 + int(data[0]%3),
+			MaxQueued:     64,
+		}
+		a := newAdmitter(cfg, time.Now, nil)
+		names := []string{"a", "b", "c"}
+
+		type waiter struct {
+			cancel context.CancelFunc
+			done   chan func() // the release closure, nil if not granted
+		}
+		var pending []*waiter
+		var grants []func()
+
+		// sweep moves resolved waiters from pending to grants without
+		// blocking.
+		sweep := func() {
+			kept := pending[:0]
+			for _, w := range pending {
+				select {
+				case rel := <-w.done:
+					if rel != nil {
+						grants = append(grants, rel)
+					}
+				default:
+					kept = append(kept, w)
+				}
+			}
+			pending = kept
+		}
+
+		for _, b := range data[1:] {
+			switch b % 4 {
+			case 0, 1: // enqueue one request
+				cctx, cancel := context.WithCancel(context.Background())
+				w := &waiter{cancel: cancel, done: make(chan func(), 1)}
+				pending = append(pending, w)
+				go func() {
+					rel, err := a.acquire(cctx, names[int(b>>4)%len(names)])
+					if err != nil {
+						rel = nil
+					}
+					w.done <- rel
+				}()
+			case 2: // release the oldest grant
+				sweep()
+				if len(grants) > 0 {
+					grants[0]()
+					grants = grants[1:]
+				}
+			case 3: // cancel the oldest pending, or change a weight
+				if len(pending) > 0 {
+					pending[0].cancel()
+				} else if _, err := a.setLimits(AnalystLimits{
+					Analyst: names[int(b>>4)%len(names)],
+					Weight:  float64(1 + int(b>>4)%4),
+				}); err != nil {
+					t.Fatalf("setLimits: %v", err)
+				}
+			}
+		}
+
+		// Drain: keep releasing grants until every waiter resolved.
+		deadline := time.After(10 * time.Second)
+		for len(pending) > 0 || len(grants) > 0 {
+			sweep()
+			for _, rel := range grants {
+				rel()
+			}
+			grants = grants[:0]
+			if len(pending) == 0 {
+				continue
+			}
+			select {
+			case <-deadline:
+				t.Fatalf("drain deadlock: %d pending, depth %d", len(pending), a.queueDepth())
+			default:
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+		if d := a.queueDepth(); d != 0 {
+			t.Fatalf("queue depth %d after drain, want 0", d)
+		}
+		a.mu.Lock()
+		inflight := a.inflight
+		a.mu.Unlock()
+		if inflight != 0 {
+			t.Fatalf("%d in flight after drain, want 0", inflight)
+		}
+	})
+}

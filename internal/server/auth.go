@@ -110,6 +110,8 @@ func (s *Server) withAdmin(h http.HandlerFunc) http.HandlerFunc {
 //	GET  /admin/budgets               -> []ledger.AccountInfo (touched accounts)
 //	POST /admin/budgets               BudgetGrantRequest -> ledger.AccountInfo
 //	GET  /admin/spend                 -> SpendReport (accounts + totals)
+//	GET  /admin/limits                -> LimitsResponse (admission defaults + overrides)
+//	POST /admin/limits                AnalystLimits -> AnalystLimits (set/clear one override)
 //	GET  /admin/traces                -> []TraceInfo (?kind= &analyst= &min_duration= &limit=)
 //	GET  /admin/traces/{id}           -> TraceInfo
 //	GET  /admin/audit                 -> AuditReport (?analyst= &since= &until= &limit=)
@@ -170,6 +172,26 @@ func (s *Server) adminRoutes(mux *http.ServeMux) {
 		}
 		report.Analysts, report.TouchedAccounts = s.cfg.Ledger.Counts()
 		writeJSON(w, http.StatusOK, report)
+	}))
+	mux.HandleFunc("GET /admin/limits", s.withAdmin(func(w http.ResponseWriter, r *http.Request) {
+		if s.adm == nil {
+			// Report "disabled" as data, not an error: operators probe
+			// this to learn whether the knob exists at all.
+			writeJSON(w, http.StatusOK, LimitsResponse{Enabled: false})
+			return
+		}
+		writeJSON(w, http.StatusOK, s.adm.limits())
+	}))
+	mux.HandleFunc("POST /admin/limits", s.withAdmin(func(w http.ResponseWriter, r *http.Request) {
+		if s.adm == nil {
+			writeErr(w, fmt.Errorf("%w: admission control is disabled on this server", ErrNotFound))
+			return
+		}
+		var req AnalystLimits
+		if !readJSON(w, r, &req) {
+			return
+		}
+		respond(w, http.StatusOK)(s.adm.setLimits(req))
 	}))
 	mux.HandleFunc("GET /admin/traces", s.withAdmin(func(w http.ResponseWriter, r *http.Request) {
 		if s.cfg.Tracer == nil {

@@ -93,20 +93,31 @@ type APIError struct {
 	// it when reporting a failure: the operator can pull the matching
 	// trace, audit events, and access-log lines by this id.
 	RequestID string
+	// RetryAfter is the server-advertised pause from a 429's
+	// Retry-After header (0 when the server sent none). An admission
+	// rejection charged nothing, so waiting this long and resending is
+	// always safe.
+	RetryAfter time.Duration
 }
 
-// Error renders the status code, the server's error message, and the
-// request id when the server assigned one.
+// Error renders the status code, the server's error message, the
+// advertised retry pause on rate-limited answers, and the request id
+// when the server assigned one.
 func (e *APIError) Error() string {
-	if e.RequestID != "" {
-		return fmt.Sprintf("server: HTTP %d: %s (request %s)", e.Status, e.Message, e.RequestID)
+	msg := fmt.Sprintf("server: HTTP %d: %s", e.Status, e.Message)
+	if e.RetryAfter > 0 {
+		msg += fmt.Sprintf(" (retry after %s)", e.RetryAfter)
 	}
-	return fmt.Sprintf("server: HTTP %d: %s", e.Status, e.Message)
+	if e.RequestID != "" {
+		msg += fmt.Sprintf(" (request %s)", e.RequestID)
+	}
+	return msg
 }
 
 // Is classifies the error by its status code. 409 maps to both
-// ErrConflict and ErrEmptySample (the wire cannot distinguish them; the
-// message can).
+// ErrConflict and ErrEmptySample, and 429 to both ErrTooManySessions
+// and ErrRateLimited (the wire cannot distinguish them; the message
+// and Retry-After can).
 func (e *APIError) Is(target error) bool {
 	switch target {
 	case ErrBadRequest:
@@ -119,12 +130,33 @@ func (e *APIError) Is(target error) bool {
 		return e.Status == http.StatusNotFound
 	case ErrConflict, core.ErrEmptySample:
 		return e.Status == http.StatusConflict
-	case ErrTooManySessions:
+	case ErrTooManySessions, ErrRateLimited:
 		return e.Status == http.StatusTooManyRequests
 	case core.ErrBudgetExceeded:
 		return e.Status == http.StatusPaymentRequired
 	}
 	return false
+}
+
+// parseRetryAfter reads a Retry-After header: delta-seconds (the form
+// this server emits) or an HTTP-date, per RFC 9110 §10.2.3. 0 means
+// absent or unparseable.
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(h); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // Healthz reports liveness.
@@ -291,6 +323,19 @@ func (c *Client) Spend(ctx context.Context) (SpendReport, error) {
 	return do[SpendReport](ctx, c, http.MethodGet, "/admin/spend", nil)
 }
 
+// Limits fetches the admission-control defaults and per-analyst
+// overrides (Enabled false when the server runs without admission).
+func (c *Client) Limits(ctx context.Context) (LimitsResponse, error) {
+	return do[LimitsResponse](ctx, c, http.MethodGet, "/admin/limits", nil)
+}
+
+// SetAnalystLimits installs one analyst's admission override (weight,
+// rate, burst, concurrency, queue cap); zero fields inherit the server
+// default, and an all-zero request clears the override.
+func (c *Client) SetAnalystLimits(ctx context.Context, req AnalystLimits) (AnalystLimits, error) {
+	return do[AnalystLimits](ctx, c, http.MethodPost, "/admin/limits", req)
+}
+
 // TraceQuery filters Traces.
 type TraceQuery struct {
 	// Kind keeps only traces of this query kind.
@@ -414,11 +459,18 @@ func do[T any](ctx context.Context, c *Client, method, path string, body any) (T
 		return zero, fmt.Errorf("server: %s %s response exceeds %d bytes", method, path, maxResponseBytes)
 	}
 	if resp.StatusCode >= 300 {
+		apiErr := &APIError{
+			Status:     resp.StatusCode,
+			RequestID:  requestID,
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
 		var e ErrorResponse
 		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
-			return zero, &APIError{Status: resp.StatusCode, Message: e.Error, RequestID: requestID}
+			apiErr.Message = e.Error
+		} else {
+			apiErr.Message = strings.TrimSpace(string(raw))
 		}
-		return zero, &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(raw)), RequestID: requestID}
+		return zero, apiErr
 	}
 	if err := json.Unmarshal(raw, &zero); err != nil {
 		return zero, fmt.Errorf("server: decoding %s %s response: %w", method, path, err)

@@ -1,9 +1,11 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"osdp/internal/core"
 	"osdp/internal/ledger"
@@ -29,7 +31,33 @@ var (
 	// touch the resource: disabled analysts, another analyst's session,
 	// or a bad admin token (403: you may not).
 	ErrForbidden = errors.New("server: forbidden")
+	// ErrRateLimited marks requests rejected by the admission layer —
+	// token bucket empty or admission queue full (429 + Retry-After).
+	// Unlike every other sentinel it is always retriable as-is: the
+	// request was refused before touching a session or charging ε.
+	ErrRateLimited = errors.New("server: rate limited")
 )
+
+// rateLimitedError is an admission rejection carrying the pause the
+// server advertises in Retry-After. It unwraps to ErrRateLimited so
+// errors.Is classification keeps working.
+type rateLimitedError struct {
+	msg        string
+	retryAfter time.Duration
+}
+
+func (e *rateLimitedError) Error() string {
+	return fmt.Sprintf("server: rate limited: %s", e.msg)
+}
+
+func (e *rateLimitedError) Unwrap() error { return ErrRateLimited }
+
+// RetryAfter reports the advertised pause; writeErr surfaces it as the
+// Retry-After header via the retryAfterer interface.
+func (e *rateLimitedError) RetryAfter() time.Duration { return e.retryAfter }
+
+// retryAfterer is implemented by errors that advertise a retry pause.
+type retryAfterer interface{ RetryAfter() time.Duration }
 
 func badf(format string, args ...any) error {
 	return fmt.Errorf("%w: "+format, append([]any{ErrBadRequest}, args...)...)
@@ -51,7 +79,7 @@ func statusOf(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, ErrConflict):
 		return http.StatusConflict
-	case errors.Is(err, ErrTooManySessions):
+	case errors.Is(err, ErrTooManySessions), errors.Is(err, ErrRateLimited):
 		return http.StatusTooManyRequests
 	case errors.Is(err, core.ErrBudgetExceeded):
 		return http.StatusPaymentRequired
@@ -60,6 +88,11 @@ func statusOf(err error) int {
 	case errors.Is(err, ledger.ErrClosed):
 		// The control plane is gone (shutdown drain): a server-side,
 		// retriable condition — not the client's fault.
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The client went away (or its deadline fired) while the request
+		// waited for admission; nothing was executed or charged. 503
+		// mirrors the "retriable, not your data's fault" contract.
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError

@@ -2,9 +2,12 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
+	"strconv"
 
 	"osdp/internal/telemetry"
 )
@@ -124,6 +127,17 @@ func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
 }
 
 func writeErr(w http.ResponseWriter, err error) {
+	// Admission rejections advertise their pause: ceil to whole seconds
+	// (the header's only portable form), floor at 1 so "Retry-After: 0"
+	// never invites an immediate hammer.
+	var ra retryAfterer
+	if errors.As(err, &ra) {
+		secs := int64(math.Ceil(ra.RetryAfter().Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
 	writeJSON(w, statusOf(err), ErrorResponse{Error: err.Error()})
 }
 

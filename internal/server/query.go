@@ -46,8 +46,11 @@ func (s *Server) Query(analyst, id string, req QueryRequest) (QueryResponse, err
 // QueryContext is Query with a request context: when ctx carries a
 // trace (planted by the HTTP middleware) the query's phases are
 // recorded as spans, and the request id in ctx is stamped on the audit
-// event the ε decision produces. Cancellation is not consulted — a
-// charge-then-answer sequence must run to completion once started.
+// event the ε decision produces. Cancellation is honoured only while
+// the request waits for admission (nothing has been touched yet);
+// once admitted, a charge-then-answer sequence runs to completion —
+// abandoning it mid-flight could observe noise without recording the
+// spend.
 func (s *Server) QueryContext(ctx context.Context, analyst, id string, req QueryRequest) (QueryResponse, error) {
 	if s.met == nil {
 		resp, _, err := s.queryCounted(ctx, analyst, id, req)
@@ -67,6 +70,20 @@ func (s *Server) QueryContext(ctx context.Context, analyst, id string, req Query
 func (s *Server) queryCounted(ctx context.Context, analyst, id string, req QueryRequest) (_ QueryResponse, charged bool, _ error) {
 	tr := telemetry.TraceFrom(ctx)
 	tr.SetKind(canonicalKind(req.Kind))
+	// Admission gates EVERYTHING: a rejected or cancelled-while-queued
+	// request reaches neither a session nor a ledger, so it provably
+	// charges zero ε. The session lookup runs after the wait on purpose
+	// — a session whose TTL lapsed while its request queued fails
+	// closed instead of executing on borrowed time.
+	if s.adm != nil {
+		sp := tr.StartSpan("admission")
+		release, err := s.adm.acquire(ctx, analyst)
+		sp.End()
+		if err != nil {
+			return QueryResponse{}, false, err
+		}
+		defer release()
+	}
 	se, d, err := s.lookup(analyst, id)
 	if err != nil {
 		return QueryResponse{}, false, err

@@ -79,6 +79,12 @@ type Config struct {
 	// the query path makes (released/retained/refunded/denied), served
 	// by GET /admin/audit. The server does not close it.
 	Audit *audit.Log
+	// Admission, when non-nil, turns on the admission layer in front of
+	// query execution: per-analyst token buckets and concurrency caps
+	// plus a weighted-fair queue (see AdmissionConfig and DESIGN.md
+	// "Admission control"). Nil disables admission entirely — every
+	// query runs immediately, as before.
+	Admission *AdmissionConfig
 	// now is stubbed by tests; defaults to time.Now.
 	now func() time.Time
 }
@@ -115,6 +121,7 @@ type session struct {
 type Server struct {
 	cfg Config
 	met *serverMetrics // nil when Config.Telemetry is nil
+	adm *admitter      // nil when Config.Admission is nil
 
 	mu         sync.Mutex
 	datasets   map[string]*ds
@@ -139,6 +146,9 @@ func New(cfg Config) *Server {
 		datasets:   make(map[string]*ds),
 		sessions:   make(map[string]*session),
 		perAnalyst: make(map[string]int),
+	}
+	if cfg.Admission != nil {
+		s.adm = newAdmitter(*cfg.Admission, cfg.now, cfg.Telemetry)
 	}
 	if reg := cfg.Telemetry; reg != nil {
 		// Registry sizes are collected at scrape time rather than

@@ -269,6 +269,46 @@ type SpendReport struct {
 	Accounts        []ledger.AccountInfo `json:"accounts"`
 }
 
+// AdmissionDefaults reports the server-wide admission configuration in
+// effect (GET /admin/limits), with every "0 = default" field resolved
+// to its concrete value.
+type AdmissionDefaults struct {
+	MaxConcurrent      int     `json:"max_concurrent"`
+	AnalystConcurrency int     `json:"analyst_concurrency,omitempty"`
+	RatePerSec         float64 `json:"rate_per_sec,omitempty"`
+	Burst              float64 `json:"burst,omitempty"`
+	MaxQueued          int     `json:"max_queued"`
+	Weight             float64 `json:"weight"`
+}
+
+// AnalystLimits is one analyst's admission override (POST
+// /admin/limits). Zero-valued fields inherit the server default; a
+// request with every numeric field zero clears the override. Overrides
+// live in server memory only — they do not survive a restart (re-apply
+// them from the operator's config on boot).
+type AnalystLimits struct {
+	Analyst string `json:"analyst"`
+	// Weight is the analyst's share of contended capacity relative to
+	// the default weight 1: weight 3 receives 3x the service of a
+	// weight-1 analyst while both are backlogged.
+	Weight float64 `json:"weight,omitempty"`
+	// RatePerSec / Burst override the analyst's token bucket.
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	Burst      float64 `json:"burst,omitempty"`
+	// MaxConcurrent / MaxQueued override the analyst's execution and
+	// queue caps.
+	MaxConcurrent int `json:"max_concurrent,omitempty"`
+	MaxQueued     int `json:"max_queued,omitempty"`
+}
+
+// LimitsResponse is GET /admin/limits: whether admission control is on,
+// the resolved defaults, and every stored per-analyst override.
+type LimitsResponse struct {
+	Enabled   bool               `json:"enabled"`
+	Defaults  *AdmissionDefaults `json:"defaults,omitempty"`
+	Overrides []AnalystLimits    `json:"overrides,omitempty"`
+}
+
 // CompilePolicy turns a PolicySpec into a dataset.Policy against a
 // schema. cmd/osdp-server uses it for policies loaded from disk; the
 // HTTP registration path compiles specs the same way.
